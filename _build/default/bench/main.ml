@@ -1,0 +1,715 @@
+(* The evaluation harness: regenerates every table and figure of
+   EXPERIMENTS.md, then runs the bechamel microbenchmarks.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table3  -- one experiment
+*)
+
+open Fortran_front
+open Dependence
+
+let line = String.make 78 '-'
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_units (w : Workloads.t) = (Workloads.program w).Ast.punits
+
+(* every (unit, analysis env) pair of a workload under a config *)
+let envs_of ?config ?(interproc = true) (w : Workloads.t) =
+  let p = Workloads.program w in
+  if interproc then
+    let summary = Interproc.Summary.analyze p in
+    List.map
+      (fun u -> Interproc.Summary.env_for ?config summary u)
+      p.Ast.punits
+  else List.map (fun u -> Depenv.make ?config u) p.Ast.punits
+
+let count_parallel envs =
+  List.fold_left
+    (fun acc env ->
+      let ddg = Ddg.compute env in
+      acc
+      + List.length
+          (List.filter
+             (fun (l : Loopnest.loop) ->
+               Ddg.parallelizable env ddg l.Loopnest.lstmt.Ast.sid)
+             (Loopnest.loops env.Depenv.nest)))
+    0 envs
+
+let count_loops envs =
+  List.fold_left
+    (fun acc env -> acc + List.length (Loopnest.loops env.Depenv.nest))
+    0 envs
+
+(* Mark every safely parallelizable loop PARALLEL DO in a session. *)
+let auto_parallelize (sess : Ped.Session.t) =
+  List.iter
+    (fun (l : Loopnest.loop) ->
+      let sid = l.Loopnest.lstmt.Ast.sid in
+      if Ped.Session.is_parallelizable sess sid then
+        ignore
+          (Ped.Session.transform sess "parallelize"
+             (Transform.Catalog.On_loop sid)))
+    (Ped.Session.loops sess)
+
+let speedup_at p program =
+  let machine = Perf.Machine.with_processors p Perf.Machine.default in
+  let seq = Sim.Interp.run ~machine ~honor_parallel:false program in
+  let par = Sim.Interp.run ~machine ~honor_parallel:true program in
+  seq.Sim.Interp.cycles /. Float.max 1.0 par.Sim.Interp.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: workload inventory                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header
+    "Table 1: the workload suite (programs, size, loops) - cf. the programs \
+     table of the Ped evaluations";
+  Printf.printf "%-10s %6s %6s %6s %6s  %s\n" "program" "lines" "units"
+    "loops" "depth" "phenomenon";
+  List.iter
+    (fun (w : Workloads.t) ->
+      let lines =
+        List.length
+          (List.filter
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' w.Workloads.source))
+      in
+      let units = all_units w in
+      let nests = List.map (fun u -> Loopnest.build u) units in
+      let loops =
+        List.fold_left (fun acc n -> acc + List.length (Loopnest.loops n)) 0 nests
+      in
+      let depth =
+        List.fold_left (fun acc n -> max acc (Loopnest.max_depth n)) 0 nests
+      in
+      Printf.printf "%-10s %6d %6d %6d %6d  %s\n" w.Workloads.name lines
+        (List.length units) loops depth w.Workloads.phenomenon)
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: dependence-test hierarchy effectiveness                    *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  header
+    "Table 2: dependence testing - reference pairs disposed of by each test \
+     (the cheap tests dominate, as in 'Practical Dependence Testing')";
+  let tests =
+    [ "ziv"; "strong-siv"; "weak-zero-siv"; "weak-crossing-siv"; "exact-siv";
+      "gcd"; "banerjee"; "delta-inconsistent" ]
+  in
+  Printf.printf "%-10s %6s" "program" "pairs";
+  List.iter (fun t -> Printf.printf " %7s" (String.sub t 0 (min 7 (String.length t)))) tests;
+  Printf.printf " %7s %7s\n" "proven" "pending";
+  let totals = Hashtbl.create 8 in
+  let tp = ref 0 and tproven = ref 0 and tpending = ref 0 in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let stats =
+        List.map (fun env -> (Ddg.compute env).Ddg.stats) (envs_of w)
+      in
+      let pairs = List.fold_left (fun a s -> a + s.Ddg.pairs_tested) 0 stats in
+      let by t =
+        List.fold_left
+          (fun a s -> a + Option.value ~default:0 (List.assoc_opt t s.Ddg.disproved))
+          0 stats
+      in
+      let proven = List.fold_left (fun a s -> a + s.Ddg.proven) 0 stats in
+      let pending = List.fold_left (fun a s -> a + s.Ddg.pending) 0 stats in
+      tp := !tp + pairs;
+      tproven := !tproven + proven;
+      tpending := !tpending + pending;
+      Printf.printf "%-10s %6d" w.Workloads.name pairs;
+      List.iter
+        (fun t ->
+          let n = by t in
+          Hashtbl.replace totals t (n + Option.value ~default:0 (Hashtbl.find_opt totals t));
+          Printf.printf " %7d" n)
+        tests;
+      Printf.printf " %7d %7d\n" proven pending)
+    Workloads.all;
+  Printf.printf "%-10s %6d" "TOTAL" !tp;
+  List.iter
+    (fun t -> Printf.printf " %7d" (Option.value ~default:0 (Hashtbl.find_opt totals t)))
+    tests;
+  Printf.printf " %7d %7d\n" !tproven !tpending;
+  (* The workload pairs are mostly genuine dependences; the classic
+     evaluation of the hierarchy runs it over subscript-pair patterns
+     (Goff/Kennedy/Tseng style).  Corpus below: one kernel per
+     pattern, showing the deciding test. *)
+  Printf.printf "\nsubscript-pair corpus (which test decides):\n";
+  Printf.printf "  %-34s %-12s %s\n" "pattern" "outcome" "decided by";
+  let corpus =
+    [
+      ("A(I) vs A(I)", "A(I) = A(I) + 1.0", "1, 10");
+      ("A(I) vs A(I-1)", "A(I) = A(I-1) + 1.0", "2, 10");
+      ("A(2I) vs A(2I+1)", "A(2*I) = A(2*I+1) + 1.0", "1, 10");
+      ("A(I) vs A(I+20), trip 10", "A(I) = A(I+20) + 1.0", "1, 10");
+      ("A(I+10) vs A(5), trip 5", "A(I+10) = A(5) + 1.0", "1, 5");
+      ("A(I) vs A(30-I), trip 10", "A(I) = A(30-I) + 1.0", "1, 10");
+      ("A(2I) vs A(I+100), trip 10", "A(2*I) = A(I+100) + 1.0", "1, 10");
+      ("A(I) vs A(I+M), M unknown", "A(I) = A(I+M) + 1.0", "1, 10");
+      ("A(IDX(I)) vs A(IDX(I))", "A(IDX(I)) = A(IDX(I)) + 1.0", "1, 10");
+    ]
+  in
+  List.iter
+    (fun (label, stmt, bounds) ->
+      let src =
+        Printf.sprintf
+          "      PROGRAM T\n      REAL A(200)\n      INTEGER IDX(200), M\n      DO I = %s\n        %s\n      ENDDO\n      END\n"
+          bounds stmt
+      in
+      let u = List.hd (Parser.parse_program ~file:"c.f" src).Ast.punits in
+      let env = Depenv.make u in
+      let g = Ddg.compute env in
+      let st = g.Ddg.stats in
+      let outcome, why =
+        if st.Ddg.disproved <> [] then
+          ( "independent",
+            String.concat ","
+              (List.map (fun (t, n) -> Printf.sprintf "%s x%d" t n)
+                 st.Ddg.disproved) )
+        else if st.Ddg.proven > 0 then ("dependent", "exact (proven)")
+        else if st.Ddg.pending > 0 then ("assumed", "no test applies (pending)")
+        else ("independent", "same-iteration only")
+      in
+      Printf.printf "  %-34s %-12s %s\n" label outcome why)
+    corpus;
+  (* two-loop patterns *)
+  List.iter
+    (fun (label, stmt) ->
+      let src =
+        Printf.sprintf
+          "      PROGRAM T\n      REAL A(200), B(40,40)\n      DO I = 1, 10\n        DO J = 1, 10\n          %s\n        ENDDO\n      ENDDO\n      END\n"
+          stmt
+      in
+      let u = List.hd (Parser.parse_program ~file:"c.f" src).Ast.punits in
+      let env = Depenv.make u in
+      let g = Ddg.compute env in
+      let st = g.Ddg.stats in
+      let outcome, why =
+        if st.Ddg.disproved <> [] then
+          ( "independent",
+            String.concat ","
+              (List.map (fun (t, n) -> Printf.sprintf "%s x%d" t n)
+                 st.Ddg.disproved) )
+        else if st.Ddg.proven > 0 then ("dependent", "exact (proven)")
+        else if st.Ddg.pending > 0 then ("assumed", "no test applies (pending)")
+        else ("independent", "same-iteration only")
+      in
+      Printf.printf "  %-34s %-12s %s\n" label outcome why)
+    [
+      ("A(2I+4J) vs A(2I+4J+1)", "A(2*I + 4*J) = A(2*I + 4*J + 1) + 1.0");
+      ("A(I+J) vs A(I+J+100)", "A(I + J) = A(I + J + 100) + 1.0");
+      ("B(I,I) vs B(I-1,I-2)", "B(I,I) = B(I-1,I-2) + 1.0");
+      ("B(I,J) vs B(J,I)", "B(I,J) = B(J,I) + 1.0");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: analysis ablation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header
+    "Table 3: parallelizable loops as analyses are added (each column adds \
+     one analysis; the Ped evaluation's 'which analyses matter')";
+  let stages =
+    [
+      ("deptest", Depenv.base_config, false);
+      ("+const", { Depenv.base_config with Depenv.use_constants = true }, false);
+      ( "+symb",
+        { Depenv.base_config with Depenv.use_constants = true;
+          use_symbolics = true },
+        false );
+      ("+scalar", Depenv.full_config, false);
+      ("+interp", Depenv.full_config, true);
+    ]
+  in
+  Printf.printf "%-10s %6s" "program" "loops";
+  List.iter (fun (n, _, _) -> Printf.printf " %8s" n) stages;
+  Printf.printf " %8s\n" "+assert";
+  List.iter
+    (fun (w : Workloads.t) ->
+      let total = count_loops (envs_of w) in
+      Printf.printf "%-10s %6d" w.Workloads.name total;
+      List.iter
+        (fun (_, config, interproc) ->
+          Printf.printf " %8d" (count_parallel (envs_of ~config ~interproc w)))
+        stages;
+      (* +assertions: run the workload's assertion script in a session,
+         then count across all units *)
+      let with_asserts =
+        let sess =
+          Ped.Session.load (Workloads.program w)
+            ~unit_name:(Workloads.main_unit w)
+        in
+        ignore (Ped.Command.script sess w.Workloads.assertion_script);
+        List.fold_left
+          (fun acc (u : Ast.program_unit) ->
+            match Ped.Session.focus sess u.Ast.uname with
+            | Ok () ->
+              acc + List.length (Ped.Session.parallelizable_loops sess)
+            | Error _ -> acc)
+          0
+          sess.Ped.Session.program.Ast.punits
+      in
+      Printf.printf " %8d\n" with_asserts)
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: transformation diagnosis matrix                            *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  header
+    "Table 4: power-steering diagnoses over every loop of the suite \
+     (applicable / safe / profitable)";
+  let counts = Hashtbl.create 16 in
+  let bump name (a, s, p) =
+    let a0, s0, p0 =
+      Option.value ~default:(0, 0, 0) (Hashtbl.find_opt counts name)
+    in
+    Hashtbl.replace counts name
+      ( (a0 + if a then 1 else 0),
+        (s0 + if s then 1 else 0),
+        p0 + if p then 1 else 0 )
+  in
+  let record name (d : Transform.Diagnosis.t) =
+    bump name
+      (d.Transform.Diagnosis.applicable, d.Transform.Diagnosis.safe,
+       d.Transform.Diagnosis.profitable)
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      List.iter
+        (fun env ->
+          let ddg = Ddg.compute env in
+          let loops = Loopnest.loops env.Depenv.nest in
+          List.iter
+            (fun (l : Loopnest.loop) ->
+              let sid = l.Loopnest.lstmt.Ast.sid in
+              record "parallelize" (Transform.Parallelize.diagnose env ddg sid);
+              record "interchange" (Transform.Interchange.diagnose env ddg sid);
+              record "distribute" (Transform.Distribute.diagnose env ddg sid);
+              record "reverse" (Transform.Reverse.diagnose env ddg sid);
+              record "skew" (Transform.Skew.diagnose env ddg sid ~factor:1);
+              record "strip" (Transform.Strip_mine.diagnose env ddg sid ~block:4);
+              record "unroll" (Transform.Unroll.diagnose env ddg sid ~factor:2);
+              record "tile" (Transform.Tile.diagnose env ddg sid ~block:4);
+              record "normalize" (Transform.Normalize_loop.diagnose env ddg sid);
+              record "peel" (Transform.Peel.diagnose env ddg sid ~which:Transform.Peel.First))
+            loops;
+          (* fusion over adjacent sibling loop pairs *)
+          let rec pairs = function
+            | ({ Ast.node = Ast.Do _; _ } as a)
+              :: ({ Ast.node = Ast.Do _; _ } as b)
+              :: rest ->
+              record "fuse" (Transform.Fuse.diagnose env ddg a.Ast.sid b.Ast.sid);
+              pairs (b :: rest)
+            | _ :: rest -> pairs rest
+            | [] -> ()
+          in
+          pairs env.Depenv.punit.Ast.body)
+        (envs_of w))
+    Workloads.all;
+  Printf.printf "%-14s %10s %10s %10s\n" "transformation" "applicable" "safe"
+    "profitable";
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt counts name with
+      | Some (a, s, p) -> Printf.printf "%-14s %10d %10d %10d\n" name a s p
+      | None -> ())
+    [ "parallelize"; "interchange"; "distribute"; "fuse"; "reverse"; "skew";
+      "strip"; "unroll"; "tile"; "normalize"; "peel" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: simulated speedups after editor parallelization            *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  header
+    "Table 5: simulated speedup after Ped parallelization, per processor \
+     count (DOALL-heavy kernels scale; recurrence-bound ones don't)";
+  let procs = [ 1; 2; 4; 8; 16 ] in
+  Printf.printf "%-10s" "program";
+  List.iter (fun p -> Printf.printf " %7s" (Printf.sprintf "P=%d" p)) procs;
+  Printf.printf "\n";
+  List.iter
+    (fun (w : Workloads.t) ->
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      ignore (Ped.Command.script sess w.Workloads.assertion_script);
+      List.iter
+        (fun (u : Ast.program_unit) ->
+          match Ped.Session.focus sess u.Ast.uname with
+          | Ok () -> auto_parallelize sess
+          | Error _ -> ())
+        sess.Ped.Session.program.Ast.punits;
+      let program = sess.Ped.Session.program in
+      Printf.printf "%-10s" w.Workloads.name;
+      List.iter
+        (fun p -> Printf.printf " %7.2f" (speedup_at p program))
+        procs;
+      Printf.printf "\n")
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: estimator navigation vs simulator                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  header
+    "Figure 1: performance-estimator loop ranking (predicted share) vs \
+     simulated share - the 'which loop next' navigation aid";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.by_name name) in
+      let p = Workloads.program w in
+      let u = List.find (fun (u : Ast.program_unit) -> u.Ast.kind = Ast.Main) p.Ast.punits in
+      let env = Depenv.make u in
+      let outcome = Sim.Interp.run ~honor_parallel:false p in
+      let total = Float.max 1.0 outcome.Sim.Interp.cycles in
+      Printf.printf "%s:\n" name;
+      Printf.printf "  %-22s %10s %10s\n" "loop" "predicted" "simulated";
+      List.iter
+        (fun ((l : Loopnest.loop), _, share) ->
+          let sid = l.Loopnest.lstmt.Ast.sid in
+          let measured =
+            Option.value ~default:0.0
+              (List.assoc_opt sid outcome.Sim.Interp.loop_cycles)
+            /. total
+          in
+          Printf.printf "  %-22s %9.1f%% %9.1f%%\n"
+            (Printf.sprintf "s%d DO %s (depth %d)" sid
+               l.Loopnest.header.Ast.dvar l.Loopnest.depth)
+            (100.0 *. share) (100.0 *. measured))
+        (Perf.Estimator.rank_loops env))
+    [ "matmul"; "jacobi"; "tridiag" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: view filtering                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  header
+    "Figure 2: dependence-pane size under view filters (filtering is what \
+     makes the pane usable on real loops)";
+  Printf.printf "%-10s %8s %8s %8s %8s %8s\n" "program" "all" "default"
+    "carried" "noscalar" "pending";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.by_name name) in
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      let count filter =
+        sess.Ped.Session.dep_filter <- filter;
+        List.length (Ped.Session.visible_deps sess)
+      in
+      let open Ped.Filter in
+      Printf.printf "%-10s %8d %8d %8d %8d %8d\n" name (count show_all)
+        (count default_dep_filter)
+        (count { default_dep_filter with f_carried_only = true })
+        (count { default_dep_filter with f_hide_scalar = true })
+        (count
+           { default_dep_filter with f_status = Some Ped.Marking.Pending }))
+    [ "matmul"; "sor"; "tridiag"; "indexarr"; "callnest" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: user assertions                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header
+    "Figure 3: dependence marking and user assertions - pending dependences \
+     and parallel loops before/after the user speaks up";
+  Printf.printf "%-10s %-22s %9s %9s %9s %9s\n" "program" "assertion"
+    "pend.bef" "pend.aft" "par.bef" "par.aft";
+  List.iter
+    (fun (name, unit_name, cmds, label) ->
+      let w = Option.get (Workloads.by_name name) in
+      let sess = Ped.Session.load (Workloads.program w) ~unit_name in
+      let pending () =
+        List.length
+          (List.filter
+             (fun (d : Ddg.dep) ->
+               (not d.Ddg.is_scalar)
+               && d.Ddg.kind <> Ddg.Control
+               && Ped.Marking.status_of sess.Ped.Session.marking d
+                  = Ped.Marking.Pending)
+             sess.Ped.Session.ddg.Ddg.deps)
+      in
+      let par () = List.length (Ped.Session.parallelizable_loops sess) in
+      let pb = pending () and parb = par () in
+      List.iter (fun c -> ignore (Ped.Command.run sess c)) cmds;
+      Printf.printf "%-10s %-22s %9d %9d %9d %9d\n" name label pb (pending ())
+        parb (par ()))
+    [
+      ("symbounds", "SHIFT", [ "assert M = 64" ], "M = 64");
+      ("indexarr", "IDXARR", [ "assert perm IDX" ], "IDX is a permutation");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: transformation case studies                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header
+    "Figure 4: transformation case studies on 8 processors - each recipe \
+     beats parallelize-only on its kernel";
+  let study name setup =
+    let w = Option.get (Workloads.by_name name) in
+    let base =
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      auto_parallelize sess;
+      speedup_at 8 sess.Ped.Session.program
+    in
+    let transformed =
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      setup sess;
+      auto_parallelize sess;
+      speedup_at 8 sess.Ped.Session.program
+    in
+    (base, transformed)
+  in
+  Printf.printf "%-10s %-24s %14s %14s\n" "program" "recipe" "parallel-only"
+    "with recipe";
+  let matmul_base, matmul_tr =
+    study "matmul" (fun sess ->
+        let k =
+          List.find
+            (fun (l : Loopnest.loop) -> l.Loopnest.header.Ast.dvar = "K")
+            (Ped.Session.loops sess)
+        in
+        ignore
+          (Ped.Session.transform sess "interchange"
+             (Transform.Catalog.On_loop k.Loopnest.lstmt.Ast.sid)))
+  in
+  Printf.printf "%-10s %-24s %13.2fx %13.2fx\n" "matmul" "interchange"
+    matmul_base matmul_tr;
+  let sor_base, sor_tr =
+    study "sor" (fun sess ->
+        let i =
+          List.find
+            (fun (l : Loopnest.loop) ->
+              l.Loopnest.header.Ast.dvar = "I" && l.Loopnest.depth = 2)
+            (Ped.Session.loops sess)
+        in
+        let sid = i.Loopnest.lstmt.Ast.sid in
+        ignore
+          (Ped.Session.transform sess "skew"
+             (Transform.Catalog.With_factor (sid, 1)));
+        ignore
+          (Ped.Session.transform sess "interchange"
+             (Transform.Catalog.On_loop sid)))
+  in
+  Printf.printf "%-10s %-24s %13.2fx %13.2fx\n" "sor" "skew + interchange"
+    sor_base sor_tr;
+  let recur_base, recur_tr =
+    study "recur" (fun sess ->
+        let blocked =
+          List.find
+            (fun (l : Loopnest.loop) ->
+              not (Ped.Session.is_parallelizable sess l.Loopnest.lstmt.Ast.sid))
+            (Ped.Session.loops sess)
+        in
+        ignore
+          (Ped.Session.transform sess "distribute"
+             (Transform.Catalog.On_loop blocked.Loopnest.lstmt.Ast.sid)))
+  in
+  Printf.printf "%-10s %-24s %13.2fx %13.2fx\n" "recur" "distribution"
+    recur_base recur_tr
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: machine-model sensitivity                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header
+    "Ablation: fork/join cost sensitivity at P=8 - the granularity \
+     trade-off the editor's profitability advice encodes";
+  let fork_costs = [ 0.0; 50.0; 200.0; 800.0 ] in
+  Printf.printf "%-10s" "program";
+  List.iter (fun f -> Printf.printf " %9s" (Printf.sprintf "fork=%.0f" f)) fork_costs;
+  Printf.printf "\n";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.by_name name) in
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      auto_parallelize sess;
+      let program = sess.Ped.Session.program in
+      Printf.printf "%-10s" name;
+      List.iter
+        (fun fork ->
+          let machine =
+            { (Perf.Machine.with_processors 8 Perf.Machine.default) with
+              Perf.Machine.fork_join = fork }
+          in
+          let seq = Sim.Interp.run ~machine ~honor_parallel:false program in
+          let par = Sim.Interp.run ~machine ~honor_parallel:true program in
+          Printf.printf " %9.2f"
+            (seq.Sim.Interp.cycles /. Float.max 1.0 par.Sim.Interp.cycles))
+        fork_costs;
+      Printf.printf "\n")
+    [ "daxpy"; "matmul"; "redblack"; "gauss"; "jacobi" ];
+  (* scheduling: block vs cyclic — per-iteration work must vary within
+     one parallel loop for the policy to matter, so the demo includes a
+     triangular kernel alongside a uniform one *)
+  Printf.printf
+    "\nscheduling (P=8): block vs cyclic iteration assignment\n";
+  Printf.printf "%-10s %9s %9s\n" "kernel" "block" "cyclic";
+  let programs =
+    [
+      ( "triangle",
+        "      PROGRAM TRI\n      REAL A(64,64)\n      REAL S\n      PARALLEL DO I = 1, 64\n        DO J = 1, I\n          A(I,J) = FLOAT(I + J)\n        ENDDO\n      ENDDO\n      S = 0.0\n      DO I = 1, 64\n        S = S + A(I,1)\n      ENDDO\n      PRINT *, S\n      END\n" );
+      ( "uniform",
+        "      PROGRAM UNI\n      REAL A(64,64)\n      REAL S\n      PARALLEL DO I = 1, 64\n        DO J = 1, 64\n          A(I,J) = FLOAT(I + J)\n        ENDDO\n      ENDDO\n      S = 0.0\n      DO I = 1, 64\n        S = S + A(I,1)\n      ENDDO\n      PRINT *, S\n      END\n" );
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      let program = Parser.parse_program ~file:(name ^ ".f") src in
+      let speed sched =
+        let machine =
+          Perf.Machine.with_schedule sched
+            (Perf.Machine.with_processors 8 Perf.Machine.default)
+        in
+        let seq = Sim.Interp.run ~machine ~honor_parallel:false program in
+        let par = Sim.Interp.run ~machine ~honor_parallel:true program in
+        seq.Sim.Interp.cycles /. Float.max 1.0 par.Sim.Interp.cycles
+      in
+      Printf.printf "%-10s %9.2f %9.2f\n" name (speed Perf.Machine.Block)
+        (speed Perf.Machine.Cyclic))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let microbench () =
+  header "Microbenchmarks (bechamel): cost of the editor's machinery";
+  let open Bechamel in
+  let w = Option.get (Workloads.by_name "matmul") in
+  let src = w.Workloads.source in
+  let program = Workloads.program w in
+  let main_u = List.hd program.Ast.punits in
+  let env = Depenv.make main_u in
+  let ddg = Ddg.compute env in
+  let k =
+    List.find
+      (fun (l : Loopnest.loop) -> l.Loopnest.header.Ast.dvar = "K")
+      (Loopnest.loops env.Depenv.nest)
+  in
+  let tests =
+    [
+      Test.make ~name:"parse (matmul)"
+        (Staged.stage (fun () ->
+             ignore (Parser.parse_program ~file:"m.f" src)));
+      Test.make ~name:"analyze unit (all dataflow)"
+        (Staged.stage (fun () -> ignore (Depenv.make main_u)));
+      Test.make ~name:"dependence graph"
+        (Staged.stage (fun () -> ignore (Ddg.compute env)));
+      Test.make ~name:"interchange diagnose"
+        (Staged.stage (fun () ->
+             ignore (Transform.Interchange.diagnose env ddg k.Loopnest.lstmt.Ast.sid)));
+      Test.make ~name:"estimator rank_loops"
+        (Staged.stage (fun () -> ignore (Perf.Estimator.rank_loops env)));
+      Test.make ~name:"full session load (interproc)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ped.Session.load (Workloads.program w)
+                  ~unit_name:(Workloads.main_unit w))));
+      Test.make ~name:"simulate matmul"
+        (Staged.stage (fun () -> ignore (Sim.Interp.run program)));
+      (let prob =
+         {
+           Dtest.nloops = 2;
+           trips = [| Some 100; Some 100 |];
+           trips_exact = [| true; true |];
+           lo_known = [| true; true |];
+           dims =
+             [
+               { Dtest.a = [| 1; 0 |]; b = [| 1; 0 |]; c = 1; usable = true };
+               { Dtest.a = [| 0; 1 |]; b = [| 0; 1 |]; c = -1; usable = true };
+             ];
+         }
+       in
+       Test.make ~name:"dependence test (2-loop pair)"
+         (Staged.stage (fun () -> ignore (Dtest.solve prob))));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-32s %14s\n" "operation" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+            let pretty =
+              if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+              else Printf.sprintf "%8.0f ns" ns
+            in
+            Printf.printf "%-32s %14s\n" name pretty
+          | _ -> Printf.printf "%-32s %14s\n" name "n/a")
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("ablation", ablation);
+    ("bench", microbench);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun n ->
+        match List.assoc_opt n experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (have: %s)\n" n
+            (String.concat ", " (List.map fst experiments)))
+      names

@@ -1,0 +1,75 @@
+(* Batch analyzer: parse a program (file or workload), run full
+   analysis on every unit, and print a parallelization report — the
+   non-interactive counterpart of the editor, useful in scripts. *)
+
+open Fortran_front
+
+let report (program : Ast.program) =
+  let summary = Interproc.Summary.analyze program in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      Printf.printf "unit %s\n" u.Ast.uname;
+      let env = Interproc.Summary.env_for summary u in
+      let ddg = Dependence.Ddg.compute env in
+      let loops = Dependence.Loopnest.loops env.Dependence.Depenv.nest in
+      if loops = [] then print_endline "  (no loops)"
+      else
+        List.iter
+          (fun (lp : Dependence.Loopnest.loop) ->
+            let sid = lp.Dependence.Loopnest.lstmt.Ast.sid in
+            let blockers = Dependence.Ddg.blocking env ddg sid in
+            Printf.printf "  %sDO %s (s%d): %s\n"
+              (String.make ((lp.Dependence.Loopnest.depth - 1) * 2) ' ')
+              lp.Dependence.Loopnest.header.Ast.dvar sid
+              (if blockers = [] then "parallelizable"
+               else
+                 Printf.sprintf "blocked by %d dependence(s) on %s"
+                   (List.length blockers)
+                   (String.concat ", "
+                      (List.sort_uniq String.compare
+                         (List.map
+                            (fun (d : Dependence.Ddg.dep) -> d.Dependence.Ddg.var)
+                            blockers)))))
+          loops;
+      let s = ddg.Dependence.Ddg.stats in
+      Printf.printf "  pairs tested %d; deps proven %d, pending %d\n"
+        s.Dependence.Ddg.pairs_tested s.Dependence.Ddg.proven
+        s.Dependence.Ddg.pending)
+    program.Ast.punits
+
+let main file workload =
+  let program =
+    match (file, workload) with
+    | Some path, _ ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Parser.parse_program ~file:path src
+    | None, Some wname -> (
+      match Workloads.by_name wname with
+      | Some w -> Workloads.program w
+      | None ->
+        prerr_endline
+          ("unknown workload (available: " ^ String.concat ", " Workloads.names ^ ")");
+        exit 1)
+    | None, None ->
+      prerr_endline "give a Fortran file or a workload name (-w)";
+      exit 1
+  in
+  report program
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
+
+let workload =
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
+         ~doc:"Analyze a built-in workload instead of a file")
+
+let cmd =
+  let doc = "batch parallelism analyzer (ParaScope)" in
+  Cmd.v (Cmd.info "panalyze" ~doc) Term.(const main $ file $ workload)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,94 @@
+(* The ParaScope Editor, command-line edition.
+
+   Usage:
+     ped FILE.f [-u UNIT] [-s SCRIPT] [--no-interproc]
+     ped -w WORKLOAD [-s SCRIPT]
+
+   Without a script, reads commands from stdin (a REPL).  With one,
+   executes the script and prints the transcript. *)
+
+let run_session sess script =
+  match script with
+  | Some path ->
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines =
+      List.rev !lines
+      |> List.filter (fun l ->
+             let l = String.trim l in
+             l <> "" && l.[0] <> '#')
+    in
+    List.iter print_endline (Ped.Command.script sess lines)
+  | None ->
+    print_endline "ParaScope Editor (type 'help' for commands, ctrl-d to quit)";
+    (try
+       while true do
+         print_string "ped> ";
+         let line = read_line () in
+         if String.trim line = "quit" then raise End_of_file;
+         print_endline (Ped.Command.run sess line)
+       done
+     with End_of_file -> print_endline "bye")
+
+let main file workload unit_name script no_interproc =
+  let interproc = not no_interproc in
+  let sess =
+    match (file, workload) with
+    | Some path, _ ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Ped.Session.load_source ~interproc ~file:path src
+        ~unit_name:(Option.map String.uppercase_ascii unit_name)
+    | None, Some wname -> (
+      match Workloads.by_name wname with
+      | Some w ->
+        let unit_name =
+          match unit_name with
+          | Some u -> String.uppercase_ascii u
+          | None -> Workloads.main_unit w
+        in
+        Ped.Session.load ~interproc (Workloads.program w) ~unit_name
+      | None ->
+        prerr_endline
+          ("unknown workload (available: " ^ String.concat ", " Workloads.names ^ ")");
+        exit 1)
+    | None, None ->
+      prerr_endline "give a Fortran file or a workload name (-w)";
+      exit 1
+  in
+  run_session sess script
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
+
+let workload =
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
+         ~doc:"Load a built-in workload instead of a file")
+
+let unit_name =
+  Arg.(value & opt (some string) None & info [ "u"; "unit" ] ~docv:"UNIT"
+         ~doc:"Focus this program unit (default: the main program)")
+
+let script =
+  Arg.(value & opt (some string) None & info [ "s"; "script" ] ~docv:"SCRIPT"
+         ~doc:"Execute editor commands from this file and exit")
+
+let no_interproc =
+  Arg.(value & flag & info [ "no-interproc" ]
+         ~doc:"Disable interprocedural analysis")
+
+let cmd =
+  let doc = "interactive parallel programming editor (ParaScope Editor)" in
+  Cmd.v (Cmd.info "ped" ~doc)
+    Term.(const main $ file $ workload $ unit_name $ script $ no_interproc)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/advisor_tour.ml: Dependence Format Fortran_front List Ped Printf Workloads

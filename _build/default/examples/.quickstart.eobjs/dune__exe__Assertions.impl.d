@@ -1,0 +1,1 @@
+examples/assertions.ml: Dependence Fortran_front List Option Ped Printf Transform Workloads

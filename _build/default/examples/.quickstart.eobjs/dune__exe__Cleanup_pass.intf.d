@@ -1,0 +1,1 @@
+examples/cleanup_pass.mli:

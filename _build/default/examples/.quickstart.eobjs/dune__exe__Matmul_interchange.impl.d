@@ -1,0 +1,1 @@
+examples/matmul_interchange.ml: Dependence Fortran_front List Option Ped Printf Workloads

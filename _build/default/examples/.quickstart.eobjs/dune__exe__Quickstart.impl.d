@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dependence Fortran_front List Ped Printf String Transform

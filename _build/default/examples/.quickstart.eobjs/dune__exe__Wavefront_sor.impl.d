@@ -1,0 +1,1 @@
+examples/wavefront_sor.ml: Dependence Fortran_front List Option Ped Printf Workloads

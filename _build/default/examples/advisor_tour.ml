@@ -1,0 +1,29 @@
+(* The advisor: performance-estimator-guided navigation plus
+   power-steering diagnoses over the whole workload suite — "which
+   loop should I look at, and what should I try".
+
+     dune exec examples/advisor_tour.exe *)
+
+let () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      Printf.printf "==== %s: %s ====\n" w.Workloads.name
+        w.Workloads.description;
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      (match Ped.Advisor.next_target sess with
+      | Some (lp, share) ->
+        Printf.printf "next target: loop %s (s%d), %.0f%% of predicted time\n"
+          lp.Dependence.Loopnest.header.Fortran_front.Ast.dvar
+          lp.Dependence.Loopnest.lstmt.Fortran_front.Ast.sid
+          (100.0 *. share)
+      | None -> print_endline "nothing left to parallelize");
+      match Ped.Advisor.advise sess with
+      | [] -> print_endline "no suggestions"
+      | suggestions ->
+        List.iter
+          (fun s -> Format.printf "  %a@." Ped.Advisor.pp_suggestion s)
+          suggestions)
+    Workloads.all

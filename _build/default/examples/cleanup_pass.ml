@@ -1,0 +1,64 @@
+(* The cleanup pass: programmer idioms that block parallelization and
+   the transformations that remove them, end to end.
+
+   - a reused temporary (two unrelated values)  -> rename
+   - a temporary whose last value escapes       -> expand
+   - an induction accumulator used as subscript -> indsub
+   - a strided loop                             -> normalize
+
+   After the cleanup every loop parallelizes and the output is
+   unchanged.
+
+     dune exec examples/cleanup_pass.exe *)
+
+let source =
+  {|
+      PROGRAM MESSY
+      INTEGER N
+      PARAMETER (N = 32)
+      REAL A(N), B(N), C(2*N), T
+      INTEGER I, K
+      K = 0
+      DO I = 1, N
+        T = FLOAT(I) * 0.5
+        A(I) = T + 1.0
+        T = FLOAT(N - I)
+        B(I) = T * 2.0
+      ENDDO
+      DO I = 1, N
+        K = K + 2
+        C(K) = A(I) + B(I)
+      ENDDO
+      T = 0.0
+      DO I = 2, 2*N, 2
+        T = C(I) + T
+      ENDDO
+      PRINT *, T
+      END
+|}
+
+let () =
+  let sess = Ped.Session.load_source ~file:"messy.f" source ~unit_name:None in
+  let script =
+    [
+      "loops";
+      (* loop 1: T holds two unrelated values; rename splits them and
+         the loop parallelizes *)
+      "preview parallelize l1";
+      "apply rename l1 T";
+      "apply parallelize l1";
+      (* loop 2: K is an induction accumulator; substitute then
+         parallelize *)
+      "preview parallelize l2";
+      "apply indsub l2 K";
+      "apply parallelize l2";
+      (* loop 3: a strided reduction; normalize for a unit stride and
+         parallelize (the reduction is recognized) *)
+      "apply normalize l3";
+      "apply parallelize l3";
+      "history";
+      "loops";
+      "simulate 8";
+    ]
+  in
+  List.iter print_endline (Ped.Command.script sess script)

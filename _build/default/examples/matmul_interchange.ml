@@ -1,0 +1,34 @@
+(* The granularity story: matmul written with the sequential K loop
+   outermost.  Interchange moves a parallel loop outward, then
+   parallelization pays off.  Driven entirely through the editor's
+   command language, as a user session transcript.
+
+     dune exec examples/matmul_interchange.exe *)
+
+let () =
+  let w = Option.get (Workloads.by_name "matmul") in
+  let sess = Ped.Session.load (Workloads.program w) ~unit_name:"MATMUL" in
+  (* find the K loop (the only blocked one) *)
+  let k_loop =
+    List.find
+      (fun (l : Dependence.Loopnest.loop) ->
+        l.Dependence.Loopnest.header.Fortran_front.Ast.dvar = "K")
+      (Ped.Session.loops sess)
+  in
+  let k = k_loop.Dependence.Loopnest.lstmt.Fortran_front.Ast.sid in
+  let script =
+    [
+      "loops";
+      Printf.sprintf "select s%d" k;
+      "vars";
+      Printf.sprintf "preview interchange s%d" k;
+      Printf.sprintf "apply interchange s%d" k;
+      (* after the interchange the same statement id now heads the
+         (parallelizable) I loop *)
+      Printf.sprintf "apply parallelize s%d" k;
+      "loops";
+      "estimate 8";
+      "simulate 8";
+    ]
+  in
+  List.iter print_endline (Ped.Command.script sess script)

@@ -1,0 +1,45 @@
+(* The wavefront story: Gauss-Seidel carries dependences on both
+   loops, so nothing is directly parallel.  Skewing the inner loop and
+   interchanging yields a wavefront whose inner loop is parallel —
+   the classic Ped transformation sequence, with the power-steering
+   diagnosis shown at each step.
+
+     dune exec examples/wavefront_sor.exe *)
+
+let () =
+  let w = Option.get (Workloads.by_name "sor") in
+  let sess = Ped.Session.load (Workloads.program w) ~unit_name:"SOR" in
+  let i_loop =
+    List.find
+      (fun (l : Dependence.Loopnest.loop) ->
+        l.Dependence.Loopnest.header.Fortran_front.Ast.dvar = "I"
+        && l.Dependence.Loopnest.depth = 2)
+      (Ped.Session.loops sess)
+  in
+  let i = i_loop.Dependence.Loopnest.lstmt.Fortran_front.Ast.sid in
+  let inner_j =
+    List.find
+      (fun (l : Dependence.Loopnest.loop) ->
+        l.Dependence.Loopnest.depth = 3)
+      (Ped.Session.loops sess)
+  in
+  let j = inner_j.Dependence.Loopnest.lstmt.Fortran_front.Ast.sid in
+  let script =
+    [
+      "loops";
+      Printf.sprintf "select s%d" i;
+      "deps carried";
+      (* parallelize refuses: the dependences are real *)
+      Printf.sprintf "apply parallelize s%d" i;
+      (* the advisor knows the recipe *)
+      "advise";
+      Printf.sprintf "apply skew s%d 1" i;
+      Printf.sprintf "apply interchange s%d" i;
+      (* the inner loop (old J statement id holds the I header now) is
+         parallel *)
+      Printf.sprintf "apply parallelize s%d" j;
+      "src loops";
+      "simulate 8";
+    ]
+  in
+  List.iter print_endline (Ped.Command.script sess script)

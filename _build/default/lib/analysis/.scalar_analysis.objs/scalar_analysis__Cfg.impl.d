@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Ast Buffer Format Fortran_front Hashtbl List Map Pretty Printf Set String

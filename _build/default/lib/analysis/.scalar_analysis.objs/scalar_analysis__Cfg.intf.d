@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Ast Format Fortran_front Map Set

@@ -1,0 +1,1 @@
+lib/analysis/constants.ml: Ast Cfg Dataflow Defuse Float Format Fortran_front List Map Option String Symbol

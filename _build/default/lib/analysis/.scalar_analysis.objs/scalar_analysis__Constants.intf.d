@@ -1,0 +1,1 @@
+lib/analysis/constants.mli: Ast Cfg Defuse Format Fortran_front

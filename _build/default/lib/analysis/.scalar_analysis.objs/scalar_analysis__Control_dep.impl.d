@@ -1,0 +1,1 @@
+lib/analysis/control_dep.ml: Ast Cfg Dominators Fortran_front List

@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Ast Fortran_front List String Symbol

@@ -1,0 +1,1 @@
+lib/analysis/defuse.mli: Ast Fortran_front Symbol

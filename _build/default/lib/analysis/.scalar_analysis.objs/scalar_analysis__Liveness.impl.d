@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Ast Cfg Dataflow Defuse Fortran_front List Set String Symbol

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Ast Cfg Defuse Fortran_front

@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Ast Cfg Defuse Fortran_front

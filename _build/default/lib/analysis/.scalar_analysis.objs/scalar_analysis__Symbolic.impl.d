@@ -1,0 +1,1 @@
+lib/analysis/symbolic.ml: Ast Cfg Defuse Format Fortran_front List Option Reaching String Symbol

@@ -1,0 +1,1 @@
+lib/analysis/symbolic.mli: Ast Cfg Defuse Format Fortran_front Reaching

@@ -1,0 +1,1 @@
+lib/analysis/varclass.ml: Ast Defuse Format Fortran_front List Liveness Map Option Set String Symbol Symbolic

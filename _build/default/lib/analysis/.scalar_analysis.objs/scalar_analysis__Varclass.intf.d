@@ -1,0 +1,1 @@
+lib/analysis/varclass.mli: Ast Cfg Defuse Format Fortran_front Liveness Symbolic

@@ -1,0 +1,103 @@
+type direction = Forward | Backward
+
+type 'a problem = {
+  direction : direction;
+  boundary : 'a;
+  init : 'a;
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  transfer : Cfg.node -> 'a -> 'a;
+}
+
+type 'a result = {
+  input_ : 'a Cfg.NodeMap.t;
+  output_ : 'a Cfg.NodeMap.t;
+  iters : int;
+}
+
+let solve (cfg : Cfg.t) (p : 'a problem) : 'a result =
+  let nodes = Cfg.nodes cfg in
+  let nodes = if p.direction = Backward then List.rev nodes else nodes in
+  let flow_preds n =
+    match p.direction with Forward -> Cfg.preds cfg n | Backward -> Cfg.succs cfg n
+  in
+  let flow_succs n =
+    match p.direction with Forward -> Cfg.succs cfg n | Backward -> Cfg.preds cfg n
+  in
+  let boundary_node = match p.direction with Forward -> Cfg.Entry | Backward -> Cfg.Exit in
+  let out = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace out n p.init) nodes;
+  Hashtbl.replace out boundary_node (p.transfer boundary_node p.boundary);
+  let in_ = Hashtbl.create 64 in
+  (* worklist seeded in (reverse) postorder for fast convergence *)
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let enqueue n =
+    if not (Hashtbl.mem queued n) then begin
+      Hashtbl.replace queued n ();
+      Queue.add n queue
+    end
+  in
+  List.iter enqueue nodes;
+  let max_visits = 10_000 * (List.length nodes + 1) in
+  let iters = ref 0 in
+  while not (Queue.is_empty queue) do
+    incr iters;
+    if !iters > max_visits then failwith "Dataflow.solve: did not converge";
+    let n = Queue.take queue in
+    Hashtbl.remove queued n;
+    let in_val =
+      let preds = flow_preds n in
+      let base = if Cfg.node_equal n boundary_node then p.boundary else p.init in
+      List.fold_left
+        (fun acc m ->
+          match Hashtbl.find_opt out m with
+          | Some v -> p.join acc v
+          | None -> acc)
+        base preds
+    in
+    Hashtbl.replace in_ n in_val;
+    let out_val = p.transfer n in_val in
+    let changed =
+      match Hashtbl.find_opt out n with
+      | Some old -> not (p.equal old out_val)
+      | None -> true
+    in
+    if changed then begin
+      Hashtbl.replace out n out_val;
+      List.iter enqueue (flow_succs n)
+    end
+  done;
+  (* ensure every node has an input value even if never dequeued *)
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem in_ n) then begin
+        let preds = flow_preds n in
+        let base = if Cfg.node_equal n boundary_node then p.boundary else p.init in
+        let v =
+          List.fold_left
+            (fun acc m ->
+              match Hashtbl.find_opt out m with
+              | Some v -> p.join acc v
+              | None -> acc)
+            base preds
+        in
+        Hashtbl.replace in_ n v
+      end)
+    nodes;
+  let to_map h =
+    Hashtbl.fold (fun k v acc -> Cfg.NodeMap.add k v acc) h Cfg.NodeMap.empty
+  in
+  { input_ = to_map in_; output_ = to_map out; iters = !iters }
+
+let input r n =
+  match Cfg.NodeMap.find_opt n r.input_ with
+  | Some v -> v
+  | None -> invalid_arg "Dataflow.input: unknown node"
+
+let output r n =
+  match Cfg.NodeMap.find_opt n r.output_ with
+  | Some v -> v
+  | None -> invalid_arg "Dataflow.output: unknown node"
+
+let iterations r = r.iters

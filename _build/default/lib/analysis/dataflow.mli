@@ -1,0 +1,37 @@
+(** Generic iterative dataflow framework over a {!Cfg}.
+
+    A problem supplies the lattice (join, equality, initial values)
+    and a transfer function; the framework runs a worklist to a fixed
+    point and returns the IN and OUT value of every node.
+
+    Termination is the client's obligation: the lattice must have
+    finite height along the chains the transfer function produces.
+    A safety valve of [max_iterations] (default 10_000 node visits per
+    node) aborts with [Failure] otherwise — better a loud failure than
+    a silent hang in an interactive tool. *)
+
+type direction = Forward | Backward
+
+type 'a problem = {
+  direction : direction;
+  boundary : 'a;  (** value at Entry (forward) or Exit (backward) *)
+  init : 'a;      (** initial value for all other nodes *)
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  transfer : Cfg.node -> 'a -> 'a;
+}
+
+type 'a result
+
+(** [solve cfg problem] iterates to a fixed point. *)
+val solve : Cfg.t -> 'a problem -> 'a result
+
+(** Value flowing into a node (before its transfer function). *)
+val input : 'a result -> Cfg.node -> 'a
+
+(** Value flowing out of a node (after its transfer function). *)
+val output : 'a result -> Cfg.node -> 'a
+
+(** Number of worklist iterations the solver used (for the bench
+    suite's convergence statistics). *)
+val iterations : 'a result -> int

@@ -1,0 +1,70 @@
+type t = { sets : Cfg.NodeSet.t Cfg.NodeMap.t }
+
+let compute (cfg : Cfg.t) ~(root : Cfg.node) ~(preds : Cfg.node -> Cfg.node list)
+    ~(order : Cfg.node list) : t =
+  let all = Cfg.NodeSet.of_list (Cfg.nodes cfg) in
+  let sets = ref Cfg.NodeMap.empty in
+  List.iter
+    (fun n ->
+      let init =
+        if Cfg.node_equal n root then Cfg.NodeSet.singleton root else all
+      in
+      sets := Cfg.NodeMap.add n init !sets)
+    (Cfg.nodes cfg);
+  let get n =
+    match Cfg.NodeMap.find_opt n !sets with
+    | Some s -> s
+    | None -> all
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if not (Cfg.node_equal n root) then begin
+          let ps = preds n in
+          let inter =
+            match ps with
+            | [] -> Cfg.NodeSet.empty
+            | p :: rest ->
+              List.fold_left
+                (fun acc q -> Cfg.NodeSet.inter acc (get q))
+                (get p) rest
+          in
+          let next = Cfg.NodeSet.add n inter in
+          if not (Cfg.NodeSet.equal next (get n)) then begin
+            sets := Cfg.NodeMap.add n next !sets;
+            changed := true
+          end
+        end)
+      order
+  done;
+  { sets = !sets }
+
+let dominators cfg =
+  compute cfg ~root:Cfg.Entry ~preds:(Cfg.preds cfg) ~order:(Cfg.nodes cfg)
+
+let postdominators cfg =
+  compute cfg ~root:Cfg.Exit ~preds:(Cfg.succs cfg)
+    ~order:(List.rev (Cfg.nodes cfg))
+
+let dom_set t n =
+  match Cfg.NodeMap.find_opt n t.sets with
+  | Some s -> s
+  | None -> Cfg.NodeSet.empty
+
+let dominates t n m = Cfg.NodeSet.mem n (dom_set t m)
+
+let idom t n =
+  (* the strict dominator dominated by all other strict dominators *)
+  let strict = Cfg.NodeSet.remove n (dom_set t n) in
+  Cfg.NodeSet.fold
+    (fun cand acc ->
+      let dominated_by_all =
+        Cfg.NodeSet.for_all
+          (fun other ->
+            Cfg.node_equal other cand || Cfg.NodeSet.mem other (dom_set t cand))
+          strict
+      in
+      if dominated_by_all then Some cand else acc)
+    strict None

@@ -1,0 +1,21 @@
+(** Dominator and postdominator computation (iterative set algorithm).
+
+    Sizes here are editor-scale, so the simple O(n²) set iteration is
+    the right tool; it is also trivially correct, which matters more.
+    Postdominators feed control-dependence construction. *)
+
+type t
+
+(** Dominators: [n] dominates [m] if every path Entry→m passes n. *)
+val dominators : Cfg.t -> t
+
+(** Postdominators: [n] postdominates [m] if every path m→Exit passes n. *)
+val postdominators : Cfg.t -> t
+
+val dominates : t -> Cfg.node -> Cfg.node -> bool
+
+(** Immediate dominator (or postdominator), if any. *)
+val idom : t -> Cfg.node -> Cfg.node option
+
+(** Set of dominators of a node, including itself. *)
+val dom_set : t -> Cfg.node -> Cfg.NodeSet.t

@@ -1,0 +1,100 @@
+open Fortran_front
+
+type def = { def_at : Cfg.node; def_var : string }
+
+let def_compare a b =
+  match Cfg.node_compare a.def_at b.def_at with
+  | 0 -> String.compare a.def_var b.def_var
+  | c -> c
+
+module DefSet = Set.Make (struct
+  type t = def
+
+  let compare = def_compare
+end)
+
+type t = {
+  ctx : Defuse.ctx;
+  cfg : Cfg.t;
+  result : DefSet.t Dataflow.result;
+  iters : int;
+}
+
+let analyze (ctx : Defuse.ctx) (cfg : Cfg.t) : t =
+  let all_vars =
+    List.filter_map
+      (fun (i : Symbol.info) ->
+        match i.kind with
+        | Symbol.Scalar | Symbol.Array _ -> Some i.name
+        | Symbol.Routine | Symbol.External_fun | Symbol.Intrinsic -> None)
+      (Symbol.infos (Defuse.table ctx))
+  in
+  let entry_defs =
+    DefSet.of_list
+      (List.map (fun v -> { def_at = Cfg.Entry; def_var = v }) all_vars)
+  in
+  let transfer node in_set =
+    match node with
+    | Cfg.Entry | Cfg.Exit -> in_set
+    | Cfg.Stmt _ -> (
+      match Cfg.stmt_of cfg node with
+      | None -> in_set
+      | Some s ->
+        let kills = Defuse.must_defs ctx s in
+        let survivors =
+          if kills = [] then in_set
+          else DefSet.filter (fun d -> not (List.mem d.def_var kills)) in_set
+        in
+        List.fold_left
+          (fun acc v -> DefSet.add { def_at = node; def_var = v } acc)
+          survivors (Defuse.may_defs ctx s))
+  in
+  let problem =
+    {
+      Dataflow.direction = Dataflow.Forward;
+      boundary = entry_defs;
+      init = DefSet.empty;
+      join = DefSet.union;
+      equal = DefSet.equal;
+      transfer;
+    }
+  in
+  let result = Dataflow.solve cfg problem in
+  { ctx; cfg; result; iters = Dataflow.iterations result }
+
+let reaching_in t node = DefSet.elements (Dataflow.input t.result node)
+
+let defs_of_use t sid var =
+  let node = Cfg.Stmt sid in
+  let reaching = Dataflow.input t.result node in
+  DefSet.elements
+    (DefSet.filter (fun d -> String.equal d.def_var var) reaching)
+
+let unique_def t sid var =
+  match
+    List.filter_map
+      (fun d ->
+        match d.def_at with Cfg.Stmt s -> Some s | Cfg.Entry | Cfg.Exit -> None)
+      (defs_of_use t sid var)
+  with
+  | [ s ] ->
+    (* only a unique def if no entry def also reaches *)
+    if List.exists (fun d -> d.def_at = Cfg.Entry) (defs_of_use t sid var) then
+      None
+    else Some s
+  | _ -> None
+
+let chains t =
+  List.concat_map
+    (fun node ->
+      match Cfg.stmt_of t.cfg node with
+      | None -> []
+      | Some s ->
+        let uses = Defuse.uses t.ctx s in
+        List.concat_map
+          (fun v ->
+            List.map (fun d -> (d, s.Ast.sid)) (defs_of_use t s.Ast.sid v))
+          uses)
+    (Cfg.nodes t.cfg)
+
+let iterations t = t.iters

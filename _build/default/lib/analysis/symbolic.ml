@@ -1,0 +1,209 @@
+open Fortran_front
+
+module Linear = struct
+  type t = { const : int; terms : (string * int) list }
+
+  let const c = { const = c; terms = [] }
+  let sym s = { const = 0; terms = [ (s, 1) ] }
+
+  let normalize terms =
+    terms
+    |> List.filter (fun (_, c) -> c <> 0)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let merge f a b =
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], rest -> List.map (fun (s, c) -> (s, f 0 c)) rest
+      | rest, [] -> List.map (fun (s, c) -> (s, f c 0)) rest
+      | (sx, cx) :: xs', (sy, cy) :: ys' ->
+        let cmp = String.compare sx sy in
+        if cmp = 0 then (sx, f cx cy) :: go xs' ys'
+        else if cmp < 0 then (sx, f cx 0) :: go xs' ys
+        else (sy, f 0 cy) :: go xs ys'
+    in
+    normalize (go a b)
+
+  let add a b =
+    { const = a.const + b.const; terms = merge ( + ) a.terms b.terms }
+
+  let neg a =
+    { const = -a.const; terms = List.map (fun (s, c) -> (s, -c)) a.terms }
+
+  let sub a b = add a (neg b)
+
+  let scale k a =
+    if k = 0 then const 0
+    else { const = k * a.const; terms = normalize (List.map (fun (s, c) -> (s, k * c)) a.terms) }
+
+  let equal a b = a.const = b.const && a.terms = b.terms
+  let is_const a = if a.terms = [] then Some a.const else None
+  let coeff s a = match List.assoc_opt s a.terms with Some c -> c | None -> 0
+  let syms a = List.map fst a.terms
+
+  let split s a =
+    let c = coeff s a in
+    (c, { a with terms = List.filter (fun (x, _) -> not (String.equal x s)) a.terms })
+
+  let pp ppf a =
+    let first = ref true in
+    let emit_sign c =
+      if !first then begin
+        if c < 0 then Format.pp_print_string ppf "-";
+        first := false
+      end
+      else Format.pp_print_string ppf (if c < 0 then " - " else " + ")
+    in
+    List.iter
+      (fun (s, c) ->
+        emit_sign c;
+        let a = abs c in
+        if a = 1 then Format.pp_print_string ppf s
+        else Format.fprintf ppf "%d*%s" a s)
+      a.terms;
+    if a.const <> 0 || a.terms = [] then begin
+      emit_sign a.const;
+      Format.pp_print_int ppf (abs a.const)
+    end
+
+  let to_string a = Format.asprintf "%a" pp a
+
+  let to_expr a =
+    let term (s, c) =
+      if c = 1 then Ast.Var s
+      else if c = -1 then Ast.Un (Ast.Neg, Ast.Var s)
+      else Ast.Bin (Ast.Mul, Ast.Int c, Ast.Var s)
+    in
+    match a.terms with
+    | [] -> Ast.Int a.const
+    | t0 :: rest ->
+      let base =
+        List.fold_left
+          (fun acc (s, c) ->
+            if c < 0 then
+              Ast.Bin (Ast.Sub, acc, term (s, -c))
+            else Ast.Bin (Ast.Add, acc, term (s, c)))
+          (term t0) rest
+      in
+      if a.const = 0 then base
+      else if a.const < 0 then Ast.Bin (Ast.Sub, base, Ast.Int (-a.const))
+      else Ast.Bin (Ast.Add, base, Ast.Int a.const)
+
+  let eval lookup a =
+    List.fold_left
+      (fun acc (s, c) ->
+        match (acc, lookup s) with
+        | Some total, Some v -> Some (total + (c * v))
+        | _ -> None)
+      (Some a.const) a.terms
+end
+
+let linearize ~resolve (e : Ast.expr) : Linear.t option =
+  let rec go e =
+    match e with
+    | Ast.Int n -> Some (Linear.const n)
+    | Ast.Var v -> (
+      match resolve v with
+      | Some lin -> Some lin
+      | None -> Some (Linear.sym v))
+    | Ast.Un (Ast.Neg, a) -> Option.map Linear.neg (go a)
+    | Ast.Bin (Ast.Add, a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> Some (Linear.add x y)
+      | _ -> None)
+    | Ast.Bin (Ast.Sub, a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> Some (Linear.sub x y)
+      | _ -> None)
+    | Ast.Bin (Ast.Mul, a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> (
+        match (Linear.is_const x, Linear.is_const y) with
+        | Some k, _ -> Some (Linear.scale k y)
+        | _, Some k -> Some (Linear.scale k x)
+        | None, None -> None)
+      | _ -> None)
+    | Ast.Bin (Ast.Div, a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> (
+        match Linear.is_const y with
+        | Some k when k <> 0 ->
+          if
+            x.Linear.const mod k = 0
+            && List.for_all (fun (_, c) -> c mod k = 0) x.Linear.terms
+          then
+            Some
+              {
+                Linear.const = x.Linear.const / k;
+                terms = List.map (fun (s, c) -> (s, c / k)) x.Linear.terms;
+              }
+          else None
+        | _ -> None)
+      | _ -> None)
+    | Ast.Bin (Ast.Pow, a, b) -> (
+      match (go a, go b) with
+      | Some x, Some y -> (
+        match (Linear.is_const x, Linear.is_const y) with
+        | Some base, Some ex when ex >= 0 && ex < 31 ->
+          Some (Linear.const (int_of_float (float_of_int base ** float_of_int ex)))
+        | _ -> None)
+      | _ -> None)
+    | Ast.Bin ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne
+               | Ast.And | Ast.Or), _, _)
+    | Ast.Un (Ast.Not, _)
+    | Ast.Real _ | Ast.Logic _ | Ast.Str _ | Ast.Index _ -> None
+  in
+  go e
+
+let substitute ctx cfg reaching ?(depth = 8) sid (e : Ast.expr) : Ast.expr =
+  let tbl = Defuse.table ctx in
+  (* The defs of [w] visible at [at1] and [at2] coincide — then [w] has
+     the same value at both points and may be moved across. *)
+  let same_value w at1 at2 =
+    let d1 = Reaching.defs_of_use reaching at1 w in
+    let d2 = Reaching.defs_of_use reaching at2 w in
+    List.length d1 = List.length d2
+    && List.for_all2 (fun a b -> Reaching.def_compare a b = 0) d1 d2
+  in
+  let rec subst_expr d at e =
+    if d = 0 then e
+    else
+      match e with
+      | Ast.Var v -> subst_var d at v
+      | Ast.Index (b, args) -> Ast.Index (b, List.map (subst_expr d at) args)
+      | Ast.Bin (op, a, b) -> Ast.Bin (op, subst_expr d at a, subst_expr d at b)
+      | Ast.Un (op, a) -> Ast.Un (op, subst_expr d at a)
+      | Ast.Int _ | Ast.Real _ | Ast.Logic _ | Ast.Str _ -> e
+  and subst_var d at v =
+    let keep = Ast.Var v in
+    match Symbol.lookup tbl v with
+    | Some { kind = Symbol.Scalar; typ = Ast.Tinteger; _ } -> (
+      match Reaching.unique_def reaching at v with
+      | None -> keep
+      | Some def_sid -> (
+        match Cfg.stmt_of cfg (Cfg.Stmt def_sid) with
+        | Some { Ast.node = Ast.Assign (Ast.Var v', rhs); _ }
+          when String.equal v v' && not (List.mem v (Ast.expr_vars rhs)) ->
+          let movable =
+            List.for_all
+              (fun w -> same_value w at def_sid)
+              (Ast.expr_vars rhs)
+          in
+          if movable then subst_expr (d - 1) def_sid rhs else keep
+        | Some _ | None -> keep))
+    | Some _ | None -> keep
+  in
+  subst_expr depth sid e
+
+let invariant_in ctx (loop : Ast.stmt) v =
+  match loop.Ast.node with
+  | Ast.Do (h, body) ->
+    (not (String.equal h.Ast.dvar v))
+    && not
+         (Ast.fold_stmts
+            (fun acc s -> acc || List.mem v (Defuse.may_defs ctx s))
+            false body)
+  | _ -> invalid_arg "Symbolic.invariant_in: not a loop"
+
+let expr_invariant_in ctx loop e =
+  List.for_all (invariant_in ctx loop) (Ast.expr_vars e)

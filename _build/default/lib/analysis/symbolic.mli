@@ -1,0 +1,72 @@
+(** Symbolic analysis: canonical linear forms and forward substitution.
+
+    Dependence testing needs subscripts as affine functions of loop
+    induction variables plus symbolic loop-invariant terms.  A
+    {!Linear.t} is [c0 + Σ ci·symi] with integer coefficients over
+    named symbols; identical symbolic terms cancel when two subscripts
+    are subtracted, which is how Ped disproves dependences even when
+    bounds like [N] are unknown.
+
+    Forward substitution resolves the "subscript through a scalar
+    temporary" idiom ([J1 = J + 1; A(J1) = ...]) by inlining unique
+    reaching definitions, bounded in depth. *)
+
+open Fortran_front
+
+module Linear : sig
+  type t = {
+    const : int;
+    terms : (string * int) list;  (** sorted by symbol, coefficients ≠ 0 *)
+  }
+
+  val const : int -> t
+  val sym : string -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : int -> t -> t
+  val equal : t -> t -> bool
+  val is_const : t -> int option
+
+  (** Coefficient of a symbol (0 if absent). *)
+  val coeff : string -> t -> int
+
+  (** Symbols with nonzero coefficients. *)
+  val syms : t -> string list
+
+  (** Remove a symbol's term, returning its coefficient and the rest. *)
+  val split : string -> t -> int * t
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  (** Rebuild an AST expression (canonical term order). *)
+  val to_expr : t -> Fortran_front.Ast.expr
+
+  (** Evaluate under a full symbol assignment. *)
+  val eval : (string -> int option) -> t -> int option
+end
+
+(** [linearize ~resolve e] converts [e] to a linear form.  [resolve v]
+    may return a linear form to substitute for variable [v] (used for
+    PARAMETER constants and induction-variable normalization); [None]
+    keeps [v] as an atomic symbol.  Returns [None] when [e] is not
+    affine (products of symbols, intrinsic calls, array references,
+    real arithmetic...). *)
+val linearize : resolve:(string -> Linear.t option) -> Ast.expr -> Linear.t option
+
+(** [substitute ctx reaching ~depth sid e] forward-substitutes unique
+    reaching scalar definitions into [e], as seen at statement [sid].
+    Self-referential definitions ([K = K + 1]) are left alone.  [depth]
+    bounds the recursion (default 8). *)
+val substitute :
+  Defuse.ctx -> Cfg.t -> Reaching.t -> ?depth:int -> Ast.stmt_id -> Ast.expr
+  -> Ast.expr
+
+(** [invariant_in ctx loop v] — no statement of [loop]'s body (header
+    included) may define [v]. *)
+val invariant_in : Defuse.ctx -> Ast.stmt -> string -> bool
+
+(** [expr_invariant_in ctx loop e] — every variable of [e] is
+    invariant in [loop]. *)
+val expr_invariant_in : Defuse.ctx -> Ast.stmt -> Ast.expr -> bool

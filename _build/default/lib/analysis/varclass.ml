@@ -1,0 +1,266 @@
+open Fortran_front
+
+type reduction_op = Rsum | Rprod | Rmax | Rmin
+
+type classification =
+  | Induction of { stride : Symbolic.Linear.t option }
+  | Reduction of reduction_op
+  | Private of { needs_last_value : bool }
+  | Shared_safe
+  | Shared_unsafe
+
+let classification_to_string = function
+  | Induction _ -> "induction"
+  | Reduction Rsum -> "reduction(+)"
+  | Reduction Rprod -> "reduction(*)"
+  | Reduction Rmax -> "reduction(max)"
+  | Reduction Rmin -> "reduction(min)"
+  | Private { needs_last_value = true } -> "private(lastvalue)"
+  | Private { needs_last_value = false } -> "private"
+  | Shared_safe -> "shared"
+  | Shared_unsafe -> "shared(unsafe)"
+
+let pp_classification ppf c =
+  Format.pp_print_string ppf (classification_to_string c)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = classification SMap.t
+
+(* ------------------------------------------------------------------ *)
+(* Structured region summaries: upward-exposed uses and must-defs.     *)
+(* ------------------------------------------------------------------ *)
+
+exception Unstructured
+
+(* Returns (upward_exposed_uses, must_defs) of the region.  Raises
+   [Unstructured] on GOTO/RETURN/STOP, where the straight-line
+   composition below would be unsound. *)
+let rec region_summary ctx (stmts : Ast.stmt list) : SSet.t * SSet.t =
+  List.fold_left
+    (fun (ue, md) s ->
+      let s_ue, s_md = stmt_summary ctx s in
+      (SSet.union ue (SSet.diff s_ue md), SSet.union md s_md))
+    (SSet.empty, SSet.empty) stmts
+
+and stmt_summary ctx (s : Ast.stmt) : SSet.t * SSet.t =
+  match s.Ast.node with
+  | Ast.Goto _ | Ast.Return | Ast.Stop -> raise Unstructured
+  | Ast.If (branches, els) ->
+    let cond_uses =
+      SSet.of_list
+        (List.concat_map (fun (c, _) -> Ast.expr_vars c) branches)
+    in
+    let bodies = List.map snd branches @ [ els ] in
+    let summaries = List.map (region_summary ctx) bodies in
+    let ue =
+      List.fold_left (fun acc (u, _) -> SSet.union acc u) cond_uses summaries
+    in
+    let md =
+      match summaries with
+      | [] -> SSet.empty
+      | (_, m) :: rest ->
+        List.fold_left (fun acc (_, m') -> SSet.inter acc m') m rest
+    in
+    (ue, md)
+  | Ast.Do (h, body) ->
+    let bound_uses = SSet.of_list (List.concat_map Ast.expr_vars
+      ([ h.Ast.lo; h.Ast.hi ] @ Option.to_list h.Ast.step)) in
+    let body_ue, _body_md = region_summary ctx body in
+    (* the loop may run zero times: only the induction variable is a
+       must-def (the header always assigns it) *)
+    (SSet.union bound_uses (SSet.remove h.Ast.dvar body_ue),
+     SSet.singleton h.Ast.dvar)
+  | Ast.Assign _ | Ast.Call _ | Ast.Continue | Ast.Print _ ->
+    (SSet.of_list (Defuse.uses ctx s), SSet.of_list (Defuse.must_defs ctx s))
+
+(* ------------------------------------------------------------------ *)
+(* Auxiliary induction variables                                       *)
+(* ------------------------------------------------------------------ *)
+
+let aux_inductions ctx (loop : Ast.stmt) : (string * int * Ast.stmt_id) list =
+  match loop.Ast.node with
+  | Ast.Do (h, body) ->
+    (* candidates: top-level statements K = K + c / K = K - c with a
+       literal (or simplifiable) integer stride *)
+    let stride_of v rhs =
+      match Ast.simplify rhs with
+      | Ast.Bin (Ast.Add, Ast.Var v', Ast.Int c) when String.equal v v' -> Some c
+      | Ast.Bin (Ast.Add, Ast.Int c, Ast.Var v') when String.equal v v' -> Some c
+      | Ast.Bin (Ast.Sub, Ast.Var v', Ast.Int c) when String.equal v v' ->
+        Some (-c)
+      | _ -> None
+    in
+    let candidates =
+      List.filter_map
+        (fun (s : Ast.stmt) ->
+          match s.Ast.node with
+          | Ast.Assign (Ast.Var v, rhs) -> (
+            match stride_of v rhs with
+            | Some c -> Some (v, c, s.Ast.sid)
+            | None -> None)
+          | _ -> None)
+        body
+    in
+    (* keep those with no other definition anywhere in the body *)
+    List.filter
+      (fun (v, _, sid) ->
+        String.equal v h.Ast.dvar = false
+        && Ast.fold_stmts
+             (fun acc (s : Ast.stmt) ->
+               acc
+               && (s.Ast.sid = sid || not (List.mem v (Defuse.may_defs ctx s))))
+             true body)
+      candidates
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Reduction recognition                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Additive terms of an expression with their polarity: [S + A - B]
+   yields [(S,+); (A,+); (B,-)]. *)
+let rec sum_terms pos (e : Ast.expr) : (Ast.expr * bool) list =
+  match e with
+  | Ast.Bin (Ast.Add, a, b) -> sum_terms pos a @ sum_terms pos b
+  | Ast.Bin (Ast.Sub, a, b) -> sum_terms pos a @ sum_terms (not pos) b
+  | Ast.Un (Ast.Neg, a) -> sum_terms (not pos) a
+  | _ -> [ (e, pos) ]
+
+let rec prod_factors (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.Bin (Ast.Mul, a, b) -> prod_factors a @ prod_factors b
+  | _ -> [ e ]
+
+let reduction_op_of v (rhs : Ast.expr) : reduction_op option =
+  (* sum:  the accumulator appears exactly once, positively, as a
+     whole additive term (v = v + e1 - e2 + ...);
+     prod: exactly once as a whole factor (v = v * e);
+     max/min: v = MAX(v, e) / MIN(v, e) in either argument order.
+     Everything else referencing v disqualifies. *)
+  let is_v = function Ast.Var v' -> String.equal v v' | _ -> false in
+  let free e = not (List.mem v (Ast.expr_vars e)) in
+  let terms = sum_terms true rhs in
+  let v_terms, others = List.partition (fun (e, _) -> is_v e) terms in
+  match (v_terms, others) with
+  | [ (_, true) ], _ when List.for_all (fun (e, _) -> free e) others ->
+    if others = [] then None (* v = v: not a reduction *) else Some Rsum
+  | _ -> (
+    let factors = prod_factors rhs in
+    let v_factors, other_f = List.partition is_v factors in
+    match v_factors with
+    | [ _ ] when other_f <> [] && List.for_all free other_f -> Some Rprod
+    | _ -> (
+      match rhs with
+      | Ast.Index ("MAX", [ a; b ]) when is_v a && free b -> Some Rmax
+      | Ast.Index ("MAX", [ a; b ]) when is_v b && free a -> Some Rmax
+      | Ast.Index ("MIN", [ a; b ]) when is_v a && free b -> Some Rmin
+      | Ast.Index ("MIN", [ a; b ]) when is_v b && free a -> Some Rmin
+      | _ -> None))
+
+(* Is every occurrence of [v] in the body confined to reduction
+   statements of a single operation? *)
+let reduction_class ctx body v : reduction_op option =
+  let ops = ref [] in
+  let ok =
+    Ast.fold_stmts
+      (fun acc (s : Ast.stmt) ->
+        if not acc then false
+        else
+          match s.Ast.node with
+          | Ast.Assign (Ast.Var v', rhs) when String.equal v v' -> (
+            match reduction_op_of v rhs with
+            | Some op ->
+              ops := op :: !ops;
+              true
+            | None -> false)
+          | _ ->
+            (* v must not be read or written by any other statement *)
+            (not (List.mem v (Defuse.uses ctx s)))
+            && not (List.mem v (Defuse.may_defs ctx s)))
+      true body
+  in
+  if not ok then None
+  else
+    match List.sort_uniq compare !ops with
+    | [ op ] -> Some op
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let classify ?(recognize_reductions = true) ?cfg ctx (liveness : Liveness.t)
+    (loop : Ast.stmt) : t =
+  match loop.Ast.node with
+  | Ast.Do (h, body) ->
+    let tbl = Defuse.table ctx in
+    let is_scalar v =
+      match Symbol.lookup tbl v with
+      | Some { kind = Symbol.Scalar; _ } -> true
+      | _ -> false
+    in
+    (* all scalars mentioned in the body or header *)
+    let mentioned =
+      Ast.fold_stmts
+        (fun acc s ->
+          SSet.union acc
+            (SSet.of_list (Defuse.uses ctx s @ Defuse.may_defs ctx s)))
+        (SSet.of_list
+           (List.concat_map Ast.expr_vars
+              ([ h.Ast.lo; h.Ast.hi ] @ Option.to_list h.Ast.step)))
+        body
+      |> SSet.filter is_scalar
+    in
+    let written =
+      Ast.fold_stmts
+        (fun acc s -> SSet.union acc (SSet.of_list (Defuse.may_defs ctx s)))
+        SSet.empty body
+      |> SSet.filter is_scalar
+    in
+    let auxs = aux_inductions ctx loop in
+    let structured, ue =
+      match region_summary ctx body with
+      | ue, _ -> (true, ue)
+      | exception Unstructured -> (false, SSet.empty)
+    in
+    let live_after =
+      match cfg with
+      | Some cfg ->
+        let l = Liveness.live_after liveness cfg loop.Ast.sid in
+        fun v -> List.mem v l
+      | None -> fun v -> Liveness.is_live_out liveness loop.Ast.sid v
+    in
+    let classify_var v =
+      if String.equal v h.Ast.dvar then
+        Induction { stride = None }
+      else
+        match List.find_opt (fun (a, _, _) -> String.equal a v) auxs with
+        | Some (_, c, _) ->
+          Induction { stride = Some (Symbolic.Linear.const c) }
+        | None ->
+          if not (SSet.mem v written) then Shared_safe
+          else if not structured then Shared_unsafe
+          else if
+            recognize_reductions && reduction_class ctx body v <> None
+          then
+            Reduction (Option.get (reduction_class ctx body v))
+          else if not (SSet.mem v ue) then
+            (* killed on every iteration before any use: privatizable *)
+            Private { needs_last_value = live_after v }
+          else Shared_unsafe
+    in
+    SSet.fold (fun v acc -> SMap.add v (classify_var v) acc) mentioned SMap.empty
+  | _ -> invalid_arg "Varclass.classify: not a DO loop"
+
+let lookup t v = SMap.find_opt v t
+let all t = SMap.bindings t
+
+let parallelizable t =
+  SMap.for_all (fun _ c -> match c with Shared_unsafe -> false | _ -> true) t
+
+let blockers t =
+  SMap.bindings t
+  |> List.filter_map (fun (v, c) ->
+         match c with Shared_unsafe -> Some v | _ -> None)

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Ast Ddg Dependence Depenv Format Fortran_front List Loopnest Marking Option Perf Printf Session String Transform

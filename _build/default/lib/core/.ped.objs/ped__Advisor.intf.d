@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Ast Dependence Format Fortran_front Loopnest Session Transform

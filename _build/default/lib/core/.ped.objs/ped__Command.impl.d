@@ -1,0 +1,1 @@
+lib/core/command.ml: Advisor Array Ast Buffer Ddg Dependence Filter Float Format Fortran_front Interproc List Marking Option Pane Perf Pretty Printf Session String Transform

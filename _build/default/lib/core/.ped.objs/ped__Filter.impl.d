@@ -1,0 +1,1 @@
+lib/core/filter.ml: Ast Ddg Dependence Fortran_front List Marking Printf String

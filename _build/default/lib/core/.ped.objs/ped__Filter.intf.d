@@ -1,0 +1,1 @@
+lib/core/filter.mli: Ast Ddg Dependence Fortran_front Marking

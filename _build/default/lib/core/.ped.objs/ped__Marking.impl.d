@@ -1,0 +1,1 @@
+lib/core/marking.ml: Ddg Dependence List Map Printf String

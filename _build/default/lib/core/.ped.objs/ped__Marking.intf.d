@@ -1,0 +1,1 @@
+lib/core/marking.mli: Ddg Dependence

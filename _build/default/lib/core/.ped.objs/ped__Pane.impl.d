@@ -1,0 +1,1 @@
+lib/core/pane.ml: Array Ast Buffer Ddg Dependence Depenv Dtest Filter Fortran_front List Loopnest Marking Option Perf Pretty Printf Scalar_analysis Session String Varclass

@@ -1,0 +1,1 @@
+lib/core/pane.mli: Session

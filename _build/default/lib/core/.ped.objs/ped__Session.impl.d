@@ -1,0 +1,1 @@
+lib/core/session.ml: Ast Ddg Dependence Depenv Filter Format Fortran_front Interproc Lexer List Loc Loopnest Marking Parser Perf Printf Sim String Transform

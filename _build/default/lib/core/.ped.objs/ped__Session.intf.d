@@ -1,0 +1,1 @@
+lib/core/session.mli: Ast Ddg Dependence Depenv Filter Fortran_front Interproc Loopnest Marking Transform

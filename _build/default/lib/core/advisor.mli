@@ -1,0 +1,29 @@
+(** Navigation and transformation guidance — the enhancement the Ped
+    evaluation asked for most: "tell me which loop matters and what to
+    try on it".
+
+    Combines the static performance estimator (loop ranking by
+    predicted time share) with the power-steering diagnoses of every
+    catalog transformation to produce concrete, ranked suggestions. *)
+
+open Fortran_front
+open Dependence
+
+type suggestion = {
+  loop : Ast.stmt_id;
+  action : string;         (** catalog transformation name or "assert" hint *)
+  why : string;
+  share : float;           (** the loop's predicted share of unit time *)
+  diagnosis : Transform.Diagnosis.t option;
+}
+
+(** Ranked suggestions, most valuable first.  Covers: parallelize
+    (safe & profitable), interchange/skew/distribute when they unlock
+    parallelism, and assertion hints when only pending dependences
+    block a heavy loop. *)
+val advise : Session.t -> suggestion list
+
+val pp_suggestion : Format.formatter -> suggestion -> unit
+
+(** The heaviest not-yet-parallel loop — "where should I look next". *)
+val next_target : Session.t -> (Loopnest.loop * float) option

@@ -1,0 +1,384 @@
+open Fortran_front
+open Dependence
+
+let help_text =
+  String.concat "\n"
+    [
+      "commands:";
+      "  units | unit NAME | loops | select sN | outline | callgraph [dot]";
+      "  src [loops|find TEXT|all]";
+      "  deps [var X|kind true/anti/output/control|carried|status S|scalar|all|reset]";
+      "  deps dot    (Graphviz of the selection's dependences)";
+      "  vars | display | stats";
+      "  mark N accept|reject|pending";
+      "  assert VAR = N | assert VAR in LO HI | assert perm ARR | private sN VAR";
+      "  preview T ARGS | apply T ARGS [!] | edit sN TEXT | undo | history";
+      "  diff (changes vs the loaded program) | write FILE";
+      "  estimate [P] | advise | simulate [P]";
+      "transformations: " ^ String.concat ", " Transform.Catalog.names;
+    ]
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* Statement targets: [sN] is a statement id; [lN] is the N-th loop of
+   the focus unit in preorder (1-based) — stable across reloads, which
+   statement ids are not, so scripts use it. *)
+let parse_sid t tok =
+  if String.length tok > 1 && tok.[0] = 's' then
+    int_of_string_opt (String.sub tok 1 (String.length tok - 1))
+  else if String.length tok > 1 && tok.[0] = 'l' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some n -> (
+      match List.nth_opt (Session.loops t) (n - 1) with
+      | Some lp -> Some lp.Dependence.Loopnest.lstmt.Ast.sid
+      | None -> None)
+    | None -> None
+  else None
+
+let parse_transform_args t toks : Transform.Catalog.args option =
+  match toks with
+  | [ a ] -> Option.map (fun s -> Transform.Catalog.On_loop s) (parse_sid t a)
+  | [ a; b ] -> (
+    match (parse_sid t a, parse_sid t b) with
+    | Some x, Some y -> Some (Transform.Catalog.On_pair (x, y))
+    | Some x, None -> (
+      match int_of_string_opt b with
+      | Some n -> Some (Transform.Catalog.With_factor (x, n))
+      | None -> Some (Transform.Catalog.With_var (x, String.uppercase_ascii b)))
+    | _ -> None)
+  | _ -> None
+
+let dep_kind_of_string = function
+  | "true" | "flow" -> Some Ddg.Flow
+  | "anti" -> Some Ddg.Anti
+  | "output" -> Some Ddg.Output
+  | "control" -> Some Ddg.Control
+  | _ -> None
+
+let status_of_string = function
+  | "proven" -> Some Marking.Proven
+  | "pending" -> Some Marking.Pending
+  | "accepted" | "accept" -> Some Marking.Accepted
+  | "rejected" | "reject" -> Some Marking.Rejected
+  | _ -> None
+
+let rec update_filter t (f : Filter.dep_filter) toks =
+  match toks with
+  | [] -> Ok f
+  | "var" :: v :: rest ->
+    update_filter t { f with Filter.f_var = Some (String.uppercase_ascii v) } rest
+  | "kind" :: k :: rest -> (
+    match dep_kind_of_string k with
+    | Some kind ->
+      update_filter t
+        { f with Filter.f_kind = Some kind; f_hide_control = false }
+        rest
+    | None -> Error (Printf.sprintf "unknown dependence kind %s" k))
+  | "carried" :: rest -> update_filter t { f with Filter.f_carried_only = true } rest
+  | "scalar" :: rest -> update_filter t { f with Filter.f_hide_scalar = true } rest
+  | "status" :: s :: rest -> (
+    match status_of_string s with
+    | Some st -> update_filter t { f with Filter.f_status = Some st } rest
+    | None -> Error (Printf.sprintf "unknown status %s" s))
+  | "all" :: rest -> update_filter t Filter.show_all rest
+  | "reset" :: rest -> update_filter t Filter.default_dep_filter rest
+  | tok :: rest -> (
+    match parse_sid t tok with
+    | Some sid -> update_filter t { f with Filter.f_stmt = Some sid } rest
+    | None -> Error (Printf.sprintf "unknown filter word %s" tok))
+
+(* A minimal LCS diff over source lines, for the [diff] command. *)
+let line_diff (a : string array) (b : string array) : string list =
+  let n = Array.length a and m = Array.length b in
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if String.equal a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  let out = ref [] in
+  let rec walk i j =
+    if i < n && j < m && String.equal a.(i) b.(j) then begin
+      out := ("  " ^ a.(i)) :: !out;
+      walk (i + 1) (j + 1)
+    end
+    else if j < m && (i = n || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then begin
+      out := ("+ " ^ b.(j)) :: !out;
+      walk i (j + 1)
+    end
+    else if i < n then begin
+      out := ("- " ^ a.(i)) :: !out;
+      walk (i + 1) j
+    end
+  in
+  walk 0 0;
+  List.rev !out
+
+let run (t : Session.t) (line : string) : string =
+  let line = String.trim line in
+  match tokens line with
+  | [] -> ""
+  | "help" :: _ -> help_text
+  | "units" :: _ ->
+    String.concat "\n"
+      (List.map
+         (fun (u : Ast.program_unit) ->
+           Printf.sprintf "%s%s" u.Ast.uname
+             (if String.equal u.Ast.uname t.Session.unit_name then
+                "   <- focus"
+              else ""))
+         t.Session.program.Ast.punits)
+  | [ "unit"; name ] -> (
+    match Session.focus t (String.uppercase_ascii name) with
+    | Ok () -> Printf.sprintf "focused on %s" (String.uppercase_ascii name)
+    | Error e -> "error: " ^ e)
+  | "loops" :: _ -> Pane.loops_pane t
+  | [ "select"; s ] -> (
+    match parse_sid t s with
+    | Some sid -> (
+      match Session.select t sid with
+      | Ok () -> Printf.sprintf "selected loop s%d" sid
+      | Error e -> "error: " ^ e)
+    | None -> "error: expected a target like s12 or l2")
+  | "src" :: rest ->
+    (match rest with
+    | [ "loops" ] -> t.Session.src_filter <- Filter.Src_loops
+    | "find" :: words ->
+      t.Session.src_filter <-
+        Filter.Src_contains (String.uppercase_ascii (String.concat " " words))
+    | [ "all" ] | [] -> t.Session.src_filter <- Filter.Src_all
+    | _ -> ());
+    Pane.source_pane t
+  | [ "deps"; "dot" ] ->
+    Ddg.dot ?loop:t.Session.selected t.Session.env t.Session.ddg
+  | "deps" :: rest -> (
+    match update_filter t t.Session.dep_filter rest with
+    | Ok f ->
+      t.Session.dep_filter <- f;
+      Pane.dependence_pane t
+    | Error e -> "error: " ^ e)
+  | "vars" :: _ -> Pane.variable_pane t
+  | "display" :: _ -> Pane.full_display t
+  | "callgraph" :: rest -> (
+    match t.Session.interproc with
+    | None -> "error: interprocedural analysis is off (reload without --no-interproc)"
+    | Some summary ->
+      let cg = Interproc.Summary.callgraph summary in
+      if rest = [ "dot" ] then Interproc.Callgraph.dot cg
+      else
+        String.concat "\n"
+          (List.map
+             (fun name ->
+               let callees = Interproc.Callgraph.callees_of cg name in
+               if callees = [] then Printf.sprintf "%s" name
+               else
+                 Printf.sprintf "%s -> %s" name (String.concat ", " callees))
+             (Interproc.Callgraph.unit_names cg)))
+  | "outline" :: _ -> (
+    (* progressive disclosure: loops and calls only, with nesting *)
+    match
+      List.find_opt
+        (fun (u : Ast.program_unit) ->
+          String.equal u.Ast.uname t.Session.unit_name)
+        t.Session.program.Ast.punits
+    with
+    | None -> "error: no focus unit"
+    | Some u ->
+      let buf = Buffer.create 256 in
+      let rec walk depth stmts =
+        List.iter
+          (fun (s : Ast.stmt) ->
+            match s.Ast.node with
+            | Ast.Do (h, body) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%ss%-4d %s%sDO %s = %s, %s\n"
+                   (String.make 2 ' ') s.Ast.sid
+                   (String.make (2 * depth) ' ')
+                   (if h.Ast.parallel then "PARALLEL " else "")
+                   h.Ast.dvar
+                   (Pretty.expr_to_string h.Ast.lo)
+                   (Pretty.expr_to_string h.Ast.hi));
+              walk (depth + 1) body
+            | Ast.Call (name, _) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%ss%-4d %sCALL %s\n" (String.make 2 ' ')
+                   s.Ast.sid
+                   (String.make (2 * depth) ' ')
+                   name)
+            | Ast.If (branches, els) ->
+              List.iter (fun (_, b) -> walk depth b) branches;
+              walk depth els
+            | _ -> ())
+          stmts
+      in
+      Buffer.add_string buf (Printf.sprintf "outline of %s:\n" u.Ast.uname);
+      walk 0 u.Ast.body;
+      Buffer.contents buf)
+  | "stats" :: _ ->
+    let s = t.Session.ddg.Ddg.stats in
+    String.concat "\n"
+      (Printf.sprintf "reference pairs tested: %d" s.Ddg.pairs_tested
+      :: Printf.sprintf "dependences: %d proven, %d pending" s.Ddg.proven
+           s.Ddg.pending
+      :: List.map
+           (fun (test, n) -> Printf.sprintf "  disproved by %-14s %d" test n)
+           s.Ddg.disproved)
+  | [ "mark"; n; how ] -> (
+    match (int_of_string_opt n, status_of_string how) with
+    | Some id, Some status -> (
+      let proven_warning =
+        match
+          List.find_opt
+            (fun (d : Ddg.dep) -> d.Ddg.dep_id = id)
+            t.Session.ddg.Ddg.deps
+        with
+        | Some d when d.Ddg.exact && status = Marking.Rejected ->
+          "\nwarning: this dependence was proven by an exact test"
+        | _ -> ""
+      in
+      match Session.mark_dep t id status with
+      | Ok () ->
+        Printf.sprintf "dependence #%d marked %s%s" id
+          (Marking.status_to_string status)
+          proven_warning
+      | Error e -> "error: " ^ e)
+    | _ -> "error: usage: mark N accept|reject|pending")
+  | [ "assert"; "perm"; arr ] ->
+    let arr = String.uppercase_ascii arr in
+    Session.assert_injective t arr;
+    Printf.sprintf "asserted: %s is a permutation (injective)" arr
+  | [ "assert"; var; "in"; lo; hi ] -> (
+    match (int_of_string_opt lo, int_of_string_opt hi) with
+    | Some l, Some h when l <= h ->
+      let var = String.uppercase_ascii var in
+      Session.assert_range t var l h;
+      Printf.sprintf "asserted: %d <= %s <= %d" l var h
+    | _ -> "error: usage: assert VAR in LO HI")
+  | [ "assert"; var; "="; n ] -> (
+    match int_of_string_opt n with
+    | Some v ->
+      let var = String.uppercase_ascii var in
+      Session.assert_value t var v;
+      Printf.sprintf "asserted: %s = %d" var v
+    | None -> "error: usage: assert VAR = N")
+  | [ "private"; s; var ] -> (
+    match parse_sid t s with
+    | Some sid ->
+      let var = String.uppercase_ascii var in
+      Session.privatize t sid var;
+      Printf.sprintf "%s is private in loop s%d" var sid
+    | None -> "error: usage: private sN VAR")
+  | "preview" :: name :: rest -> (
+    match parse_transform_args t rest with
+    | Some args -> (
+      match Session.preview t name args with
+      | Ok d -> Transform.Diagnosis.to_string d
+      | Error e -> "error: " ^ e)
+    | None -> "error: bad transformation arguments")
+  | "apply" :: name :: rest -> (
+    let force, rest =
+      match List.rev rest with
+      | "!" :: r -> (true, List.rev r)
+      | _ -> (false, rest)
+    in
+    match parse_transform_args t rest with
+    | Some args -> (
+      match Session.transform ~force t name args with
+      | Ok (d, true) ->
+        Printf.sprintf "%s applied\n%s" name (Transform.Diagnosis.to_string d)
+      | Ok (d, false) ->
+        Printf.sprintf "%s NOT applied\n%s" name
+          (Transform.Diagnosis.to_string d)
+      | Error e -> "error: " ^ e)
+    | None -> "error: bad transformation arguments")
+  | "edit" :: s :: rest when rest <> [] -> (
+    match parse_sid t s with
+    | Some sid -> (
+      let text = String.concat " " rest in
+      match Session.edit_stmt t sid text with
+      | Ok () -> Printf.sprintf "statement s%d replaced" sid
+      | Error e -> "error: " ^ e)
+    | None -> "error: usage: edit sN TEXT")
+  | "history" :: _ ->
+    if t.Session.undo_stack = [] then "no changes yet"
+    else
+      String.concat "\n"
+        (List.rev
+           (List.mapi
+              (fun i (_, what) -> Printf.sprintf "%2d. %s" (i + 1) what)
+              (List.rev t.Session.undo_stack)))
+  | "undo" :: _ -> (
+    match Session.undo t with
+    | Ok () -> "undone"
+    | Error e -> "error: " ^ e)
+  | "diff" :: _ -> (
+    let find_unit (p : Ast.program) =
+      List.find_opt
+        (fun (u : Ast.program_unit) ->
+          String.equal u.Ast.uname t.Session.unit_name)
+        p.Ast.punits
+    in
+    match (find_unit t.Session.original, find_unit t.Session.program) with
+    | Some before, Some after ->
+      let lines u =
+        Array.of_list (List.map snd (Pretty.source_lines u))
+      in
+      let d = line_diff (lines before) (lines after) in
+      if List.for_all (fun l -> l.[0] = ' ') d then "no changes"
+      else
+        String.concat "\n"
+          (List.filter
+             (fun l ->
+               (* keep changed lines with one line of nothing else *)
+               l.[0] <> ' ')
+             d)
+    | _ -> "error: focus unit not found")
+  | [ "write"; path ] -> (
+    try
+      let oc = open_out path in
+      output_string oc (Pretty.program_to_string t.Session.program);
+      close_out oc;
+      Printf.sprintf "wrote %s" path
+    with Sys_error e -> "error: " ^ e)
+  | "estimate" :: rest ->
+    let p =
+      match rest with
+      | [ n ] -> Option.value ~default:8 (int_of_string_opt n)
+      | _ -> 8
+    in
+    let seq = Perf.Estimator.unit_cost t.Session.env in
+    let speedup = Perf.Estimator.predicted_speedup t.Session.env ~processors:p in
+    Printf.sprintf
+      "estimated sequential cycles: %.0f%s\npredicted speedup on %d processors: %.2fx"
+      seq.Perf.Estimator.cycles
+      (if seq.Perf.Estimator.exact_trips then "" else " (some trip counts assumed)")
+      p speedup
+  | "advise" :: _ -> (
+    match Advisor.advise t with
+    | [] -> "no suggestions: every profitable loop is already parallel"
+    | suggestions ->
+      String.concat "\n"
+        (List.map
+           (fun s -> Format.asprintf "%a" Advisor.pp_suggestion s)
+           suggestions))
+  | "simulate" :: rest -> (
+    let p =
+      match rest with
+      | [ n ] -> Option.value ~default:8 (int_of_string_opt n)
+      | _ -> 8
+    in
+    match Session.simulate ~processors:p t with
+    | Ok (seq, par, output) ->
+      String.concat "\n"
+        ([ Printf.sprintf "sequential: %.0f cycles" seq;
+           Printf.sprintf "parallel (%d procs): %.0f cycles" p par;
+           Printf.sprintf "speedup: %.2fx" (seq /. Float.max par 1.0) ]
+        @ if output = [] then [] else ("output:" :: List.map (fun l -> "  " ^ l) output))
+    | Error e -> "error: " ^ e)
+  | cmd :: _ -> Printf.sprintf "error: unknown command %s (try help)" cmd
+
+let script t lines =
+  List.map (fun line -> Printf.sprintf "ped> %s\n%s" line (run t line)) lines

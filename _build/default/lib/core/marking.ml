@@ -1,0 +1,38 @@
+open Dependence
+
+type status = Proven | Pending | Accepted | Rejected
+
+let status_to_string = function
+  | Proven -> "proven"
+  | Pending -> "pending"
+  | Accepted -> "accepted"
+  | Rejected -> "rejected"
+
+module SMap = Map.Make (String)
+
+type t = status SMap.t
+
+let empty = SMap.empty
+
+let key_of (d : Ddg.dep) =
+  Printf.sprintf "%s:%s:%d:%d:%s" (Ddg.kind_to_string d.Ddg.kind) d.Ddg.var
+    d.Ddg.src d.Ddg.dst
+    (match d.Ddg.level with Some l -> string_of_int l | None -> "li")
+
+let status_of t (d : Ddg.dep) =
+  match SMap.find_opt (key_of d) t with
+  | Some s -> s
+  | None -> if d.Ddg.exact then Proven else Pending
+
+let mark t d status =
+  match status with
+  | Accepted | Rejected -> SMap.add (key_of d) status t
+  | Proven | Pending -> SMap.remove (key_of d) t
+
+let rejected_ids t (g : Ddg.t) =
+  List.filter_map
+    (fun (d : Ddg.dep) ->
+      if status_of t d = Rejected then Some d.Ddg.dep_id else None)
+    g.Ddg.deps
+
+let count t = SMap.cardinal t

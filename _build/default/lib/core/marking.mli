@@ -1,0 +1,40 @@
+(** Dependence marking — proven / pending / accepted / rejected.
+
+    Ped marks each dependence: {e proven} when an exact test
+    established it, {e pending} otherwise.  The user sharpens analysis
+    by marking pending dependences {e accepted} (treat as real) or
+    {e rejected} (ignore it — the user knows the subscripts never
+    overlap).  Rejected dependences no longer block parallelization.
+
+    Marks must survive reanalysis (edits, transformations), so they
+    key on a stable signature of the dependence (kind, variable,
+    endpoint statement ids, level) rather than on the regenerated
+    dependence-graph ids. *)
+
+open Dependence
+
+type status = Proven | Pending | Accepted | Rejected
+
+val status_to_string : status -> string
+
+type t
+
+val empty : t
+
+(** The signature key of a dependence. *)
+val key_of : Ddg.dep -> string
+
+(** Current status: user mark if any, else Proven/Pending from the
+    analysis. *)
+val status_of : t -> Ddg.dep -> status
+
+(** [mark t dep status] — record a user mark ([Accepted]/[Rejected]);
+    marking [Proven]/[Pending] clears the user's mark. *)
+val mark : t -> Ddg.dep -> status -> t
+
+(** Dependence ids (in the current graph) whose status is [Rejected]
+    — the set parallelization checks ignore. *)
+val rejected_ids : t -> Ddg.t -> int list
+
+(** Number of user marks recorded. *)
+val count : t -> int

@@ -1,0 +1,24 @@
+(** Text rendering of Ped's three panes.
+
+    The original Ped is an X11 application; this renders the same
+    three-pane model — source, dependences, variables — as text, one
+    string per pane, so the CLI, scripted sessions and tests all see
+    exactly what a user would. *)
+
+val source_pane : Session.t -> string
+
+(** The dependence pane for the current selection and filter, one row
+    per dependence: id, type, variable, endpoints, vector, level,
+    status. *)
+val dependence_pane : Session.t -> string
+
+(** The variable pane for the selected loop: each variable's
+    classification (induction / private / reduction / shared). *)
+val variable_pane : Session.t -> string
+
+(** One-line summary per loop: id, nesting, header, parallelizable?,
+    estimated share of unit time. *)
+val loops_pane : Session.t -> string
+
+(** The whole display (all panes). *)
+val full_display : Session.t -> string

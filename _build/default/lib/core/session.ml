@@ -1,0 +1,304 @@
+open Fortran_front
+open Dependence
+
+type t = {
+  mutable program : Ast.program;
+  mutable unit_name : string;
+  mutable env : Depenv.t;
+  mutable ddg : Ddg.t;
+  mutable marking : Marking.t;
+  mutable asserts : Depenv.assertions;
+  mutable user_private : (Ast.stmt_id * string) list;
+  mutable selected : Ast.stmt_id option;
+  mutable dep_filter : Filter.dep_filter;
+  mutable src_filter : Filter.src_filter;
+  mutable undo_stack : (Ast.program * string) list;
+  original : Ast.program;
+  mutable interproc : Interproc.Summary.t option;
+  use_interproc : bool;
+  config : Depenv.config;
+}
+
+let find_unit (program : Ast.program) name =
+  List.find_opt
+    (fun (u : Ast.program_unit) -> String.equal u.Ast.uname name)
+    program.Ast.punits
+
+let analyze_unit t (u : Ast.program_unit) =
+  match t.interproc with
+  | Some summary ->
+    Interproc.Summary.env_for ~config:t.config ~asserts:t.asserts summary u
+  | None -> Depenv.make ~config:t.config ~asserts:t.asserts u
+
+let reanalyze t =
+  if t.use_interproc then
+    t.interproc <- Some (Interproc.Summary.analyze t.program);
+  match find_unit t.program t.unit_name with
+  | Some u ->
+    t.env <- analyze_unit t u;
+    t.ddg <- Ddg.compute t.env
+  | None -> failwith ("unit disappeared: " ^ t.unit_name)
+
+let load ?(config = Depenv.full_config) ?(interproc = true)
+    (program : Ast.program) ~unit_name : t =
+  let u =
+    match find_unit program unit_name with
+    | Some u -> u
+    | None -> invalid_arg ("no such unit: " ^ unit_name)
+  in
+  let summary =
+    if interproc then Some (Interproc.Summary.analyze program) else None
+  in
+  let asserts = Depenv.no_assertions in
+  let env =
+    match summary with
+    | Some s -> Interproc.Summary.env_for ~config ~asserts s u
+    | None -> Depenv.make ~config ~asserts u
+  in
+  let ddg = Ddg.compute env in
+  {
+    program;
+    unit_name;
+    env;
+    ddg;
+    marking = Marking.empty;
+    asserts;
+    user_private = [];
+    selected = None;
+    dep_filter = Filter.default_dep_filter;
+    src_filter = Filter.Src_all;
+    undo_stack = [];
+    original = program;
+    interproc = summary;
+    use_interproc = interproc;
+    config;
+  }
+
+let load_source ?config ?interproc ~file src ~unit_name : t =
+  let program = Parser.parse_program ~file src in
+  let unit_name =
+    match unit_name with
+    | Some n -> n
+    | None -> (
+      match
+        List.find_opt
+          (fun (u : Ast.program_unit) -> u.Ast.kind = Ast.Main)
+          program.Ast.punits
+      with
+      | Some u -> u.Ast.uname
+      | None -> (
+        match program.Ast.punits with
+        | u :: _ -> u.Ast.uname
+        | [] -> invalid_arg "empty program"))
+  in
+  load ?config ?interproc program ~unit_name
+
+let focus t name =
+  match find_unit t.program name with
+  | Some _ ->
+    t.unit_name <- name;
+    t.selected <- None;
+    reanalyze t;
+    Ok ()
+  | None -> Error (Printf.sprintf "no unit named %s" name)
+
+let loops t = Loopnest.loops t.env.Depenv.nest
+
+let select t sid =
+  match Loopnest.find t.env.Depenv.nest sid with
+  | Some _ ->
+    t.selected <- Some sid;
+    Ok ()
+  | None -> Error (Printf.sprintf "s%d is not a loop of %s" sid t.unit_name)
+
+let rejected t = Marking.rejected_ids t.marking t.ddg
+
+let user_private_blocks t (d : Ddg.dep) =
+  (* a scalar dependence on a user-privatized variable of its carrying
+     loop is discounted *)
+  d.Ddg.is_scalar
+  && (match d.Ddg.carrier with
+     | Some loop_sid -> List.mem (loop_sid, d.Ddg.var) t.user_private
+     | None -> false)
+
+let blocking t sid =
+  Ddg.blocking ~ignore:(rejected t) t.env t.ddg sid
+  |> List.filter (fun d -> not (user_private_blocks t d))
+
+(* scalars whose last value escapes: block parallelization unless the
+   user declared them private *)
+let escapees t sid =
+  match Depenv.stmt t.env sid with
+  | Some ({ Ast.node = Ast.Do _; _ } as loop) ->
+    Transform.Parallelize.last_value_escapees t.env loop
+    @ Transform.Indsub.needed t.env loop
+    |> List.filter (fun v -> not (List.mem (sid, v) t.user_private))
+  | _ -> []
+
+let is_parallelizable t sid = blocking t sid = [] && escapees t sid = []
+
+let parallelizable_loops t =
+  List.filter
+    (fun (lp : Loopnest.loop) -> is_parallelizable t lp.Loopnest.lstmt.Ast.sid)
+    (loops t)
+
+let visible_deps t =
+  let base =
+    match t.selected with
+    | Some sid -> Ddg.deps_in_loop t.env t.ddg sid
+    | None -> t.ddg.Ddg.deps
+  in
+  Filter.apply_dep_filter t.dep_filter t.marking base
+
+let mark_dep t dep_id status =
+  match
+    List.find_opt (fun (d : Ddg.dep) -> d.Ddg.dep_id = dep_id) t.ddg.Ddg.deps
+  with
+  | None -> Error (Printf.sprintf "no dependence #%d" dep_id)
+  | Some d ->
+    (match status with
+    | Marking.Rejected when d.Ddg.exact ->
+      (* Ped lets the user reject even proven deps, but warns; we
+         record the mark — the warning is the caller's to print *)
+      ()
+    | _ -> ());
+    t.marking <- Marking.mark t.marking d status;
+    Ok ()
+
+let assert_value t var n =
+  t.asserts <-
+    {
+      t.asserts with
+      Depenv.asserted_values =
+        (var, n)
+        :: List.remove_assoc var t.asserts.Depenv.asserted_values;
+    };
+  reanalyze t
+
+let assert_range t var lo hi =
+  t.asserts <-
+    {
+      t.asserts with
+      Depenv.asserted_ranges =
+        (var, lo, hi)
+        :: List.filter
+             (fun (v, _, _) -> not (String.equal v var))
+             t.asserts.Depenv.asserted_ranges;
+    };
+  reanalyze t
+
+let assert_injective t arr =
+  if not (List.mem arr t.asserts.Depenv.asserted_injective) then begin
+    t.asserts <-
+      {
+        t.asserts with
+        Depenv.asserted_injective = arr :: t.asserts.Depenv.asserted_injective;
+      };
+    reanalyze t
+  end
+
+let privatize t loop_sid var =
+  if not (List.mem (loop_sid, var) t.user_private) then
+    t.user_private <- (loop_sid, var) :: t.user_private
+
+let push_undo t what =
+  t.undo_stack <- (t.program, what) :: t.undo_stack
+
+let replace_unit t (u : Ast.program_unit) =
+  t.program <-
+    {
+      Ast.punits =
+        List.map
+          (fun (x : Ast.program_unit) ->
+            if String.equal x.Ast.uname u.Ast.uname then u else x)
+          t.program.Ast.punits;
+    }
+
+let preview t name args =
+  match Transform.Catalog.find name with
+  | None -> Error (Printf.sprintf "unknown transformation %s" name)
+  | Some entry -> Ok (entry.Transform.Catalog.diagnose t.env t.ddg args)
+
+(* Parallelize must respect the session's user contributions, which
+   the catalog's generic diagnose cannot see; special-case it. *)
+let diagnose_in_session t name args =
+  match (name, args) with
+  | "parallelize", Transform.Catalog.On_loop sid ->
+    let user_private =
+      List.filter_map
+        (fun (l, v) -> if l = sid then Some v else None)
+        t.user_private
+    in
+    Ok
+      (Transform.Parallelize.diagnose ~ignore_deps:(rejected t) ~user_private
+         t.env t.ddg sid)
+  | _ -> preview t name args
+
+let transform ?(force = false) t name args =
+  match Transform.Catalog.find name with
+  | None -> Error (Printf.sprintf "unknown transformation %s" name)
+  | Some entry -> (
+    match diagnose_in_session t name args with
+    | Error e -> Error e
+    | Ok diag ->
+      if
+        diag.Transform.Diagnosis.applicable
+        && (diag.Transform.Diagnosis.safe || force)
+      then begin
+        match entry.Transform.Catalog.apply t.env t.ddg args with
+        | Some u ->
+          push_undo t name;
+          replace_unit t u;
+          reanalyze t;
+          Ok (diag, true)
+        | None -> Ok (diag, false)
+      end
+      else Ok (diag, false))
+
+let edit_stmt t sid text =
+  match Depenv.stmt t.env sid with
+  | None -> Error (Printf.sprintf "no statement s%d" sid)
+  | Some _ -> (
+    match Parser.parse_stmts_string ~file:"<edit>" text with
+    | exception Parser.Error (msg, loc) ->
+      Error (Format.asprintf "syntax error at %a: %s" Loc.pp loc msg)
+    | exception Lexer.Error (msg, loc) ->
+      Error (Format.asprintf "lexical error at %a: %s" Loc.pp loc msg)
+    | stmts -> (
+      match find_unit t.program t.unit_name with
+      | None -> Error "focus unit disappeared"
+      | Some u -> (
+        match Transform.Rewrite.replace_stmt u sid stmts with
+        | u' ->
+          push_undo t "edit";
+          replace_unit t u';
+          reanalyze t;
+          Ok ()
+        | exception Not_found ->
+          Error (Printf.sprintf "statement s%d not in unit %s" sid t.unit_name))))
+
+let undo t =
+  match t.undo_stack with
+  | [] -> Error "nothing to undo"
+  | (program, what) :: rest ->
+    t.program <- program;
+    t.undo_stack <- rest;
+    reanalyze t;
+    Ok ()
+    |> fun r ->
+    ignore what;
+    r
+
+let callee_cost t =
+  let costs = Perf.Estimator.program_costs t.program in
+  fun name -> List.assoc_opt name costs
+
+let simulate ?(processors = 8) t =
+  let machine = Perf.Machine.with_processors processors Perf.Machine.default in
+  match Sim.Interp.run ~machine ~honor_parallel:false t.program with
+  | exception Sim.Interp.Runtime_error e -> Error e
+  | seq -> (
+    match Sim.Interp.run ~machine ~honor_parallel:true t.program with
+    | exception Sim.Interp.Runtime_error e -> Error e
+    | par ->
+      Ok (seq.Sim.Interp.cycles, par.Sim.Interp.cycles, par.Sim.Interp.output))

@@ -1,0 +1,121 @@
+(** The editor session — Ped's central state.
+
+    A session holds the program being edited, the focus unit, the
+    current analyses (re-run after every change, as Ped reanalyzes
+    incrementally), dependence markings, user assertions,
+    user-privatized variables, view filters, the selected loop and an
+    undo stack.
+
+    Parallelizability as the editor reports it respects the user's
+    contributions: rejected dependences are ignored and
+    user-privatized scalars drop their dependences — exactly the
+    "dependence deletion" workflow the evaluation describes. *)
+
+open Fortran_front
+open Dependence
+
+type t = {
+  mutable program : Ast.program;
+  mutable unit_name : string;
+  mutable env : Depenv.t;
+  mutable ddg : Ddg.t;
+  mutable marking : Marking.t;
+  mutable asserts : Depenv.assertions;
+  mutable user_private : (Ast.stmt_id * string) list;
+  mutable selected : Ast.stmt_id option;
+  mutable dep_filter : Filter.dep_filter;
+  mutable src_filter : Filter.src_filter;
+  mutable undo_stack : (Ast.program * string) list;
+  original : Ast.program;  (** as loaded, for the editor's diff view *)
+  mutable interproc : Interproc.Summary.t option;
+  use_interproc : bool;
+  config : Depenv.config;
+}
+
+(** [load ?config ?interproc program ~unit_name] — start a session
+    focused on [unit_name].  [interproc] (default true) runs
+    whole-program analysis and feeds every CALL's side effects into
+    the unit analyses. *)
+val load :
+  ?config:Depenv.config -> ?interproc:bool -> Ast.program ->
+  unit_name:string -> t
+
+(** Parse source text and load it. *)
+val load_source :
+  ?config:Depenv.config -> ?interproc:bool -> file:string -> string ->
+  unit_name:string option -> t
+
+(** Re-run all analyses (after edits, assertions, marking...). *)
+val reanalyze : t -> unit
+
+(** Switch the focus unit. *)
+val focus : t -> string -> (unit, string) result
+
+(** Loops of the focus unit, in preorder. *)
+val loops : t -> Loopnest.loop list
+
+val select : t -> Ast.stmt_id -> (unit, string) result
+
+(** Dependences the dependence pane currently shows: the selected
+    loop's (or the whole unit's), through the active filter. *)
+val visible_deps : t -> Ddg.dep list
+
+(** Dependences blocking parallelization of a loop, after markings and
+    user privatization. *)
+val blocking : t -> Ast.stmt_id -> Ddg.dep list
+
+val is_parallelizable : t -> Ast.stmt_id -> bool
+
+(** Loops that could be marked PARALLEL DO right now. *)
+val parallelizable_loops : t -> Loopnest.loop list
+
+(** {2 User contributions} *)
+
+val mark_dep : t -> int -> Marking.status -> (unit, string) result
+
+(** [assert_value t var n] — "[var] is [n]": feeds constant
+    propagation and dependence testing. *)
+val assert_value : t -> string -> int -> unit
+
+(** [assert_injective t arr] — "[arr] is a permutation": index-array
+    subscripts through [arr] compare by their argument. *)
+val assert_injective : t -> string -> unit
+
+(** [assert_range t var lo hi] — "[var] is between [lo] and [hi]":
+    bounds trip counts (disproofs may use the upper end; existence
+    proofs may not). *)
+val assert_range : t -> string -> int -> int -> unit
+
+(** [privatize t loop var] — user declares [var] private in [loop]. *)
+val privatize : t -> Ast.stmt_id -> string -> unit
+
+(** {2 Transformation and editing} *)
+
+(** [preview t name args] — the power-steering diagnosis, without
+    changing anything. *)
+val preview :
+  t -> string -> Transform.Catalog.args -> (Transform.Diagnosis.t, string) result
+
+(** [transform ?force t name args] — diagnose and, when applicable and
+    safe (or [force]d by the user, as Ped permits), apply and
+    reanalyze.  Returns the diagnosis and whether it was applied. *)
+val transform :
+  ?force:bool -> t -> string -> Transform.Catalog.args ->
+  (Transform.Diagnosis.t * bool, string) result
+
+(** [edit_stmt t sid text] — replace a statement with re-parsed
+    [text] (the source pane's editing), then reanalyze. *)
+val edit_stmt : t -> Ast.stmt_id -> string -> (unit, string) result
+
+val undo : t -> (unit, string) result
+
+(** {2 Execution} *)
+
+(** Simulate the whole program: (sequential cycles, parallel cycles,
+    output lines). *)
+val simulate :
+  ?processors:int -> t -> (float * float * string list, string) result
+
+(** Interprocedural callee-cost oracle over the session's program —
+    feeds the estimator so calls are priced by their callee's body. *)
+val callee_cost : t -> string -> float option

@@ -1,0 +1,1 @@
+lib/dependence/arrayprivate.ml: Ast Defuse Depenv Fortran_front List Liveness Option Scalar_analysis String Symbol

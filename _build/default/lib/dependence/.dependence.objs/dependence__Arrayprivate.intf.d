@@ -1,0 +1,1 @@
+lib/dependence/arrayprivate.mli: Ast Depenv Fortran_front

@@ -1,0 +1,1 @@
+lib/dependence/ddg.mli: Ast Depenv Dtest Format Fortran_front

@@ -1,0 +1,1 @@
+lib/dependence/depenv.ml: Ast Cfg Constants Control_dep Defuse Fortran_front List Liveness Loopnest Option Reaching Scalar_analysis String Symbol

@@ -1,0 +1,1 @@
+lib/dependence/depenv.mli: Ast Cfg Constants Control_dep Defuse Fortran_front Liveness Loopnest Reaching Scalar_analysis Symbol

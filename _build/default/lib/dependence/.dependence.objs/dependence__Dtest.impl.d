@@ -1,0 +1,1 @@
+lib/dependence/dtest.ml: Array Ast Depenv Fortran_front Hashtbl List Option Scalar_analysis Subscript

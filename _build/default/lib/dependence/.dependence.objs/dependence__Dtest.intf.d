@@ -1,0 +1,1 @@
+lib/dependence/dtest.mli: Ast Depenv Fortran_front Subscript

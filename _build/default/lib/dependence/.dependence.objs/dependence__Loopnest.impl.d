@@ -1,0 +1,1 @@
+lib/dependence/loopnest.ml: Ast Fortran_front Hashtbl List

@@ -1,0 +1,1 @@
+lib/dependence/loopnest.mli: Ast Fortran_front

@@ -1,0 +1,1 @@
+lib/dependence/subscript.ml: Ast Depenv Fortran_front List Loopnest Printf Reaching Scalar_analysis String Symbolic Varclass

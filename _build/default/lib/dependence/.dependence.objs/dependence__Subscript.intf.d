@@ -1,0 +1,1 @@
+lib/dependence/subscript.mli: Ast Depenv Fortran_front Loopnest Scalar_analysis Symbolic

@@ -1,0 +1,151 @@
+open Fortran_front
+open Scalar_analysis
+
+(* An access inside the loop body:
+   - [pos]: index of the top-level body statement containing it;
+   - [chain]: the DO loops (headers) between the body and the access,
+     outermost first, with no intervening IF when [uncond];
+   - [order]: flattened source order, for same-chain coverage;
+   - [uncond]: no IF (or other guard) above it within its top-level
+     statement — it executes on every iteration of its chain. *)
+type access = {
+  acc_subs : Ast.expr list;
+  pos : int;
+  chain : Ast.do_header list;
+  order : int;
+  uncond : bool;
+}
+
+(* Normalize subscripts for cross-chain (sweep) matching: a subscript
+   that is exactly a chain induction variable becomes its chain depth;
+   integer constants stay; anything else defeats the match. *)
+let sweep_pattern (chain : Ast.do_header list) subs :
+    [ `Iv of int | `Const of int ] list option =
+  let ivs = List.mapi (fun i h -> (h.Ast.dvar, i)) chain in
+  let norm = function
+    | Ast.Var v -> Option.map (fun i -> `Iv i) (List.assoc_opt v ivs)
+    | Ast.Int n -> Some (`Const n)
+    | _ -> None
+  in
+  let rec go = function
+    | [] -> Some []
+    | e :: rest -> (
+      match (norm e, go rest) with
+      | Some x, Some xs -> Some (x :: xs)
+      | _ -> None)
+  in
+  go subs
+
+let bounds_equal (c1 : Ast.do_header list) (c2 : Ast.do_header list) =
+  List.length c1 = List.length c2
+  && List.for_all2
+       (fun (a : Ast.do_header) (b : Ast.do_header) ->
+         Ast.expr_equal a.Ast.lo b.Ast.lo
+         && Ast.expr_equal a.Ast.hi b.Ast.hi
+         && (match (a.Ast.step, b.Ast.step) with
+            | None, None -> true
+            | Some x, Some y -> Ast.expr_equal x y
+            | None, Some (Ast.Int 1) | Some (Ast.Int 1), None -> true
+            | _ -> false))
+       c1 c2
+
+let in_loop (env : Depenv.t) loop_sid : string list =
+  if not env.Depenv.config.Depenv.use_array_privatization then []
+  else
+    match Depenv.stmt env loop_sid with
+    | Some { Ast.node = Ast.Do (_, body); _ } ->
+      let ctx = env.Depenv.ctx in
+      let tbl = env.Depenv.tbl in
+      let unstructured =
+        Ast.fold_stmts
+          (fun acc s ->
+            acc
+            || match s.Ast.node with
+               | Ast.Goto _ | Ast.Return | Ast.Stop -> true
+               | _ -> false)
+          false body
+      in
+      if unstructured then []
+      else begin
+        let reads : (string * access) list ref = ref [] in
+        let writes : (string * access) list ref = ref [] in
+        let called_arrays = ref [] in
+        let order = ref 0 in
+        let rec walk pos chain uncond (s : Ast.stmt) =
+          incr order;
+          let here = !order in
+          let add_access store (a, subs) =
+            store :=
+              (a, { acc_subs = subs; pos; chain = List.rev chain; order = here;
+                    uncond })
+              :: !store
+          in
+          List.iter (add_access writes) (Defuse.array_writes ctx s);
+          List.iter (add_access reads) (Defuse.array_reads ctx s);
+          match s.Ast.node with
+          | Ast.Call _ ->
+            let eff = Defuse.effects_of_call ctx s in
+            called_arrays :=
+              List.filter (Symbol.is_array tbl)
+                (eff.Defuse.ce_mods @ eff.Defuse.ce_refs)
+              @ !called_arrays
+          | Ast.Do (h, b) -> List.iter (walk pos (h :: chain) uncond) b
+          | Ast.If (branches, els) ->
+            List.iter
+              (fun (_, b) -> List.iter (walk pos chain false) b)
+              branches;
+            List.iter (walk pos chain false) els
+          | Ast.Assign _ | Ast.Goto _ | Ast.Continue | Ast.Return | Ast.Stop
+          | Ast.Print _ -> ()
+        in
+        List.iteri (fun pos top -> walk pos [] true top) body;
+        let arrays =
+          List.sort_uniq String.compare (List.map fst !writes)
+        in
+        let covers (r : access) (w : access) =
+          w.uncond
+          && ((* rule A: same chain, textually identical subscripts, write
+                 strictly earlier — same iteration, same element *)
+              (w.pos = r.pos
+           && bounds_equal w.chain r.chain
+           && List.length w.chain = List.length r.chain
+           && List.for_all2
+                (fun (a : Ast.do_header) (b : Ast.do_header) ->
+                  String.equal a.Ast.dvar b.Ast.dvar)
+                w.chain r.chain
+           && w.order < r.order
+               && List.length w.acc_subs = List.length r.acc_subs
+               && List.for_all2 Ast.expr_equal w.acc_subs r.acc_subs)
+             ||
+             (* rule B: an earlier sweep with the same bounds writes the
+                same index pattern — the whole section the read touches
+                was freshly written this iteration *)
+             (w.pos < r.pos
+              && bounds_equal w.chain r.chain
+              &&
+              match
+                ( sweep_pattern w.chain w.acc_subs,
+                  sweep_pattern r.chain r.acc_subs )
+              with
+              | Some pw, Some pr -> pw = pr
+              | _ -> false))
+        in
+        let privatizable a =
+          (not (List.mem a !called_arrays))
+          && (not
+                (List.mem a
+                   (Liveness.live_after env.Depenv.liveness env.Depenv.cfg
+                      loop_sid)))
+          && List.for_all
+               (fun (ra, r) ->
+                 (not (String.equal ra a))
+                 || List.exists
+                      (fun (wa, w) -> String.equal wa a && covers r w)
+                      !writes)
+               !reads
+        in
+        List.filter privatizable arrays
+      end
+    | _ -> []
+
+let privatizable env loop_sid x = List.mem x (in_loop env loop_sid)

@@ -1,0 +1,28 @@
+(** Array privatization — the "array kill analysis" the Ped
+    evaluation called for (the arc3d / slab2d cases) and left as
+    future work; implemented here as an extension.
+
+    An array X is privatizable in a loop when every iteration writes
+    the elements it reads before reading them, and the values do not
+    outlive the loop.  We establish this with a conservative
+    per-element argument:
+
+    - every read of [X(e⃗)] in the body is {e covered}: some top-level
+      (unconditionally executed) statement earlier in the body writes
+      [X(e⃗)] with structurally identical subscripts;
+    - X is not live after the loop;
+    - X is not touched by CALLs and the body has no unstructured
+      control flow.
+
+    Identical subscript expressions evaluate to the same element
+    within one iteration, so each iteration reads only its own writes
+    — the loop-carried anti and output dependences on X are artifacts
+    of storage reuse and disappear under privatization. *)
+
+open Fortran_front
+
+(** Arrays privatizable in the given DO loop. *)
+val in_loop : Depenv.t -> Ast.stmt_id -> string list
+
+(** [privatizable env loop_sid x] — is this array privatizable here? *)
+val privatizable : Depenv.t -> Ast.stmt_id -> string -> bool

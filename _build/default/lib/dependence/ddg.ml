@@ -1,0 +1,520 @@
+open Fortran_front
+open Scalar_analysis
+
+type kind = Flow | Anti | Output | Control
+
+let kind_to_string = function
+  | Flow -> "true"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Control -> "control"
+
+type dep = {
+  dep_id : int;
+  kind : kind;
+  var : string;
+  src : Ast.stmt_id;
+  dst : Ast.stmt_id;
+  src_ref : Ast.expr option;
+  dst_ref : Ast.expr option;
+  level : int option;
+  carrier : Ast.stmt_id option;
+  dirs : Dtest.direction array list;
+  dist : int option array;
+  exact : bool;
+  test : string;
+  is_scalar : bool;
+}
+
+let pp_dep ppf d =
+  let dirs_str =
+    match d.dirs with
+    | [] -> ""
+    | dv :: _ ->
+      Printf.sprintf " (%s)"
+        (String.concat ","
+           (Array.to_list (Array.map Dtest.direction_to_string dv)))
+  in
+  Format.fprintf ppf "%s dep on %s: s%d -> s%d%s%s%s"
+    (kind_to_string d.kind) d.var d.src d.dst dirs_str
+    (match d.level with
+    | Some l -> Printf.sprintf " carried at level %d" l
+    | None -> " loop-independent")
+    (if d.exact then " [proven]" else " [pending]")
+
+type stats = {
+  pairs_tested : int;
+  disproved : (string * int) list;
+  proven : int;
+  pending : int;
+}
+
+type t = { deps : dep list; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Reference collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+type aref = {
+  r_sid : Ast.stmt_id;
+  r_array : string;
+  r_subs : Ast.expr list;
+  r_write : bool;
+  r_pos : int;  (* flattened source position, for intra-iteration order *)
+}
+
+let star_expr = Ast.Index ("%STAR", [])
+
+let collect_refs (env : Depenv.t) : aref list =
+  let pos = ref 0 in
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      incr pos;
+      let p = !pos in
+      List.iter
+        (fun (a, subs) ->
+          acc :=
+            { r_sid = s.Ast.sid; r_array = a; r_subs = subs; r_write = true;
+              r_pos = p }
+            :: !acc)
+        (Defuse.array_writes env.Depenv.ctx s);
+      List.iter
+        (fun (a, subs) ->
+          acc :=
+            { r_sid = s.Ast.sid; r_array = a; r_subs = subs; r_write = false;
+              r_pos = p }
+            :: !acc)
+        (Defuse.array_reads env.Depenv.ctx s);
+      (* array side effects of calls, as pseudo-references *)
+      List.iter
+        (fun (a, subs, is_write) ->
+          let subs =
+            match subs with
+            | Some subs -> subs
+            | None ->
+              let rank = max 1 (List.length (Symbol.array_dims env.Depenv.tbl a)) in
+              List.init rank (fun _ -> star_expr)
+          in
+          acc :=
+            { r_sid = s.Ast.sid; r_array = a; r_subs = subs; r_write = is_write;
+              r_pos = p }
+            :: !acc)
+        (env.Depenv.call_refs s))
+    env.Depenv.punit.Ast.body;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Direction-vector utilities                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reverse_dir = function
+  | Dtest.Dlt -> Dtest.Dgt
+  | Dtest.Deq -> Dtest.Deq
+  | Dtest.Dgt -> Dtest.Dlt
+
+let first_non_eq (dv : Dtest.direction array) : (int * Dtest.direction) option =
+  let rec go k =
+    if k >= Array.length dv then None
+    else match dv.(k) with Dtest.Deq -> go (k + 1) | d -> Some (k, d)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let compute (env : Depenv.t) : t =
+  let next_id = ref 0 in
+  let fresh () = incr next_id; !next_id in
+  let deps = ref [] in
+  let pairs_tested = ref 0 in
+  let disproved : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+
+  (* ---- array dependences ---- *)
+  let refs = Array.of_list (collect_refs env) in
+  let n_refs = Array.length refs in
+  for i = 0 to n_refs - 1 do
+    for j = i to n_refs - 1 do
+      let r1 = refs.(i) and r2 = refs.(j) in
+      let self_pair = i = j in
+      let same_name = String.equal r1.r_array r2.r_array in
+      let alias_kind =
+        if same_name then `Aligned else env.Depenv.alias r1.r_array r2.r_array
+      in
+      let eligible =
+        alias_kind <> `No
+        && (r1.r_write || r2.r_write)
+        && ((not self_pair) || r1.r_write)
+      in
+      if eligible then begin
+        incr pairs_tested;
+        let common = Loopnest.common env.Depenv.nest r1.r_sid r2.r_sid in
+        let n = List.length common in
+        let result =
+          match
+            (if alias_kind = `Aligned then Subscript.normalize env common
+             else None (* unknown offset: subscripts incomparable *))
+          with
+          | Some norm ->
+            let d1 = Subscript.analyze_ref env ~norm r1.r_sid r1.r_subs in
+            let d2 = Subscript.analyze_ref env ~norm r2.r_sid r2.r_subs in
+            Dtest.test_pair env ~common:norm ~src:(r1.r_sid, d1)
+              ~dst:(r2.r_sid, d2)
+          | None ->
+            (* unnormalizable nest: assume dependence in all directions *)
+            Dtest.solve
+              {
+                Dtest.nloops = n;
+                trips = Array.make n None;
+                trips_exact = Array.map (fun _ -> true) (Array.make n None);
+                lo_known = Array.make n false;
+                dims =
+                  [ { Dtest.a = Array.make n 0; b = Array.make n 0; c = 0;
+                      usable = false } ];
+              }
+        in
+        match result with
+        | Dtest.Independent { test } -> bump disproved test
+        | Dtest.Dependent { dirs; dist; exact; test } ->
+          (* partition surviving direction vectors by orientation *)
+          let fwd = ref [] and bwd = ref [] and eq_fwd = ref false and eq_bwd = ref false in
+          List.iter
+            (fun dv ->
+              match first_non_eq dv with
+              | Some (_, Dtest.Dlt) -> fwd := dv :: !fwd
+              | Some (_, Dtest.Dgt) -> bwd := Array.map reverse_dir dv :: !bwd
+              | Some (_, Dtest.Deq) | None ->
+                if self_pair || r1.r_sid = r2.r_sid then ()
+                  (* same statement, same iteration: no dependence *)
+                else if r1.r_pos <= r2.r_pos then eq_fwd := true
+                else eq_bwd := true)
+            dirs;
+          let carrier_of dv =
+            match first_non_eq dv with
+            | Some (k, _) ->
+              let lp = List.nth common k in
+              (Some (k + 1), Some lp.Loopnest.lstmt.Ast.sid)
+            | None -> (None, None)
+          in
+          let kind_of ~src_write ~dst_write =
+            if src_write && dst_write then Output
+            else if src_write then Flow
+            else Anti
+          in
+          let emit ~src ~dst ~dvs ~loop_indep ~dist =
+            if dvs <> [] || loop_indep then begin
+              (* group carried vectors by carrying level *)
+              let by_level = Hashtbl.create 4 in
+              List.iter
+                (fun dv ->
+                  let key = carrier_of dv in
+                  let cur =
+                    Option.value ~default:[] (Hashtbl.find_opt by_level key)
+                  in
+                  Hashtbl.replace by_level key (dv :: cur))
+                dvs;
+              if loop_indep then
+                Hashtbl.replace by_level (None, None)
+                  (Option.value ~default:[] (Hashtbl.find_opt by_level (None, None)));
+              Hashtbl.iter
+                (fun (level, carrier) dvs ->
+                  deps :=
+                    {
+                      dep_id = fresh ();
+                      kind =
+                        kind_of ~src_write:src.r_write ~dst_write:dst.r_write;
+                      var = src.r_array;
+                      src = src.r_sid;
+                      dst = dst.r_sid;
+                      src_ref = Some (Ast.Index (src.r_array, src.r_subs));
+                      dst_ref = Some (Ast.Index (dst.r_array, dst.r_subs));
+                      level;
+                      carrier;
+                      dirs = List.rev dvs;
+                      dist;
+                      exact;
+                      test;
+                      is_scalar = false;
+                    }
+                    :: !deps)
+                by_level
+            end
+          in
+          emit ~src:r1 ~dst:r2 ~dvs:(List.rev !fwd) ~loop_indep:!eq_fwd ~dist;
+          (* a self-pair's backward vectors mirror its forward ones *)
+          if not self_pair then begin
+            let neg_dist = Array.map (Option.map (fun d -> -d)) dist in
+            emit ~src:r2 ~dst:r1 ~dvs:(List.rev !bwd) ~loop_indep:!eq_bwd
+              ~dist:neg_dist
+          end
+      end
+    done
+  done;
+
+  (* ---- scalar dependences ---- *)
+  let cfgc = env.Depenv.config in
+  List.iter
+    (fun (lp : Loopnest.loop) ->
+      let loop_sid = lp.Loopnest.lstmt.Ast.sid in
+      let body = Loopnest.body_stmts env.Depenv.nest loop_sid in
+      let classify =
+        if cfgc.Depenv.use_privatization then
+          Varclass.classify
+            ~recognize_reductions:cfgc.Depenv.recognize_reductions
+            env.Depenv.ctx env.Depenv.liveness lp.Loopnest.lstmt
+          |> Varclass.all
+        else
+          (* without scalar data-flow analysis, every written scalar
+             except the loop's own induction variable is unsafe *)
+          let written =
+            List.concat_map
+              (fun s -> Defuse.may_defs env.Depenv.ctx s)
+              body
+            |> List.sort_uniq String.compare
+            |> List.filter (fun v ->
+                   (not (Symbol.is_array env.Depenv.tbl v))
+                   && not (String.equal v lp.Loopnest.header.Ast.dvar))
+          in
+          List.map (fun v -> (v, Varclass.Shared_unsafe)) written
+      in
+      let level = lp.Loopnest.depth in
+      List.iter
+        (fun (v, cls) ->
+          match cls with
+          | Varclass.Shared_unsafe ->
+            let writes =
+              List.filter
+                (fun s -> List.mem v (Defuse.may_defs env.Depenv.ctx s))
+                body
+            in
+            let reads =
+              List.filter
+                (fun s -> List.mem v (Defuse.uses env.Depenv.ctx s))
+                body
+            in
+            let emit kind (s1 : Ast.stmt) (s2 : Ast.stmt) =
+              deps :=
+                {
+                  dep_id = fresh ();
+                  kind;
+                  var = v;
+                  src = s1.Ast.sid;
+                  dst = s2.Ast.sid;
+                  src_ref = None;
+                  dst_ref = None;
+                  level = Some level;
+                  carrier = Some loop_sid;
+                  dirs = [];
+                  dist = [||];
+                  exact = false;
+                  test = "scalar";
+                  is_scalar = true;
+                }
+                :: !deps
+            in
+            List.iter (fun w -> List.iter (fun r -> emit Flow w r) reads) writes;
+            List.iter (fun r -> List.iter (fun w -> emit Anti r w) writes) reads;
+            List.iter
+              (fun w1 ->
+                List.iter (fun w2 -> if w1 != w2 then emit Output w1 w2) writes)
+              writes
+          | Varclass.Induction _ | Varclass.Reduction _ | Varclass.Private _
+          | Varclass.Shared_safe -> ())
+        classify)
+    (Loopnest.loops env.Depenv.nest);
+
+  (* ---- loop-independent scalar dependences (def-use order) ---- *)
+  let flat_pos = Hashtbl.create 64 in
+  let cnt = ref 0 in
+  Ast.iter_stmts
+    (fun s -> incr cnt; Hashtbl.replace flat_pos s.Ast.sid !cnt)
+    env.Depenv.punit.Ast.body;
+  let pos_of sid = Option.value ~default:0 (Hashtbl.find_opt flat_pos sid) in
+  let emit_scalar kind v s1 s2 ~exact ~test =
+    deps :=
+      {
+        dep_id = fresh ();
+        kind;
+        var = v;
+        src = s1;
+        dst = s2;
+        src_ref = None;
+        dst_ref = None;
+        level = None;
+        carrier = None;
+        dirs = [];
+        dist = [||];
+        exact;
+        test;
+        is_scalar = true;
+      }
+      :: !deps
+  in
+  (* flow deps from reaching-definition chains; chains flowing
+     backwards in source order travel the loop back edge and are
+     already reported as carried scalar dependences *)
+  List.iter
+    (fun ((d : Reaching.def), use_sid) ->
+      match d.Reaching.def_at with
+      | Cfg.Stmt def_sid
+        when (not (Symbol.is_array env.Depenv.tbl d.Reaching.def_var))
+             && def_sid <> use_sid
+             && pos_of def_sid < pos_of use_sid ->
+        emit_scalar Flow d.Reaching.def_var def_sid use_sid ~exact:true
+          ~test:"def-use"
+      | _ -> ())
+    (Reaching.chains env.Depenv.reaching);
+  (* anti and output deps by intra-iteration source order *)
+  let stmts =
+    List.rev
+      (Ast.fold_stmts (fun acc s -> s :: acc) [] env.Depenv.punit.Ast.body)
+  in
+  let scalars_of f s =
+    List.filter (fun v -> not (Symbol.is_array env.Depenv.tbl v)) (f env.Depenv.ctx s)
+  in
+  List.iter
+    (fun (s1 : Ast.stmt) ->
+      List.iter
+        (fun (s2 : Ast.stmt) ->
+          if s1.Ast.sid <> s2.Ast.sid && pos_of s1.Ast.sid < pos_of s2.Ast.sid
+          then begin
+            let r1 = scalars_of Defuse.uses s1
+            and w1 = scalars_of Defuse.may_defs s1
+            and w2 = scalars_of Defuse.may_defs s2 in
+            List.iter
+              (fun v ->
+                if List.mem v w2 then
+                  emit_scalar Anti v s1.Ast.sid s2.Ast.sid ~exact:false
+                    ~test:"order")
+              r1;
+            List.iter
+              (fun v ->
+                if List.mem v w2 then
+                  emit_scalar Output v s1.Ast.sid s2.Ast.sid ~exact:false
+                    ~test:"order")
+              w1
+          end)
+        stmts)
+    stmts;
+
+  (* ---- control dependences ---- *)
+  List.iter
+    (fun (e : Control_dep.edge) ->
+      deps :=
+        {
+          dep_id = fresh ();
+          kind = Control;
+          var = "";
+          src = e.Control_dep.branch;
+          dst = e.Control_dep.dependent;
+          src_ref = None;
+          dst_ref = None;
+          level = None;
+          carrier = None;
+          dirs = [];
+          dist = [||];
+          exact = true;
+          test = "control";
+          is_scalar = false;
+        }
+        :: !deps)
+    env.Depenv.control;
+
+  let deps = List.rev !deps in
+  (* statistics cover the array-dependence pairs (the tested ones) *)
+  let data_deps =
+    List.filter (fun d -> d.kind <> Control && not d.is_scalar) deps
+  in
+  let proven = List.length (List.filter (fun d -> d.exact) data_deps) in
+  let stats =
+    {
+      pairs_tested = !pairs_tested;
+      disproved =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) disproved []
+        |> List.sort compare;
+      proven;
+      pending = List.length data_deps - proven;
+    }
+  in
+  { deps; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let carried_by t loop_sid =
+  List.filter (fun d -> d.carrier = Some loop_sid) t.deps
+
+let deps_in_loop (env : Depenv.t) t loop_sid =
+  let inside sid =
+    sid = loop_sid || Loopnest.stmt_in_loop env.Depenv.nest sid ~loop_sid
+  in
+  List.filter (fun d -> inside d.src && inside d.dst) t.deps
+
+let blocking ?(ignore = []) (env : Depenv.t) t loop_sid =
+  let private_arrays = lazy (Arrayprivate.in_loop env loop_sid) in
+  List.filter
+    (fun d ->
+      d.carrier = Some loop_sid
+      && d.kind <> Control
+      && (not (List.mem d.dep_id ignore))
+      && not
+           ((not d.is_scalar)
+           && List.mem d.var (Lazy.force private_arrays)))
+    t.deps
+
+let parallelizable ?ignore env t loop_sid =
+  blocking ?ignore env t loop_sid = []
+
+let dot ?loop (env : Depenv.t) t =
+  let deps =
+    match loop with
+    | Some sid -> deps_in_loop env t sid
+    | None -> t.deps
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph ddg {\n  node [shape=box];\n";
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace nodes d.src ();
+      Hashtbl.replace nodes d.dst ())
+    deps;
+  Hashtbl.iter
+    (fun sid () ->
+      let label =
+        match Depenv.stmt env sid with
+        | Some s ->
+          let text = Pretty.stmt_to_string s in
+          let first =
+            match String.index_opt text '\n' with
+            | Some i -> String.sub text 0 i
+            | None -> text
+          in
+          Printf.sprintf "s%d: %s" sid (String.trim first)
+        | None -> Printf.sprintf "s%d" sid
+      in
+      Buffer.add_string buf (Printf.sprintf "  s%d [label=%S];\n" sid label))
+    nodes;
+  List.iter
+    (fun d ->
+      let style =
+        match d.kind with
+        | Flow -> ""
+        | Anti -> " style=dashed"
+        | Output -> " style=dotted"
+        | Control -> " color=gray"
+      in
+      let label =
+        Printf.sprintf "%s %s%s" (kind_to_string d.kind) d.var
+          (match d.level with
+          | Some l -> Printf.sprintf " @L%d" l
+          | None -> "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=%S%s];\n" d.src d.dst label style))
+    deps;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+(** The dependence graph — what Ped's dependence pane displays.
+
+    For every loop nest, every pair of references to the same array
+    (at least one a write) is tested with the {!Dtest} hierarchy;
+    scalar dependences come from variable classification and def-use
+    chains; control dependences from the CFG.  Each edge records its
+    type, the variable, direction/distance vectors over the common
+    loops, the carrying loop, and whether the dependence was {e
+    proven} by an exact test or merely {e assumed} (pending) — the
+    editor's marking states build directly on this.
+
+    Statistics of which test disposed of each pair are kept for the
+    evaluation tables. *)
+
+open Fortran_front
+
+type kind = Flow | Anti | Output | Control
+
+val kind_to_string : kind -> string
+
+type dep = {
+  dep_id : int;
+  kind : kind;
+  var : string;
+  src : Ast.stmt_id;
+  dst : Ast.stmt_id;
+  src_ref : Ast.expr option;  (** the source array reference, if any *)
+  dst_ref : Ast.expr option;
+  level : int option;
+      (** carrying position within the common nest (1 = outermost);
+          [None] = loop independent *)
+  carrier : Ast.stmt_id option;  (** the carrying DO statement *)
+  dirs : Dtest.direction array list;  (** over the common loops *)
+  dist : int option array;
+  exact : bool;  (** proven by an exact test (editor mark: proven) *)
+  test : string;
+  is_scalar : bool;
+}
+
+val pp_dep : Format.formatter -> dep -> unit
+
+(** Dependence-test statistics: how many reference pairs each test
+    disproved, how many dependences were proven vs assumed. *)
+type stats = {
+  pairs_tested : int;
+  disproved : (string * int) list;  (** per test name *)
+  proven : int;
+  pending : int;
+}
+
+type t = { deps : dep list; stats : stats }
+
+(** [compute env] — dependence graph of the whole unit, honouring
+    [env]'s config and assertions. *)
+val compute : Depenv.t -> t
+
+(** Dependences carried by the given loop. *)
+val carried_by : t -> Ast.stmt_id -> dep list
+
+(** Dependences whose endpoints both lie in the given loop's body
+    (the dependence-pane contents when that loop is selected). *)
+val deps_in_loop : Depenv.t -> t -> Ast.stmt_id -> dep list
+
+(** [parallelizable ?ignore env t loop_sid] — no flow/anti/output
+    dependence is carried by the loop.  [ignore] lists dependence ids
+    the user rejected. *)
+val parallelizable :
+  ?ignore:int list -> Depenv.t -> t -> Ast.stmt_id -> bool
+
+(** The carried dependences blocking parallelization (empty means
+    parallelizable). *)
+val blocking : ?ignore:int list -> Depenv.t -> t -> Ast.stmt_id -> dep list
+
+(** Graphviz rendering of the dependences inside a loop (or, with no
+    loop, the whole unit): statements are nodes, dependences are
+    labeled edges — the graphical dependence display Ped users asked
+    for. *)
+val dot : ?loop:Ast.stmt_id -> Depenv.t -> t -> string

@@ -1,0 +1,536 @@
+open Fortran_front
+module Linear = Scalar_analysis.Symbolic.Linear
+
+type direction = Dlt | Deq | Dgt
+
+let direction_to_string = function Dlt -> "<" | Deq -> "=" | Dgt -> ">"
+
+type dim_pair = { a : int array; b : int array; c : int; usable : bool }
+
+type problem = {
+  nloops : int;
+  trips : int option array;
+  trips_exact : bool array;
+  lo_known : bool array;
+  dims : dim_pair list;
+}
+
+type result =
+  | Independent of { test : string }
+  | Dependent of {
+      dirs : direction array list;
+      dist : int option array;
+      exact : bool;
+      test : string;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Extended integers for Banerjee bounds                               *)
+(* ------------------------------------------------------------------ *)
+
+type xb = NInf | Fin of int | PInf
+
+let xadd a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (x + y)
+  | NInf, PInf | PInf, NInf -> invalid_arg "xadd: inf - inf"
+  | NInf, _ | _, NInf -> NInf
+  | PInf, _ | _, PInf -> PInf
+
+let xscale k = function
+  | Fin x -> Fin (k * x)
+  | NInf -> if k > 0 then NInf else if k < 0 then PInf else Fin 0
+  | PInf -> if k > 0 then PInf else if k < 0 then NInf else Fin 0
+
+let xmin a b =
+  match (a, b) with
+  | NInf, _ | _, NInf -> NInf
+  | PInf, x | x, PInf -> x
+  | Fin x, Fin y -> Fin (min x y)
+
+let xmax a b =
+  match (a, b) with
+  | PInf, _ | _, PInf -> PInf
+  | NInf, x | x, NInf -> x
+  | Fin x, Fin y -> Fin (max x y)
+
+let xle a b =
+  match (a, b) with
+  | NInf, _ | _, PInf -> true
+  | PInf, _ | _, NInf -> false
+  | Fin x, Fin y -> x <= y
+
+(* range of k·v for v ∈ [0, trip] (trip possibly unknown) *)
+let range_scale k trip : xb * xb =
+  let hi = match trip with Some t -> Fin t | None -> PInf in
+  let lo = Fin 0 in
+  let x = xscale k lo and y = xscale k hi in
+  (xmin x y, xmax x y)
+
+(* range of k·v for v ∈ [lo_int, hi] with hi possibly unknown *)
+let range_scale_from k lo_int trip_hi : xb * xb =
+  let hi = match trip_hi with Some t -> Fin t | None -> PInf in
+  let lo = Fin lo_int in
+  if xle hi lo && hi <> lo then (Fin 0, Fin 0) (* empty; caller guards *)
+  else
+    let x = xscale k lo and y = xscale k hi in
+    (xmin x y, xmax x y)
+
+let add_range (lo1, hi1) (lo2, hi2) = (xadd lo1 lo2, xadd hi1 hi2)
+
+(* ------------------------------------------------------------------ *)
+(* Per-dimension helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let nonzero_positions d =
+  let acc = ref [] in
+  Array.iteri (fun k ak -> if ak <> 0 || d.b.(k) <> 0 then acc := k :: !acc) d.a;
+  List.rev !acc
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let ceil_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+(* Solve a·x = rhs exactly over x ∈ [0, trip]: Some x / None *)
+let solve_single a rhs trip =
+  if a = 0 then if rhs = 0 then `Any else `None
+  else if rhs mod a <> 0 then `None
+  else
+    let x = rhs / a in
+    if x < 0 then `None
+    else
+      match trip with
+      | Some t when x > t -> `None
+      | _ -> `One x
+
+(* Does a·x - b·y = rhs admit a solution with x, y ∈ [0, trip]?
+   (exact SIV: a ≠ 0, b ≠ 0).  Returns `No, `Yes, or `Unknown when the
+   trip is unbounded but solutions exist for some large range. *)
+let exact_siv a b rhs trip =
+  let g = gcd a b in
+  if rhs mod g <> 0 then `No
+  else
+    match trip with
+    | None -> `Yes_unbounded
+    | Some t ->
+      if t < 0 then `No
+      else begin
+        (* extended gcd for a·x0 - b·y0 = g *)
+        let rec egcd a b = if b = 0 then (a, 1, 0)
+          else
+            let g, x, y = egcd b (a mod b) in
+            (g, y, x - (a / b) * y)
+        in
+        let g', x0, y0 = egcd a (-b) in
+        (* a·x0 + (-b)·y0 = g' where |g'| = g *)
+        let scale = rhs / g' in
+        let x0 = x0 * scale and y0 = y0 * scale in
+        (* general solution: x = x0 + (b/g')·k ... use step components *)
+        let bx = -b / g' and ax = -(a / g') in
+        (* x = x0 + bx·k, y = y0 + ax·k; find k with both in [0,t] *)
+        let interval v0 stepv =
+          (* k such that v0 + stepv·k ∈ [0, t] *)
+          if stepv = 0 then
+            if v0 >= 0 && v0 <= t then Some (min_int / 2, max_int / 2) else None
+          else
+            let lo, hi =
+              if stepv > 0 then
+                (ceil_div (0 - v0) stepv, floor_div (t - v0) stepv)
+              else (ceil_div (t - v0) stepv, floor_div (0 - v0) stepv)
+            in
+            if lo > hi then None else Some (lo, hi)
+        in
+        match (interval x0 bx, interval y0 ax) with
+        | Some (l1, h1), Some (l2, h2) ->
+          if max l1 l2 <= min h1 h2 then `Yes else `No
+        | _ -> `No
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Banerjee bound for one dimension under a direction prefix          *)
+(* ------------------------------------------------------------------ *)
+
+(* Direction constraint per loop: None = '*' (unconstrained). *)
+let dim_admits p (d : dim_pair) (dirs : direction option array) : bool =
+  if not d.usable then true
+  else begin
+    (* range of  Σk (a_k·α_k − b_k·β_k)  + c  ∋ 0 ? *)
+    let total = ref (Fin d.c, Fin d.c) in
+    let empty = ref false in
+    for k = 0 to p.nloops - 1 do
+      let a = d.a.(k) and b = d.b.(k) in
+      let t = p.trips.(k) in
+      let bounded = p.lo_known.(k) in
+      (* a single iteration variable's range: [0,T] when the lower
+         bound is known, all integers otherwise *)
+      let var_range c =
+        if c = 0 then (Fin 0, Fin 0)
+        else if bounded then range_scale c t
+        else (NInf, PInf)
+      in
+      (match t with Some tt when tt < 0 -> empty := true | _ -> ());
+      let r =
+        match dirs.(k) with
+        | None ->
+          (* α, β independent *)
+          add_range (var_range a) (var_range (-b))
+        | Some Deq ->
+          (* α = β = i: (a−b)·i *)
+          var_range (a - b)
+        | Some Dlt ->
+          (* α < β: β = α + δ, δ ∈ [1, T], α free:
+             (a−b)·α − b·δ  (over-approximate: ignore α+δ ≤ T coupling;
+             δ ≥ 1 holds whatever the lower bound is) *)
+          let t' = Option.map (fun x -> x - 1) t in
+          (match t with
+          | Some tt when tt < 1 -> empty := true
+          | _ -> ());
+          let alpha_range =
+            if a - b = 0 then (Fin 0, Fin 0)
+            else if bounded then range_scale (a - b) t'
+            else (NInf, PInf)
+          in
+          add_range alpha_range (range_scale_from (-b) 1 t)
+        | Some Dgt ->
+          (* α > β: α = β + δ: (a−b)·β + a·δ *)
+          let t' = Option.map (fun x -> x - 1) t in
+          (match t with
+          | Some tt when tt < 1 -> empty := true
+          | _ -> ());
+          let beta_range =
+            if a - b = 0 then (Fin 0, Fin 0)
+            else if bounded then range_scale (a - b) t'
+            else (NInf, PInf)
+          in
+          add_range beta_range (range_scale_from a 1 t)
+      in
+      total := add_range !total r
+    done;
+    if !empty then false
+    else
+      let lo, hi = !total in
+      xle lo (Fin 0) && xle (Fin 0) hi
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The solver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all_star n = Array.make n None
+
+let solve (p : problem) : result =
+  let n = p.nloops in
+  (* an unknown lower bound makes any trip value meaningless: the
+     iteration variable ranges over all integers in raw mode *)
+  let p =
+    { p with
+      trips = Array.mapi (fun i t -> if p.lo_known.(i) then t else None) p.trips
+    }
+  in
+  (* 0. empty loops *)
+  if Array.exists (function Some t -> t < 0 | None -> false) p.trips then
+    Independent { test = "empty-loop" }
+  else begin
+    let usable = List.filter (fun d -> d.usable) p.dims in
+    (* distance pinned per loop by strong-SIV dimensions *)
+    let pinned = Array.make n None in
+    let verdict = ref None in
+    let decide test = if !verdict = None then verdict := Some test in
+    let record_pin k delta =
+      match pinned.(k) with
+      | None -> pinned.(k) <- Some delta
+      | Some d0 -> if d0 <> delta then decide "delta-inconsistent"
+    in
+    (* whether exactness can be claimed: all dims separable & solved *)
+    let exact_ok = ref true in
+    let seen_loop = Array.make n false in
+    List.iter
+      (fun d ->
+        if !verdict = None then begin
+          let pos = nonzero_positions d in
+          (* separability accounting *)
+          List.iter
+            (fun k ->
+              if seen_loop.(k) then exact_ok := false else seen_loop.(k) <- true)
+            pos;
+          match pos with
+          | [] ->
+            (* ZIV *)
+            if d.c <> 0 then decide "ziv"
+          | [ k ] -> (
+            let a = d.a.(k) and b = d.b.(k) in
+            if a <> 0 && a = b then begin
+              (* strong SIV: a(α−β) + c = 0 → δ = β−α = c/a *)
+              if d.c mod a <> 0 then decide "strong-siv"
+              else begin
+                let delta = d.c / a in
+                (match p.trips.(k) with
+                | Some t when abs delta > t -> decide "strong-siv"
+                | _ -> ());
+                if !verdict = None then record_pin k delta
+              end
+            end
+            else if a <> 0 && b = 0 then begin
+              (* weak-zero: a·α + c = 0 *)
+              if p.lo_known.(k) then
+                match solve_single a (-d.c) p.trips.(k) with
+                | `None -> decide "weak-zero-siv"
+                | `Any | `One _ -> ()
+              else if -d.c mod a <> 0 then decide "weak-zero-siv"
+            end
+            else if a = 0 && b <> 0 then begin
+              if p.lo_known.(k) then
+                match solve_single b d.c p.trips.(k) with
+                | `None -> decide "weak-zero-siv"
+                | `Any | `One _ -> ()
+              else if d.c mod b <> 0 then decide "weak-zero-siv"
+            end
+            else if a <> 0 && a = -b then begin
+              (* weak-crossing SIV: a(α + β) + c = 0 — the crossing
+                 point α+β = −c/a must be a whole number, and within
+                 [0, 2T] when the iteration range is known *)
+              if -d.c mod a <> 0 then decide "weak-crossing-siv"
+              else if p.lo_known.(k) then begin
+                let s = -d.c / a in
+                if s < 0 then decide "weak-crossing-siv"
+                else
+                  match p.trips.(k) with
+                  | Some t when s > 2 * t -> decide "weak-crossing-siv"
+                  | _ -> ()
+              end
+            end
+            else if a <> 0 && b <> 0 then begin
+              (* general SIV: a·α − b·β + c = 0 *)
+              match exact_siv a b (-d.c) p.trips.(k) with
+              | `No -> decide "exact-siv"
+              | `Yes -> ()
+              | `Yes_unbounded -> ()
+            end)
+          | _ :: _ :: _ ->
+            (* MIV: GCD test *)
+            let g =
+              List.fold_left
+                (fun acc k -> gcd (gcd acc d.a.(k)) d.b.(k))
+                0 pos
+            in
+            if g <> 0 && d.c mod g <> 0 then decide "gcd"
+            else exact_ok := false
+        end)
+      usable;
+    (* unusable dims spoil exactness *)
+    if List.length usable < List.length p.dims then exact_ok := false;
+    (* delta propagation: a pinned distance δk turns βk into αk + δk in
+       every other dimension — coupled MIV dims often collapse to SIV
+       or ZIV and can then be disproved *)
+    if !verdict = None && Array.exists Option.is_some pinned then
+      List.iter
+        (fun d ->
+          if !verdict = None then begin
+            let pos = nonzero_positions d in
+            let pinned_pos =
+              List.filter (fun k -> pinned.(k) <> None) pos
+            in
+            if List.length pos > 1 && pinned_pos <> [] then begin
+              (* reduce: for pinned k with a_k = b_k = a, the term
+                 a·αk − a·(αk + δk) = −a·δk folds into the constant *)
+              let c = ref d.c in
+              let reducible =
+                List.for_all
+                  (fun k ->
+                    match pinned.(k) with
+                    | Some delta when d.a.(k) = d.b.(k) ->
+                      c := !c - (d.b.(k) * delta);
+                      true
+                    | Some _ -> false
+                    | None -> true)
+                  pos
+              in
+              if reducible then begin
+                let remaining =
+                  List.filter (fun k -> pinned.(k) = None) pos
+                in
+                match remaining with
+                | [] -> if !c <> 0 then decide "delta-ziv"
+                | [ k ] ->
+                  let a = d.a.(k) and b = d.b.(k) in
+                  if a <> 0 && a = b then begin
+                    if !c mod a <> 0 then decide "delta-siv"
+                    else begin
+                      let delta = !c / a in
+                      (match p.trips.(k) with
+                      | Some t when abs delta > t -> decide "delta-siv"
+                      | _ -> ());
+                      if !verdict = None then record_pin k delta
+                    end
+                  end
+                | _ :: _ :: _ -> ()
+              end
+            end
+          end)
+        usable;
+    match !verdict with
+    | Some test -> Independent { test }
+    | None ->
+      (* direction-vector refinement with pruning *)
+      let survivors = ref [] in
+      let vec = all_star n in
+      let dirs_of_pin = function
+        | d when d > 0 -> Dlt
+        | 0 -> Deq
+        | _ -> Dgt
+      in
+      let rec refine k =
+        if k = n then begin
+          if List.for_all (fun d -> dim_admits p d vec) p.dims then
+            survivors := Array.map Option.get (Array.copy vec) :: !survivors
+        end
+        else begin
+          let choices =
+            match pinned.(k) with
+            | Some delta -> [ dirs_of_pin delta ]
+            | None -> [ Dlt; Deq; Dgt ]
+          in
+          List.iter
+            (fun c ->
+              vec.(k) <- Some c;
+              (* prune on the prefix *)
+              if List.for_all (fun d -> dim_admits p d vec) p.dims then
+                refine (k + 1);
+              vec.(k) <- None)
+            choices
+        end
+      in
+      refine 0;
+      let survivors = List.rev !survivors in
+      if survivors = [] then Independent { test = "banerjee" }
+      else begin
+        let dist = pinned in
+        (* A dependence is proven ("exact") when every dimension was
+           usable, dimensions were separable, and every loop mentioned
+           by a dimension got an exact pinned distance; loops no dim
+           mentions don't affect existence. *)
+        let exact =
+          p.dims <> []
+          && !exact_ok
+          && List.for_all (fun d -> d.usable) p.dims
+          && List.for_all
+               (fun k ->
+                 (pinned.(k) <> None && p.trips.(k) <> None
+                 && p.trips_exact.(k))
+                 || not
+                      (List.exists
+                         (fun d -> List.mem k (nonzero_positions d))
+                         usable))
+               (List.init n (fun i -> i))
+        in
+        Dependent { dirs = survivors; dist; exact; test = "hierarchy" }
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Building a problem from analyzed references                         *)
+(* ------------------------------------------------------------------ *)
+
+let split_dims n (common : Subscript.norm_loop list) (l : Linear.t) :
+    int array * Linear.t =
+  let coeffs = Array.make n 0 in
+  let rest = ref l in
+  List.iteri
+    (fun k nl ->
+      let c, r = Linear.split nl.Subscript.tau !rest in
+      coeffs.(k) <- c;
+      rest := r)
+    common;
+  (coeffs, !rest)
+
+let test_pair (env : Depenv.t) ~(common : Subscript.norm_loop list)
+    ~(src : Ast.stmt_id * Subscript.dim list)
+    ~(dst : Ast.stmt_id * Subscript.dim list) : result =
+  let n = List.length common in
+  let trips = Array.of_list (List.map (fun nl -> nl.Subscript.trip) common) in
+  let trips_exact =
+    Array.of_list (List.map (fun nl -> nl.Subscript.trip_exact) common)
+  in
+  let lo_known =
+    Array.of_list (List.map (fun nl -> nl.Subscript.lo_known) common)
+  in
+  let src_sid, src_dims = src and dst_sid, dst_dims = dst in
+  let dims =
+    if List.length src_dims <> List.length dst_dims then
+      (* linearized/mismatched usage: no usable dimension *)
+      [ { a = Array.make n 0; b = Array.make n 0; c = 0; usable = false } ]
+    else
+      List.map2
+        (fun d1 d2 ->
+          match (d1, d2) with
+          | Subscript.Lin l1, Subscript.Lin l2
+            when Subscript.dim_symbols_ok env ~common ~src:src_sid
+                   ~dst:dst_sid (d1, d2) ->
+            let a, rest1 = split_dims n common l1 in
+            let b, rest2 = split_dims n common l2 in
+            let resid = Linear.sub rest1 rest2 in
+            (match Linear.is_const resid with
+            | Some c -> { a; b; c; usable = true }
+            | None ->
+              { a = Array.make n 0; b = Array.make n 0; c = 0; usable = false })
+          | _ ->
+            { a = Array.make n 0; b = Array.make n 0; c = 0; usable = false })
+        src_dims dst_dims
+  in
+  solve { nloops = n; trips; trips_exact; lo_known; dims }
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force oracle (for tests)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let brute_force (p : problem) ~bound : direction array list =
+  let n = p.nloops in
+  let lo k = if p.lo_known.(k) then 0 else -bound in
+  let trip k =
+    match p.trips.(k) with Some t -> min t bound | None -> bound
+  in
+  let found = Hashtbl.create 16 in
+  let alpha = Array.make n 0 and beta = Array.make n 0 in
+  let dim_holds (d : dim_pair) =
+    (not d.usable)
+    ||
+    let v = ref d.c in
+    for k = 0 to n - 1 do
+      v := !v + (d.a.(k) * alpha.(k)) - (d.b.(k) * beta.(k))
+    done;
+    !v = 0
+  in
+  let rec loop_a k =
+    if k = n then loop_b 0
+    else
+      for i = lo k to trip k do
+        alpha.(k) <- i;
+        loop_a (k + 1)
+      done
+  and loop_b k =
+    if k = n then begin
+      if List.for_all dim_holds p.dims then begin
+        let dv =
+          Array.init n (fun k ->
+              if alpha.(k) < beta.(k) then Dlt
+              else if alpha.(k) = beta.(k) then Deq
+              else Dgt)
+        in
+        Hashtbl.replace found dv ()
+      end
+    end
+    else
+      for i = lo k to trip k do
+        beta.(k) <- i;
+        loop_b (k + 1)
+      done
+  in
+  if not (Array.exists (function Some t -> t < 0 | None -> false) p.trips)
+  then loop_a 0;
+  Hashtbl.fold (fun k () acc -> k :: acc) found [] |> List.sort compare

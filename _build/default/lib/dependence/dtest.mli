@@ -1,0 +1,80 @@
+(** The hierarchical dependence test suite.
+
+    Ped locates data dependences by testing pairs of array references
+    with a battery of tests ordered from cheap to expensive, stopping
+    as soon as one proves or disproves the dependence:
+
+    + empty-loop (a common loop with a negative trip count),
+    + ZIV (no induction variable: constant difference),
+    + strong SIV (equal coefficients: exact distance),
+    + weak-zero SIV (one side constant: exact crossing point),
+    + exact SIV (general 2-variable Diophantine with bounds),
+    + GCD (divisibility over all coefficients),
+    + Banerjee bounds with hierarchical direction-vector refinement.
+
+    The pure core ({!solve}) operates on a {!problem} of linear
+    subscript pairs over normalized iteration counters; the test suite
+    checks it against brute-force iteration-space search.
+
+    Outcomes mirror Ped's dependence marking: [Independent] dependences
+    disappear, [exact] dependences are {e proven}, the rest are
+    {e pending} — the user may reject them with assertions. *)
+
+open Fortran_front
+
+type direction = Dlt | Deq | Dgt
+
+val direction_to_string : direction -> string
+
+(** One subscript dimension of a reference pair: the source reference
+    is [Σ a.(k)·αk + (its constants)], the destination
+    [Σ b.(k)·βk + ...]; [c] is the residual constant difference
+    (source minus destination) after symbolic cancellation.  [usable]
+    is false when the dimension was nonlinear or had un-cancellable
+    symbols — such a dimension constrains nothing. *)
+type dim_pair = { a : int array; b : int array; c : int; usable : bool }
+
+type problem = {
+  nloops : int;                (** number of common loops *)
+  trips : int option array;    (** τ ranges over 0..trip; None = unknown *)
+  trips_exact : bool array;
+      (** false when the trip is an asserted upper bound only — fine
+          for disproofs, but proofs of existence must not rely on it *)
+  lo_known : bool array;
+      (** per loop: false when τ is a raw induction variable with
+          unknown bounds and may be negative (see
+          {!Subscript.norm_loop.lo_known}) *)
+  dims : dim_pair list;
+}
+
+type result =
+  | Independent of { test : string }
+  | Dependent of {
+      dirs : direction array list;  (** surviving direction vectors *)
+      dist : int option array;      (** per-loop exact distance if pinned *)
+      exact : bool;                 (** proven to exist (→ "proven" mark) *)
+      test : string;                (** deciding test, for statistics *)
+    }
+
+(** [solve p] runs the battery.  With [p.dims = []] (e.g. scalar or
+    unanalyzable pair) the result is a maybe-dependence with all
+    direction vectors. *)
+val solve : problem -> result
+
+(** [test_pair env ~common ~src ~dst] — build the {!problem} for two
+    array references (given as statement id and analyzed subscript
+    dimensions) and solve it.  Dimension-count mismatch (linearized
+    array usage) degrades to an unanalyzable problem, as in Ped. *)
+val test_pair :
+  Depenv.t ->
+  common:Subscript.norm_loop list ->
+  src:Ast.stmt_id * Subscript.dim list ->
+  dst:Ast.stmt_id * Subscript.dim list ->
+  result
+
+(** [brute_force p ~bound] — reference oracle: search the iteration
+    space exhaustively (unknown trips replaced by [bound]; raw-mode
+    loops range over [-bound..bound]) for a solution of every usable
+    dimension; returns the set of direction vectors realized.
+    Exposed for the property-based tests. *)
+val brute_force : problem -> bound:int -> direction array list

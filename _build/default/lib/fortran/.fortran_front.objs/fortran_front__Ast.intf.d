@@ -1,0 +1,1 @@
+lib/fortran/ast.mli: Loc

@@ -1,0 +1,1 @@
+lib/fortran/lexer.ml: Buffer Char List Loc Option Printf String Token

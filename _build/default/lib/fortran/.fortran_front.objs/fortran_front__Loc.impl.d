@@ -1,0 +1,1 @@
+lib/fortran/loc.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/fortran/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/fortran/pretty.ml: Ast Float Format List Printf String

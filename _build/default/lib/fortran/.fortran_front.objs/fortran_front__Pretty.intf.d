@@ -1,0 +1,1 @@
+lib/fortran/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/fortran/symbol.ml: Ast Char List Map Option String

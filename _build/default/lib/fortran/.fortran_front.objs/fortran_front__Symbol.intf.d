@@ -1,0 +1,1 @@
+lib/fortran/symbol.mli: Ast

@@ -1,0 +1,1 @@
+lib/fortran/token.ml: Format List Printf String

@@ -1,0 +1,343 @@
+exception Error of string * Loc.t
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;          (* offset of beginning of current line *)
+  mutable at_line_start : bool;
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+let error st msg = raise (Error (msg, loc st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek_at st k =
+  let i = st.pos + k in
+  if i < String.length st.src then Some st.src.[i] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_letter c || is_digit c || c = '_'
+
+(* Skip spaces and [!]-comments; do not cross newlines. *)
+let rec skip_blanks st =
+  match peek st with
+  | Some (' ' | '\t' | '\r') -> advance st; skip_blanks st
+  | Some '!' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done
+  | Some _ | None -> ()
+
+(* A fixed-form comment line: first column is C, c or *. *)
+let is_comment_line st =
+  st.at_line_start
+  &&
+  match peek st with
+  | Some ('C' | 'c' | '*') -> (
+    (* Only a comment when the rest of the line is not an assignment to
+       a variable named C...: require the char after to be non-ident or
+       the line to have no '=' outside parens.  Classic fixed form says
+       column 1; we additionally require a following blank or eol to
+       avoid eating identifiers like [CALL]. *)
+    match peek_at st 1 with
+    | Some (' ' | '\t' | '\n' | '\r') | None -> true
+    | Some _ -> ( match peek st with Some '*' -> true | _ -> false))
+  | Some _ | None -> false
+
+let skip_line st =
+  while peek st <> None && peek st <> Some '\n' do advance st done
+
+let lex_string_lit st =
+  let l = loc st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None | Some '\n' -> raise (Error ("unterminated string literal", l))
+    | Some '\'' -> (
+      advance st;
+      match peek st with
+      | Some '\'' ->
+        Buffer.add_char buf '\'';
+        advance st;
+        go ()
+      | Some _ | None -> ())
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  (Token.STRING_LIT (Buffer.contents buf), l)
+
+(* The dotted words that may follow a '.': used to disambiguate
+   [1.EQ.2] from [1.E2]. *)
+let dotted_words =
+  [ "LT"; "LE"; "GT"; "GE"; "EQ"; "NE"; "AND"; "OR"; "NOT"; "TRUE"; "FALSE" ]
+
+let dotted_op_at st k =
+  (* Is there a dotted operator spelled starting at offset [k] (which
+     points just after a '.')?  Returns the word if the letters from
+     [k] spell a dotted word terminated by '.'. *)
+  let buf = Buffer.create 8 in
+  let rec go i =
+    match peek_at st i with
+    | Some c when is_letter c ->
+      Buffer.add_char buf (Char.uppercase_ascii c);
+      go (i + 1)
+    | Some '.' ->
+      let w = Buffer.contents buf in
+      if List.mem w dotted_words then Some (w, i + 1 - k) else None
+    | Some _ | None -> None
+  in
+  go k
+
+let lex_number st =
+  let l = loc st in
+  let buf = Buffer.create 16 in
+  let is_real = ref false in
+  let add_digits () =
+    while (match peek st with Some c when is_digit c -> true | _ -> false) do
+      Buffer.add_char buf (Option.get (peek st));
+      advance st
+    done
+  in
+  add_digits ();
+  (match peek st with
+  | Some '.' when dotted_op_at st 1 = None ->
+    is_real := true;
+    Buffer.add_char buf '.';
+    advance st;
+    add_digits ()
+  | Some _ | None -> ());
+  (match peek st with
+  | Some ('e' | 'E' | 'd' | 'D') -> (
+    (* exponent: accept only when followed by digit or sign+digit *)
+    let sign_ok k =
+      match peek_at st k with
+      | Some c when is_digit c -> true
+      | Some ('+' | '-') -> (
+        match peek_at st (k + 1) with Some c when is_digit c -> true | _ -> false)
+      | Some _ | None -> false
+    in
+    if sign_ok 1 then begin
+      is_real := true;
+      Buffer.add_char buf 'e';
+      advance st;
+      (match peek st with
+      | Some (('+' | '-') as c) ->
+        Buffer.add_char buf c;
+        advance st
+      | Some _ | None -> ());
+      add_digits ()
+    end)
+  | Some _ | None -> ());
+  let s = Buffer.contents buf in
+  if !is_real then
+    match float_of_string_opt s with
+    | Some f -> (Token.REAL_LIT f, l)
+    | None -> raise (Error (Printf.sprintf "bad real literal %S" s, l))
+  else
+    match int_of_string_opt s with
+    | Some n -> (Token.INT_LIT n, l)
+    | None -> raise (Error (Printf.sprintf "bad integer literal %S" s, l))
+
+let lex_dotted st =
+  let l = loc st in
+  match dotted_op_at st 1 with
+  | Some (w, len) ->
+    (* consume '.', the word, and the closing '.' *)
+    advance st;
+    for _ = 1 to len do advance st done;
+    let tok =
+      match w with
+      | "LT" -> Token.LT | "LE" -> Token.LE | "GT" -> Token.GT
+      | "GE" -> Token.GE | "EQ" -> Token.EQ | "NE" -> Token.NE
+      | "AND" -> Token.AND | "OR" -> Token.OR | "NOT" -> Token.NOT
+      | "TRUE" -> Token.TRUE | "FALSE" -> Token.FALSE
+      | _ -> assert false
+    in
+    (tok, l)
+  | None -> (
+    (* a real literal like [.5] *)
+    match peek_at st 1 with
+    | Some c when is_digit c ->
+      let buf = Buffer.create 8 in
+      Buffer.add_string buf "0.";
+      advance st;
+      while (match peek st with Some c when is_digit c -> true | _ -> false) do
+        Buffer.add_char buf (Option.get (peek st));
+        advance st
+      done;
+      (Token.REAL_LIT (float_of_string (Buffer.contents buf)), l)
+    | Some _ | None -> error st "unexpected '.'")
+
+let lex_word st =
+  let l = loc st in
+  let buf = Buffer.create 16 in
+  while (match peek st with Some c when is_ident_char c -> true | _ -> false) do
+    Buffer.add_char buf (Char.uppercase_ascii (Option.get (peek st)));
+    advance st
+  done;
+  (Buffer.contents buf, l)
+
+let fallback_word w l : Token.t * Loc.t =
+  match Token.keyword_of_string w with
+  | Some kw -> (Token.KW kw, l)
+  | None -> (Token.IDENT w, l)
+
+(* Fuse [END IF] / [END DO] / [ELSE IF] / [GO TO] / [DOUBLE PRECISION]
+   into single keyword tokens.  [first] has already been consumed. *)
+let fuse_two st first l : Token.t * Loc.t =
+  let save_pos = st.pos and save_line = st.line and save_bol = st.bol in
+  skip_blanks st;
+  let restore () =
+    st.pos <- save_pos;
+    st.line <- save_line;
+    st.bol <- save_bol
+  in
+  match peek st with
+  | Some c when is_letter c -> (
+    let w, _ = lex_word st in
+    match (first, w) with
+    | "END", "IF" -> (Token.KW Token.ENDIF, l)
+    | "END", "DO" -> (Token.KW Token.ENDDO, l)
+    | "ELSE", "IF" -> (Token.KW Token.ELSEIF, l)
+    | "GO", "TO" -> (Token.KW Token.GOTO, l)
+    | "DOUBLE", "PRECISION" -> (Token.KW Token.DOUBLEPREC, l)
+    | "PARALLEL", "DO" -> (Token.KW Token.DOALL, l)
+    | _ ->
+      restore ();
+      fallback_word first l)
+  | Some _ | None ->
+    restore ();
+    fallback_word first l
+
+let rec lex_token st : Token.t * Loc.t =
+  skip_blanks st;
+  if is_comment_line st then begin
+    skip_line st;
+    (match peek st with Some '\n' -> advance st | Some _ | None -> ());
+    st.at_line_start <- true;
+    lex_token st
+  end
+  else begin
+    let was_line_start = st.at_line_start in
+    st.at_line_start <- false;
+    match peek st with
+    | None -> (Token.EOF, loc st)
+    | Some '\n' ->
+      let l = loc st in
+      advance st;
+      st.at_line_start <- true;
+      (* collapse blank/comment lines *)
+      let rec peek_nonblank () =
+        skip_blanks st;
+        if is_comment_line st then begin
+          skip_line st;
+          (match peek st with Some '\n' -> advance st | Some _ | None -> ());
+          st.at_line_start <- true;
+          peek_nonblank ()
+        end
+        else
+          match peek st with
+          | Some '\n' ->
+            advance st;
+            st.at_line_start <- true;
+            peek_nonblank ()
+          | Some '&' ->
+            (* leading continuation marker: swallow it *)
+            advance st;
+            `Continued
+          | Some _ -> `Stmt
+          | None -> `Eof
+      in
+      (match peek_nonblank () with
+      | `Continued -> lex_token st
+      | `Stmt | `Eof ->
+        st.at_line_start <- true;
+        (Token.NEWLINE, l))
+    | Some '&' ->
+      (* trailing continuation: skip to and over the newline; the next
+         line may begin with its own '&' marker *)
+      advance st;
+      skip_blanks st;
+      (match peek st with
+      | Some '\n' ->
+        advance st;
+        skip_blanks st;
+        (match peek st with Some '&' -> advance st | Some _ | None -> ());
+        st.at_line_start <- false;
+        lex_token st
+      | Some _ | None -> error st "'&' not at end of line")
+    | Some '\'' ->
+      st.at_line_start <- was_line_start;
+      let r = lex_string_lit st in
+      st.at_line_start <- false;
+      r
+    | Some c when is_digit c -> lex_number st
+    | Some '.' -> lex_dotted st
+    | Some c when is_letter c ->
+      let w, l = lex_word st in
+      if List.mem w [ "END"; "ELSE"; "GO"; "DOUBLE"; "PARALLEL" ] then
+        fuse_two st w l
+      else fallback_word w l
+    | Some '+' -> let l = loc st in advance st; (Token.PLUS, l)
+    | Some '-' -> let l = loc st in advance st; (Token.MINUS, l)
+    | Some '*' ->
+      let l = loc st in
+      advance st;
+      if peek st = Some '*' then begin advance st; (Token.POW, l) end
+      else (Token.STAR, l)
+    | Some '/' ->
+      let l = loc st in
+      advance st;
+      if peek st = Some '=' then begin advance st; (Token.NE, l) end
+      else (Token.SLASH, l)
+    | Some '(' -> let l = loc st in advance st; (Token.LPAREN, l)
+    | Some ')' -> let l = loc st in advance st; (Token.RPAREN, l)
+    | Some ',' -> let l = loc st in advance st; (Token.COMMA, l)
+    | Some ':' -> let l = loc st in advance st; (Token.COLON, l)
+    | Some '=' ->
+      let l = loc st in
+      advance st;
+      if peek st = Some '=' then begin advance st; (Token.EQ, l) end
+      else (Token.ASSIGN, l)
+    | Some '<' ->
+      let l = loc st in
+      advance st;
+      if peek st = Some '=' then begin advance st; (Token.LE, l) end
+      else (Token.LT, l)
+    | Some '>' ->
+      let l = loc st in
+      advance st;
+      if peek st = Some '=' then begin advance st; (Token.GE, l) end
+      else (Token.GT, l)
+    | Some c -> error st (Printf.sprintf "illegal character %C" c)
+  end
+
+let tokenize ~file src =
+  let st = { src; file; pos = 0; line = 1; bol = 0; at_line_start = true } in
+  let rec go acc =
+    let ((tok, _) as t) = lex_token st in
+    match tok with
+    | Token.EOF -> List.rev (t :: acc)
+    | Token.NEWLINE -> (
+      (* drop a leading NEWLINE and coalesce duplicates *)
+      match acc with
+      | [] | (Token.NEWLINE, _) :: _ -> go acc
+      | _ :: _ -> go (t :: acc))
+    | _ -> go (t :: acc)
+  in
+  go []

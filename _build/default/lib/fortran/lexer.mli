@@ -1,0 +1,25 @@
+(** Lexer for the Fortran 77 subset.
+
+    Accepts free-form source with the following fixed-form courtesies:
+    - full-line comments whose first column is [C], [c] or [*];
+    - [!] comments anywhere;
+    - continuation lines: a trailing [&] joins the next line;
+    - statement labels (an integer starting a line) are emitted as
+      ordinary {!Token.INT_LIT} tokens, the parser interprets them.
+
+    Multi-word keywords ([END DO], [END IF], [ELSE IF], [GO TO],
+    [DOUBLE PRECISION]) are fused into single tokens here, so the
+    parser sees [ENDDO], [ENDIF], [ELSEIF], [GOTO], [DOUBLEPREC].
+
+    The classic [1.EQ.2] versus [1.E2] ambiguity is resolved as real
+    Fortran compilers do: a dot following a digit string begins a
+    dotted operator only if the letters after it spell one and are
+    themselves followed by a dot. *)
+
+exception Error of string * Loc.t
+
+(** [tokenize ~file src] lexes [src] into a token list, each paired
+    with the location of its first character.  The list always ends
+    with [EOF]; consecutive blank lines collapse to one [NEWLINE].
+    @raise Error on an illegal character or malformed literal. *)
+val tokenize : file:string -> string -> (Token.t * Loc.t) list

@@ -1,0 +1,18 @@
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+let none = { file = ""; line = 0; col = 0 }
+let is_none t = t.line = 0 && t.col = 0 && t.file = ""
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  if is_none t then Format.fprintf ppf "<synthetic>"
+  else Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,31 @@
+(** Source locations for the Fortran front end.
+
+    A location is a [line, column] pair (both 1-based) plus the name of
+    the source file or buffer it came from.  Locations are attached to
+    tokens and statements so that every analysis result and every
+    dependence endpoint shown in the editor can point back at source
+    text. *)
+
+type t = {
+  file : string;  (** file or buffer name, e.g. ["matmul.f"] *)
+  line : int;     (** 1-based line number *)
+  col : int;      (** 1-based column number *)
+}
+
+val make : file:string -> line:int -> col:int -> t
+
+(** A location that means "nowhere": used for synthesized statements
+    created by transformations. *)
+val none : t
+
+val is_none : t -> bool
+
+(** [compare] orders locations by file, then line, then column. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [pp] prints ["file:line:col"], or ["<synthetic>"] for {!none}. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,263 @@
+open Ast
+
+(* Operator precedence, used to parenthesize minimally. *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 4
+  | Add | Sub -> 5
+  | Mul | Div -> 6
+  | Pow -> 8
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Pow -> "**"
+  | Lt -> ".LT." | Le -> ".LE." | Gt -> ".GT." | Ge -> ".GE."
+  | Eq -> ".EQ." | Ne -> ".NE."
+  | And -> ".AND." | Or -> ".OR."
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.10g" f
+
+let rec pp_expr_prec ctx ppf e =
+  match e with
+  | Int n ->
+    if n = max_int then Format.pp_print_char ppf '*'
+    else if n < 0 then Format.fprintf ppf "(%d)" n
+    else Format.pp_print_int ppf n
+  | Real f -> Format.pp_print_string ppf (float_str f)
+  | Logic true -> Format.pp_print_string ppf ".TRUE."
+  | Logic false -> Format.pp_print_string ppf ".FALSE."
+  | Str s -> Format.fprintf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Var v -> Format.pp_print_string ppf v
+  | Index (b, args) ->
+    Format.fprintf ppf "%s(%a)" b
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_expr_prec 0))
+      args
+  | Un (Neg, a) ->
+    let need = ctx > 5 in
+    if need then Format.pp_print_char ppf '(';
+    Format.fprintf ppf "-%a" (pp_expr_prec 7) a;
+    if need then Format.pp_print_char ppf ')'
+  | Un (Not, a) ->
+    let need = ctx > 3 in
+    if need then Format.pp_print_char ppf '(';
+    Format.fprintf ppf ".NOT. %a" (pp_expr_prec 3) a;
+    if need then Format.pp_print_char ppf ')'
+  | Bin (op, a, b) ->
+    let p = prec op in
+    let need = p < ctx in
+    if need then Format.pp_print_char ppf '(';
+    (* left-assoc: left child keeps p, right child needs p+1 — except
+       Pow which is right-assoc in Fortran *)
+    let lp, rp = if op = Pow then (p + 1, p) else (p, p + 1) in
+    Format.fprintf ppf "%a %s %a" (pp_expr_prec lp) a (binop_str op)
+      (pp_expr_prec rp) b;
+    if need then Format.pp_print_char ppf ')'
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let gutter label =
+  match label with
+  | Some n -> Printf.sprintf "%-5d " n
+  | None -> "      "
+
+let indent_str n = String.make (2 * n) ' '
+
+let rec render_stmt ~indent acc (s : stmt) : (stmt_id option * string) list =
+  let line ?(id = Some s.sid) ?(extra = 0) text =
+    (id, gutter s.label ^ indent_str (indent + extra) ^ text)
+  in
+  let closer text =
+    (None, gutter None ^ indent_str indent ^ text)
+  in
+  match s.node with
+  | Assign (lhs, rhs) ->
+    line (Printf.sprintf "%s = %s" (expr_to_string lhs) (expr_to_string rhs))
+    :: acc
+  | Call (name, []) -> line (Printf.sprintf "CALL %s" name) :: acc
+  | Call (name, args) ->
+    line
+      (Printf.sprintf "CALL %s(%s)" name
+         (String.concat ", " (List.map expr_to_string args)))
+    :: acc
+  | Goto n -> line (Printf.sprintf "GOTO %d" n) :: acc
+  | Continue -> line "CONTINUE" :: acc
+  | Return -> line "RETURN" :: acc
+  | Stop -> line "STOP" :: acc
+  | Print [] -> line "PRINT *" :: acc
+  | Print args ->
+    line
+      (Printf.sprintf "PRINT *, %s"
+         (String.concat ", " (List.map expr_to_string args)))
+    :: acc
+  | Do (h, body) ->
+    let kw = if h.parallel then "PARALLEL DO" else "DO" in
+    let step =
+      match h.step with
+      | None -> ""
+      | Some s -> Printf.sprintf ", %s" (expr_to_string s)
+    in
+    let hd =
+      line
+        (Printf.sprintf "%s %s = %s, %s%s" kw h.dvar (expr_to_string h.lo)
+           (expr_to_string h.hi) step)
+    in
+    let acc = hd :: acc in
+    let acc = render_block ~indent:(indent + 1) acc body in
+    closer "ENDDO" :: acc
+  | If ([ (c, [ single ]) ], [])
+    when (match single.node with
+         | Assign _ | Call _ | Goto _ | Continue | Return | Stop | Print _ ->
+           single.label = None
+         | If _ | Do _ -> false) ->
+    (* logical IF one-liner *)
+    let inner =
+      match render_stmt ~indent:0 [] single with
+      | [ (_, text) ] ->
+        (* strip the gutter *)
+        String.trim text
+      | _ -> assert false
+    in
+    line (Printf.sprintf "IF (%s) %s" (expr_to_string c) inner) :: acc
+  | If (branches, els) ->
+    let acc =
+      match branches with
+      | [] -> acc
+      | (c, body) :: rest ->
+        let acc =
+          line (Printf.sprintf "IF (%s) THEN" (expr_to_string c)) :: acc
+        in
+        let acc = render_block ~indent:(indent + 1) acc body in
+        List.fold_left
+          (fun acc (c, body) ->
+            let acc =
+              closer (Printf.sprintf "ELSE IF (%s) THEN" (expr_to_string c))
+              :: acc
+            in
+            render_block ~indent:(indent + 1) acc body)
+          acc rest
+    in
+    let acc =
+      match els with
+      | [] -> acc
+      | _ :: _ ->
+        let acc = closer "ELSE" :: acc in
+        render_block ~indent:(indent + 1) acc els
+    in
+    closer "ENDIF" :: acc
+
+and render_block ~indent acc stmts =
+  List.fold_left (fun acc s -> render_stmt ~indent acc s) acc stmts
+
+let pp_stmt ?(indent = 0) ppf s =
+  let lines = List.rev (render_stmt ~indent [] s) in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    (fun ppf (_, l) -> Format.pp_print_string ppf l)
+    ppf lines
+
+let pp_stmts ?(indent = 0) ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "%a@." (pp_stmt ~indent) s) stmts
+
+let typ_to_string = function
+  | Tinteger -> "INTEGER"
+  | Treal -> "REAL"
+  | Tdouble -> "DOUBLE PRECISION"
+  | Tlogical -> "LOGICAL"
+
+let pp_decl ppf (d : decl) =
+  let dims =
+    match d.dims with
+    | [] -> ""
+    | ds ->
+      let dim (lo, hi) =
+        match lo with
+        | Int 1 -> expr_to_string hi
+        | _ -> Printf.sprintf "%s:%s" (expr_to_string lo) (expr_to_string hi)
+      in
+      Printf.sprintf "(%s)" (String.concat ", " (List.map dim ds))
+  in
+  Format.fprintf ppf "      %s %s%s" (typ_to_string d.dtyp) d.dname dims;
+  (match d.init with
+  | Some v -> Format.fprintf ppf "@.      PARAMETER (%s = %s)" d.dname (expr_to_string v)
+  | None -> ());
+  (match d.data_init with
+  | Some v -> Format.fprintf ppf "@.      DATA %s /%s/" d.dname (expr_to_string v)
+  | None -> ());
+  match d.common_block with
+  | Some blk -> Format.fprintf ppf "@.      COMMON /%s/ %s" blk d.dname
+  | None -> ()
+
+let pp_unit ppf (u : program_unit) =
+  (match u.kind with
+  | Main -> Format.fprintf ppf "      PROGRAM %s@." u.uname
+  | Subroutine [] -> Format.fprintf ppf "      SUBROUTINE %s@." u.uname
+  | Subroutine formals ->
+    Format.fprintf ppf "      SUBROUTINE %s(%s)@." u.uname
+      (String.concat ", " formals)
+  | Function (t, formals) ->
+    Format.fprintf ppf "      %s FUNCTION %s(%s)@." (typ_to_string t) u.uname
+      (String.concat ", " formals));
+  if u.implicit_none then Format.fprintf ppf "      IMPLICIT NONE@.";
+  List.iter
+    (fun (typ, ranges) ->
+      Format.fprintf ppf "      IMPLICIT %s (%s)@." (typ_to_string typ)
+        (String.concat ", "
+           (List.map
+              (fun (a, b) ->
+                if a = b then String.make 1 a
+                else Printf.sprintf "%c-%c" a b)
+              ranges)))
+    u.implicits;
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp_decl d) u.decls;
+  pp_stmts ~indent:0 ppf u.body;
+  Format.fprintf ppf "      END@."
+
+let pp_program ppf (p : program) =
+  List.iter (fun u -> Format.fprintf ppf "%a@." pp_unit u) p.punits
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+let unit_to_string u = Format.asprintf "%a" pp_unit u
+let stmt_to_string s = Format.asprintf "%a" (pp_stmt ~indent:0) s
+
+let source_lines (u : program_unit) : (stmt_id option * string) list =
+  let header =
+    match u.kind with
+    | Main -> Printf.sprintf "      PROGRAM %s" u.uname
+    | Subroutine [] -> Printf.sprintf "      SUBROUTINE %s" u.uname
+    | Subroutine formals ->
+      Printf.sprintf "      SUBROUTINE %s(%s)" u.uname (String.concat ", " formals)
+    | Function (t, formals) ->
+      Printf.sprintf "      %s FUNCTION %s(%s)" (typ_to_string t) u.uname
+        (String.concat ", " formals)
+  in
+  let implicit_lines =
+    (if u.implicit_none then [ (None, "      IMPLICIT NONE") ] else [])
+    @ List.map
+        (fun (typ, ranges) ->
+          ( None,
+            Printf.sprintf "      IMPLICIT %s (%s)" (typ_to_string typ)
+              (String.concat ", "
+                 (List.map
+                    (fun (a, b) ->
+                      if a = b then String.make 1 a
+                      else Printf.sprintf "%c-%c" a b)
+                    ranges)) ))
+        u.implicits
+  in
+  let decl_lines =
+    List.concat_map
+      (fun d ->
+        Format.asprintf "%a" pp_decl d
+        |> String.split_on_char '\n'
+        |> List.map (fun l -> (None, l)))
+      u.decls
+  in
+  let body = List.rev (render_block ~indent:0 [] u.body) in
+  ((None, header) :: implicit_lines) @ decl_lines @ body
+  @ [ (None, "      END") ]

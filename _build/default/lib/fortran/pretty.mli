@@ -1,0 +1,29 @@
+(** Pretty-printer (unparser) for the Fortran subset.
+
+    Output re-parses to a structurally identical AST (statement ids
+    and locations excepted) — the round-trip property is enforced by
+    the test suite.  Parallel loops print as [PARALLEL DO]. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+
+(** [pp_stmt ~indent ppf s] prints one statement (and its nested body)
+    indented by [indent] levels of two spaces each.  Labels print in a
+    fixed-width gutter. *)
+val pp_stmt : ?indent:int -> Format.formatter -> Ast.stmt -> unit
+
+val pp_stmts : ?indent:int -> Format.formatter -> Ast.stmt list -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_unit : Format.formatter -> Ast.program_unit -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val unit_to_string : Ast.program_unit -> string
+val stmt_to_string : Ast.stmt -> string
+
+(** [source_lines u] renders a program unit as numbered source lines,
+    tagging each line with the id of the statement that produced it
+    (declarations and block-closers carry no id).  This is what the
+    editor's source pane displays. *)
+val source_lines : Ast.program_unit -> (Ast.stmt_id option * string) list
+
+val typ_to_string : Ast.typ -> string

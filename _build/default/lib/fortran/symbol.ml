@@ -1,0 +1,199 @@
+type kind =
+  | Scalar
+  | Array of (Ast.expr * Ast.expr) list
+  | Routine
+  | External_fun
+  | Intrinsic
+
+type info = {
+  name : string;
+  typ : Ast.typ;
+  kind : kind;
+  formal : bool;
+  param : Ast.expr option;
+  data : Ast.expr option;
+  common : string option;
+}
+
+module SMap = Map.Make (String)
+
+type table = info SMap.t
+
+let intrinsics =
+  [ "ABS"; "MOD"; "MAX"; "MIN"; "SQRT"; "FLOAT"; "INT"; "NINT"; "SIGN";
+    "SIN"; "COS"; "TAN"; "EXP"; "LOG"; "DBLE"; "SNGL" ]
+
+let default_implicit_typ name =
+  if String.length name = 0 then Ast.Treal
+  else
+    match name.[0] with
+    | 'I' .. 'N' -> Ast.Tinteger
+    | _ -> Ast.Treal
+
+(* Per-unit implicit typing: IMPLICIT rules first, then the I-N
+   default.  (IMPLICIT NONE programs should declare everything; for
+   tool tolerance, undeclared names still get the default rule.) *)
+let implicit_typ_in (u : Ast.program_unit) name =
+  if String.length name = 0 then Ast.Treal
+  else
+    let c = Char.uppercase_ascii name.[0] in
+    let rec find = function
+      | [] -> default_implicit_typ name
+      | (typ, ranges) :: rest ->
+        if List.exists (fun (a, b) ->
+               let a = Char.uppercase_ascii a and b = Char.uppercase_ascii b in
+               c >= a && c <= b)
+             ranges
+        then typ
+        else find rest
+    in
+    find u.Ast.implicits
+
+let intrinsic_typ = function
+  | "MOD" | "INT" | "NINT" -> Ast.Tinteger
+  | "ABS" | "MAX" | "MIN" | "SIGN" ->
+    Ast.Treal (* polymorphic in Fortran; we use context in the interpreter *)
+  | _ -> Ast.Treal
+
+let build (u : Ast.program_unit) : table =
+  let formals =
+    match u.kind with
+    | Ast.Main -> []
+    | Ast.Subroutine fs | Ast.Function (_, fs) -> fs
+  in
+  let tbl = ref SMap.empty in
+  let add info = tbl := SMap.add info.name info !tbl in
+  (* 1. declared names *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      add
+        {
+          name = d.dname;
+          typ = d.dtyp;
+          kind = (if d.dims = [] then Scalar else Array d.dims);
+          formal = List.mem d.dname formals;
+          param = d.init;
+          data = d.data_init;
+          common = d.common_block;
+        })
+    u.decls;
+  (* 2. undeclared formals get implicit types *)
+  List.iter
+    (fun f ->
+      if not (SMap.mem f !tbl) then
+        add
+          { name = f; typ = implicit_typ_in u f; kind = Scalar; formal = true;
+            param = None; data = None; common = None })
+    formals;
+  (* 3. names appearing in the body *)
+  let seen_index name =
+    match SMap.find_opt name !tbl with
+    | Some { kind = Array _ | External_fun | Intrinsic | Routine; _ } -> ()
+    | Some ({ kind = Scalar; _ } as i) ->
+      (* declared scalar used with subscripts: an external function,
+         unless intrinsic *)
+      if List.mem name intrinsics then add { i with kind = Intrinsic }
+      else add { i with kind = External_fun }
+    | None ->
+      if List.mem name intrinsics then
+        add
+          { name; typ = intrinsic_typ name; kind = Intrinsic; formal = false;
+            param = None; data = None; common = None }
+      else
+        add
+          { name; typ = implicit_typ_in u name; kind = External_fun;
+            formal = List.mem name formals; param = None; data = None; common = None }
+  in
+  let seen_var name =
+    if not (SMap.mem name !tbl) then
+      add
+        { name; typ = implicit_typ_in u name; kind = Scalar;
+          formal = List.mem name formals; param = None; data = None; common = None }
+  in
+  let rec scan_expr e =
+    match e with
+    | Ast.Var v -> seen_var v
+    | Ast.Index (b, args) ->
+      seen_index b;
+      List.iter scan_expr args
+    | Ast.Bin (_, a, b) -> scan_expr a; scan_expr b
+    | Ast.Un (_, a) -> scan_expr a
+    | Ast.Int _ | Ast.Real _ | Ast.Logic _ | Ast.Str _ -> ()
+  in
+  Ast.iter_stmts
+    (fun s ->
+      (match s.Ast.node with
+      | Ast.Call (name, _) ->
+        add
+          { name; typ = Ast.Treal; kind = Routine; formal = false;
+            param = None; data = None; common = None }
+      | Ast.Do (h, _) -> seen_var h.Ast.dvar
+      | Ast.Assign _ | Ast.If _ | Ast.Goto _ | Ast.Continue | Ast.Return
+      | Ast.Stop | Ast.Print _ -> ());
+      List.iter scan_expr (Ast.stmt_exprs s.Ast.node))
+    u.body;
+  (* 4. a FUNCTION unit's own name acts as a scalar result variable *)
+  (match u.kind with
+  | Ast.Function (t, _) ->
+    add
+      { name = u.uname; typ = t; kind = Scalar; formal = false; param = None; data = None;
+        common = None }
+  | Ast.Main | Ast.Subroutine _ -> ());
+  !tbl
+
+let lookup t name = SMap.find_opt name t
+let infos t = SMap.bindings t |> List.map snd
+
+let is_array t name =
+  match lookup t name with Some { kind = Array _; _ } -> true | _ -> false
+
+let is_fun_call t name =
+  match lookup t name with
+  | Some { kind = External_fun | Intrinsic; _ } -> true
+  | Some { kind = Scalar | Array _ | Routine; _ } | None -> false
+
+let is_formal t name =
+  match lookup t name with Some i -> i.formal | None -> false
+
+let is_common t name =
+  match lookup t name with Some i -> i.common <> None | None -> false
+
+let rec const_eval t (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int n -> Some n
+  | Ast.Var v -> (
+    match lookup t v with
+    | Some { param = Some p; _ } -> const_eval t p
+    | _ -> None)
+  | Ast.Un (Ast.Neg, a) -> Option.map (fun n -> -n) (const_eval t a)
+  | Ast.Bin (op, a, b) -> (
+    match (const_eval t a, const_eval t b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | Ast.Pow ->
+        if y >= 0 && y < 31 then
+          Some (int_of_float (float_of_int x ** float_of_int y))
+        else None
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or
+        -> None)
+    | _ -> None)
+  | Ast.Real _ | Ast.Logic _ | Ast.Str _ | Ast.Index _ | Ast.Un (Ast.Not, _) ->
+    None
+
+let param_value t name =
+  match lookup t name with
+  | Some { param = Some p; _ } -> const_eval t p
+  | _ -> None
+
+let array_dims t name =
+  match lookup t name with
+  | Some { kind = Array dims; _ } ->
+    List.map (fun (lo, hi) -> (const_eval t lo, const_eval t hi)) dims
+  | _ -> []
+
+let typ_of t name =
+  match lookup t name with Some i -> i.typ | None -> default_implicit_typ name

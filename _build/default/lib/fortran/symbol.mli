@@ -1,0 +1,61 @@
+(** Symbol tables for the Fortran subset.
+
+    Built per program unit.  Resolves declarations, applies Fortran's
+    implicit typing rule (names starting I–N are INTEGER, others REAL)
+    to undeclared names, recognizes intrinsics, and — crucially for
+    everything downstream — decides whether each {!Ast.Index} node is
+    an array reference or a function call. *)
+
+type kind =
+  | Scalar
+  | Array of (Ast.expr * Ast.expr) list  (** dimension bounds *)
+  | Routine        (** target of a CALL *)
+  | External_fun   (** referenced with arguments, not an array, not intrinsic *)
+  | Intrinsic      (** ABS, MOD, MAX, MIN, SQRT, ... *)
+
+type info = {
+  name : string;
+  typ : Ast.typ;
+  kind : kind;
+  formal : bool;               (** is a formal parameter of the unit *)
+  param : Ast.expr option;     (** PARAMETER value *)
+  data : Ast.expr option;      (** DATA initial value (not a constant) *)
+  common : string option;      (** COMMON block name *)
+}
+
+type table
+
+(** [build u] scans declarations and the body of [u]. *)
+val build : Ast.program_unit -> table
+
+val lookup : table -> string -> info option
+
+(** All entries, sorted by name. *)
+val infos : table -> info list
+
+val is_array : table -> string -> bool
+
+(** [is_fun_call t name] — true when an [Index (name, _)] node denotes
+    a function call (intrinsic or external) rather than an array
+    element. *)
+val is_fun_call : table -> string -> bool
+
+val is_formal : table -> string -> bool
+val is_common : table -> string -> bool
+
+(** The names of intrinsic functions recognized by the front end. *)
+val intrinsics : string list
+
+(** [param_value t name] — the integer value of a PARAMETER constant,
+    folding references to other parameters. *)
+val param_value : table -> string -> int option
+
+(** [const_eval t e] evaluates [e] to an integer if it only involves
+    literals and PARAMETER constants. *)
+val const_eval : table -> Ast.expr -> int option
+
+(** [array_dims t name] — declared dimension bounds, each evaluated
+    via {!const_eval} when possible. *)
+val array_dims : table -> string -> (int option * int option) list
+
+val typ_of : table -> string -> Ast.typ

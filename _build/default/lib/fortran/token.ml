@@ -1,0 +1,65 @@
+type kw =
+  | PROGRAM | SUBROUTINE | FUNCTION | END | ENDDO | ENDIF
+  | DO | DOALL | IF | THEN | ELSE | ELSEIF
+  | CALL | RETURN | STOP | CONTINUE | GOTO
+  | INTEGER | REAL | DOUBLEPREC | LOGICAL
+  | DIMENSION | PARAMETER | COMMON | IMPLICIT | NONE
+  | PRINT | WRITE | READ | DATA | EXTERNAL
+
+type t =
+  | KW of kw
+  | IDENT of string
+  | INT_LIT of int
+  | REAL_LIT of float
+  | STRING_LIT of string
+  | PLUS | MINUS | STAR | SLASH | POW
+  | LPAREN | RPAREN | COMMA | COLON | ASSIGN
+  | LT | LE | GT | GE | EQ | NE
+  | AND | OR | NOT
+  | TRUE | FALSE
+  | NEWLINE
+  | EOF
+
+let keyword_table : (string * kw) list =
+  [ ("PROGRAM", PROGRAM); ("SUBROUTINE", SUBROUTINE); ("FUNCTION", FUNCTION);
+    ("END", END); ("ENDDO", ENDDO); ("ENDIF", ENDIF);
+    ("DO", DO); ("DOALL", DOALL); ("IF", IF); ("THEN", THEN);
+    ("ELSE", ELSE); ("ELSEIF", ELSEIF);
+    ("CALL", CALL); ("RETURN", RETURN); ("STOP", STOP);
+    ("CONTINUE", CONTINUE); ("GOTO", GOTO);
+    ("INTEGER", INTEGER); ("REAL", REAL); ("DOUBLEPRECISION", DOUBLEPREC);
+    ("LOGICAL", LOGICAL);
+    ("DIMENSION", DIMENSION); ("PARAMETER", PARAMETER); ("COMMON", COMMON);
+    ("IMPLICIT", IMPLICIT); ("NONE", NONE);
+    ("PRINT", PRINT); ("WRITE", WRITE); ("READ", READ); ("DATA", DATA);
+    ("EXTERNAL", EXTERNAL) ]
+
+let keyword_of_string s =
+  let u = String.uppercase_ascii s in
+  List.assoc_opt u keyword_table
+
+let kw_to_string kw =
+  (* the table is small; a linear scan keeps a single source of truth *)
+  match List.find_opt (fun (_, k) -> k = kw) keyword_table with
+  | Some (s, _) -> s
+  | None -> assert false
+
+let to_string = function
+  | KW kw -> kw_to_string kw
+  | IDENT s -> s
+  | INT_LIT n -> string_of_int n
+  | REAL_LIT f -> string_of_float f
+  | STRING_LIT s -> Printf.sprintf "'%s'" s
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | POW -> "**"
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | COLON -> ":"
+  | ASSIGN -> "="
+  | LT -> ".LT." | LE -> ".LE." | GT -> ".GT." | GE -> ".GE."
+  | EQ -> ".EQ." | NE -> ".NE."
+  | AND -> ".AND." | OR -> ".OR." | NOT -> ".NOT."
+  | TRUE -> ".TRUE." | FALSE -> ".FALSE."
+  | NEWLINE -> "<newline>"
+  | EOF -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,34 @@
+(** Tokens of the Fortran 77 subset.
+
+    Keywords are recognized case-insensitively and carried as {!kw}
+    values.  Identifiers are normalized to upper case, matching
+    Fortran's case insensitivity. *)
+
+type kw =
+  | PROGRAM | SUBROUTINE | FUNCTION | END | ENDDO | ENDIF
+  | DO | DOALL | IF | THEN | ELSE | ELSEIF
+  | CALL | RETURN | STOP | CONTINUE | GOTO
+  | INTEGER | REAL | DOUBLEPREC | LOGICAL
+  | DIMENSION | PARAMETER | COMMON | IMPLICIT | NONE
+  | PRINT | WRITE | READ | DATA | EXTERNAL
+
+type t =
+  | KW of kw
+  | IDENT of string        (** upper-cased identifier *)
+  | INT_LIT of int
+  | REAL_LIT of float
+  | STRING_LIT of string
+  | PLUS | MINUS | STAR | SLASH | POW
+  | LPAREN | RPAREN | COMMA | COLON | ASSIGN
+  | LT | LE | GT | GE | EQ | NE
+  | AND | OR | NOT
+  | TRUE | FALSE
+  | NEWLINE                (** statement separator *)
+  | EOF
+
+(** [keyword_of_string s] recognizes [s] (any case) as a keyword. *)
+val keyword_of_string : string -> kw option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/interproc/aliases.ml: Ast Callgraph Fortran_front Hashtbl List Map Option String Symbol

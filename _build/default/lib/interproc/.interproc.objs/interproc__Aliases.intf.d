@@ -1,0 +1,1 @@
+lib/interproc/aliases.mli: Callgraph

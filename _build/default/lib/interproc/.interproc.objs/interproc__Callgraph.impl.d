@@ -1,0 +1,1 @@
+lib/interproc/callgraph.ml: Ast Buffer Fortran_front Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/interproc/callgraph.mli: Ast Fortran_front

@@ -1,0 +1,1 @@
+lib/interproc/ipconst.ml: Ast Callgraph Constants Fortran_front Fun Hashtbl List Option Scalar_analysis Symbol

@@ -1,0 +1,1 @@
+lib/interproc/ipconst.mli: Callgraph

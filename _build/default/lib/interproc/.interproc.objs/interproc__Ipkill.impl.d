@@ -1,0 +1,1 @@
+lib/interproc/ipkill.ml: Ast Callgraph Cfg Dataflow Defuse Fortran_front Hashtbl List Modref Option Scalar_analysis Set String Symbol

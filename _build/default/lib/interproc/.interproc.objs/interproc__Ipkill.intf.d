@@ -1,0 +1,1 @@
+lib/interproc/ipkill.mli: Callgraph Fortran_front Modref Symbol

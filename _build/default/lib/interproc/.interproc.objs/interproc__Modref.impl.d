@@ -1,0 +1,1 @@
+lib/interproc/modref.ml: Ast Callgraph Defuse Fortran_front Hashtbl List Scalar_analysis Set String Symbol

@@ -1,0 +1,1 @@
+lib/interproc/modref.mli: Callgraph Fortran_front Set Symbol

@@ -1,0 +1,1 @@
+lib/interproc/sections.ml: Ast Callgraph Defuse Dependence Fortran_front Hashtbl List Option Scalar_analysis String Symbol Symbolic

@@ -1,0 +1,1 @@
+lib/interproc/sections.mli: Ast Callgraph Fortran_front Symbol

@@ -1,0 +1,1 @@
+lib/interproc/summary.ml: Aliases Ast Callgraph Defuse Dependence Fortran_front Ipconst Ipkill Modref Scalar_analysis Sections String Symbol

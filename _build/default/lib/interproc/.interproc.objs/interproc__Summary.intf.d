@@ -1,0 +1,1 @@
+lib/interproc/summary.mli: Aliases Ast Callgraph Dependence Fortran_front Ipconst Ipkill Modref Scalar_analysis Sections

@@ -1,0 +1,83 @@
+open Fortran_front
+
+type site = {
+  caller : string;
+  callee : string;
+  call_sid : Ast.stmt_id;
+  actuals : Ast.expr list;
+}
+
+type t = {
+  prog : Ast.program;
+  by_name : (string, Ast.program_unit) Hashtbl.t;
+  all_sites : site list;
+}
+
+let build (prog : Ast.program) : t =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Ast.program_unit) -> Hashtbl.replace by_name u.Ast.uname u)
+    prog.Ast.punits;
+  let all_sites =
+    List.concat_map
+      (fun (u : Ast.program_unit) ->
+        List.rev
+          (Ast.fold_stmts
+             (fun acc (s : Ast.stmt) ->
+               match s.Ast.node with
+               | Ast.Call (callee, actuals) ->
+                 { caller = u.Ast.uname; callee; call_sid = s.Ast.sid; actuals }
+                 :: acc
+               | _ -> acc)
+             [] u.Ast.body))
+      prog.Ast.punits
+  in
+  { prog; by_name; all_sites }
+
+let program t = t.prog
+let unit_named t name = Hashtbl.find_opt t.by_name name
+let unit_names t = List.map (fun (u : Ast.program_unit) -> u.Ast.uname) t.prog.Ast.punits
+let sites t = t.all_sites
+let sites_in t name = List.filter (fun s -> String.equal s.caller name) t.all_sites
+let sites_to t name = List.filter (fun s -> String.equal s.callee name) t.all_sites
+
+let callees_of t name =
+  sites_in t name |> List.map (fun s -> s.callee) |> List.sort_uniq String.compare
+
+let callers_of t name =
+  sites_to t name |> List.map (fun s -> s.caller) |> List.sort_uniq String.compare
+
+let bottom_up t =
+  (* postorder DFS over the call graph from every unit *)
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      List.iter dfs (callees_of t name);
+      if Hashtbl.mem t.by_name name then order := name :: !order
+    end
+  in
+  List.iter dfs (unit_names t);
+  List.rev !order
+
+let formals_of t name =
+  match unit_named t name with
+  | Some u -> (
+    match u.Ast.kind with
+    | Ast.Main -> Some []
+    | Ast.Subroutine fs | Ast.Function (_, fs) -> Some fs)
+  | None -> None
+
+let dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  List.iter
+    (fun name -> Buffer.add_string buf (Printf.sprintf "  %S;\n" name))
+    (unit_names t);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  %S -> %S;\n" s.caller s.callee))
+    t.all_sites;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Call graph of a whole program.
+
+    Nodes are program units; edges are CALL sites with their actual
+    arguments.  Fortran 77 forbids recursion, so the graph is expected
+    to be acyclic; {!bottom_up} breaks any cycle arbitrarily (the
+    analyses that consume the order iterate to a fixed point anyway,
+    so a broken cycle only costs precision, not soundness). *)
+
+open Fortran_front
+
+type site = {
+  caller : string;
+  callee : string;
+  call_sid : Ast.stmt_id;
+  actuals : Ast.expr list;
+}
+
+type t
+
+val build : Ast.program -> t
+val program : t -> Ast.program
+val unit_named : t -> string -> Ast.program_unit option
+val unit_names : t -> string list
+val sites : t -> site list
+
+(** Call sites appearing in the given unit. *)
+val sites_in : t -> string -> site list
+
+(** Call sites targeting the given unit. *)
+val sites_to : t -> string -> site list
+
+val callees_of : t -> string -> string list
+val callers_of : t -> string -> string list
+
+(** Unit names ordered callees-first. *)
+val bottom_up : t -> string list
+
+(** Formal parameter names of a unit ([None] if unknown/external). *)
+val formals_of : t -> string -> string list option
+
+(** Graphviz rendering (the editor's call-graph display). *)
+val dot : t -> string

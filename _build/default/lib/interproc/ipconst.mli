@@ -1,0 +1,16 @@
+(** Interprocedural constant propagation.
+
+    A formal parameter is an interprocedural constant when every call
+    site passes it the same compile-time constant value (evaluated
+    with the caller's PARAMETER constants and the caller's own
+    interprocedural constants — computed to a fixed point).  The
+    constants feed the callee's dependence analysis as asserted
+    values, inheriting "from a procedure's callers" exactly as Ped's
+    framework does. *)
+
+type t
+
+val compute : Callgraph.t -> t
+
+(** Formal-parameter constants of a unit: [(formal, value)]. *)
+val constants_of : t -> string -> (string * int) list

@@ -1,0 +1,1 @@
+lib/perf/estimator.ml: Ast Dependence Depenv Float Fortran_front Hashtbl Lazy List Loopnest Machine Option Symbol

@@ -1,0 +1,1 @@
+lib/perf/estimator.mli: Ast Dependence Depenv Fortran_front Loopnest Machine

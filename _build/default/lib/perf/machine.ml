@@ -1,0 +1,34 @@
+type schedule = Block | Cyclic
+
+type t = {
+  name : string;
+  processors : int;
+  schedule : schedule;
+  flop_cost : float;
+  mem_cost : float;
+  intrinsic_cost : float;
+  loop_overhead : float;
+  fork_join : float;
+  call_overhead : float;
+  reduction_combine : float;
+}
+
+let default =
+  {
+    name = "abstract-mp8";
+    processors = 8;
+    schedule = Block;
+    flop_cost = 1.0;
+    mem_cost = 2.0;
+    intrinsic_cost = 8.0;
+    loop_overhead = 2.0;
+    fork_join = 200.0;
+    call_overhead = 20.0;
+    reduction_combine = 10.0;
+  }
+
+let with_processors p t = { t with processors = p }
+let with_schedule s t = { t with schedule = s }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d processors)" t.name t.processors

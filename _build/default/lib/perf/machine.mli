@@ -1,0 +1,34 @@
+(** Parallel machine cost model.
+
+    An abstract bus-based shared-memory multiprocessor in the spirit
+    of the Alliant FX/8 and Sequent machines Ped targeted: uniform
+    per-operation costs, a per-iteration loop overhead, and a
+    fork/join cost for starting a parallel loop.  The absolute numbers
+    are in abstract "cycles"; the evaluation only ever interprets
+    ratios (speedups, relative loop weights). *)
+
+(** How a PARALLEL DO's iterations map onto processors.  [Block]
+    gives each processor one contiguous chunk; [Cyclic] deals
+    iterations round-robin — better when per-iteration work varies
+    (triangular updates). *)
+type schedule = Block | Cyclic
+
+type t = {
+  name : string;
+  processors : int;
+  schedule : schedule;
+  flop_cost : float;       (** per arithmetic/logical operation *)
+  mem_cost : float;        (** per array element access *)
+  intrinsic_cost : float;  (** per intrinsic call (SQRT, EXP, ...) *)
+  loop_overhead : float;   (** per loop iteration: test + increment *)
+  fork_join : float;       (** starting/finishing a parallel loop *)
+  call_overhead : float;   (** procedure call linkage *)
+  reduction_combine : float;  (** per processor, combining reductions *)
+}
+
+(** The default 8-processor machine. *)
+val default : t
+
+val with_processors : int -> t -> t
+val with_schedule : schedule -> t -> t
+val pp : Format.formatter -> t -> unit

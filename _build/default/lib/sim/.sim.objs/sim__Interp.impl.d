@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Ast Buffer Float Format Fortran_front Fun Hashtbl List Option Perf Printf Random String Symbol Value

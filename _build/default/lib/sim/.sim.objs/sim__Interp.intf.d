@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Ast Fortran_front Perf

@@ -1,0 +1,1 @@
+lib/sim/value.ml: Array Ast Float Format Fortran_front Printf

@@ -1,0 +1,67 @@
+(** The execution simulator: a Fortran-subset interpreter with a
+    simulated parallel machine.
+
+    Sequential semantics follow Fortran 77 (by-reference arguments,
+    COMMON storage shared by name, column-major adjustable arrays,
+    truncating integer division, DO trip counts computed on entry).
+
+    PARALLEL DO loops execute their iterations one at a time (so the
+    simulation is deterministic) but the {e simulated clock} charges
+    them as the machine would run them: iterations are block-scheduled
+    onto the machine's processors, each processor's time is the sum of
+    its iterations' measured costs, and the loop costs
+    fork/join + max over processors.  Only the outermost parallel
+    loop spreads; inner parallel loops run sequentially on their
+    processor, as on the machines Ped targeted.
+
+    [par_order] permutes the execution order of parallel-loop
+    iterations.  A correctly parallelized program produces the same
+    result under any order; the test suite uses [Reverse] and
+    [Shuffled] to catch unsafe parallelization (the editor's
+    power-steering warnings are about exactly this). *)
+
+open Fortran_front
+
+exception Runtime_error of string
+
+type order = Seq | Reverse | Shuffled of int  (** seed *)
+
+type outcome = {
+  output : string list;        (** PRINT lines, in order *)
+  cycles : float;              (** simulated parallel time *)
+  stmts_executed : int;
+  final_store : (string * float list) list;
+      (** main-program and COMMON variables after execution, flattened
+          to floats, sorted by name *)
+  loop_cycles : (Ast.stmt_id * float) list;
+      (** simulated time spent in each DO statement (nested loops are
+          included in their parents, as in the static estimates) *)
+}
+
+(** [run program] — execute from the main program unit.
+    @param machine the cost model (default {!Perf.Machine.default})
+    @param honor_parallel charge PARALLEL DO loops as parallel
+           (default true; false gives the sequential baseline)
+    @param par_order iteration order for parallel loops
+    @param max_steps statement budget, guards runaways
+    @raise Runtime_error on missing main, bad subscripts, recursion,
+           or budget exhaustion *)
+val run :
+  ?machine:Perf.Machine.t ->
+  ?honor_parallel:bool ->
+  ?par_order:order ->
+  ?max_steps:int ->
+  Ast.program ->
+  outcome
+
+(** [outputs_match ?tol a b] — same PRINT lines up to relative
+    tolerance on numeric fields (reductions reassociate under
+    permuted parallel orders). *)
+val outputs_match : ?tol:float -> string list -> string list -> bool
+
+(** Like {!outputs_match} for final stores. *)
+val stores_match :
+  ?tol:float ->
+  (string * float list) list ->
+  (string * float list) list ->
+  bool

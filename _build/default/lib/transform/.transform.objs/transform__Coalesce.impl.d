@@ -1,0 +1,1 @@
+lib/transform/coalesce.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front List Perf Printf Rewrite Scalar_analysis String

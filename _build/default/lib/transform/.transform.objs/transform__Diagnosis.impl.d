@@ -1,0 +1,1 @@
+lib/transform/diagnosis.ml: Format List

@@ -1,0 +1,1 @@
+lib/transform/diagnosis.mli: Format

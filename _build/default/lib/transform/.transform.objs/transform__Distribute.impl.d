@@ -1,0 +1,1 @@
+lib/transform/distribute.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front Hashtbl List Option Printf Rewrite Scalar_analysis

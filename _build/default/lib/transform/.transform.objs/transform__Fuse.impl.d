@@ -1,0 +1,1 @@
+lib/transform/fuse.ml: Ast Ddg Dependence Depenv Diagnosis Format Fortran_front List Printf Rewrite Scalar_analysis String

@@ -1,0 +1,1 @@
+lib/transform/indsub.ml: Ast Ddg Defuse Dependence Depenv Diagnosis Fortran_front List Loopnest Option Printf Rewrite Scalar_analysis String Varclass

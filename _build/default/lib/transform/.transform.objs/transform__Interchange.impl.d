@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Array Ast Ddg Dependence Depenv Diagnosis Dtest Format Fortran_front List Loopnest Option Rewrite Scalar_analysis String

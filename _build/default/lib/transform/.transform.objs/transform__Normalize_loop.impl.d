@@ -1,0 +1,1 @@
+lib/transform/normalize_loop.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front List Option Rewrite Scalar_analysis String

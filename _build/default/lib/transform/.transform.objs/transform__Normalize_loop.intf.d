@@ -1,0 +1,1 @@
+lib/transform/normalize_loop.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

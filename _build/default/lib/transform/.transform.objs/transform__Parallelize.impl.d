@@ -1,0 +1,1 @@
+lib/transform/parallelize.ml: Ast Ddg Dependence Depenv Diagnosis Format Fortran_front Indsub List Perf Printf Rewrite Scalar_analysis Varclass

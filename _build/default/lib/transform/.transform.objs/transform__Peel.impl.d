@@ -1,0 +1,1 @@
+lib/transform/peel.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front Option Rewrite

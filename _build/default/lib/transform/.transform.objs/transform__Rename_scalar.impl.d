@@ -1,0 +1,1 @@
+lib/transform/rename_scalar.ml: Ast Cfg Ddg Defuse Dependence Depenv Diagnosis Fortran_front Hashtbl List Liveness Option Printf Reaching Rewrite Scalar_analysis String Symbol

@@ -1,0 +1,1 @@
+lib/transform/rename_scalar.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

@@ -1,0 +1,1 @@
+lib/transform/reverse.ml: Ast Ddg Defuse Dependence Depenv Diagnosis Format Fortran_front Indsub List Liveness Option Printf Rewrite Scalar_analysis String

@@ -1,0 +1,1 @@
+lib/transform/reverse.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

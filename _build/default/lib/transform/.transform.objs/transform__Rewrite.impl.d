@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Ast Fortran_front List Option Printf String

@@ -1,0 +1,1 @@
+lib/transform/rewrite.mli: Ast Fortran_front

@@ -1,0 +1,1 @@
+lib/transform/scalar_expand.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front List Liveness Printf Rewrite Scalar_analysis String Symbol Varclass

@@ -1,0 +1,1 @@
+lib/transform/scalar_expand.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

@@ -1,0 +1,1 @@
+lib/transform/skew.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front Interchange Rewrite

@@ -1,0 +1,1 @@
+lib/transform/stmt_interchange.ml: Ast Ddg Dependence Depenv Diagnosis Format Fortran_front List Rewrite

@@ -1,0 +1,1 @@
+lib/transform/strip_mine.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front Option Rewrite

@@ -1,0 +1,1 @@
+lib/transform/strip_mine.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

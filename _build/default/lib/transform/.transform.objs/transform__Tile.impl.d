@@ -1,0 +1,1 @@
+lib/transform/tile.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front Interchange Rewrite Strip_mine

@@ -1,0 +1,1 @@
+lib/transform/tile.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

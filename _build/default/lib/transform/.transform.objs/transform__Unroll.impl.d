@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Ast Ddg Dependence Depenv Diagnosis Fortran_front Fun List Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Ast Ddg Dependence Depenv Diagnosis Fortran_front

@@ -1,0 +1,269 @@
+open Fortran_front
+open Dependence
+
+type args =
+  | On_loop of Ast.stmt_id
+  | On_pair of Ast.stmt_id * Ast.stmt_id
+  | With_factor of Ast.stmt_id * int
+  | With_var of Ast.stmt_id * string
+
+type entry = {
+  name : string;
+  describe : string;
+  needs : string;
+  diagnose : Depenv.t -> Ddg.t -> args -> Diagnosis.t;
+  apply : Depenv.t -> Ddg.t -> args -> Ast.program_unit option;
+}
+
+let bad = Diagnosis.inapplicable "wrong arguments for this transformation"
+
+let all =
+  [
+    {
+      name = "parallelize";
+      describe = "convert a DO loop into a PARALLEL DO";
+      needs = "<loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Parallelize.diagnose env ddg sid
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Parallelize.apply env.Depenv.punit sid)
+          | _ -> None);
+    };
+    {
+      name = "sequentialize";
+      describe = "convert a PARALLEL DO back into a DO";
+      needs = "<loop>";
+      diagnose =
+        (fun env _ -> function
+          | On_loop sid -> (
+            match Rewrite.find_do env.Depenv.punit sid with
+            | Some (_, h, _) when h.Ast.parallel ->
+              Diagnosis.make ~notes:[ "always safe" ] ()
+            | Some _ -> Diagnosis.inapplicable "loop is not parallel"
+            | None -> Diagnosis.inapplicable "not a DO loop")
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid ->
+            Some (Parallelize.apply_sequentialize env.Depenv.punit sid)
+          | _ -> None);
+    };
+    {
+      name = "interchange";
+      describe = "swap the headers of a perfect loop pair";
+      needs = "<outer-loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Interchange.diagnose env ddg sid
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Interchange.apply env.Depenv.punit sid)
+          | _ -> None);
+    };
+    {
+      name = "distribute";
+      describe = "split a loop along dependence components";
+      needs = "<loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Distribute.diagnose env ddg sid
+          | _ -> bad);
+      apply =
+        (fun env ddg -> function
+          | On_loop sid -> Some (Distribute.apply env ddg sid)
+          | _ -> None);
+    };
+    {
+      name = "fuse";
+      describe = "merge two adjacent conformable loops";
+      needs = "<loop> <loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_pair (a, b) -> Fuse.diagnose env ddg a b
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_pair (a, b) -> Some (Fuse.apply env.Depenv.punit a b)
+          | _ -> None);
+    };
+    {
+      name = "reverse";
+      describe = "run the loop's iterations backwards";
+      needs = "<loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Reverse.diagnose env ddg sid
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Reverse.apply env.Depenv.punit sid)
+          | _ -> None);
+    };
+    {
+      name = "skew";
+      describe = "skew the inner loop of a perfect pair by a factor";
+      needs = "<outer-loop> <factor>";
+      diagnose =
+        (fun env ddg -> function
+          | With_factor (sid, f) -> Skew.diagnose env ddg sid ~factor:f
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | With_factor (sid, f) ->
+            Some (Skew.apply env.Depenv.punit sid ~factor:f)
+          | _ -> None);
+    };
+    {
+      name = "strip";
+      describe = "strip-mine a loop into fixed-size blocks";
+      needs = "<loop> <block>";
+      diagnose =
+        (fun env ddg -> function
+          | With_factor (sid, b) -> Strip_mine.diagnose env ddg sid ~block:b
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | With_factor (sid, b) -> Some (Strip_mine.apply env sid ~block:b)
+          | _ -> None);
+    };
+    {
+      name = "unroll";
+      describe = "unroll a loop by a constant factor";
+      needs = "<loop> <factor>";
+      diagnose =
+        (fun env ddg -> function
+          | With_factor (sid, f) -> Unroll.diagnose env ddg sid ~factor:f
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | With_factor (sid, f) -> Some (Unroll.apply env sid ~factor:f)
+          | _ -> None);
+    };
+    {
+      name = "expand";
+      describe = "scalar-expand a private temporary into an array";
+      needs = "<loop> <variable>";
+      diagnose =
+        (fun env ddg -> function
+          | With_var (sid, v) -> Scalar_expand.diagnose env ddg sid ~var:v
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | With_var (sid, v) -> Some (Scalar_expand.apply env sid ~var:v)
+          | _ -> None);
+    };
+    {
+      name = "indsub";
+      describe = "substitute an induction accumulator's closed form";
+      needs = "<loop> <variable>";
+      diagnose =
+        (fun env ddg -> function
+          | With_var (sid, v) -> Indsub.diagnose env ddg sid ~var:v
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | With_var (sid, v) -> Some (Indsub.apply env sid ~var:v)
+          | _ -> None);
+    };
+    {
+      name = "rename";
+      describe = "split a reused temporary's independent def-use webs";
+      needs = "<loop> <variable>";
+      diagnose =
+        (fun env ddg -> function
+          | With_var (sid, v) -> Rename_scalar.diagnose env ddg sid ~var:v
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | With_var (sid, v) -> Some (Rename_scalar.apply env sid ~var:v)
+          | _ -> None);
+    };
+    {
+      name = "coalesce";
+      describe = "collapse a perfect nest into one product loop";
+      needs = "<outer-loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Coalesce.diagnose env ddg sid
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Coalesce.apply env sid)
+          | _ -> None);
+    };
+    {
+      name = "normalize";
+      describe = "rewrite a loop to run from 1 with unit stride";
+      needs = "<loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Normalize_loop.diagnose env ddg sid
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Normalize_loop.apply env sid)
+          | _ -> None);
+    };
+    {
+      name = "tile";
+      describe = "tile a perfect loop pair with a block size";
+      needs = "<outer-loop> <block>";
+      diagnose =
+        (fun env ddg -> function
+          | With_factor (sid, b) -> Tile.diagnose env ddg sid ~block:b
+          | _ -> bad);
+      apply =
+        (fun env ddg -> function
+          | With_factor (sid, b) -> Some (Tile.apply env ddg sid ~block:b)
+          | _ -> None);
+    };
+    {
+      name = "peel-first";
+      describe = "peel the first iteration out of a loop";
+      needs = "<loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Peel.diagnose env ddg sid ~which:Peel.First
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Peel.apply env sid ~which:Peel.First)
+          | _ -> None);
+    };
+    {
+      name = "peel-last";
+      describe = "peel the last iteration out of a loop";
+      needs = "<loop>";
+      diagnose =
+        (fun env ddg -> function
+          | On_loop sid -> Peel.diagnose env ddg sid ~which:Peel.Last
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_loop sid -> Some (Peel.apply env sid ~which:Peel.Last)
+          | _ -> None);
+    };
+    {
+      name = "swap";
+      describe = "interchange two adjacent statements";
+      needs = "<stmt> <stmt>";
+      diagnose =
+        (fun env ddg -> function
+          | On_pair (a, b) -> Stmt_interchange.diagnose env ddg a b
+          | _ -> bad);
+      apply =
+        (fun env _ -> function
+          | On_pair (a, b) ->
+            Some (Stmt_interchange.apply env.Depenv.punit a b)
+          | _ -> None);
+    };
+  ]
+
+let find name =
+  List.find_opt (fun e -> String.equal e.name name) all
+
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,29 @@
+(** The transformation catalog — one uniform entry per transformation,
+    used by the editor's command dispatch and the evaluation's
+    transformation matrix (Table 4). *)
+
+open Fortran_front
+open Dependence
+
+(** Arguments a transformation consumes.  The editor parses user
+    input into one of these; a transformation handed the wrong shape
+    reports itself inapplicable rather than raising. *)
+type args =
+  | On_loop of Ast.stmt_id
+  | On_pair of Ast.stmt_id * Ast.stmt_id      (** loop or statement pair *)
+  | With_factor of Ast.stmt_id * int          (** skew/unroll/strip factor *)
+  | With_var of Ast.stmt_id * string          (** scalar expansion target *)
+
+type entry = {
+  name : string;        (** command name, e.g. ["interchange"] *)
+  describe : string;    (** one-line description for the editor's menu *)
+  needs : string;       (** argument syntax help, e.g. ["<loop>"] *)
+  diagnose : Depenv.t -> Ddg.t -> args -> Diagnosis.t;
+  apply : Depenv.t -> Ddg.t -> args -> Ast.program_unit option;
+      (** [None] when the args don't fit; may raise [Invalid_argument]
+          if called on something the diagnosis rejected *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : string list

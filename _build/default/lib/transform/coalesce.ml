@@ -1,0 +1,90 @@
+open Fortran_front
+open Dependence
+
+let candidate (env : Depenv.t) sid =
+  match Rewrite.find_do env.Depenv.punit sid with
+  | Some (outer, h1, [ ({ Ast.node = Ast.Do (h2, body); _ } as inner) ]) -> (
+    let unit_step h =
+      match h.Ast.step with None | Some (Ast.Int 1) -> true | Some _ -> false
+    in
+    let const e = Depenv.int_at env sid e in
+    match (const h1.Ast.lo, const h1.Ast.hi, const h2.Ast.lo, const h2.Ast.hi)
+    with
+    | Some lo1, Some hi1, Some lo2, Some hi2
+      when unit_step h1 && unit_step h2 && hi1 >= lo1 && hi2 >= lo2 ->
+      Some (outer, h1, inner, h2, body, lo1, hi1, lo2, hi2)
+    | _ -> None)
+  | Some _ | None -> None
+
+let iv_assigned body iv =
+  Ast.fold_stmts
+    (fun acc s ->
+      acc
+      || match s.Ast.node with
+         | Ast.Assign (Ast.Var v, _) -> String.equal v iv
+         | _ -> false)
+    false body
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
+  ignore ddg;
+  match candidate env sid with
+  | None ->
+    Diagnosis.inapplicable
+      "needs a perfect rectangular nest with unit steps and constant bounds"
+  | Some (_, h1, _, h2, body, lo1, hi1, lo2, hi2) ->
+    if iv_assigned body h1.Ast.dvar || iv_assigned body h2.Ast.dvar then
+      Diagnosis.inapplicable "an induction variable is assigned in the body"
+    else begin
+      let n = hi1 - lo1 + 1 and m = hi2 - lo2 + 1 in
+      let machine = Perf.Machine.default in
+      (* profitable when neither loop alone has enough iterations to
+         fill the machine but the product does *)
+      let p = machine.Perf.Machine.processors in
+      let profitable = n < p && m < p && n * m >= p in
+      Diagnosis.make ~applicable:true ~safe:true ~profitable
+        ~notes:
+          [ Printf.sprintf "%d × %d iterations coalesce into %d" n m (n * m) ]
+        ()
+    end
+
+let apply (env : Depenv.t) sid : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match candidate env sid with
+  | None -> invalid_arg "Coalesce.apply: unsupported nest"
+  | Some (outer, h1, _inner, h2, body, lo1, hi1, lo2, hi2) ->
+    let n = hi1 - lo1 + 1 and m = hi2 - lo2 + 1 in
+    let tvar = Rewrite.fresh_name env.Depenv.tbl (h1.Ast.dvar ^ "T") in
+    let t0 = Ast.sub (Ast.Var tvar) (Ast.Int 1) in
+    let i_expr =
+      Ast.simplify
+        (Ast.add (Ast.Bin (Ast.Div, t0, Ast.Int m)) (Ast.Int lo1))
+    in
+    let j_expr =
+      Ast.simplify
+        (Ast.add (Ast.Index ("MOD", [ t0; Ast.Int m ])) (Ast.Int lo2))
+    in
+    let body' =
+      Rewrite.subst_in_stmts h1.Ast.dvar i_expr
+        (Rewrite.subst_in_stmts h2.Ast.dvar j_expr body)
+    in
+    let header =
+      { Ast.dvar = tvar; lo = Ast.Int 1; hi = Ast.Int (n * m); step = None;
+        parallel = false }
+    in
+    let loop' = { outer with Ast.node = Ast.Do (header, body') } in
+    (* F77 final values of the vanished induction variables, when
+       observed after the nest *)
+    let live =
+      Scalar_analysis.Liveness.live_after env.Depenv.liveness env.Depenv.cfg
+        sid
+    in
+    let fixups =
+      (if List.mem h1.Ast.dvar live then
+         [ Ast.mk (Ast.Assign (Ast.Var h1.Ast.dvar, Ast.Int (lo1 + n))) ]
+       else [])
+      @
+      if List.mem h2.Ast.dvar live then
+        [ Ast.mk (Ast.Assign (Ast.Var h2.Ast.dvar, Ast.Int (lo2 + m))) ]
+      else []
+    in
+    Rewrite.replace_stmt u sid (loop' :: fixups)

@@ -1,0 +1,18 @@
+(** Loop coalescing — collapse a perfect nest into a single loop.
+
+    [DO I = 1,N (DO J = 1,M body)] becomes [DO T = 1, N·M] with
+    [I = (T−1)/M + 1] and [J = MOD(T−1, M) + 1] substituted into the
+    body.  A pure reindexing of the same iteration sequence, so always
+    safe; profitable when the product loop gives the scheduler more
+    parallel iterations than either loop alone (short outer loops on
+    many processors).
+
+    Applicable to perfect rectangular nests with unit steps and
+    constant bounds (the index reconstruction needs a constant inner
+    extent). *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> Ast.program_unit

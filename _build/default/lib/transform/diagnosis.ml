@@ -1,0 +1,24 @@
+type t = {
+  applicable : bool;
+  safe : bool;
+  profitable : bool;
+  notes : string list;
+}
+
+let make ?(applicable = true) ?(safe = true) ?(profitable = true)
+    ?(notes = []) () =
+  { applicable; safe; profitable; notes }
+
+let inapplicable reason =
+  { applicable = false; safe = false; profitable = false; notes = [ reason ] }
+
+let note t msg = { t with notes = msg :: t.notes }
+
+let pp ppf t =
+  Format.fprintf ppf "applicable: %b, safe: %b, profitable: %b" t.applicable
+    t.safe t.profitable;
+  List.iter (fun n -> Format.fprintf ppf "@.  - %s" n) (List.rev t.notes)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let ok t = t.applicable && t.safe

@@ -1,0 +1,30 @@
+(** Power-steering diagnosis — the advice Ped gives before carrying
+    out a transformation.
+
+    Every transformation answers three questions: is it {e applicable}
+    (syntactically meaningful here), {e safe} (dependences show the
+    meaning is preserved), and {e profitable} (heuristically worth
+    doing).  Ped performs an unsafe transformation only if the user
+    insists; the editor layer enforces that policy. *)
+
+type t = {
+  applicable : bool;
+  safe : bool;
+  profitable : bool;
+  notes : string list;  (** human-readable reasons, newest first *)
+}
+
+val make :
+  ?applicable:bool -> ?safe:bool -> ?profitable:bool -> ?notes:string list ->
+  unit -> t
+
+(** Not applicable, with a reason; safety and profit are moot. *)
+val inapplicable : string -> t
+
+val note : t -> string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [ok d] — applicable and safe (the editor's bar for applying
+    without an override). *)
+val ok : t -> bool

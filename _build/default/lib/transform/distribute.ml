@@ -1,0 +1,176 @@
+open Fortran_front
+open Dependence
+
+(* Map a (possibly nested) statement to its top-level ancestor within
+   the loop body. *)
+let top_level_of (body : Ast.stmt list) : Ast.stmt_id -> Ast.stmt_id option =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (top : Ast.stmt) ->
+      Ast.iter_stmts
+        (fun s -> Hashtbl.replace table s.Ast.sid top.Ast.sid)
+        [ top ])
+    body;
+  fun sid -> Hashtbl.find_opt table sid
+
+(* Tarjan's strongly connected components, emitted in reverse
+   topological order of the condensation (which is what we want to
+   reverse for emission). *)
+let sccs (nodes : int list) (succs : int -> int list) : int list list =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan emits components in reverse topological order *)
+  !components
+
+let partition (env : Depenv.t) (ddg : Ddg.t) sid : Ast.stmt_id list list =
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> []
+  | Some (loop, _, body) ->
+    let top_of = top_level_of body in
+    let tops = List.map (fun (s : Ast.stmt) -> s.Ast.sid) body in
+    let edges = Hashtbl.create 16 in
+    List.iter (fun t -> Hashtbl.replace edges t []) tops;
+    let add_edge a b =
+      let cur = Option.value ~default:[] (Hashtbl.find_opt edges a) in
+      if not (List.mem b cur) then Hashtbl.replace edges a (b :: cur)
+    in
+    let deps = Ddg.deps_in_loop env ddg sid in
+    List.iter
+      (fun (d : Ddg.dep) ->
+        if d.Ddg.kind <> Ddg.Control then
+          match (top_of d.Ddg.src, top_of d.Ddg.dst) with
+          | Some a, Some b when a <> b -> add_edge a b
+          | Some a, Some b when a = b -> ()
+          | _ -> ())
+      deps;
+    (* Statements sharing a private or auxiliary-induction scalar must
+       stay in one loop: distribution would leave the later loop
+       reading only the scalar's final value.  (Shared-unsafe scalars
+       already carry dependence edges; reductions may split safely.) *)
+    let classes =
+      Scalar_analysis.Varclass.classify ~cfg:env.Depenv.cfg env.Depenv.ctx
+        env.Depenv.liveness loop
+    in
+    let glue_vars =
+      List.filter_map
+        (fun (v, c) ->
+          match c with
+          | Scalar_analysis.Varclass.Private _ -> Some v
+          | Scalar_analysis.Varclass.Induction { stride = Some _ } -> Some v
+          | _ -> None)
+        (Scalar_analysis.Varclass.all classes)
+    in
+    List.iter
+      (fun v ->
+        let touching =
+          List.filter
+            (fun (top : Ast.stmt) ->
+              Ast.fold_stmts
+                (fun acc s ->
+                  acc
+                  || List.mem v (Scalar_analysis.Defuse.uses env.Depenv.ctx s)
+                  || List.mem v (Scalar_analysis.Defuse.may_defs env.Depenv.ctx s))
+                false [ top ])
+            body
+          |> List.map (fun (s : Ast.stmt) -> s.Ast.sid)
+        in
+        match touching with
+        | first :: rest ->
+          List.iter (fun t -> add_edge first t; add_edge t first) rest
+        | [] -> ())
+      glue_vars;
+    let succs v = Option.value ~default:[] (Hashtbl.find_opt edges v) in
+    let comps = sccs tops succs in
+    (* order statements within a component by source position *)
+    let pos = Hashtbl.create 16 in
+    List.iteri (fun i (s : Ast.stmt) -> Hashtbl.replace pos s.Ast.sid i) body;
+    List.map
+      (fun comp ->
+        List.sort
+          (fun a b ->
+            compare (Hashtbl.find_opt pos a) (Hashtbl.find_opt pos b))
+          comp)
+      comps
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (_, _, body) ->
+    if List.length body < 2 then
+      Diagnosis.inapplicable "loop body has fewer than two statements"
+    else begin
+      let has_exit =
+        Ast.fold_stmts
+          (fun acc s ->
+            acc
+            || match s.Ast.node with
+               | Ast.Goto _ | Ast.Return | Ast.Stop -> true
+               | _ -> false)
+          false body
+      in
+      if has_exit then
+        Diagnosis.inapplicable "body contains unstructured control flow"
+      else begin
+        let parts = partition env ddg sid in
+        let n = List.length parts in
+        let profitable = n > 1 in
+        let notes =
+          [ Printf.sprintf "distribution yields %d loop(s)" n ]
+        in
+        Diagnosis.make ~applicable:true ~safe:true ~profitable ~notes ()
+      end
+    end
+
+let apply (env : Depenv.t) (ddg : Ddg.t) sid : Ast.program_unit =
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> invalid_arg "Distribute.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let parts = partition env ddg sid in
+    let stmt_of =
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (s : Ast.stmt) -> Hashtbl.replace tbl s.Ast.sid s) body;
+      fun sid -> Hashtbl.find tbl sid
+    in
+    let loops =
+      List.mapi
+        (fun i comp ->
+          let comp_body = List.map stmt_of comp in
+          if i = 0 then { loop with Ast.node = Ast.Do (h, comp_body) }
+          else Ast.mk ~loc:loop.Ast.loc (Ast.Do (h, comp_body)))
+        parts
+    in
+    Rewrite.replace_stmt env.Depenv.punit sid loops

@@ -1,0 +1,21 @@
+(** Loop distribution (fission).
+
+    Partitions the loop body's top-level statements into strongly
+    connected components of the dependence graph and emits one loop
+    per component, in a topological order of the component graph —
+    the Allen–Kennedy code-generation step.  Recurrences stay
+    together in their own (sequential) loop while independent
+    statements move into loops that can then be parallelized.
+
+    Always safe; profitable when it yields more than one loop. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
+
+(** The partition [apply] would produce: each component as the list of
+    top-level statement ids it contains, in emission order. *)
+val partition : Depenv.t -> Ddg.t -> Ast.stmt_id -> Ast.stmt_id list list
+
+val apply : Depenv.t -> Ddg.t -> Ast.stmt_id -> Ast.program_unit

@@ -1,0 +1,147 @@
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+let aux_of (env : Depenv.t) (loop : Ast.stmt) var =
+  List.find_opt
+    (fun (v, _, _) -> String.equal v var)
+    (Varclass.aux_inductions env.Depenv.ctx loop)
+
+(* Auxiliary inductions whose value is read by some statement other
+   than their own increment. *)
+let needed (env : Depenv.t) (loop : Ast.stmt) : string list =
+  match loop.Ast.node with
+  | Ast.Do (_, body) ->
+    Varclass.aux_inductions env.Depenv.ctx loop
+    |> List.filter_map (fun (v, _, inc_sid) ->
+           let read_elsewhere =
+             Ast.fold_stmts
+               (fun acc s ->
+                 acc
+                 || (s.Ast.sid <> inc_sid
+                    && List.mem v (Defuse.uses env.Depenv.ctx s)))
+               false body
+           in
+           if read_elsewhere then Some v else None)
+  | _ -> []
+
+let step_const (env : Depenv.t) sid (h : Ast.do_header) =
+  match h.Ast.step with
+  | None -> Some 1
+  | Some e -> Depenv.int_at env sid e
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~var : Diagnosis.t =
+  ignore ddg;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (loop, h, _) -> (
+    match aux_of env loop var with
+    | None ->
+      Diagnosis.inapplicable
+        (var ^ " is not an auxiliary induction variable of this loop")
+    | Some (_, stride, _) -> (
+      match step_const env sid h with
+      | None | Some 0 -> Diagnosis.inapplicable "loop step is not a known constant"
+      | Some _ ->
+        Diagnosis.make ~applicable:true ~safe:true ~profitable:true
+          ~notes:
+            [ Printf.sprintf
+                "%s = %s + %d·iteration: closed form removes the accumulator"
+                var var stride ]
+          ()))
+
+let apply (env : Depenv.t) sid ~var : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Indsub.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let stride, inc_sid =
+      match aux_of env loop var with
+      | Some (_, s, i) -> (s, i)
+      | None -> invalid_arg "Indsub.apply: not an auxiliary induction"
+    in
+    let st =
+      match step_const env sid h with
+      | Some s when s <> 0 -> s
+      | _ -> invalid_arg "Indsub.apply: unknown step"
+    in
+    (* iteration index (0-based): (I − lo) / step *)
+    let iter_ix =
+      let diff = Ast.simplify (Ast.sub (Ast.Var h.Ast.dvar) h.Ast.lo) in
+      if st = 1 then diff else Ast.Bin (Ast.Div, diff, Ast.Int st)
+    in
+    let value_before = (* K₀ + stride·ix *)
+      Ast.simplify (Ast.add (Ast.Var var) (Ast.mul (Ast.Int stride) iter_ix))
+    in
+    let value_after =
+      Ast.simplify
+        (Ast.add (Ast.Var var)
+           (Ast.mul (Ast.Int stride) (Ast.add iter_ix (Ast.Int 1))))
+    in
+    (* positions: uses textually after the increment see one more step *)
+    let flat = Loopnest.body_stmts env.Depenv.nest sid in
+    let pos_of target =
+      let rec go i = function
+        | [] -> None
+        | (s : Ast.stmt) :: rest ->
+          if s.Ast.sid = target then Some i else go (i + 1) rest
+      in
+      go 0 flat
+    in
+    let inc_pos = Option.value ~default:0 (pos_of inc_sid) in
+    let rewrite (s : Ast.stmt) : Ast.stmt =
+      if s.Ast.sid = inc_sid then s (* removed below *)
+      else
+        let after =
+          match pos_of s.Ast.sid with Some p -> p > inc_pos | None -> false
+        in
+        let repl = if after then value_after else value_before in
+        let f = Ast.subst_var var repl in
+        let node =
+          match s.Ast.node with
+          | Ast.Assign (lhs, rhs) -> Ast.Assign (f lhs, f rhs)
+          | Ast.If (branches, els) ->
+            Ast.If (List.map (fun (c, b) -> (f c, b)) branches, els)
+          | Ast.Do (hh, b) ->
+            Ast.Do
+              ( { hh with Ast.lo = f hh.Ast.lo; hi = f hh.Ast.hi;
+                  step = Option.map f hh.Ast.step },
+                b )
+          | Ast.Call (n, args) -> Ast.Call (n, List.map f args)
+          | Ast.Print args -> Ast.Print (List.map f args)
+          | (Ast.Goto _ | Ast.Continue | Ast.Return | Ast.Stop) as n -> n
+        in
+        { s with Ast.node }
+    in
+    let body' =
+      Ast.map_stmts rewrite body
+      |> List.concat_map (fun (s : Ast.stmt) ->
+             if s.Ast.sid = inc_sid then [] else [ s ])
+    in
+    let loop' = { loop with Ast.node = Ast.Do (h, body') } in
+    (* final value: K := K + stride·trip, always (K is must-defined by
+       the original loop whenever it runs; with a constant-safe trip
+       expression the assignment is exact for zero-trip loops too) *)
+    let trip_expr =
+      match
+        (Depenv.int_at env sid h.Ast.lo, Depenv.int_at env sid h.Ast.hi)
+      with
+      | Some lo, Some hi -> Ast.Int (max 0 (((hi - lo) + st) / st))
+      | _ ->
+        Ast.Index
+          ( "MAX",
+            [ Ast.Int 0;
+              Ast.Bin
+                ( Ast.Div,
+                  Ast.simplify
+                    (Ast.add (Ast.sub h.Ast.hi h.Ast.lo) (Ast.Int st)),
+                  Ast.Int st ) ] )
+    in
+    let fixup =
+      Ast.mk
+        (Ast.Assign
+           ( Ast.Var var,
+             Ast.simplify
+               (Ast.add (Ast.Var var) (Ast.mul (Ast.Int stride) trip_expr)) ))
+    in
+    Rewrite.replace_stmt u sid [ loop'; fixup ]

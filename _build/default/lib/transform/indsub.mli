@@ -1,0 +1,23 @@
+(** Induction-variable substitution.
+
+    An auxiliary induction variable ([K = K + c] once per iteration)
+    works sequentially but is a shared accumulator: running iterations
+    in any other order computes the wrong [K] for each iteration, so a
+    bare PARALLEL DO would be wrong.  Substitution removes the
+    increment, rewrites every use as a closed form over the loop
+    variable ([K₀ + c·(iteration index)]), and reproduces the final
+    value after the loop — after which the loop is order independent
+    and {!Parallelize} accepts it.
+
+    Applicable when the variable is a recognized auxiliary induction
+    of the loop and the step is a known constant. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> var:string -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> var:string -> Ast.program_unit
+
+(** The auxiliary induction variables of a loop that are read in the
+    body (their presence makes a bare PARALLEL DO order dependent). *)
+val needed : Depenv.t -> Ast.stmt -> string list

@@ -1,0 +1,19 @@
+(** Loop interchange — swap the headers of a perfectly nested pair.
+
+    Applicable to a DO whose body is exactly one DO, with bounds
+    independent of each other's induction variables (rectangular
+    nests).  Safe unless some dependence has direction [(<, >)] at the
+    two levels — interchanging would run its endpoints in the wrong
+    order.  Profitable when it moves parallelism outward (the inner
+    loop is parallelizable, the outer is not), the classic matmul
+    granularity win. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
+
+(** [apply u outer_sid] — swap the perfect pair rooted at [outer_sid].
+    The outer statement keeps its id (now holding the old inner
+    header), so selections survive. *)
+val apply : Ast.program_unit -> Ast.stmt_id -> Ast.program_unit

@@ -1,0 +1,100 @@
+open Fortran_front
+open Dependence
+
+let step_const (env : Depenv.t) sid (h : Ast.do_header) =
+  match h.Ast.step with
+  | None -> Some 1
+  | Some e -> Depenv.int_at env sid e
+
+let already_normal (h : Ast.do_header) =
+  Ast.expr_equal h.Ast.lo (Ast.Int 1)
+  && (match h.Ast.step with None | Some (Ast.Int 1) -> true | Some _ -> false)
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
+  ignore ddg;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (_, h, body) -> (
+    if already_normal h then
+      Diagnosis.inapplicable "loop is already normalized"
+    else
+      match step_const env sid h with
+      | None | Some 0 -> Diagnosis.inapplicable "step is not a known constant"
+      | Some _ ->
+        (* the induction variable must not be assigned in the body *)
+        let iv_assigned =
+          Ast.fold_stmts
+            (fun acc s ->
+              acc
+              || match s.Ast.node with
+                 | Ast.Assign (Ast.Var v, _) -> String.equal v h.Ast.dvar
+                 | _ -> false)
+            false body
+        in
+        if iv_assigned then
+          Diagnosis.inapplicable "induction variable assigned in the body"
+        else if
+          not
+            (Scalar_analysis.Symbolic.expr_invariant_in env.Depenv.ctx
+               (Option.get (Depenv.stmt env sid))
+               h.Ast.lo)
+        then
+          Diagnosis.inapplicable
+            "lower bound changes inside the loop: cannot substitute it"
+        else
+          Diagnosis.make ~applicable:true ~safe:true ~profitable:false
+            ~notes:[ "normalization gives a unit-stride induction variable" ]
+            ())
+
+let apply (env : Depenv.t) sid : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Normalize_loop.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let st =
+      match step_const env sid h with
+      | Some s when s <> 0 -> s
+      | _ -> invalid_arg "Normalize_loop.apply: unknown step"
+    in
+    (* I := lo + (I' − 1)·step, with I' the same variable renumbered *)
+    let iv = h.Ast.dvar in
+    let original_value =
+      Ast.simplify
+        (Ast.add h.Ast.lo
+           (Ast.mul (Ast.Int st) (Ast.sub (Ast.Var iv) (Ast.Int 1))))
+    in
+    let body' = Rewrite.subst_in_stmts iv original_value body in
+    (* trip count: (U − L + S) / S computed symbolically when constant,
+       kept as an expression otherwise *)
+    let trip_expr =
+      match
+        ( Depenv.int_at env sid h.Ast.lo,
+          Depenv.int_at env sid h.Ast.hi )
+      with
+      | Some lo, Some hi -> Ast.Int (max 0 (((hi - lo) + st) / st))
+      | _ ->
+        Ast.simplify
+          (Ast.Bin
+             ( Ast.Div,
+               Ast.add (Ast.sub h.Ast.hi h.Ast.lo) (Ast.Int st),
+               Ast.Int st ))
+    in
+    let h' =
+      { h with Ast.lo = Ast.Int 1; hi = trip_expr; step = None }
+    in
+    let loop' = { loop with Ast.node = Ast.Do (h', body') } in
+    (* the original variable's final value, when observed afterwards *)
+    let fixup =
+      if
+        List.mem iv
+          (Scalar_analysis.Liveness.live_after env.Depenv.liveness
+             env.Depenv.cfg sid)
+      then
+        [ Ast.mk
+            (Ast.Assign
+               ( Ast.Var iv,
+                 Ast.simplify
+                   (Ast.add h.Ast.lo (Ast.mul (Ast.Int st) trip_expr)) )) ]
+      else []
+    in
+    Rewrite.replace_stmt u sid (loop' :: fixup)

@@ -1,0 +1,14 @@
+(** Loop normalization — rewrite [DO I = L, U, S] to run from 1 by 1.
+
+    The classic enabling transformation: normalized loops give every
+    downstream analysis unit-stride induction variables.  The body
+    reads [L + (I−1)·S] instead of [I]; if the original induction
+    variable's final value is observed after the loop, a compensating
+    assignment reproduces it.  Safe whenever the step is a nonzero
+    constant. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> Ast.program_unit

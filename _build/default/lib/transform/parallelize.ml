@@ -1,0 +1,97 @@
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+(* Scalars whose last value escapes the loop: a parallel or reversed
+   execution would observe a different final value.  Includes the
+   induction variable when it is read after the loop (the simulator
+   pins the parallel case, but reversal genuinely changes it). *)
+let last_value_escapees (env : Depenv.t) (loop : Ast.stmt) =
+  let classes =
+    Varclass.classify ~cfg:env.Depenv.cfg env.Depenv.ctx env.Depenv.liveness
+      loop
+  in
+  List.filter_map
+    (fun (v, c) ->
+      match c with
+      | Varclass.Private { needs_last_value = true } -> Some v
+      | _ -> None)
+    (Varclass.all classes)
+
+let diagnose ?(ignore_deps = []) ?(user_private = []) (env : Depenv.t)
+    (ddg : Ddg.t) sid : Diagnosis.t =
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (loop, h, body) ->
+    let blockers =
+      Ddg.blocking ~ignore:ignore_deps env ddg sid
+      |> List.filter (fun (d : Ddg.dep) ->
+             not (d.Ddg.is_scalar && List.mem d.Ddg.var user_private))
+    in
+    let escapees =
+      List.filter
+        (fun v -> not (List.mem v user_private))
+        (last_value_escapees env loop)
+    in
+    (* auxiliary induction variables read in the body: a bare PARALLEL
+       DO computes them in iteration-execution order — substitute the
+       closed form first (indsub) *)
+    let aux_blockers =
+      List.filter
+        (fun v -> not (List.mem v user_private))
+        (Indsub.needed env loop)
+    in
+    let safe = blockers = [] && escapees = [] && aux_blockers = [] in
+    let trip =
+      match Depenv.int_at env sid (Ast.Bin (Ast.Sub, h.Ast.hi, h.Ast.lo)) with
+      | Some d -> Some (d + 1)
+      | None -> None
+    in
+    (* profitable when the machine model predicts parallel execution
+       beats sequential: the loop's work spread over the processors
+       plus fork/join must undercut the sequential time *)
+    let profitable =
+      body <> []
+      &&
+      let m = Perf.Machine.default in
+      let loop_stmt = loop in
+      let seq = (Perf.Estimator.stmt_cost ~machine:m env loop_stmt).Perf.Estimator.cycles in
+      let t =
+        match trip with Some t -> max 1 t | None -> Perf.Estimator.default_trip
+      in
+      let per_iter = seq /. float_of_int t in
+      let chunks = (t + m.Perf.Machine.processors - 1) / m.Perf.Machine.processors in
+      let par = m.Perf.Machine.fork_join +. (float_of_int chunks *. per_iter) in
+      par < seq
+    in
+    let notes =
+      (if h.Ast.parallel then [ "loop is already parallel" ] else [])
+      @ List.map
+          (fun d -> Format.asprintf "blocked by %a" Ddg.pp_dep d)
+          blockers
+      @ List.map
+          (fun v ->
+            Printf.sprintf
+              "%s needs its last value after the loop (expand it first)" v)
+          escapees
+      @ List.map
+          (fun v ->
+            Printf.sprintf
+              "%s is an induction accumulator: substitute it first (indsub)"
+              v)
+          aux_blockers
+      @
+      if profitable then []
+      else [ "fork/join overhead exceeds the parallel gain (granularity)" ]
+    in
+    Diagnosis.make ~applicable:(not h.Ast.parallel) ~safe ~profitable ~notes ()
+
+let set_parallel value u sid =
+  Rewrite.update_stmt u sid (fun s ->
+      match s.Ast.node with
+      | Ast.Do (h, body) ->
+        { s with Ast.node = Ast.Do ({ h with Ast.parallel = value }, body) }
+      | _ -> s)
+
+let apply u sid = set_parallel true u sid
+let apply_sequentialize u sid = set_parallel false u sid

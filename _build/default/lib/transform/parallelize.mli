@@ -1,0 +1,28 @@
+(** Loop parallelization — turn a DO into a PARALLEL DO.
+
+    Safe when the loop carries no flow/anti/output dependence, after
+    discounting dependences the user rejected and variables the user
+    privatized.  Profitability asks whether the loop has enough
+    iterations to pay the fork/join overhead. *)
+
+open Fortran_front
+open Dependence
+
+(** Scalars classified private-with-last-value in the loop: their final
+    value is observed after the loop, so parallel execution needs a
+    copy-out the target model does not provide — parallelization (and
+    reversal) must treat them as blockers unless the user privatizes
+    or the editor scalar-expands them first. *)
+val last_value_escapees : Depenv.t -> Ast.stmt -> string list
+
+val diagnose :
+  ?ignore_deps:int list ->
+  ?user_private:string list ->
+  Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
+
+(** Flip the parallel bit (unconditionally; the editor checks the
+    diagnosis first). *)
+val apply : Ast.program_unit -> Ast.stmt_id -> Ast.program_unit
+
+(** The inverse: back to a sequential DO.  Always safe. *)
+val apply_sequentialize : Ast.program_unit -> Ast.stmt_id -> Ast.program_unit

@@ -1,0 +1,83 @@
+open Fortran_front
+open Dependence
+
+type which = First | Last
+
+let step_const (env : Depenv.t) sid (h : Ast.do_header) =
+  match h.Ast.step with
+  | None -> Some 1
+  | Some e -> Depenv.int_at env sid e
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~which : Diagnosis.t =
+  ignore which;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (_, h, body) -> (
+    match step_const env sid h with
+    | None | Some 0 -> Diagnosis.inapplicable "step is not a known constant"
+    | Some _ ->
+      let has_exit =
+        Ast.fold_stmts
+          (fun acc s ->
+            acc
+            || match s.Ast.node with
+               | Ast.Goto _ | Ast.Return | Ast.Stop -> true
+               | _ -> false)
+          false body
+      in
+      if has_exit then
+        Diagnosis.inapplicable "body contains unstructured control flow"
+      else
+        let carried = Ddg.blocking env ddg sid in
+        Diagnosis.make ~applicable:true ~safe:true
+          ~profitable:(carried <> [])
+          ~notes:
+            (if carried <> [] then
+               [ "may remove a boundary-carried dependence" ]
+             else [ "loop has no carried dependence to remove" ])
+          ())
+
+let apply (env : Depenv.t) sid ~which : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Peel.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let st =
+      match step_const env sid h with
+      | Some s when s <> 0 -> s
+      | _ -> invalid_arg "Peel.apply: unknown step"
+    in
+    let step_e = Ast.Int st in
+    let peeled_iv, new_lo, new_hi =
+      match which with
+      | First ->
+        (h.Ast.lo, Ast.simplify (Ast.add h.Ast.lo step_e), h.Ast.hi)
+      | Last -> (h.Ast.hi, h.Ast.lo, Ast.simplify (Ast.sub h.Ast.hi step_e))
+    in
+    let copy =
+      Rewrite.subst_in_stmts h.Ast.dvar peeled_iv (Rewrite.refresh_sids body)
+    in
+    (* guard the peel when the loop could be empty *)
+    let trip =
+      Depenv.int_at env sid (Ast.sub h.Ast.hi h.Ast.lo)
+      |> Option.map (fun d -> (d / st) + 1)
+    in
+    let guarded_copy =
+      match trip with
+      | Some t when t >= 1 -> copy
+      | _ ->
+        let cond =
+          if st > 0 then Ast.Bin (Ast.Le, h.Ast.lo, h.Ast.hi)
+          else Ast.Bin (Ast.Ge, h.Ast.lo, h.Ast.hi)
+        in
+        [ Ast.mk ~loc:loop.Ast.loc (Ast.If ([ (cond, copy) ], [])) ]
+    in
+    let rest =
+      { loop with Ast.node = Ast.Do ({ h with Ast.lo = new_lo; hi = new_hi }, body) }
+    in
+    let seq =
+      match which with
+      | First -> guarded_copy @ [ rest ]
+      | Last -> [ rest ] @ guarded_copy
+    in
+    Rewrite.replace_stmt u sid seq

@@ -1,0 +1,14 @@
+(** Loop peeling — split the first or last iteration out of the loop.
+
+    Used to remove boundary-case dependences (wrap-around uses of the
+    first or last element) so the remaining loop parallelizes.  Safe
+    by construction; when the trip count is not provably positive the
+    peeled copy is guarded by an IF. *)
+
+open Fortran_front
+open Dependence
+
+type which = First | Last
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> which:which -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> which:which -> Ast.program_unit

@@ -1,0 +1,186 @@
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+(* Def-use webs of [var] within the loop body.
+
+   A web is a connected component of the relation "definition d
+   reaches use u".  We compute, for each body statement that reads
+   [var], the set of body definitions reaching it, and union them. *)
+
+type webs = {
+  def_web : (Ast.stmt_id, int) Hashtbl.t;  (* canonical web per def *)
+  use_web : (Ast.stmt_id, int) Hashtbl.t;  (* web of the uses at a stmt *)
+  n_webs : int;
+}
+
+exception Not_renamable of string
+
+let analyze_webs (env : Depenv.t) (body : Ast.stmt list) var : webs =
+  let ctx = env.Depenv.ctx in
+  let defs = ref [] and uses = ref [] in
+  Ast.iter_stmts
+    (fun s ->
+      (match s.Ast.node with
+      | Ast.Assign (Ast.Var v, _) when String.equal v var ->
+        defs := s.Ast.sid :: !defs
+      | Ast.Call (_, args)
+        when List.exists (fun a -> a = Ast.Var var) args ->
+        raise (Not_renamable (var ^ " is passed to a CALL"))
+      | _ ->
+        if List.mem var (Defuse.may_defs ctx s) then
+          raise (Not_renamable (var ^ " is modified by something unrenamable")));
+      if List.mem var (Defuse.uses ctx s) then uses := s.Ast.sid :: !uses)
+    body;
+  let defs = List.rev !defs and uses = List.rev !uses in
+  if defs = [] then raise (Not_renamable (var ^ " is never defined in the body"));
+  (* union-find over defs *)
+  let parent = Hashtbl.create 8 in
+  List.iter (fun d -> Hashtbl.replace parent d d) defs;
+  let rec find d =
+    let p = Hashtbl.find parent d in
+    if p = d then d
+    else begin
+      let r = find p in
+      Hashtbl.replace parent d r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let use_defs = Hashtbl.create 8 in
+  List.iter
+    (fun u ->
+      let reaching = Reaching.defs_of_use env.Depenv.reaching u var in
+      let body_defs =
+        List.filter_map
+          (fun (d : Reaching.def) ->
+            match d.Reaching.def_at with
+            | Cfg.Stmt sid when List.mem sid defs -> Some sid
+            | Cfg.Stmt _ | Cfg.Entry ->
+              raise
+                (Not_renamable
+                   (var ^ " is read before the body defines it"))
+            | Cfg.Exit -> None)
+          reaching
+      in
+      (match body_defs with
+      | [] -> raise (Not_renamable (var ^ " has a use with no body definition"))
+      | d0 :: rest ->
+        List.iter (union d0) rest;
+        Hashtbl.replace use_defs u d0))
+    uses;
+  let canon = Hashtbl.create 8 in
+  let next = ref 0 in
+  let web_of d =
+    let r = find d in
+    match Hashtbl.find_opt canon r with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.replace canon r i;
+      i
+  in
+  let def_web = Hashtbl.create 8 in
+  List.iter (fun d -> Hashtbl.replace def_web d (web_of d)) defs;
+  let use_web = Hashtbl.create 8 in
+  Hashtbl.iter (fun u d -> Hashtbl.replace use_web u (web_of d)) use_defs;
+  { def_web; use_web; n_webs = !next }
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~var : Diagnosis.t =
+  ignore ddg;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (_, _, body) -> (
+    match Symbol.lookup env.Depenv.tbl var with
+    | Some { kind = Symbol.Scalar; _ } -> (
+      if
+        List.mem var
+          (Liveness.live_after env.Depenv.liveness env.Depenv.cfg sid)
+      then
+        Diagnosis.inapplicable (var ^ "'s value is observed after the loop")
+      else
+        match analyze_webs env body var with
+        | { n_webs; _ } when n_webs >= 2 ->
+          Diagnosis.make ~applicable:true ~safe:true ~profitable:true
+            ~notes:
+              [ Printf.sprintf "%s has %d independent webs: renaming splits them"
+                  var n_webs ]
+            ()
+        | _ ->
+          Diagnosis.inapplicable
+            (var ^ " has a single def-use web: nothing to split")
+        | exception Not_renamable why -> Diagnosis.inapplicable why)
+    | Some _ -> Diagnosis.inapplicable (var ^ " is not a scalar")
+    | None -> Diagnosis.inapplicable (var ^ " is not declared"))
+
+let apply (env : Depenv.t) sid ~var : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Rename_scalar.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let webs = analyze_webs env body var in
+    (* fresh names for webs 1..n-1; web 0 keeps the original *)
+    let names = Hashtbl.create 4 in
+    Hashtbl.replace names 0 var;
+    for w = 1 to webs.n_webs - 1 do
+      (* distinct bases give distinct results even against the table *)
+      Hashtbl.replace names w
+        (Rewrite.fresh_name env.Depenv.tbl (var ^ string_of_int w))
+    done;
+    let name_of w = Hashtbl.find names w in
+    let rename_stmt (s : Ast.stmt) : Ast.stmt =
+      let use_name =
+        match Hashtbl.find_opt webs.use_web s.Ast.sid with
+        | Some w -> Some (name_of w)
+        | None -> None
+      in
+      let def_name =
+        match Hashtbl.find_opt webs.def_web s.Ast.sid with
+        | Some w -> Some (name_of w)
+        | None -> None
+      in
+      let ren_use e =
+        match use_name with
+        | Some n -> Ast.rename_in_expr ~old_name:var ~new_name:n e
+        | None -> e
+      in
+      let node =
+        match s.Ast.node with
+        | Ast.Assign (Ast.Var v, rhs) when String.equal v var ->
+          let lhs =
+            match def_name with Some n -> Ast.Var n | None -> Ast.Var v
+          in
+          Ast.Assign (lhs, ren_use rhs)
+        | Ast.Assign (lhs, rhs) -> Ast.Assign (ren_use lhs, ren_use rhs)
+        | Ast.If (branches, els) ->
+          Ast.If (List.map (fun (c, b) -> (ren_use c, b)) branches, els)
+        | Ast.Do (hh, b) ->
+          Ast.Do
+            ( { hh with Ast.lo = ren_use hh.Ast.lo; hi = ren_use hh.Ast.hi;
+                step = Option.map ren_use hh.Ast.step },
+              b )
+        | Ast.Call (n, args) -> Ast.Call (n, List.map ren_use args)
+        | Ast.Print args -> Ast.Print (List.map ren_use args)
+        | (Ast.Goto _ | Ast.Continue | Ast.Return | Ast.Stop) as n -> n
+      in
+      { s with Ast.node }
+    in
+    let body' = Ast.map_stmts rename_stmt body in
+    let loop' = { loop with Ast.node = Ast.Do (h, body') } in
+    (* declare the fresh scalars with the original's type *)
+    let typ = Symbol.typ_of env.Depenv.tbl var in
+    let u =
+      Hashtbl.fold
+        (fun w n u ->
+          if w = 0 then u
+          else
+            Rewrite.add_decl u
+              { Ast.dname = n; dtyp = typ; dims = []; init = None;
+                data_init = None; common_block = None })
+        names u
+    in
+    Rewrite.replace_stmt u sid [ loop' ]

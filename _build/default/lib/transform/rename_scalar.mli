@@ -1,0 +1,19 @@
+(** Scalar renaming — give each disjoint def-use web of a temporary
+    its own name.
+
+    Programmers reuse one temporary for unrelated values; the storage
+    reuse manufactures anti and output dependences.  When the
+    temporary's occurrences in a loop body split into several
+    independent def-use webs, renaming all but the first web removes
+    those dependences (often making each new scalar private).
+
+    Applicable when the scalar has at least two webs in the loop body,
+    every use is reached only by definitions inside the body, the
+    value does not survive the loop, and the scalar is not passed to a
+    CALL.  Renaming is then semantics-preserving by construction. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> var:string -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> var:string -> Ast.program_unit

@@ -1,0 +1,54 @@
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (loop, h, body) ->
+    let carried = Ddg.blocking env ddg sid in
+    (* any scalar written by the loop (the induction variable included)
+       whose value is read afterwards would end with a different value *)
+    let live_after = Liveness.live_after env.Depenv.liveness env.Depenv.cfg sid in
+    let written =
+      h.Ast.dvar
+      :: Ast.fold_stmts
+           (fun acc s -> Defuse.scalar_writes env.Depenv.ctx s @ acc)
+           [] body
+    in
+    let escapees =
+      List.sort_uniq String.compare
+        (List.filter (fun v -> List.mem v live_after) written)
+    in
+    (* auxiliary induction accumulators pair values with iterations by
+       execution order: reversal re-pairs them *)
+    let aux = Indsub.needed env loop in
+    let safe = carried = [] && escapees = [] && aux = [] in
+    let notes =
+      List.map (fun d -> Format.asprintf "carried %a" Ddg.pp_dep d) carried
+      @ List.map
+          (fun v -> Printf.sprintf "%s's final value is observed after the loop" v)
+          escapees
+      @ List.map
+          (fun v ->
+            Printf.sprintf
+              "%s is an induction accumulator: substitute it first (indsub)" v)
+          aux
+    in
+    Diagnosis.make ~applicable:true ~safe ~profitable:false ~notes ()
+
+let apply (u : Ast.program_unit) sid : Ast.program_unit =
+  Rewrite.update_stmt u sid (fun s ->
+      match s.Ast.node with
+      | Ast.Do (h, body) ->
+        let step = Option.value ~default:(Ast.Int 1) h.Ast.step in
+        let h' =
+          {
+            h with
+            Ast.lo = h.Ast.hi;
+            hi = h.Ast.lo;
+            step = Some (Ast.simplify (Ast.Un (Ast.Neg, step)));
+          }
+        in
+        { s with Ast.node = Ast.Do (h', body) }
+      | _ -> s)

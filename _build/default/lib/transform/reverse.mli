@@ -1,0 +1,11 @@
+(** Loop reversal — run the iterations backwards.
+
+    Safe exactly when the loop carries no dependence (a carried
+    dependence's endpoints would swap order).  Occasionally profitable
+    for fusion or alignment; Ped offers it as a building block. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
+val apply : Ast.program_unit -> Ast.stmt_id -> Ast.program_unit

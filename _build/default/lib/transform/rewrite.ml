@@ -1,0 +1,144 @@
+open Fortran_front
+
+let rec replace_in_list sid repl (stmts : Ast.stmt list) : Ast.stmt list * bool
+    =
+  match stmts with
+  | [] -> ([], false)
+  | s :: rest ->
+    if s.Ast.sid = sid then (repl @ rest, true)
+    else begin
+      let s', hit = replace_in_stmt sid repl s in
+      if hit then (s' :: rest, true)
+      else
+        let rest', hit = replace_in_list sid repl rest in
+        (s :: rest', hit)
+    end
+
+and replace_in_stmt sid repl (s : Ast.stmt) : Ast.stmt * bool =
+  match s.Ast.node with
+  | Ast.If (branches, els) ->
+    let hit = ref false in
+    let branches' =
+      List.map
+        (fun (c, body) ->
+          if !hit then (c, body)
+          else
+            let body', h = replace_in_list sid repl body in
+            if h then hit := true;
+            (c, body'))
+        branches
+    in
+    let els' =
+      if !hit then els
+      else begin
+        let els', h = replace_in_list sid repl els in
+        if h then hit := true;
+        els'
+      end
+    in
+    ({ s with Ast.node = Ast.If (branches', els') }, !hit)
+  | Ast.Do (h, body) ->
+    let body', hit = replace_in_list sid repl body in
+    ({ s with Ast.node = Ast.Do (h, body') }, hit)
+  | Ast.Assign _ | Ast.Call _ | Ast.Goto _ | Ast.Continue | Ast.Return
+  | Ast.Stop | Ast.Print _ -> (s, false)
+
+let replace_stmt (u : Ast.program_unit) sid repl : Ast.program_unit =
+  let body, hit = replace_in_list sid repl u.Ast.body in
+  if not hit then raise Not_found;
+  { u with Ast.body = body }
+
+let update_stmt u sid f =
+  let found = ref None in
+  Ast.iter_stmts
+    (fun s -> if s.Ast.sid = sid then found := Some s)
+    u.Ast.body;
+  match !found with
+  | None -> raise Not_found
+  | Some s -> replace_stmt u sid [ f s ]
+
+let rec refresh_sids (stmts : Ast.stmt list) : Ast.stmt list =
+  List.map
+    (fun (s : Ast.stmt) ->
+      let node =
+        match s.Ast.node with
+        | Ast.If (branches, els) ->
+          Ast.If
+            ( List.map (fun (c, b) -> (c, refresh_sids b)) branches,
+              refresh_sids els )
+        | Ast.Do (h, body) -> Ast.Do (h, refresh_sids body)
+        | (Ast.Assign _ | Ast.Call _ | Ast.Goto _ | Ast.Continue | Ast.Return
+          | Ast.Stop | Ast.Print _) as n -> n
+      in
+      (* drop labels on copies: duplicate labels would be ambiguous *)
+      { s with Ast.sid = Ast.fresh_sid (); label = None; node })
+    stmts
+
+let map_exprs_in_stmts (f : Ast.expr -> Ast.expr) (stmts : Ast.stmt list) :
+    Ast.stmt list =
+  Ast.map_stmts
+    (fun (s : Ast.stmt) ->
+      let node =
+        match s.Ast.node with
+        | Ast.Assign (lhs, rhs) -> Ast.Assign (f lhs, f rhs)
+        | Ast.If (branches, els) ->
+          Ast.If (List.map (fun (c, b) -> (f c, b)) branches, els)
+        | Ast.Do (h, body) ->
+          Ast.Do
+            ( { h with Ast.lo = f h.Ast.lo; hi = f h.Ast.hi;
+                step = Option.map f h.Ast.step },
+              body )
+        | Ast.Call (name, args) -> Ast.Call (name, List.map f args)
+        | Ast.Print args -> Ast.Print (List.map f args)
+        | (Ast.Goto _ | Ast.Continue | Ast.Return | Ast.Stop) as n -> n
+      in
+      { s with Ast.node })
+    stmts
+
+let rename_var ~old_name ~new_name stmts =
+  Ast.map_stmts
+    (fun (s : Ast.stmt) ->
+      let f = Ast.rename_in_expr ~old_name ~new_name in
+      let node =
+        match s.Ast.node with
+        | Ast.Assign (lhs, rhs) -> Ast.Assign (f lhs, f rhs)
+        | Ast.If (branches, els) ->
+          Ast.If (List.map (fun (c, b) -> (f c, b)) branches, els)
+        | Ast.Do (h, body) ->
+          let dvar =
+            if String.equal h.Ast.dvar old_name then new_name else h.Ast.dvar
+          in
+          Ast.Do
+            ( { h with Ast.dvar; lo = f h.Ast.lo; hi = f h.Ast.hi;
+                step = Option.map f h.Ast.step },
+              body )
+        | Ast.Call (name, args) -> Ast.Call (name, List.map f args)
+        | Ast.Print args -> Ast.Print (List.map f args)
+        | (Ast.Goto _ | Ast.Continue | Ast.Return | Ast.Stop) as n -> n
+      in
+      { s with Ast.node })
+    stmts
+
+let subst_in_stmts var e stmts =
+  map_exprs_in_stmts (Ast.subst_var var e) stmts
+
+let add_decl (u : Ast.program_unit) (d : Ast.decl) : Ast.program_unit =
+  let others =
+    List.filter (fun (x : Ast.decl) -> x.Ast.dname <> d.Ast.dname) u.Ast.decls
+  in
+  { u with Ast.decls = others @ [ d ] }
+
+let fresh_name tbl base =
+  let exists n = Fortran_front.Symbol.lookup tbl n <> None in
+  if not (exists base) then base
+  else
+    let rec go i =
+      let n = Printf.sprintf "%s%d" base i in
+      if exists n then go (i + 1) else n
+    in
+    go 1
+
+let find_do (u : Ast.program_unit) sid =
+  match Ast.find_stmt sid u.Ast.body with
+  | Some ({ Ast.node = Ast.Do (h, body); _ } as s) -> Some (s, h, body)
+  | Some _ | None -> None

@@ -1,0 +1,42 @@
+(** AST surgery shared by all transformations.
+
+    Rewrites preserve the statement ids of untouched statements so
+    dependence-pane selections and markings survive a transformation;
+    duplicated statements (unrolling, peeling) receive fresh ids. *)
+
+open Fortran_front
+
+(** [replace_stmt u sid repl] — replace the statement [sid] (wherever
+    it nests) by the statements [repl].
+    @raise Not_found if [sid] does not occur in [u]. *)
+val replace_stmt :
+  Ast.program_unit -> Ast.stmt_id -> Ast.stmt list -> Ast.program_unit
+
+(** [update_stmt u sid f] — apply [f] to the statement [sid]. *)
+val update_stmt :
+  Ast.program_unit -> Ast.stmt_id -> (Ast.stmt -> Ast.stmt) ->
+  Ast.program_unit
+
+(** Deep copy with fresh statement ids (for duplicating bodies). *)
+val refresh_sids : Ast.stmt list -> Ast.stmt list
+
+(** [rename_var ~old_name ~new_name stmts] — rename a variable in all
+    expressions of the statements (bodies included). *)
+val rename_var :
+  old_name:string -> new_name:string -> Ast.stmt list -> Ast.stmt list
+
+(** [subst_in_stmts var e stmts] — substitute expression [e] for
+    every [Var var] in the statements. *)
+val subst_in_stmts : string -> Ast.expr -> Ast.stmt list -> Ast.stmt list
+
+(** [add_decl u decl] — append a declaration (used by scalar
+    expansion).  Replaces an existing declaration of the same name. *)
+val add_decl : Ast.program_unit -> Ast.decl -> Ast.program_unit
+
+(** [fresh_name tbl base] — a variable name not present in the symbol
+    table, derived from [base]. *)
+val fresh_name : Fortran_front.Symbol.table -> string -> string
+
+(** The DO statement with this id, if any. *)
+val find_do :
+  Ast.program_unit -> Ast.stmt_id -> (Ast.stmt * Ast.do_header * Ast.stmt list) option

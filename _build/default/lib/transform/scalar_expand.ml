@@ -1,0 +1,106 @@
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+let classify_var (env : Depenv.t) loop var =
+  let classes =
+    Varclass.classify ~cfg:env.Depenv.cfg env.Depenv.ctx env.Depenv.liveness
+      loop
+  in
+  Varclass.lookup classes var
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~var : Diagnosis.t =
+  ignore ddg;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (loop, h, _) -> (
+    match Symbol.lookup env.Depenv.tbl var with
+    | Some { kind = Symbol.Scalar; _ } -> (
+      let trip =
+        match Depenv.int_at env sid (Ast.sub h.Ast.hi h.Ast.lo) with
+        | Some d -> Some (d + 1)
+        | None -> None
+      in
+      match classify_var env loop var with
+      | Some (Varclass.Private { needs_last_value }) -> (
+        match trip with
+        | None ->
+          Diagnosis.inapplicable "trip count is not a known constant"
+        | Some t when t <= 0 -> Diagnosis.inapplicable "empty loop"
+        | Some t ->
+          (* last-value copy-out reads the final iteration's element,
+             which is only right if that iteration assigns the scalar
+             unconditionally *)
+          let unconditional =
+            match Rewrite.find_do env.Depenv.punit sid with
+            | Some (_, _, body) ->
+              List.exists
+                (fun (s : Ast.stmt) ->
+                  match s.Ast.node with
+                  | Ast.Assign (Ast.Var v, _) -> String.equal v var
+                  | _ -> false)
+                body
+            | None -> false
+          in
+          let safe = (not needs_last_value) || unconditional in
+          Diagnosis.make ~applicable:true ~safe ~profitable:true
+            ~notes:
+              ([ Printf.sprintf "expands %s into an array of %d" var t ]
+              @ (if needs_last_value then [ "last value will be copied out" ]
+                 else [ "no last value needed" ])
+              @
+              if not safe then
+                [ "conditional assignment: last value would be wrong" ]
+              else [])
+            ())
+      | Some cls ->
+        Diagnosis.inapplicable
+          (Printf.sprintf "%s is %s, not a privatizable scalar" var
+             (Varclass.classification_to_string cls))
+      | None ->
+        Diagnosis.inapplicable
+          (Printf.sprintf "%s does not occur in the loop" var))
+    | Some _ -> Diagnosis.inapplicable (var ^ " is not a scalar")
+    | None -> Diagnosis.inapplicable (var ^ " is not declared"))
+
+let apply (env : Depenv.t) sid ~var : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Scalar_expand.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let hi_const =
+      match Depenv.int_at env sid h.Ast.hi with
+      | Some n -> n
+      | None -> invalid_arg "Scalar_expand.apply: unknown bound"
+    in
+    let lo_const =
+      match Depenv.int_at env sid h.Ast.lo with
+      | Some n -> n
+      | None -> invalid_arg "Scalar_expand.apply: unknown bound"
+    in
+    let arr = Rewrite.fresh_name env.Depenv.tbl (var ^ "X") in
+    let elem = Ast.Index (arr, [ Ast.Var h.Ast.dvar ]) in
+    (* the substitution rewrites assignment left-hand sides too *)
+    let body' = Rewrite.subst_in_stmts var elem body in
+    let loop' = { loop with Ast.node = Ast.Do (h, body') } in
+    let needs_last =
+      List.mem var (Liveness.live_after env.Depenv.liveness env.Depenv.cfg sid)
+    in
+    let copy_out =
+      if needs_last then
+        [ Ast.mk (Ast.Assign (Ast.Var var, Ast.Index (arr, [ h.Ast.hi ]))) ]
+      else []
+    in
+    let typ = Symbol.typ_of env.Depenv.tbl var in
+    let u =
+      Rewrite.add_decl u
+        {
+          Ast.dname = arr;
+          dtyp = typ;
+          dims = [ (Ast.Int lo_const, Ast.Int hi_const) ];
+          init = None;
+          data_init = None;
+          common_block = None;
+        }
+    in
+    Rewrite.replace_stmt u sid (loop' :: copy_out)

@@ -1,0 +1,16 @@
+(** Scalar expansion — replace a scalar temporary with a per-iteration
+    array element, removing the anti/output dependences the shared
+    temporary induces.
+
+    Applicable when the variable is classified [Private] in the loop
+    (written before read on every iteration) and the trip count is a
+    known constant (the expansion array needs a static size).  When
+    the scalar is live after the loop its last value is copied out.
+    This was the single transformation Blume & Eigenmann found to
+    consistently pay off. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> var:string -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> var:string -> Ast.program_unit

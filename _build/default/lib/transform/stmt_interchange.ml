@@ -1,0 +1,52 @@
+open Fortran_front
+open Dependence
+
+let rec find_adjacent sid1 sid2 (stmts : Ast.stmt list) =
+  match stmts with
+  | a :: b :: _ when a.Ast.sid = sid1 && b.Ast.sid = sid2 -> Some (a, b)
+  | a :: rest -> (
+    match find_in_stmt sid1 sid2 a with
+    | Some r -> Some r
+    | None -> find_adjacent sid1 sid2 rest)
+  | [] -> None
+
+and find_in_stmt sid1 sid2 (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.If (branches, els) -> (
+    let rec try_branches = function
+      | [] -> find_adjacent sid1 sid2 els
+      | (_, b) :: rest -> (
+        match find_adjacent sid1 sid2 b with
+        | Some r -> Some r
+        | None -> try_branches rest)
+    in
+    try_branches branches)
+  | Ast.Do (_, body) -> find_adjacent sid1 sid2 body
+  | _ -> None
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid1 sid2 : Diagnosis.t =
+  match find_adjacent sid1 sid2 env.Depenv.punit.Ast.body with
+  | None -> Diagnosis.inapplicable "statements are not adjacent siblings"
+  | Some (a, b) ->
+    let connecting =
+      List.filter
+        (fun (d : Ddg.dep) ->
+          d.Ddg.level = None
+          && d.Ddg.kind <> Ddg.Control
+          && ((d.Ddg.src = a.Ast.sid && d.Ddg.dst = b.Ast.sid)
+             || (d.Ddg.src = b.Ast.sid && d.Ddg.dst = a.Ast.sid)))
+        ddg.Ddg.deps
+    in
+    let safe = connecting = [] in
+    let notes =
+      List.map (fun d -> Format.asprintf "connected by %a" Ddg.pp_dep d)
+        connecting
+    in
+    Diagnosis.make ~applicable:true ~safe ~profitable:false ~notes ()
+
+let apply (u : Ast.program_unit) sid1 sid2 : Ast.program_unit =
+  match find_adjacent sid1 sid2 u.Ast.body with
+  | None -> invalid_arg "Stmt_interchange.apply: not adjacent"
+  | Some (a, b) ->
+    let u = Rewrite.replace_stmt u sid2 [] in
+    Rewrite.replace_stmt u sid1 [ b; a ]

@@ -1,0 +1,12 @@
+(** Statement interchange — swap two adjacent statements.
+
+    Safe when no loop-independent dependence connects them in either
+    direction (loop-carried dependences are unaffected by
+    intra-iteration order).  Ped offers it for enabling distribution
+    and fusion alignments. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Ast.stmt_id -> Diagnosis.t
+val apply : Ast.program_unit -> Ast.stmt_id -> Ast.stmt_id -> Ast.program_unit

@@ -1,0 +1,64 @@
+open Fortran_front
+open Dependence
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~block : Diagnosis.t =
+  ignore ddg;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (_, h, _) ->
+    if block < 2 then Diagnosis.inapplicable "block size must be at least 2"
+    else begin
+      let step_const =
+        match h.Ast.step with
+        | None -> Some 1
+        | Some e -> Depenv.int_at env sid e
+      in
+      match step_const with
+      | None -> Diagnosis.inapplicable "step is not a known constant"
+      | Some 0 -> Diagnosis.inapplicable "zero step"
+      | Some _ ->
+        let trip = Depenv.int_at env sid (Ast.sub h.Ast.hi h.Ast.lo) in
+        let profitable =
+          match trip with Some t -> t + 1 > block | None -> true
+        in
+        Diagnosis.make ~applicable:true ~safe:true ~profitable
+          ~notes:[ "strip mining is always safe" ] ()
+    end
+
+let apply (env : Depenv.t) sid ~block : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Strip_mine.apply: not a DO loop"
+  | Some (loop, h, body) ->
+    let step = Option.value ~default:(Ast.Int 1) h.Ast.step in
+    let svar = Rewrite.fresh_name env.Depenv.tbl (h.Ast.dvar ^ "S") in
+    let big_step = Ast.simplify (Ast.mul (Ast.int_ block) step) in
+    (* inner: DO I = IS, MIN(IS + (block−1)·step, hi), step *)
+    let inner_hi =
+      Ast.Index
+        ( "MIN",
+          [
+            Ast.simplify
+              (Ast.add (Ast.Var svar)
+                 (Ast.mul (Ast.int_ (block - 1)) step));
+            h.Ast.hi;
+          ] )
+    in
+    let inner =
+      Ast.mk ~loc:loop.Ast.loc
+        (Ast.Do
+           ( { h with Ast.lo = Ast.Var svar; hi = inner_hi;
+               step = Some step; parallel = false },
+             body ))
+    in
+    let outer =
+      {
+        loop with
+        Ast.node =
+          Ast.Do
+            ( { Ast.dvar = svar; lo = h.Ast.lo; hi = h.Ast.hi;
+                step = Some big_step; parallel = false },
+              [ inner ] );
+      }
+    in
+    Rewrite.replace_stmt u sid [ outer ]

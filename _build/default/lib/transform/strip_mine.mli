@@ -1,0 +1,15 @@
+(** Strip mining — split a loop into strips of a fixed block size.
+
+    [DO I = lo, hi] becomes an outer loop over strip starts and an
+    inner loop over [MIN] -bounded strips.  A pure reindexing, so
+    always safe; the standard preparation for scheduling and memory
+    blocking (with interchange it yields tiling). *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> block:int -> Diagnosis.t
+
+(** [apply env u sid ~block] — the outer strip loop takes the original
+    statement id. *)
+val apply : Depenv.t -> Ast.stmt_id -> block:int -> Ast.program_unit

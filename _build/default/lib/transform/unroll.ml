@@ -1,0 +1,71 @@
+open Fortran_front
+open Dependence
+
+let trip_and_step (env : Depenv.t) sid (h : Ast.do_header) =
+  let step =
+    match h.Ast.step with
+    | None -> Some 1
+    | Some e -> Depenv.int_at env sid e
+  in
+  match step with
+  | None | Some 0 -> None
+  | Some st -> (
+    match Depenv.int_at env sid (Ast.sub h.Ast.hi h.Ast.lo) with
+    | Some diff when (diff >= 0) = (st > 0) -> Some ((diff / st) + 1, st)
+    | Some _ -> Some (0, st)
+    | None -> None)
+
+let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~factor : Diagnosis.t =
+  ignore ddg;
+  match Rewrite.find_do env.Depenv.punit sid with
+  | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (_, h, body) ->
+    if factor < 2 then Diagnosis.inapplicable "unroll factor must be at least 2"
+    else begin
+      (* the induction variable must not be assigned in the body *)
+      let iv_assigned =
+        Ast.fold_stmts
+          (fun acc s ->
+            acc
+            || match s.Ast.node with
+               | Ast.Assign (Ast.Var v, _) -> String.equal v h.Ast.dvar
+               | _ -> false)
+          false body
+      in
+      if iv_assigned then
+        Diagnosis.inapplicable "induction variable assigned in the body"
+      else
+        match trip_and_step env sid h with
+        | None -> Diagnosis.inapplicable "trip count is not a known constant"
+        | Some (trip, _) ->
+          if trip mod factor <> 0 then
+            Diagnosis.inapplicable
+              (Printf.sprintf "trip count %d not divisible by %d" trip factor)
+          else
+            Diagnosis.make ~applicable:true ~safe:true ~profitable:(trip >= factor)
+              ~notes:[ Printf.sprintf "%d iterations per unrolled body" factor ]
+              ()
+    end
+
+let apply (env : Depenv.t) sid ~factor : Ast.program_unit =
+  let u = env.Depenv.punit in
+  match Rewrite.find_do u sid with
+  | None -> invalid_arg "Unroll.apply: not a DO loop"
+  | Some (loop, h, body) -> (
+    match trip_and_step env sid h with
+    | None -> invalid_arg "Unroll.apply: unknown trip count"
+    | Some (_, st) ->
+      let copies =
+        List.concat_map
+          (fun k ->
+            let copy = Rewrite.refresh_sids body in
+            if k = 0 then copy
+            else
+              Rewrite.subst_in_stmts h.Ast.dvar
+                (Ast.simplify (Ast.add (Ast.Var h.Ast.dvar) (Ast.int_ (k * st))))
+                copy)
+          (List.init factor Fun.id)
+      in
+      let h' = { h with Ast.step = Some (Ast.Int (st * factor)) } in
+      let loop' = { loop with Ast.node = Ast.Do (h', copies) } in
+      Rewrite.replace_stmt u sid [ loop' ])

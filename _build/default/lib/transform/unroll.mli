@@ -1,0 +1,14 @@
+(** Loop unrolling by a constant factor.
+
+    Applicable when the trip count is a known constant divisible by
+    the factor (Ped asks the user to strip-mine or peel first
+    otherwise).  Each copy of the body reads the induction variable
+    offset by a multiple of the step.  Always safe; profitable for
+    instruction-level work per iteration, which the performance
+    estimator reflects as reduced loop overhead. *)
+
+open Fortran_front
+open Dependence
+
+val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> factor:int -> Diagnosis.t
+val apply : Depenv.t -> Ast.stmt_id -> factor:int -> Ast.program_unit

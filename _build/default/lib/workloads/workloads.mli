@@ -1,0 +1,32 @@
+(** The workload suite — miniature Fortran programs, each exhibiting a
+    phenomenon from the ParaScope Editor literature (stencils,
+    recurrences, reductions, symbolic bounds, index arrays, calls in
+    loops...).  Every program is self-contained and runnable on the
+    simulator: it initializes its data, computes, and PRINTs checksums
+    the tests compare across transformations. *)
+
+open Fortran_front
+
+type t = {
+  name : string;
+  description : string;
+  phenomenon : string;   (** what the kernel exercises *)
+  source : string;       (** complete Fortran source *)
+  main_loops : int;      (** DO loops in the main unit *)
+  main_parallel : int;
+      (** of those, how many full analysis (with interprocedural
+          support) proves parallelizable — the tests pin this *)
+  assertion_script : string list;
+      (** editor commands (assertions/markings) that unlock more
+          parallelism, empty when none apply *)
+}
+
+val all : t list
+val by_name : string -> t option
+val names : string list
+
+(** Parsed program (fresh statement ids each call). *)
+val program : t -> Ast.program
+
+(** The main unit's name. *)
+val main_unit : t -> string

@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Ast Fortran_front List Option Parser Pretty String Util

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Ast Cfg Fortran_front List Option Scalar_analysis Util

@@ -1,0 +1,1 @@
+test/test_command.ml: Alcotest List Option Ped String Transform Util Workloads

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Ast Cfg Constants Control_dep Defuse Dominators Fortran_front List Liveness Option Parser Reaching Scalar_analysis Symbol Util Workloads

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Ddg Dependence Depenv Fortran_front List Loopnest Option Printf Util Workloads

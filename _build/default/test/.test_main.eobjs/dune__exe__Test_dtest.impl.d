@@ -1,0 +1,1 @@
+test/test_dtest.ml: Alcotest Array Dependence Dtest Fun List QCheck2 QCheck_alcotest Util

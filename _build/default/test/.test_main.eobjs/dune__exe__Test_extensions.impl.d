@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Arrayprivate Ast Ddg Dependence Depenv Filename Fortran_front List Loopnest Option Parser Ped Pretty Printf Sim Sys Transform Util Workloads

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ast Dependence Filename Fortran_front Fun List Option Parser Ped Pretty Printf Scanf Sim String Sys Transform Util Workloads

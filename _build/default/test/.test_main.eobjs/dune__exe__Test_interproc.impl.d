@@ -1,0 +1,1 @@
+test/test_interproc.ml: Alcotest Ast Dependence Fortran_front Interproc List Option Sim String Symbol Util Workloads

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Fortran_front Lexer List Loc String Token Util

@@ -1,0 +1,1 @@
+test/test_loopnest.ml: Dependence Depenv Fortran_front List Loopnest String Util

@@ -1,0 +1,1 @@
+test/test_marking.ml: Ddg Dependence List Ped Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Fortran_front List Loc Parser Pretty Util

@@ -1,0 +1,1 @@
+test/test_ped.ml: Alcotest Ddg Dependence Depenv Fortran_front List Loopnest Option Ped Printf String Transform Util Workloads

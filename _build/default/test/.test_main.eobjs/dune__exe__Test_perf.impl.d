@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Dependence Depenv Float Fortran_front List Loopnest Option Ped Perf Sim Util Workloads

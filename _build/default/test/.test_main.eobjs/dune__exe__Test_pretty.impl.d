@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Fortran_front List Parser Pretty QCheck2 QCheck_alcotest String Util Workloads

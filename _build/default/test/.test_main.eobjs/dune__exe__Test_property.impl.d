@@ -1,0 +1,1 @@
+test/test_property.ml: Ast Ddg Dependence Depenv Fortran_front List Loopnest Option Parser Pretty Printexc QCheck2 QCheck_alcotest Sim Transform

@@ -1,0 +1,1 @@
+test/test_sections.ml: Alcotest Ast Fortran_front Interproc List Option Pretty Symbol Util

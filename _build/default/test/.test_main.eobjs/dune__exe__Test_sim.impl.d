@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dependence List Ped Sim Transform Util Workloads

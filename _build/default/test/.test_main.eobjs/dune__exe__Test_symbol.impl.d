@@ -1,0 +1,1 @@
+test/test_symbol.ml: Alcotest Ast Fortran_front Parser Symbol Util

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Ast Dependence Fortran_front Option Parser Pretty QCheck2 QCheck_alcotest Scalar_analysis Symbolic Util

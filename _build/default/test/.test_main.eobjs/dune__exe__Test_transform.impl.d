@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ast Ddg Dependence Depenv Fortran_front List Loopnest Option Pretty Sim Transform Util Workloads

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ast Fortran_front Sim Util

@@ -1,0 +1,1 @@
+test/test_varclass.ml: Alcotest Dependence List Option Printf Scalar_analysis Util Varclass

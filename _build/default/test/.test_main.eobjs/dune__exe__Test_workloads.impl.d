@@ -1,0 +1,1 @@
+test/test_workloads.ml: List Ped Sim String Util Workloads

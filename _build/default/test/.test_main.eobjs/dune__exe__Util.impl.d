@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Ast Dependence Fortran_front List Parser Printf Sim String

@@ -1,0 +1,113 @@
+open Fortran_front
+open Scalar_analysis
+open Util
+
+let build src = Cfg.build (parse_unit src)
+
+let sid_of_assign cfg var =
+  let found = ref None in
+  List.iter
+    (fun n ->
+      match Cfg.stmt_of cfg n with
+      | Some { Ast.node = Ast.Assign (Ast.Var v, _); sid; _ } when v = var ->
+        found := Some sid
+      | _ -> ())
+    (Cfg.nodes cfg);
+  Option.get !found
+
+let suite =
+  [
+    case "straight line chains" (fun () ->
+        let cfg = build "      PROGRAM P\n      X = 1\n      Y = 2\n      END\n" in
+        let x = Cfg.Stmt (sid_of_assign cfg "X") in
+        let y = Cfg.Stmt (sid_of_assign cfg "Y") in
+        check_bool "entry->x" true
+          (List.exists (Cfg.node_equal x) (Cfg.succs cfg Cfg.Entry));
+        check_bool "x->y" true (List.exists (Cfg.node_equal y) (Cfg.succs cfg x));
+        check_bool "y->exit" true
+          (List.exists (Cfg.node_equal Cfg.Exit) (Cfg.succs cfg y)));
+    case "loop has back edge and exit edge" (fun () ->
+        let cfg =
+          build "      PROGRAM P\n      DO I = 1, 3\n        X = I\n      ENDDO\n      END\n"
+        in
+        let do_node =
+          List.find
+            (fun n ->
+              match Cfg.stmt_of cfg n with
+              | Some { Ast.node = Ast.Do _; _ } -> true
+              | _ -> false)
+            (Cfg.nodes cfg)
+        in
+        let body = Cfg.Stmt (sid_of_assign cfg "X") in
+        check_bool "do->body" true
+          (List.exists (Cfg.node_equal body) (Cfg.succs cfg do_node));
+        check_bool "do->exit (zero trip)" true
+          (List.exists (Cfg.node_equal Cfg.Exit) (Cfg.succs cfg do_node));
+        check_bool "body->do (back edge)" true
+          (List.exists (Cfg.node_equal do_node) (Cfg.succs cfg body)));
+    case "if has both branch edges" (fun () ->
+        let cfg =
+          build
+            "      PROGRAM P\n      IF (A .GT. 0) THEN\n        X = 1\n      ELSE\n        Y = 2\n      ENDIF\n      END\n"
+        in
+        let if_node =
+          List.find
+            (fun n ->
+              match Cfg.stmt_of cfg n with
+              | Some { Ast.node = Ast.If _; _ } -> true
+              | _ -> false)
+            (Cfg.nodes cfg)
+        in
+        check_int "two successors" 2 (List.length (Cfg.succs cfg if_node)));
+    case "goto edges to label" (fun () ->
+        let cfg =
+          build
+            "      PROGRAM P\n      GOTO 20\n      X = 1\n 20   Y = 2\n      END\n"
+        in
+        let y = Cfg.Stmt (sid_of_assign cfg "Y") in
+        let goto_node =
+          List.find
+            (fun n ->
+              match Cfg.stmt_of cfg n with
+              | Some { Ast.node = Ast.Goto _; _ } -> true
+              | _ -> false)
+            (Cfg.nodes cfg)
+        in
+        check_bool "goto->label" true
+          (List.exists (Cfg.node_equal y) (Cfg.succs cfg goto_node));
+        (* X is unreachable but still a node *)
+        let x = Cfg.Stmt (sid_of_assign cfg "X") in
+        check_bool "x present" true (List.mem x (Cfg.nodes cfg)));
+    case "return edges to exit" (fun () ->
+        let cfg = build "      SUBROUTINE S\n      RETURN\n      X = 1\n      END\n" in
+        let ret =
+          List.find
+            (fun n ->
+              match Cfg.stmt_of cfg n with
+              | Some { Ast.node = Ast.Return; _ } -> true
+              | _ -> false)
+            (Cfg.nodes cfg)
+        in
+        check_bool "return->exit" true
+          (List.exists (Cfg.node_equal Cfg.Exit) (Cfg.succs cfg ret)));
+    case "preds mirror succs" (fun () ->
+        let cfg =
+          build "      PROGRAM P\n      DO I = 1, 3\n        X = I\n      ENDDO\n      END\n"
+        in
+        List.iter
+          (fun n ->
+            List.iter
+              (fun m ->
+                check_bool "mirror" true
+                  (List.exists (Cfg.node_equal n) (Cfg.preds cfg m)))
+              (Cfg.succs cfg n))
+          (Cfg.nodes cfg));
+    case "reverse postorder starts at entry" (fun () ->
+        let cfg = build "      PROGRAM P\n      X = 1\n      END\n" in
+        check_bool "entry first" true
+          (Cfg.node_equal (List.hd (Cfg.nodes cfg)) Cfg.Entry));
+    case "dot output mentions all statements" (fun () ->
+        let cfg = build "      PROGRAM P\n      X = 1\n      END\n" in
+        let dot = Cfg.dot cfg in
+        check_bool "has X" true (contains ~needle:"X = 1" dot));
+  ]

@@ -1,0 +1,188 @@
+open Fortran_front
+open Scalar_analysis
+open Util
+
+let setup src =
+  let u = parse_unit src in
+  let tbl = Symbol.build u in
+  let ctx = Defuse.make tbl u in
+  let cfg = Cfg.build u in
+  (u, ctx, cfg)
+
+let assign_sid cfg var =
+  let found = ref None in
+  List.iter
+    (fun n ->
+      match Cfg.stmt_of cfg n with
+      | Some { Ast.node = Ast.Assign (Ast.Var v, _); sid; _ } when v = var ->
+        found := Some sid
+      | _ -> ())
+    (Cfg.nodes cfg);
+  Option.get !found
+
+let stmt_with cfg pred =
+  List.find_map
+    (fun n ->
+      match Cfg.stmt_of cfg n with
+      | Some s when pred s -> Some s.Ast.sid
+      | _ -> None)
+    (Cfg.nodes cfg)
+  |> Option.get
+
+let suite =
+  [
+    case "reaching: straight line kill" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      X = 1\n      X = 2\n      Y = X\n      END\n"
+        in
+        let r = Reaching.analyze ctx cfg in
+        let y = stmt_with cfg (fun s ->
+            match s.Ast.node with Ast.Assign (Ast.Var "Y", _) -> true | _ -> false) in
+        match Reaching.defs_of_use r y "X" with
+        | [ { Reaching.def_at = Cfg.Stmt d; _ } ] ->
+          (* only the second X = reaches *)
+          let second = stmt_with cfg (fun s ->
+              match s.Ast.node with
+              | Ast.Assign (Ast.Var "X", Ast.Int 2) -> true | _ -> false) in
+          check_int "second def" second d
+        | _ -> Alcotest.fail "expected exactly one def");
+    case "reaching: both branch defs reach" (fun () ->
+        let _, ctx, cfg =
+          setup
+            "      PROGRAM P\n      IF (A .GT. 0) THEN\n        X = 1\n      ELSE\n        X = 2\n      ENDIF\n      Y = X\n      END\n"
+        in
+        let r = Reaching.analyze ctx cfg in
+        let y = stmt_with cfg (fun s ->
+            match s.Ast.node with Ast.Assign (Ast.Var "Y", _) -> true | _ -> false) in
+        check_int "two defs" 2 (List.length (Reaching.defs_of_use r y "X")));
+    case "reaching: loop def reaches around back edge" (fun () ->
+        let _, ctx, cfg =
+          setup
+            "      PROGRAM P\n      DO I = 1, 3\n        Y = X\n        X = 1.0\n      ENDDO\n      END\n"
+        in
+        let r = Reaching.analyze ctx cfg in
+        let y = stmt_with cfg (fun s ->
+            match s.Ast.node with Ast.Assign (Ast.Var "Y", _) -> true | _ -> false) in
+        (* Entry def and the loop def both reach the use *)
+        check_int "two defs" 2 (List.length (Reaching.defs_of_use r y "X")));
+    case "unique_def requires single non-entry def" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      K = 3\n      X = K + 1.0\n      END\n"
+        in
+        let r = Reaching.analyze ctx cfg in
+        let x = assign_sid cfg "X" in
+        check_bool "unique" true (Reaching.unique_def r x "K" <> None));
+    case "liveness: read keeps variable live" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      X = 1\n      Y = X\n      END\n"
+        in
+        let l = Liveness.analyze ctx cfg in
+        let x = assign_sid cfg "X" in
+        check_bool "X live after def" true (Liveness.is_live_out l x "X"));
+    case "liveness: dead after last use" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      X = 1\n      Y = X\n      Y = 2\n      END\n"
+        in
+        let l = Liveness.analyze ctx cfg in
+        let y2 = stmt_with cfg (fun s ->
+            match s.Ast.node with
+            | Ast.Assign (Ast.Var "Y", Ast.Int 2) -> true | _ -> false) in
+        check_bool "X dead" false (Liveness.is_live_out l y2 "X"));
+    case "liveness: all_escape keeps locals live at exit" (fun () ->
+        let _, ctx, cfg = setup "      PROGRAM P\n      X = 1\n      END\n" in
+        let l = Liveness.analyze ~all_escape:true ctx cfg in
+        let x = assign_sid cfg "X" in
+        check_bool "escapes" true (Liveness.is_live_out l x "X"));
+    case "constants: simple propagation" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      K = 3\n      L = K + 4\n      M = L\n      END\n"
+        in
+        let c = Constants.analyze ctx cfg in
+        let m = assign_sid cfg "M" in
+        check_bool "L=7" true
+          (Constants.const_of_var c m "L" = Some (Constants.Cint 7)));
+    case "constants: join of different values is bottom" (fun () ->
+        let _, ctx, cfg =
+          setup
+            "      PROGRAM P\n      IF (A .GT. 0) THEN\n        K = 1\n      ELSE\n        K = 2\n      ENDIF\n      M = K\n      END\n"
+        in
+        let c = Constants.analyze ctx cfg in
+        let m = assign_sid cfg "M" in
+        check_bool "K unknown" true (Constants.const_of_var c m "K" = None));
+    case "constants: loop variable is varying" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      DO I = 1, 3\n        M = I\n      ENDDO\n      END\n"
+        in
+        let c = Constants.analyze ctx cfg in
+        let m = assign_sid cfg "M" in
+        check_bool "I varying" true (Constants.const_of_var c m "I" = None));
+    case "constants: parameters seed the lattice" (fun () ->
+        let _, ctx, cfg =
+          setup
+            "      PROGRAM P\n      INTEGER N\n      PARAMETER (N = 10)\n      M = N * 2\n      END\n"
+        in
+        let c = Constants.analyze ctx cfg in
+        let m = assign_sid cfg "M" in
+        check_bool "2N" true
+          (Constants.int_at c m (Parser.parse_expr_string "N * 2") = Some 20));
+    case "constants: call kills modifiable actuals" (fun () ->
+        let _, ctx, cfg =
+          setup "      PROGRAM P\n      K = 3\n      CALL S(K)\n      M = K\n      END\n"
+        in
+        let c = Constants.analyze ctx cfg in
+        let m = assign_sid cfg "M" in
+        check_bool "K clobbered" true (Constants.const_of_var c m "K" = None));
+    case "dominators: loop body dominated by header" (fun () ->
+        let _, _, cfg =
+          setup "      PROGRAM P\n      DO I = 1, 3\n        X = I\n      ENDDO\n      END\n"
+        in
+        let dom = Dominators.dominators cfg in
+        let do_n =
+          List.find
+            (fun n ->
+              match Cfg.stmt_of cfg n with
+              | Some { Ast.node = Ast.Do _; _ } -> true
+              | _ -> false)
+            (Cfg.nodes cfg)
+        in
+        let x = Cfg.Stmt (assign_sid cfg "X") in
+        check_bool "dominates" true (Dominators.dominates dom do_n x));
+    case "control dependence: then-branch on the if" (fun () ->
+        let u, _, cfg =
+          setup
+            "      PROGRAM P\n      IF (A .GT. 0) THEN\n        X = 1\n      ENDIF\n      Y = 2\n      END\n"
+        in
+        ignore u;
+        let edges = Control_dep.compute cfg in
+        let if_sid = stmt_with cfg (fun s ->
+            match s.Ast.node with Ast.If _ -> true | _ -> false) in
+        let x = assign_sid cfg "X" in
+        let y = assign_sid cfg "Y" in
+        check_bool "x on if" true
+          (List.mem if_sid (Control_dep.controllers edges x));
+        check_bool "y not on if" false
+          (List.mem if_sid (Control_dep.controllers edges y)));
+    case "control dependence: loop body on the do" (fun () ->
+        let _, _, cfg =
+          setup "      PROGRAM P\n      DO I = 1, 3\n        X = I\n      ENDDO\n      END\n"
+        in
+        let edges = Control_dep.compute cfg in
+        let do_sid = stmt_with cfg (fun s ->
+            match s.Ast.node with Ast.Do _ -> true | _ -> false) in
+        let x = assign_sid cfg "X" in
+        check_bool "body controlled" true
+          (List.mem do_sid (Control_dep.controllers edges x)));
+    case "solver converges on workloads" (fun () ->
+        List.iter
+          (fun (w : Workloads.t) ->
+            List.iter
+              (fun u ->
+                let tbl = Symbol.build u in
+                let ctx = Defuse.make tbl u in
+                let cfg = Cfg.build u in
+                ignore (Reaching.analyze ctx cfg);
+                ignore (Liveness.analyze ctx cfg);
+                ignore (Constants.analyze ctx cfg))
+              (Workloads.program w).Ast.punits)
+          Workloads.all);
+  ]

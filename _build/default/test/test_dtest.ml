@@ -1,0 +1,299 @@
+open Dependence
+open Util
+
+(* Build a one-loop problem from a single-dimension coefficient pair. *)
+let p1 ?(trip = Some 10) ?(lo_known = true) a b c =
+  {
+    Dtest.nloops = 1;
+    trips = [| trip |];
+    trips_exact = Array.map (fun _ -> true) ([| trip |]);
+    lo_known = [| lo_known |];
+    dims = [ { Dtest.a = [| a |]; b = [| b |]; c; usable = true } ];
+  }
+
+let indep = function Dtest.Independent _ -> true | Dtest.Dependent _ -> false
+
+let dirs_of = function
+  | Dtest.Dependent { dirs; _ } ->
+    List.map (fun dv -> Array.to_list (Array.map Dtest.direction_to_string dv)) dirs
+  | Dtest.Independent _ -> []
+
+let suite =
+  [
+    case "ziv: constant difference disproves" (fun () ->
+        check_bool "indep" true (indep (Dtest.solve (p1 0 0 5))));
+    case "ziv: zero difference is loop independent" (fun () ->
+        match Dtest.solve (p1 0 0 0) with
+        | Dtest.Dependent { dirs; _ } ->
+          (* the subscripts never constrain the loop: all directions *)
+          check_int "three dirs" 3 (List.length dirs)
+        | _ -> Alcotest.fail "expected dependence");
+    case "strong siv: integer distance within trip" (fun () ->
+        (* A(I) vs A(I-2): a=1,b=1,c(src-dst)= 2? equation I - I' + c = 0 *)
+        match Dtest.solve (p1 1 1 (-2)) with
+        | Dtest.Dependent { dist = [| Some d |]; exact; dirs; _ } ->
+          check_int "distance" (-2) d;
+          check_bool "exact" true exact;
+          check_int "one dir" 1 (List.length dirs)
+        | _ -> Alcotest.fail "expected exact dependence");
+    case "strong siv: distance beyond trip disproves" (fun () ->
+        check_bool "indep" true (indep (Dtest.solve (p1 1 1 20))));
+    case "strong siv: non-integer distance disproves" (fun () ->
+        check_bool "indep" true (indep (Dtest.solve (p1 2 2 3))));
+    case "weak-zero siv: crossing inside range" (fun () ->
+        (* 2α + c = 0 with c = -6: α = 3 ∈ [0,10] *)
+        check_bool "dep" false (indep (Dtest.solve (p1 2 0 (-6)))));
+    case "weak-zero siv: crossing outside range disproves" (fun () ->
+        check_bool "indep" true (indep (Dtest.solve (p1 2 0 (-30)))));
+    case "weak-zero siv: unknown lower bound cannot disprove range" (fun () ->
+        check_bool "dep" false
+          (indep (Dtest.solve (p1 ~trip:None ~lo_known:false 2 0 (-30)))));
+    case "weak-zero siv: divisibility still disproves in raw mode" (fun () ->
+        check_bool "indep" true
+          (indep (Dtest.solve (p1 ~trip:None ~lo_known:false 2 0 3))));
+    case "exact siv: solvable crossing" (fun () ->
+        (* α + 2 = 2β: a=1,b=2,c=2 → (α,β) = (0,1),(2,2),... *)
+        check_bool "dep" false (indep (Dtest.solve (p1 1 2 2))));
+    case "exact siv: gcd disproves" (fun () ->
+        (* 2α - 4β + 1 = 0 has no integer solution *)
+        check_bool "indep" true (indep (Dtest.solve (p1 2 4 1))));
+    case "exact siv: bounds disprove" (fun () ->
+        (* α = 3β + 25, trip 4: no pair in [0,4]² *)
+        check_bool "indep" true (indep (Dtest.solve (p1 ~trip:(Some 4) 1 3 25))));
+    case "gcd test on MIV" (fun () ->
+        (* 2i + 4j vs ... difference must be odd: disproved *)
+        let p =
+          {
+            Dtest.nloops = 2;
+            trips = [| Some 10; Some 10 |];
+            trips_exact = Array.map (fun _ -> true) ([| Some 10; Some 10 |]);
+            lo_known = [| true; true |];
+            dims =
+              [ { Dtest.a = [| 2; 4 |]; b = [| 2; 4 |]; c = 1; usable = true } ];
+          }
+        in
+        check_bool "indep" true (indep (Dtest.solve p)));
+    case "banerjee: direction refinement filters" (fun () ->
+        (* α − β + 1 = 0 → β = α + 1 → source earlier: '<' only *)
+        (match Dtest.solve (p1 1 1 1) with
+        | Dtest.Dependent { dirs = [ dv ]; _ } ->
+          check_string "dir" "<" (Dtest.direction_to_string dv.(0))
+        | _ -> Alcotest.fail "expected single direction");
+        (* α − β − 1 = 0 → β = α − 1: '>' only *)
+        match Dtest.solve (p1 1 1 (-1)) with
+        | Dtest.Dependent { dirs = [ dv ]; _ } ->
+          check_string "dir" ">" (Dtest.direction_to_string dv.(0))
+        | _ -> Alcotest.fail "expected single direction");
+    case "empty loop disproves" (fun () ->
+        check_bool "indep" true (indep (Dtest.solve (p1 ~trip:(Some (-1)) 1 1 0))));
+    case "unusable dims assume all directions" (fun () ->
+        let p =
+          {
+            Dtest.nloops = 1;
+            trips = [| Some 5 |];
+            trips_exact = Array.map (fun _ -> true) ([| Some 5 |]);
+            lo_known = [| true |];
+            dims = [ { Dtest.a = [| 0 |]; b = [| 0 |]; c = 0; usable = false } ];
+          }
+        in
+        match Dtest.solve p with
+        | Dtest.Dependent { dirs; exact; _ } ->
+          check_int "all dirs" 3 (List.length dirs);
+          check_bool "pending" false exact
+        | _ -> Alcotest.fail "expected assumed dependence");
+    case "delta: inconsistent distances disprove" (fun () ->
+        (* A(I, I) vs A(I-1, I-2): dim1 pins δ=1, dim2 pins δ=2 *)
+        let p =
+          {
+            Dtest.nloops = 1;
+            trips = [| Some 10 |];
+            trips_exact = Array.map (fun _ -> true) ([| Some 10 |]);
+            lo_known = [| true |];
+            dims =
+              [
+                { Dtest.a = [| 1 |]; b = [| 1 |]; c = -1; usable = true };
+                { Dtest.a = [| 1 |]; b = [| 1 |]; c = -2; usable = true };
+              ];
+          }
+        in
+        check_bool "indep" true (indep (Dtest.solve p)));
+    case "two-loop distance vector" (fun () ->
+        (* A(I,J) write vs A(I-1,J-1) read: c = +1 per dimension,
+           δ = (1,1) *)
+        let p =
+          {
+            Dtest.nloops = 2;
+            trips = [| Some 10; Some 10 |];
+            trips_exact = Array.map (fun _ -> true) ([| Some 10; Some 10 |]);
+            lo_known = [| true; true |];
+            dims =
+              [
+                { Dtest.a = [| 1; 0 |]; b = [| 1; 0 |]; c = 1; usable = true };
+                { Dtest.a = [| 0; 1 |]; b = [| 0; 1 |]; c = 1; usable = true };
+              ];
+          }
+        in
+        match Dtest.solve p with
+        | Dtest.Dependent { dist = [| Some 1; Some 1 |]; exact = true; _ } -> ()
+        | _ -> Alcotest.fail "expected (1,1) exact");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: solver never disproves what brute force finds, and the    *)
+(* surviving direction vectors cover everything realized.              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_problem : Dtest.problem QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* nloops = int_range 1 3 in
+  let* trips =
+    array_repeat nloops
+      (oneof [ return None; (int_range 0 6 >|= fun t -> Some t) ])
+  in
+  let* lo_known = array_repeat nloops (frequency [ (4, return true); (1, return false) ]) in
+  (* unknown lower bound implies unknown trip in real problems *)
+  let trips = Array.mapi (fun i t -> if lo_known.(i) then t else None) trips in
+  let* ndims = int_range 1 2 in
+  let coeff = int_range (-3) 3 in
+  let* dims =
+    list_repeat ndims
+      (let* a = array_repeat nloops coeff in
+       let* b = array_repeat nloops coeff in
+       let* c = int_range (-8) 8 in
+       return { Dtest.a; b; c; usable = true })
+  in
+  return
+    { Dtest.nloops; trips;
+      trips_exact = Array.map (fun _ -> true) trips; lo_known; dims }
+
+let soundness =
+  QCheck2.Test.make ~count:400 ~name:"dtest sound vs brute force"
+    gen_problem (fun p ->
+      let realized = Dtest.brute_force p ~bound:6 in
+      match Dtest.solve p with
+      | Dtest.Independent _ -> realized = []
+      | Dtest.Dependent { dirs; _ } ->
+        (* every realized direction vector must be among the survivors *)
+        List.for_all (fun dv -> List.exists (fun s -> s = dv) dirs) realized)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest soundness ]
+
+let delta_propagation =
+  [
+    case "delta propagation: pinned distance collapses coupled dim" (fun () ->
+        (* B(I, I+J) vs B(I-1, I+J): dim1 pins δI = 1; dim2 becomes
+           (after substituting βI = αI + 1): J-dim equation
+           αJ − βJ + (c − δI) — with c = 0: δJ = −1 fine; use a variant
+           where the reduced constant is non-integer for the J coeffs *)
+        let p =
+          {
+            Dtest.nloops = 2;
+            trips = [| Some 10; Some 10 |];
+            trips_exact = Array.map (fun _ -> true) ([| Some 10; Some 10 |]);
+            lo_known = [| true; true |];
+            dims =
+              [
+                (* dim1: αI − βI + 1 = 0 → δI = 1 *)
+                { Dtest.a = [| 1; 0 |]; b = [| 1; 0 |]; c = 1; usable = true };
+                (* dim2: αI + 2αJ − (βI + 2βJ) + 2 = 0; after δI = 1:
+                   2(αJ − βJ) + 1 = 0 — no integer solution *)
+                { Dtest.a = [| 1; 2 |]; b = [| 1; 2 |]; c = 2; usable = true };
+              ];
+          }
+        in
+        match Dtest.solve p with
+        | Dtest.Independent { test } ->
+          check_bool "delta test decided" true
+            (test = "delta-siv" || test = "delta-ziv")
+        | Dtest.Dependent _ -> Alcotest.fail "expected delta disproof");
+    case "delta propagation: distance beyond trip after reduction" (fun () ->
+        (* dim1 pins δI = 2; dim2 reduces to δJ = 20 > trip *)
+        let p =
+          {
+            Dtest.nloops = 2;
+            trips = [| Some 10; Some 10 |];
+            trips_exact = Array.map (fun _ -> true) ([| Some 10; Some 10 |]);
+            lo_known = [| true; true |];
+            dims =
+              [
+                { Dtest.a = [| 1; 0 |]; b = [| 1; 0 |]; c = 2; usable = true };
+                { Dtest.a = [| 1; 1 |]; b = [| 1; 1 |]; c = 22; usable = true };
+              ];
+          }
+        in
+        check_bool "indep" true
+          (match Dtest.solve p with Dtest.Independent _ -> true | _ -> false));
+  ]
+
+let exactness_property =
+  QCheck2.Test.make ~count:300
+    ~name:"exact dependences are realized by brute force" gen_problem
+    (fun p ->
+      (* restrict to fully bounded problems so brute force is complete *)
+      let bounded =
+        Array.for_all (fun t -> t <> None) p.Dtest.trips
+        && Array.for_all Fun.id p.Dtest.lo_known
+      in
+      QCheck2.assume bounded;
+      match Dtest.solve p with
+      | Dtest.Dependent { exact = true; _ } ->
+        Dtest.brute_force p ~bound:6 <> []
+      | _ -> true)
+
+let suite =
+  suite @ delta_propagation @ [ QCheck_alcotest.to_alcotest exactness_property ]
+
+let weak_crossing =
+  [
+    case "weak-crossing siv: crossing beyond range disproves" (fun () ->
+        (* α + β = 30 over [0,10]²: impossible *)
+        check_bool "indep" true
+          (match Dtest.solve (p1 ~trip:(Some 10) 1 (-1) (-30)) with
+           | Dtest.Independent { test } -> test = "weak-crossing-siv"
+           | _ -> false));
+    case "weak-crossing siv: fractional crossing disproves" (fun () ->
+        (* 2(α + β) = 5: no whole solution *)
+        check_bool "indep" true
+          (match Dtest.solve (p1 ~trip:(Some 10) 2 (-2) (-5)) with
+           | Dtest.Independent { test } -> test = "weak-crossing-siv"
+           | _ -> false));
+    case "weak-crossing siv: feasible crossing keeps the dependence" (fun () ->
+        check_bool "dep" true
+          (match Dtest.solve (p1 ~trip:(Some 10) 1 (-1) (-8)) with
+           | Dtest.Dependent _ -> true
+           | _ -> false));
+  ]
+
+let suite = suite @ weak_crossing
+
+let raw_mode_regressions =
+  [
+    case "weak-crossing in raw mode cannot use position bounds" (fun () ->
+        (* lo unknown: α+β may be negative, so only divisibility can
+           disprove (regression: the fleet found this) *)
+        check_bool "dep kept" true
+          (match Dtest.solve (p1 ~trip:None ~lo_known:false (-3) 3 (-3)) with
+           | Dtest.Dependent _ -> true
+           | Dtest.Independent _ -> false);
+        (* divisibility still works in raw mode *)
+        check_bool "indep by divisibility" true
+          (match Dtest.solve (p1 ~trip:None ~lo_known:false 2 (-2) 3) with
+           | Dtest.Independent _ -> true
+           | _ -> false));
+    case "solve normalizes trips under unknown lower bounds" (fun () ->
+        (* a caller passing a trip with lo_known=false must not get
+           bound-based disproofs *)
+        let p =
+          {
+            Dtest.nloops = 1;
+            trips = [| Some 3 |];
+            trips_exact = [| true |];
+            lo_known = [| false |];
+            dims = [ { Dtest.a = [| 1 |]; b = [| 0 |]; c = -100; usable = true } ];
+          }
+        in
+        check_bool "dep kept" true
+          (match Dtest.solve p with Dtest.Dependent _ -> true | _ -> false));
+  ]
+
+let suite = suite @ raw_mode_regressions

@@ -1,0 +1,68 @@
+open Fortran_front
+open Util
+
+let toks src =
+  List.map fst (Lexer.tokenize ~file:"t.f" src)
+  |> List.filter (fun t -> t <> Token.NEWLINE && t <> Token.EOF)
+
+let show ts = String.concat " " (List.map Token.to_string ts)
+
+let expect name src expected () =
+  check_string name expected (show (toks src))
+
+let suite =
+  [
+    case "identifiers upcased" (expect "ident" "foo Bar BAZ" "FOO BAR BAZ");
+    case "integer literal" (expect "int" "42" "42");
+    case "real literal" (expect "real" "3.5" "3.5");
+    case "real exponent" (expect "exp" "1.5E2" "150.");
+    case "real d exponent" (expect "dexp" "2.0D1" "20.");
+    case "leading dot real" (expect "dot" ".5" "0.5");
+    case "dotted ops vs real: 1.EQ.2"
+      (expect "eq" "1.EQ.2" "1 .EQ. 2");
+    case "dotted ops vs real: 1.E2 is a real"
+      (expect "e2" "1.E2" "100.");
+    case "relational symbols" (expect "rel" "a <= b >= c < d > e" "A .LE. B .GE. C .LT. D .GT. E");
+    case "== and /=" (expect "eqne" "a == b /= c" "A .EQ. B .NE. C");
+    case "logical ops" (expect "log" ".NOT. a .AND. b .OR. .TRUE." ".NOT. A .AND. B .OR. .TRUE.");
+    case "power vs star" (expect "pow" "a ** b * c" "A ** B * C");
+    case "end do fused" (expect "enddo" "END DO" "ENDDO");
+    case "end if fused" (expect "endif" "END IF" "ENDIF");
+    case "else if fused" (expect "elseif" "ELSE IF" "ELSEIF");
+    case "go to fused" (expect "goto" "GO TO 10" "GOTO 10");
+    case "double precision fused"
+      (expect "dp" "DOUBLE PRECISION X" "DOUBLEPRECISION X");
+    case "parallel do fused" (expect "pdo" "PARALLEL DO" "DOALL");
+    case "string literal" (expect "str" "'hello'" "'hello'");
+    case "string with quote" (expect "strq" "'don''t'" "'don't'");
+    case "bang comment stripped" (expect "bang" "a + b ! comment" "A + B");
+    case "c comment line" (fun () ->
+        check_string "comment" "A = 1"
+          (show (toks "C this is a comment\n      a = 1\n")));
+    case "star comment line" (fun () ->
+        check_string "comment" "A = 1"
+          (show (toks "* a comment\n      a = 1\n")));
+    case "continuation joins lines" (fun () ->
+        check_string "cont" "A = B + C" (show (toks "      a = b + &\n     & c\n")));
+    case "newlines collapse" (fun () ->
+        let all = List.map fst (Lexer.tokenize ~file:"t.f" "a\n\n\nb\n") in
+        let nl = List.length (List.filter (( = ) Token.NEWLINE) all) in
+        check_int "one separator plus final" 2 nl);
+    case "keyword vs ident" (expect "kw" "DO IF THEN DOT" "DO IF THEN DOT");
+    case "unterminated string raises" (fun () ->
+        match Lexer.tokenize ~file:"t.f" "'abc" with
+        | exception Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected Lexer.Error");
+    case "illegal char raises" (fun () ->
+        match Lexer.tokenize ~file:"t.f" "a # b" with
+        | exception Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected Lexer.Error");
+    case "locations track lines" (fun () ->
+        let all = Lexer.tokenize ~file:"t.f" "a\n  b\n" in
+        let find t =
+          List.find (fun (tok, _) -> Token.equal tok t) all |> snd
+        in
+        check_int "A line" 1 (find (Token.IDENT "A")).Loc.line;
+        check_int "B line" 2 (find (Token.IDENT "B")).Loc.line;
+        check_int "B col" 3 (find (Token.IDENT "B")).Loc.col);
+  ]

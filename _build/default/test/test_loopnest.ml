@@ -1,0 +1,83 @@
+open Dependence
+open Util
+
+let nest3 =
+  "      PROGRAM P\n\
+  \      REAL A(10,10,10)\n\
+  \      DO I = 1, 10\n\
+  \        DO J = 1, 10\n\
+  \          DO K = 1, 10\n\
+  \            A(I,J,K) = 0.0\n\
+  \          ENDDO\n\
+  \        ENDDO\n\
+  \        X = I\n\
+  \      ENDDO\n\
+  \      DO L = 1, 5\n\
+  \        Y = L\n\
+  \      ENDDO\n\
+  \      END\n"
+
+let suite =
+  [
+    case "preorder and depths" (fun () ->
+        let env = env_of nest3 in
+        let loops = Loopnest.loops env.Depenv.nest in
+        check_int "four loops" 4 (List.length loops);
+        let ivs = List.map (fun (l : Loopnest.loop) -> l.Loopnest.header.Fortran_front.Ast.dvar) loops in
+        check_string "order" "I J K L" (String.concat " " ivs);
+        let depths = List.map (fun (l : Loopnest.loop) -> l.Loopnest.depth) loops in
+        check_string "depths" "1 2 3 1"
+          (String.concat " " (List.map string_of_int depths)));
+    case "parents outermost first" (fun () ->
+        let env = env_of nest3 in
+        let k = loop_by_iv env "K" in
+        let i = loop_by_iv env "I" and j = loop_by_iv env "J" in
+        check_bool "parents" true
+          (k.Loopnest.parents = [ loop_sid i; loop_sid j ]));
+    case "enclosing of a statement" (fun () ->
+        let env = env_of nest3 in
+        let k = loop_by_iv env "K" in
+        let body = Loopnest.body_stmts env.Depenv.nest (loop_sid k) in
+        let inner = (List.hd body).Fortran_front.Ast.sid in
+        check_int "three enclosing" 3
+          (List.length (Loopnest.enclosing env.Depenv.nest inner)));
+    case "common loops of two statements" (fun () ->
+        let env = env_of nest3 in
+        let k = loop_by_iv env "K" in
+        let body = Loopnest.body_stmts env.Depenv.nest (loop_sid k) in
+        let deep = (List.hd body).Fortran_front.Ast.sid in
+        (* X = I is at depth 1 inside I only *)
+        let i = loop_by_iv env "I" in
+        let x =
+          List.find
+            (fun (s : Fortran_front.Ast.stmt) ->
+              match s.Fortran_front.Ast.node with
+              | Fortran_front.Ast.Assign (Fortran_front.Ast.Var "X", _) -> true
+              | _ -> false)
+            (Loopnest.body_stmts env.Depenv.nest (loop_sid i))
+        in
+        let common = Loopnest.common env.Depenv.nest deep x.Fortran_front.Ast.sid in
+        check_int "one common" 1 (List.length common);
+        check_bool "is I" true (loop_sid (List.hd common) = loop_sid i));
+    case "disjoint loops share nothing" (fun () ->
+        let env = env_of nest3 in
+        let i = loop_by_iv env "I" and l = loop_by_iv env "L" in
+        check_int "none" 0
+          (List.length (Loopnest.common env.Depenv.nest (loop_sid i) (loop_sid l))));
+    case "nested_in" (fun () ->
+        let env = env_of nest3 in
+        let i = loop_by_iv env "I" and k = loop_by_iv env "K" in
+        check_bool "k in i" true
+          (Loopnest.nested_in env.Depenv.nest ~inner:(loop_sid k) ~outer:(loop_sid i));
+        check_bool "i not in k" false
+          (Loopnest.nested_in env.Depenv.nest ~inner:(loop_sid i) ~outer:(loop_sid k)));
+    case "max_depth" (fun () ->
+        let env = env_of nest3 in
+        check_int "3" 3 (Loopnest.max_depth env.Depenv.nest));
+    case "loops inside IF branches found" (fun () ->
+        let env =
+          env_of
+            "      PROGRAM P\n      IF (X .GT. 0) THEN\n        DO I = 1, 3\n          Y = I\n        ENDDO\n      ENDIF\n      END\n"
+        in
+        check_int "one" 1 (List.length (Loopnest.loops env.Depenv.nest)));
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "parascope"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("ast", Test_ast.suite);
+      ("symbol", Test_symbol.suite);
+      ("cfg", Test_cfg.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("varclass", Test_varclass.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("loopnest", Test_loopnest.suite);
+      ("dtest", Test_dtest.suite);
+      ("ddg", Test_ddg.suite);
+      ("interproc", Test_interproc.suite);
+      ("sections", Test_sections.suite);
+      ("transform", Test_transform.suite);
+      ("perf", Test_perf.suite);
+      ("value", Test_value.suite);
+      ("sim", Test_sim.suite);
+      ("marking", Test_marking.suite);
+      ("filter", Test_filter.suite);
+      ("ped", Test_ped.suite);
+      ("command", Test_command.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+      ("property", Test_property.suite);
+    ]

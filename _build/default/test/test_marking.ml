@@ -1,0 +1,77 @@
+(* Marking-layer unit tests: defaults, keys, stability. *)
+
+open Dependence
+open Util
+
+let dep ?(kind = Ddg.Flow) ?(exact = false) ?(level = Some 1) ~src ~dst var =
+  {
+    Ddg.dep_id = 0;
+    kind;
+    var;
+    src;
+    dst;
+    src_ref = None;
+    dst_ref = None;
+    level;
+    carrier = None;
+    dirs = [];
+    dist = [||];
+    exact;
+    test = "t";
+    is_scalar = false;
+  }
+
+let suite =
+  [
+    case "defaults follow exactness" (fun () ->
+        let m = Ped.Marking.empty in
+        check_bool "pending" true
+          (Ped.Marking.status_of m (dep ~src:1 ~dst:2 "A") = Ped.Marking.Pending);
+        check_bool "proven" true
+          (Ped.Marking.status_of m (dep ~exact:true ~src:1 ~dst:2 "A")
+          = Ped.Marking.Proven));
+    case "mark and clear" (fun () ->
+        let d = dep ~src:1 ~dst:2 "A" in
+        let m = Ped.Marking.mark Ped.Marking.empty d Ped.Marking.Rejected in
+        check_bool "rejected" true
+          (Ped.Marking.status_of m d = Ped.Marking.Rejected);
+        check_int "one mark" 1 (Ped.Marking.count m);
+        let m = Ped.Marking.mark m d Ped.Marking.Pending in
+        check_bool "cleared" true
+          (Ped.Marking.status_of m d = Ped.Marking.Pending);
+        check_int "no marks" 0 (Ped.Marking.count m));
+    case "keys distinguish kind, var, endpoints and level" (fun () ->
+        let base = dep ~src:1 ~dst:2 "A" in
+        let m = Ped.Marking.mark Ped.Marking.empty base Ped.Marking.Accepted in
+        let different =
+          [
+            dep ~src:1 ~dst:2 "B";
+            dep ~src:1 ~dst:3 "A";
+            dep ~src:0 ~dst:2 "A";
+            dep ~kind:Ddg.Anti ~src:1 ~dst:2 "A";
+            dep ~level:None ~src:1 ~dst:2 "A";
+          ]
+        in
+        List.iter
+          (fun d ->
+            check_bool "unaffected" true
+              (Ped.Marking.status_of m d = Ped.Marking.Pending))
+          different);
+    case "marks survive a new graph with the same signature" (fun () ->
+        (* the same logical dependence with a fresh dep_id keeps the
+           user's mark — what reanalysis relies on *)
+        let d1 = { (dep ~src:4 ~dst:5 "C") with Ddg.dep_id = 17 } in
+        let m = Ped.Marking.mark Ped.Marking.empty d1 Ped.Marking.Rejected in
+        let d2 = { d1 with Ddg.dep_id = 99 } in
+        check_bool "still rejected" true
+          (Ped.Marking.status_of m d2 = Ped.Marking.Rejected));
+    case "rejected_ids scans a graph" (fun () ->
+        let d1 = { (dep ~src:1 ~dst:2 "A") with Ddg.dep_id = 1 } in
+        let d2 = { (dep ~src:2 ~dst:3 "B") with Ddg.dep_id = 2 } in
+        let g =
+          { Ddg.deps = [ d1; d2 ];
+            stats = { Ddg.pairs_tested = 0; disproved = []; proven = 0; pending = 2 } }
+        in
+        let m = Ped.Marking.mark Ped.Marking.empty d2 Ped.Marking.Rejected in
+        check_bool "only d2" true (Ped.Marking.rejected_ids m g = [ 2 ]));
+  ]

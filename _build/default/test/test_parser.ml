@@ -1,0 +1,188 @@
+open Fortran_front
+open Util
+
+let expr s = Parser.parse_expr_string s
+let estr s = Pretty.expr_to_string (expr s)
+
+let suite =
+  [
+    case "precedence: mul over add" (fun () ->
+        check_string "p" "1 + 2 * X" (estr "1 + 2*x"));
+    case "precedence: pow right assoc" (fun () ->
+        match expr "a ** b ** c" with
+        | Ast.Bin (Ast.Pow, Ast.Var "A", Ast.Bin (Ast.Pow, _, _)) -> ()
+        | _ -> Alcotest.fail "expected right-assoc power");
+    case "unary minus looser than pow" (fun () ->
+        match expr "-a ** 2" with
+        | Ast.Un (Ast.Neg, Ast.Bin (Ast.Pow, _, _)) -> ()
+        | _ -> Alcotest.fail "expected -(a**2)");
+    case "relational chain" (fun () ->
+        match expr "a + 1 .LT. b * 2" with
+        | Ast.Bin (Ast.Lt, Ast.Bin (Ast.Add, _, _), Ast.Bin (Ast.Mul, _, _)) -> ()
+        | _ -> Alcotest.fail "bad relational parse");
+    case "and binds tighter than or" (fun () ->
+        match expr "a .OR. b .AND. c" with
+        | Ast.Bin (Ast.Or, Ast.Var "A", Ast.Bin (Ast.And, _, _)) -> ()
+        | _ -> Alcotest.fail "bad logical precedence");
+    case "array ref vs call is an Index" (fun () ->
+        match expr "F(I, J+1)" with
+        | Ast.Index ("F", [ Ast.Var "I"; Ast.Bin (Ast.Add, _, _) ]) -> ()
+        | _ -> Alcotest.fail "bad index parse");
+    case "trailing garbage rejected" (fun () ->
+        match expr "a + b c" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected Parser.Error");
+    case "program unit structure" (fun () ->
+        let u = parse_unit "      PROGRAM P\n      INTEGER I\n      I = 1\n      END\n" in
+        check_string "name" "P" u.Ast.uname;
+        check_bool "main" true (u.Ast.kind = Ast.Main);
+        check_int "decls" 1 (List.length u.Ast.decls);
+        check_int "body" 1 (List.length u.Ast.body));
+    case "subroutine formals" (fun () ->
+        let u = parse_unit "      SUBROUTINE S(A, B, N)\n      RETURN\n      END\n" in
+        match u.Ast.kind with
+        | Ast.Subroutine [ "A"; "B"; "N" ] -> ()
+        | _ -> Alcotest.fail "bad formals");
+    case "function unit" (fun () ->
+        let u = parse_unit "      REAL FUNCTION F(X)\n      F = X + 1.0\n      END\n" in
+        match u.Ast.kind with
+        | Ast.Function (Ast.Treal, [ "X" ]) -> ()
+        | _ -> Alcotest.fail "bad function kind");
+    case "enddo loop" (fun () ->
+        let u = parse_body "      DO I = 1, 10\n        X = I\n      ENDDO\n" in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.Do ({ Ast.dvar = "I"; parallel = false; _ }, [ _ ]) -> ()
+        | _ -> Alcotest.fail "bad loop");
+    case "labeled do with continue" (fun () ->
+        let u =
+          parse_body "      DO 10 I = 1, 10\n        X = I\n 10   CONTINUE\n"
+        in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.Do (_, body) -> check_int "body incl. terminator" 2 (List.length body)
+        | _ -> Alcotest.fail "bad labeled loop");
+    case "shared terminator label" (fun () ->
+        let u =
+          parse_body
+            "      DO 10 I = 1, 4\n      DO 10 J = 1, 4\n        X = I + J\n 10   CONTINUE\n"
+        in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.Do (_, [ { Ast.node = Ast.Do (_, inner); _ } ]) ->
+          check_int "inner has stmt+terminator" 2 (List.length inner)
+        | _ -> Alcotest.fail "bad shared terminator nest");
+    case "do with step" (fun () ->
+        let u = parse_body "      DO I = 10, 1, -2\n      ENDDO\n" in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.Do ({ Ast.step = Some (Ast.Un (Ast.Neg, Ast.Int 2)); _ }, _) -> ()
+        | _ -> Alcotest.fail "bad step");
+    case "parallel do" (fun () ->
+        let u = parse_body "      PARALLEL DO I = 1, 4\n        X = I\n      ENDDO\n" in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.Do ({ Ast.parallel = true; _ }, _) -> ()
+        | _ -> Alcotest.fail "expected parallel loop");
+    case "block if chain" (fun () ->
+        let u =
+          parse_body
+            "      IF (A .GT. 0) THEN\n        X = 1\n      ELSE IF (A .LT. 0) THEN\n        X = 2\n      ELSE\n        X = 3\n      ENDIF\n"
+        in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.If (branches, els) ->
+          check_int "branches" 2 (List.length branches);
+          check_int "else" 1 (List.length els)
+        | _ -> Alcotest.fail "bad if");
+    case "logical if" (fun () ->
+        let u = parse_body "      IF (A .GT. 0) X = 1\n" in
+        match (List.hd u.Ast.body).Ast.node with
+        | Ast.If ([ (_, [ { Ast.node = Ast.Assign _; _ } ]) ], []) -> ()
+        | _ -> Alcotest.fail "bad logical if");
+    case "goto and labels" (fun () ->
+        let u =
+          parse_body "      GOTO 20\n      X = 1\n 20   CONTINUE\n"
+        in
+        match List.map (fun (s : Ast.stmt) -> s.Ast.node) u.Ast.body with
+        | [ Ast.Goto 20; Ast.Assign _; Ast.Continue ] -> ()
+        | _ -> Alcotest.fail "bad goto parse");
+    case "call with and without args" (fun () ->
+        let u = parse_body "      CALL FOO\n      CALL BAR(1, X)\n" in
+        match List.map (fun (s : Ast.stmt) -> s.Ast.node) u.Ast.body with
+        | [ Ast.Call ("FOO", []); Ast.Call ("BAR", [ _; _ ]) ] -> ()
+        | _ -> Alcotest.fail "bad calls");
+    case "print and write" (fun () ->
+        let u = parse_body "      PRINT *, X, Y\n      WRITE(*,*) Z\n" in
+        match List.map (fun (s : Ast.stmt) -> s.Ast.node) u.Ast.body with
+        | [ Ast.Print [ _; _ ]; Ast.Print [ _ ] ] -> ()
+        | _ -> Alcotest.fail "bad io");
+    case "dimension statement merges" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      REAL A\n      DIMENSION A(10)\n      A(1) = 0.0\n      END\n"
+        in
+        let d = List.find (fun (d : Ast.decl) -> d.Ast.dname = "A") u.Ast.decls in
+        check_int "dims" 1 (List.length d.Ast.dims));
+    case "parameter attaches value" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      INTEGER N\n      PARAMETER (N = 42)\n      END\n"
+        in
+        let d = List.find (fun (d : Ast.decl) -> d.Ast.dname = "N") u.Ast.decls in
+        check_bool "init" true (d.Ast.init = Some (Ast.Int 42)));
+    case "common blocks" (fun () ->
+        let u =
+          parse_unit "      PROGRAM P\n      COMMON /BLK/ A, B(4)\n      END\n"
+        in
+        let a = List.find (fun (d : Ast.decl) -> d.Ast.dname = "A") u.Ast.decls in
+        check_bool "common" true (a.Ast.common_block = Some "BLK"));
+    case "lower:upper dims" (fun () ->
+        let u = parse_unit "      PROGRAM P\n      REAL A(0:9, -1:1)\n      END\n" in
+        let d = List.find (fun (d : Ast.decl) -> d.Ast.dname = "A") u.Ast.decls in
+        match d.Ast.dims with
+        | [ (Ast.Int 0, Ast.Int 9); (Ast.Un (Ast.Neg, Ast.Int 1), Ast.Int 1) ] -> ()
+        | _ -> Alcotest.fail "bad bounds");
+    case "multiple units" (fun () ->
+        let p = parse "      PROGRAM P\n      END\n      SUBROUTINE S\n      END\n" in
+        check_int "units" 2 (List.length p.Ast.punits));
+    case "implicit none accepted" (fun () ->
+        let u = parse_unit "      PROGRAM P\n      IMPLICIT NONE\n      END\n" in
+        check_int "no decls" 0 (List.length u.Ast.decls));
+    case "syntax error reported with location" (fun () ->
+        match parse "      PROGRAM P\n      DO = 1\n      END\n" with
+        | exception Parser.Error (_, loc) -> check_int "line" 2 loc.Loc.line
+        | _ -> Alcotest.fail "expected Parser.Error");
+  ]
+
+let implicit_suite =
+  [
+    case "IMPLICIT type ranges drive typing" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      IMPLICIT REAL (I-K)\n      IMPLICIT INTEGER (X)\n      Y = I + X\n      END\n"
+        in
+        let tbl = Fortran_front.Symbol.build u in
+        check_bool "I real" true (Fortran_front.Symbol.typ_of tbl "I" = Ast.Treal);
+        check_bool "X integer" true
+          (Fortran_front.Symbol.typ_of tbl "X" = Ast.Tinteger);
+        check_bool "Y default real" true
+          (Fortran_front.Symbol.typ_of tbl "Y" = Ast.Treal));
+    case "IMPLICIT survives the pretty printer" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      IMPLICIT INTEGER (A-C, Z)\n      A = 3.7\n      PRINT *, A\n      END\n"
+        in
+        let printed = Fortran_front.Pretty.unit_to_string u in
+        check_bool "printed" true (contains ~needle:"IMPLICIT INTEGER (A-C, Z)" printed);
+        let u2 = parse_unit printed in
+        check_bool "kept" true (u2.Ast.implicits = [ (Ast.Tinteger, [ ('A', 'C'); ('Z', 'Z') ]) ]));
+    case "IMPLICIT typing affects interpreter conversion" (fun () ->
+        (* A is INTEGER by IMPLICIT: assigning 3.7 truncates *)
+        let out =
+          run_output
+            "      PROGRAM P\n      IMPLICIT INTEGER (A)\n      A = 3.7\n      PRINT *, A\n      END\n"
+        in
+        check_string "3" "3" (List.hd out));
+    case "IMPLICIT NONE accepted and printed" (fun () ->
+        let u = parse_unit "      PROGRAM P\n      IMPLICIT NONE\n      INTEGER K\n      K = 1\n      END\n" in
+        check_bool "flag" true u.Ast.implicit_none;
+        let printed = Fortran_front.Pretty.unit_to_string u in
+        check_bool "printed" true (contains ~needle:"IMPLICIT NONE" printed));
+  ]
+
+let suite = suite @ implicit_suite

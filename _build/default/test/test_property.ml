@@ -1,0 +1,244 @@
+(* The system-level soundness property:
+
+     for random loop programs, any transformation the power steering
+     reports applicable+safe must preserve the simulated output; and a
+     loop the analysis calls parallelizable must produce the same
+     result under permuted iteration orders.
+
+   The generator builds small but adversarial programs: affine and
+   offset subscripts, scalar temporaries, reductions, nested loops. *)
+
+open Fortran_front
+open Dependence
+
+
+let gen_program : Ast.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  (* subscript: I + c with a small offset, kept in bounds by the loop
+     ranges below *)
+  let gen_idx iv =
+    let* c = int_range (-2) 2 in
+    return (Ast.simplify (Ast.add (Ast.Var iv) (Ast.Int c)))
+  in
+  let gen_rhs iv =
+    let* pick = int_range 0 5 in
+    match pick with
+    | 0 ->
+      let* i = gen_idx iv in
+      return (Ast.Index ("A", [ i ]))
+    | 1 ->
+      let* i = gen_idx iv in
+      return (Ast.Index ("B", [ i ]))
+    | 2 -> return (Ast.Var "T")
+    | 3 ->
+      let* i = gen_idx iv in
+      let* j = gen_idx iv in
+      return (Ast.add (Ast.Index ("A", [ i ])) (Ast.Index ("B", [ j ])))
+    | 4 -> return (Ast.mul (Ast.Var iv) (Ast.Int 2))
+    | _ ->
+      let* i = gen_idx iv in
+      return (Ast.add (Ast.Index ("A", [ i ])) (Ast.Var "T"))
+  in
+  let gen_assign iv =
+    let* pick = int_range 0 4 in
+    let* rhs = gen_rhs iv in
+    match pick with
+    | 0 | 1 ->
+      let* i = gen_idx iv in
+      return (Ast.mk (Ast.Assign (Ast.Index ("A", [ i ]), rhs)))
+    | 2 ->
+      let* i = gen_idx iv in
+      return (Ast.mk (Ast.Assign (Ast.Index ("B", [ i ]), rhs)))
+    | 3 -> return (Ast.mk (Ast.Assign (Ast.Var "T", rhs)))
+    | _ ->
+      (* a sum reduction step *)
+      return
+        (Ast.mk (Ast.Assign (Ast.Var "S", Ast.add (Ast.Var "S") rhs)))
+  in
+  let gen_plain_loop =
+    let* iv = oneofl [ "I"; "J" ] in
+    let* lo = int_range 3 6 in
+    let* hi = int_range 20 34 in
+    let* nstmts = int_range 1 3 in
+    let* body = list_repeat nstmts (gen_assign iv) in
+    let* nest = int_range 0 2 in
+    let* body =
+      if nest = 0 && iv = "I" then
+        (* add an inner loop over J *)
+        let* inner_stmts = int_range 1 2 in
+        let* inner_body = list_repeat inner_stmts (gen_assign "J") in
+        let header =
+          { Ast.dvar = "J"; lo = Ast.Int 3; hi = Ast.Int 20; step = None;
+            parallel = false }
+        in
+        return (body @ [ Ast.mk (Ast.Do (header, inner_body)) ])
+      else return body
+    in
+    let header =
+      { Ast.dvar = iv; lo = Ast.Int lo; hi = Ast.Int hi; step = None;
+        parallel = false }
+    in
+    return [ Ast.mk (Ast.Do (header, body)) ]
+  in
+  (* an auxiliary-induction loop: K reset, then K = K + stride used as
+     a subscript — exercises the aux rewriting in subscript analysis *)
+  let gen_aux_loop =
+    let* stride = oneofl [ 1; 2 ] in
+    let* trip = int_range 5 15 in
+    let* extra = gen_assign "I" in
+    let inc =
+      Ast.mk (Ast.Assign (Ast.Var "K", Ast.add (Ast.Var "K") (Ast.Int stride)))
+    in
+    let* rhs = gen_rhs "I" in
+    let write = Ast.mk (Ast.Assign (Ast.Index ("A", [ Ast.Var "K" ]), rhs)) in
+    (* lo = 3 keeps the [I±2] subscripts of [extra] in bounds *)
+    let header =
+      { Ast.dvar = "I"; lo = Ast.Int 3; hi = Ast.Int (trip + 2); step = None;
+        parallel = false }
+    in
+    return
+      [ Ast.mk (Ast.Assign (Ast.Var "K", Ast.Int 0));
+        Ast.mk (Ast.Do (header, [ inc; write; extra ])) ]
+  in
+  let gen_loop =
+    frequency [ (4, gen_plain_loop); (1, gen_aux_loop) ]
+  in
+  let* nloops = int_range 1 2 in
+  let* loop_groups = list_repeat nloops gen_loop in
+  let loops = List.concat loop_groups in
+  (* deterministic init, then the random loops, then checksums *)
+  let init =
+    Parser.parse_stmts_string ~file:"<init>"
+      "      T = 1.5\n      S = 0.0\n      DO I = 1, 40\n        A(I) = FLOAT(I) * 0.5\n        B(I) = FLOAT(41 - I)\n      ENDDO\n"
+  in
+  let checksum =
+    Parser.parse_stmts_string ~file:"<sum>"
+      "      DO I = 1, 40\n        S = S + A(I) + B(I)\n      ENDDO\n      PRINT *, S, T\n"
+  in
+  let decls =
+    [
+      { Ast.dname = "A"; dtyp = Ast.Treal; dims = [ (Ast.Int 1, Ast.Int 40) ];
+        init = None; data_init = None; common_block = None };
+      { Ast.dname = "B"; dtyp = Ast.Treal; dims = [ (Ast.Int 1, Ast.Int 40) ];
+        init = None; data_init = None; common_block = None };
+    ]
+  in
+  return
+    {
+      Ast.punits =
+        [
+          { Ast.uname = "RAND"; kind = Ast.Main; decls;
+            implicit_none = false; implicits = [];
+            body = init @ loops @ checksum };
+        ];
+    }
+
+let outputs p1 p2 =
+  let a = Sim.Interp.run ~honor_parallel:false p1 in
+  let b = Sim.Interp.run ~honor_parallel:false p2 in
+  Sim.Interp.outputs_match ~tol:1e-5 a.Sim.Interp.output b.Sim.Interp.output
+
+(* every transformation instance to try on a program *)
+let instances env =
+  let loops = Loopnest.loops env.Depenv.nest in
+  let fuse_pairs =
+    (* adjacent top-level loop statements *)
+    let rec pairs = function
+      | ({ Ast.node = Ast.Do _; _ } as a) :: (({ Ast.node = Ast.Do _; _ } as b) :: _ as rest) ->
+        ("fuse", Transform.Catalog.On_pair (a.Ast.sid, b.Ast.sid)) :: pairs rest
+      | _ :: rest -> pairs rest
+      | [] -> []
+    in
+    pairs env.Depenv.punit.Ast.body
+  in
+  fuse_pairs
+  @ List.concat_map
+    (fun (l : Loopnest.loop) ->
+      let sid = l.Loopnest.lstmt.Ast.sid in
+      [
+        ("parallelize", Transform.Catalog.On_loop sid);
+        ("interchange", Transform.Catalog.On_loop sid);
+        ("distribute", Transform.Catalog.On_loop sid);
+        ("reverse", Transform.Catalog.On_loop sid);
+        ("skew", Transform.Catalog.With_factor (sid, 1));
+        ("strip", Transform.Catalog.With_factor (sid, 4));
+        ("unroll", Transform.Catalog.With_factor (sid, 2));
+        ("tile", Transform.Catalog.With_factor (sid, 4));
+        ("expand", Transform.Catalog.With_var (sid, "T"));
+        ("peel-first", Transform.Catalog.On_loop sid);
+        ("peel-last", Transform.Catalog.On_loop sid);
+        ("normalize", Transform.Catalog.On_loop sid);
+        ("rename", Transform.Catalog.With_var (sid, "T"));
+        ("indsub", Transform.Catalog.With_var (sid, "K"));
+        ("coalesce", Transform.Catalog.On_loop sid);
+      ])
+    loops
+
+let safe_transforms_preserve =
+  QCheck2.Test.make ~count:60
+    ~name:"power-steering-approved transformations preserve semantics"
+    gen_program (fun program ->
+      let u = List.hd program.Ast.punits in
+      let env = Depenv.make u in
+      let ddg = Ddg.compute env in
+      List.for_all
+        (fun (name, args) ->
+          let entry = Option.get (Transform.Catalog.find name) in
+          let d = entry.Transform.Catalog.diagnose env ddg args in
+          if not (Transform.Diagnosis.ok d) then true
+          else
+            match entry.Transform.Catalog.apply env ddg args with
+            | Some u' ->
+              let ok = outputs program { Ast.punits = [ u' ] } in
+              if not ok then
+                QCheck2.Test.fail_reportf
+                  "%s changed the result on:@.%s@.--- transformed ---@.%s"
+                  name
+                  (Pretty.unit_to_string u)
+                  (Pretty.unit_to_string u')
+              else true
+            | None -> true
+            | exception e ->
+              QCheck2.Test.fail_reportf "%s raised %s on:@.%s" name
+                (Printexc.to_string e)
+                (Pretty.unit_to_string u))
+        (instances env))
+
+let parallel_loops_order_independent =
+  QCheck2.Test.make ~count:60
+    ~name:"analysis-approved parallel loops are order independent"
+    gen_program (fun program ->
+      let u = List.hd program.Ast.punits in
+      let env = Depenv.make u in
+      let ddg = Ddg.compute env in
+      (* flip every loop the editor's power steering approves *)
+      let u' =
+        List.fold_left
+          (fun u (l : Loopnest.loop) ->
+            let d =
+              Transform.Parallelize.diagnose env ddg l.Loopnest.lstmt.Ast.sid
+            in
+            if Transform.Diagnosis.ok d then
+              Transform.Parallelize.apply u l.Loopnest.lstmt.Ast.sid
+            else u)
+          u
+          (Loopnest.loops env.Depenv.nest)
+      in
+      let p' = { Ast.punits = [ u' ] } in
+      let a = Sim.Interp.run ~par_order:Sim.Interp.Seq p' in
+      let b = Sim.Interp.run ~par_order:Sim.Interp.Reverse p' in
+      let c = Sim.Interp.run ~par_order:(Sim.Interp.Shuffled 11) p' in
+      let ok =
+        Sim.Interp.outputs_match ~tol:1e-5 a.Sim.Interp.output b.Sim.Interp.output
+        && Sim.Interp.outputs_match ~tol:1e-5 a.Sim.Interp.output c.Sim.Interp.output
+      in
+      if not ok then
+        QCheck2.Test.fail_reportf "order-dependent parallel loop in:@.%s"
+          (Pretty.unit_to_string u')
+      else true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest safe_transforms_preserve;
+    QCheck_alcotest.to_alcotest parallel_loops_order_independent;
+  ]

@@ -1,0 +1,101 @@
+(* Detailed regular-section tests: summary shapes and call-site
+   translation precision. *)
+
+open Fortran_front
+open Util
+
+let cg_of src = Interproc.Callgraph.build (parse src)
+
+let summary src unit_name array =
+  let sec = Interproc.Sections.compute (cg_of src) in
+  List.assoc_opt array (Interproc.Sections.summary_of sec unit_name)
+
+let suite =
+  [
+    case "point write summarized as Point" (fun () ->
+        match
+          summary
+            "      SUBROUTINE S(A, I, N)\n      INTEGER I, N\n      REAL A(N)\n      A(I) = 1.0\n      END\n"
+            "S" "A"
+        with
+        | Some { Interproc.Sections.sec_w = Some [ Interproc.Sections.Point e ]; _ } ->
+          check_bool "point is I" true (Ast.expr_equal e (Ast.Var "I"))
+        | _ -> Alcotest.fail "expected Point I");
+    case "loop sweep summarized as Range" (fun () ->
+        match
+          summary
+            "      SUBROUTINE S(A, N)\n      INTEGER N, J\n      REAL A(N)\n      DO J = 1, N\n        A(J) = 0.0\n      ENDDO\n      END\n"
+            "S" "A"
+        with
+        | Some { Interproc.Sections.sec_w = Some [ Interproc.Sections.Range (lo, hi) ]; _ } ->
+          check_bool "lo 1" true (Ast.expr_equal lo (Ast.Int 1));
+          check_bool "hi N" true (Ast.expr_equal hi (Ast.Var "N"))
+        | _ -> Alcotest.fail "expected Range 1..N");
+    case "offset sweep shifts the range" (fun () ->
+        match
+          summary
+            "      SUBROUTINE S(A, N)\n      INTEGER N, J\n      REAL A(N)\n      DO J = 1, N - 2\n        A(J + 1) = 0.0\n      ENDDO\n      END\n"
+            "S" "A"
+        with
+        | Some { Interproc.Sections.sec_w = Some [ Interproc.Sections.Range (lo, _) ]; _ } ->
+          check_bool "lo is 2" true (Ast.expr_equal lo (Ast.Int 2))
+        | _ -> Alcotest.fail "expected shifted range");
+    case "local-variable subscript degrades to Star" (fun () ->
+        match
+          summary
+            "      SUBROUTINE S(A, N)\n      INTEGER N, K\n      REAL A(N)\n      K = N / 2\n      A(K) = 0.0\n      END\n"
+            "S" "A"
+        with
+        | Some { Interproc.Sections.sec_w = Some [ Interproc.Sections.Star ]; _ } -> ()
+        | _ -> Alcotest.fail "expected Star (local scalar)");
+    case "merge of distinct constant points widens to range" (fun () ->
+        match
+          summary
+            "      SUBROUTINE S(A, N)\n      INTEGER N\n      REAL A(N)\n      A(1) = 0.0\n      A(5) = 0.0\n      END\n"
+            "S" "A"
+        with
+        | Some { Interproc.Sections.sec_w = Some [ Interproc.Sections.Range (Ast.Int 1, Ast.Int 5) ]; _ } -> ()
+        | _ -> Alcotest.fail "expected hull 1..5");
+    case "row write: Point x Range in 2D" (fun () ->
+        match
+          summary
+            "      SUBROUTINE S(A, N, M, I)\n      INTEGER N, M, I, J\n      REAL A(N,M)\n      DO J = 1, M\n        A(I,J) = 0.0\n      ENDDO\n      END\n"
+            "S" "A"
+        with
+        | Some { Interproc.Sections.sec_w = Some [ d1; d2 ]; _ } ->
+          (match d1 with
+          | Interproc.Sections.Point e ->
+            check_bool "row I" true (Ast.expr_equal e (Ast.Var "I"))
+          | _ -> Alcotest.fail "dim1 should be Point I");
+          (match d2 with
+          | Interproc.Sections.Range _ -> ()
+          | _ -> Alcotest.fail "dim2 should be a Range")
+        | _ -> Alcotest.fail "no 2D write section");
+    case "call-site translation substitutes actuals" (fun () ->
+        let src =
+          "      PROGRAM P\n      REAL B(10)\n      INTEGER K\n      K = 4\n      CALL S(B, K, 10)\n      END\n      SUBROUTINE S(A, I, N)\n      INTEGER I, N\n      REAL A(N)\n      A(I + 1) = 1.0\n      END\n"
+        in
+        let cg = cg_of src in
+        let sec = Interproc.Sections.compute cg in
+        let site = List.hd (Interproc.Callgraph.sites cg) in
+        let caller = Option.get (Interproc.Callgraph.unit_named cg "P") in
+        let tbl = Symbol.build caller in
+        let refs = Interproc.Sections.call_refs sec ~site ~tbl in
+        match
+          List.find_opt (fun (a, _, w) -> a = "B" && w) refs
+        with
+        | Some (_, Some [ e ], _) ->
+          check_string "K + 1" "K + 1" (Pretty.expr_to_string e)
+        | _ -> Alcotest.fail "expected translated point write on B");
+    case "transitive sections through a wrapper" (fun () ->
+        let src =
+          "      SUBROUTINE OUTER(A, N, I)\n      INTEGER N, I\n      REAL A(N)\n      CALL INNER(A, N, I)\n      END\n      SUBROUTINE INNER(B, N, I)\n      INTEGER N, I\n      REAL B(N)\n      B(I) = 2.0\n      END\n"
+        in
+        match
+          (let sec = Interproc.Sections.compute (cg_of src) in
+           List.assoc_opt "A" (Interproc.Sections.summary_of sec "OUTER"))
+        with
+        | Some { Interproc.Sections.sec_w = Some [ Interproc.Sections.Point e ]; _ } ->
+          check_bool "still Point I" true (Ast.expr_equal e (Ast.Var "I"))
+        | _ -> Alcotest.fail "expected Point through wrapper");
+  ]

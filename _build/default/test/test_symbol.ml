@@ -1,0 +1,73 @@
+open Fortran_front
+open Util
+
+let suite =
+  [
+    case "implicit typing I-N integer" (fun () ->
+        let u = parse_body "      X = I + J\n" in
+        let tbl = Symbol.build u in
+        check_bool "I int" true (Symbol.typ_of tbl "I" = Ast.Tinteger);
+        check_bool "X real" true (Symbol.typ_of tbl "X" = Ast.Treal));
+    case "declared arrays recognized" (fun () ->
+        let u =
+          parse_unit "      PROGRAM P\n      REAL A(10)\n      A(1) = 0.0\n      END\n"
+        in
+        let tbl = Symbol.build u in
+        check_bool "array" true (Symbol.is_array tbl "A"));
+    case "undeclared subscripted name is external function" (fun () ->
+        let u = parse_body "      X = G(3)\n" in
+        let tbl = Symbol.build u in
+        check_bool "call" true (Symbol.is_fun_call tbl "G"));
+    case "intrinsics recognized" (fun () ->
+        let u = parse_body "      X = SQRT(Y) + MAX(1, 2)\n" in
+        let tbl = Symbol.build u in
+        check_bool "sqrt" true (Symbol.is_fun_call tbl "SQRT");
+        match Symbol.lookup tbl "MAX" with
+        | Some { Symbol.kind = Symbol.Intrinsic; _ } -> ()
+        | _ -> Alcotest.fail "MAX should be intrinsic");
+    case "call target is a routine" (fun () ->
+        let u = parse_body "      CALL SUB(X)\n" in
+        let tbl = Symbol.build u in
+        match Symbol.lookup tbl "SUB" with
+        | Some { Symbol.kind = Symbol.Routine; _ } -> ()
+        | _ -> Alcotest.fail "SUB should be a routine");
+    case "param_value folds across parameters" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      INTEGER N, M\n      PARAMETER (N = 10, M = N * 2)\n      END\n"
+        in
+        let tbl = Symbol.build u in
+        check_bool "M" true (Symbol.param_value tbl "M" = Some 20));
+    case "const_eval handles arithmetic" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      INTEGER N\n      PARAMETER (N = 8)\n      END\n"
+        in
+        let tbl = Symbol.build u in
+        let e = Parser.parse_expr_string "2 * N + 1" in
+        check_bool "17" true (Symbol.const_eval tbl e = Some 17));
+    case "formals flagged" (fun () ->
+        let u = parse_unit "      SUBROUTINE S(A, N)\n      A = N\n      END\n" in
+        let tbl = Symbol.build u in
+        check_bool "A formal" true (Symbol.is_formal tbl "A");
+        check_bool "N formal" true (Symbol.is_formal tbl "N"));
+    case "commons flagged" (fun () ->
+        let u = parse_unit "      PROGRAM P\n      COMMON /C/ Q\n      Q = 1.0\n      END\n" in
+        let tbl = Symbol.build u in
+        check_bool "common" true (Symbol.is_common tbl "Q"));
+    case "function result variable exists" (fun () ->
+        let u = parse_unit "      REAL FUNCTION F(X)\n      F = X\n      END\n" in
+        let tbl = Symbol.build u in
+        match Symbol.lookup tbl "F" with
+        | Some { Symbol.kind = Symbol.Scalar; typ = Ast.Treal; _ } -> ()
+        | _ -> Alcotest.fail "result var missing");
+    case "array_dims evaluates bounds" (fun () ->
+        let u =
+          parse_unit
+            "      PROGRAM P\n      INTEGER N\n      PARAMETER (N = 4)\n      REAL A(0:N)\n      A(0) = 1.0\n      END\n"
+        in
+        let tbl = Symbol.build u in
+        match Symbol.array_dims tbl "A" with
+        | [ (Some 0, Some 4) ] -> ()
+        | _ -> Alcotest.fail "bad dims");
+  ]

@@ -1,0 +1,143 @@
+open Scalar_analysis
+open Util
+
+let classify ?recognize_reductions src iv =
+  let env = env_of src in
+  let lp = loop_by_iv env iv in
+  Varclass.classify ?recognize_reductions env.Dependence.Depenv.ctx
+    env.Dependence.Depenv.liveness lp.Dependence.Loopnest.lstmt
+
+let cls ?recognize_reductions src iv var =
+  Option.map Varclass.classification_to_string
+    (Varclass.lookup (classify ?recognize_reductions src iv) var)
+
+let prog body decls =
+  Printf.sprintf "      PROGRAM P\n%s%s      END\n" decls body
+
+let suite =
+  [
+    case "loop variable is induction" (fun () ->
+        let src = prog "      DO I = 1, 10\n        X = I\n      ENDDO\n" "" in
+        check_bool "ind" true (cls src "I" "I" = Some "induction"));
+    case "aux induction K = K + 2" (fun () ->
+        let src =
+          prog "      K = 0\n      DO I = 1, 10\n        K = K + 2\n        X = K\n      ENDDO\n" ""
+        in
+        check_bool "aux" true (cls src "I" "K" = Some "induction"));
+    case "killed scalar is private" (fun () ->
+        let src =
+          prog "      DO I = 1, 10\n        T = 2.0 * I\n        X = T + 1.0\n      ENDDO\n" ""
+        in
+        match cls src "I" "T" with
+        | Some ("private" | "private(lastvalue)") -> ()
+        | c -> Alcotest.failf "T classified %s" (Option.value ~default:"?" c));
+    case "upward exposed scalar is unsafe" (fun () ->
+        let src =
+          prog "      T = 0.0\n      DO I = 1, 10\n        X = T\n        T = 2.0 * I\n      ENDDO\n" ""
+        in
+        check_bool "unsafe" true (cls src "I" "T" = Some "shared(unsafe)"));
+    case "sum reduction recognized" (fun () ->
+        let src =
+          prog "      S = 0.0\n      DO I = 1, 10\n        S = S + A(I)\n      ENDDO\n"
+            "      REAL A(10)\n"
+        in
+        check_bool "sum" true (cls src "I" "S" = Some "reduction(+)"));
+    case "flattened sum reduction recognized" (fun () ->
+        let src =
+          prog "      S = 0.0\n      DO I = 1, 10\n        S = S + A(I) + B(I)\n      ENDDO\n"
+            "      REAL A(10), B(10)\n"
+        in
+        check_bool "sum2" true (cls src "I" "S" = Some "reduction(+)"));
+    case "subtraction reduction recognized" (fun () ->
+        let src =
+          prog "      S = 0.0\n      DO I = 1, 10\n        S = S - A(I)\n      ENDDO\n"
+            "      REAL A(10)\n"
+        in
+        check_bool "sub" true (cls src "I" "S" = Some "reduction(+)"));
+    case "s = e - s is NOT a reduction" (fun () ->
+        let src =
+          prog "      S = 0.0\n      DO I = 1, 10\n        S = A(I) - S\n      ENDDO\n"
+            "      REAL A(10)\n"
+        in
+        check_bool "not" true (cls src "I" "S" = Some "shared(unsafe)"));
+    case "product reduction" (fun () ->
+        let src =
+          prog "      PR = 1.0\n      DO I = 1, 10\n        PR = PR * A(I)\n      ENDDO\n"
+            "      REAL A(10)\n"
+        in
+        check_bool "prod" true (cls src "I" "PR" = Some "reduction(*)"));
+    case "max and min reductions" (fun () ->
+        let src =
+          prog
+            "      BIG = 0.0\n      DO I = 1, 10\n        BIG = MAX(BIG, A(I))\n      ENDDO\n"
+            "      REAL A(10)\n"
+        in
+        check_bool "max" true (cls src "I" "BIG" = Some "reduction(max)"));
+    case "reduction disabled reverts to unsafe" (fun () ->
+        let src =
+          prog "      S = 0.0\n      DO I = 1, 10\n        S = S + A(I)\n      ENDDO\n"
+            "      REAL A(10)\n"
+        in
+        check_bool "off" true
+          (cls ~recognize_reductions:false src "I" "S" = Some "shared(unsafe)"));
+    case "reduction variable used elsewhere is unsafe" (fun () ->
+        let src =
+          prog
+            "      S = 0.0\n      DO I = 1, 10\n        S = S + A(I)\n        B(I) = S\n      ENDDO\n"
+            "      REAL A(10), B(10)\n"
+        in
+        check_bool "mixed" true (cls src "I" "S" = Some "shared(unsafe)"));
+    case "read-only scalar is shared safe" (fun () ->
+        let src =
+          prog "      C = 2.0\n      DO I = 1, 10\n        X = C * I\n      ENDDO\n" ""
+        in
+        check_bool "safe" true (cls src "I" "C" = Some "shared"));
+    case "goto in body downgrades written scalars" (fun () ->
+        let src =
+          prog
+            "      DO I = 1, 10\n        T = 1.0\n        IF (T .GT. 0.5) GOTO 10\n        X = T\n 10     CONTINUE\n      ENDDO\n"
+            ""
+        in
+        check_bool "goto" true (cls src "I" "T" = Some "shared(unsafe)"));
+    case "private in IF branches both assigning" (fun () ->
+        let src =
+          prog
+            "      DO I = 1, 10\n        IF (I .GT. 5) THEN\n          T = 1.0\n        ELSE\n          T = 2.0\n        ENDIF\n        X = T\n      ENDDO\n"
+            ""
+        in
+        match cls src "I" "T" with
+        | Some ("private" | "private(lastvalue)") -> ()
+        | c -> Alcotest.failf "T classified %s" (Option.value ~default:"?" c));
+    case "conditional assignment is not private" (fun () ->
+        let src =
+          prog
+            "      T = 0.0\n      DO I = 1, 10\n        IF (I .GT. 5) THEN\n          T = 1.0\n        ENDIF\n        X = T\n      ENDDO\n"
+            ""
+        in
+        check_bool "cond" true (cls src "I" "T" = Some "shared(unsafe)"));
+    case "parallelizable and blockers" (fun () ->
+        let src =
+          prog "      T = 0.0\n      DO I = 1, 10\n        X = T\n        T = 2.0 * I\n      ENDDO\n" ""
+        in
+        let c = classify src "I" in
+        check_bool "not par" false (Varclass.parallelizable c);
+        check_bool "T blocks" true (List.mem "T" (Varclass.blockers c)));
+    case "aux_inductions finds stride and statement" (fun () ->
+        let env =
+          env_of (prog "      K = 0\n      DO I = 1, 4\n        K = K + 3\n      ENDDO\n" "")
+        in
+        let lp = loop_by_iv env "I" in
+        match Varclass.aux_inductions env.Dependence.Depenv.ctx lp.Dependence.Loopnest.lstmt with
+        | [ ("K", 3, _) ] -> ()
+        | _ -> Alcotest.fail "expected K with stride 3");
+    case "conditional increment is not aux induction" (fun () ->
+        let env =
+          env_of
+            (prog
+               "      K = 0\n      DO I = 1, 4\n        IF (I .GT. 2) THEN\n          K = K + 1\n        ENDIF\n      ENDDO\n"
+               "")
+        in
+        let lp = loop_by_iv env "I" in
+        check_int "none" 0
+          (List.length (Varclass.aux_inductions env.Dependence.Depenv.ctx lp.Dependence.Loopnest.lstmt)));
+  ]

@@ -1,0 +1,52 @@
+open Util
+
+(* End-to-end expectations over the whole suite: parse, run, analyze,
+   count parallel loops, check the documented numbers. *)
+
+let checksum (w : Workloads.t) =
+  (Sim.Interp.run (Workloads.program w)).Sim.Interp.output
+
+let suite =
+  List.concat_map
+    (fun (w : Workloads.t) ->
+      [
+        case (w.Workloads.name ^ ": runs and prints a checksum") (fun () ->
+            check_bool "output nonempty" true (checksum w <> []));
+        case (w.Workloads.name ^ ": loop counts match expectations") (fun () ->
+            let sess =
+              Ped.Session.load (Workloads.program w)
+                ~unit_name:(Workloads.main_unit w)
+            in
+            check_int "loops" w.Workloads.main_loops
+              (List.length (Ped.Session.loops sess));
+            check_int "parallelizable" w.Workloads.main_parallel
+              (List.length (Ped.Session.parallelizable_loops sess)));
+        case (w.Workloads.name ^ ": assertion script unlocks loops") (fun () ->
+            if w.Workloads.assertion_script <> [] then begin
+              let sess =
+                Ped.Session.load (Workloads.program w)
+                  ~unit_name:(Workloads.main_unit w)
+              in
+              (* run any leading focus commands first, measure, then
+                 apply the assertions themselves *)
+              let is_focus l = String.length l >= 5 && String.sub l 0 5 = "unit " in
+              let focus, rest =
+                List.partition is_focus w.Workloads.assertion_script
+              in
+              List.iter (fun l -> ignore (Ped.Command.run sess l)) focus;
+              let count () = List.length (Ped.Session.parallelizable_loops sess) in
+              let before = count () in
+              List.iter (fun l -> ignore (Ped.Command.run sess l)) rest;
+              check_bool "strictly more parallel loops" true (count () > before)
+            end);
+      ])
+    Workloads.all
+  @ [
+      case "names unique" (fun () ->
+          check_int "unique" (List.length Workloads.names)
+            (List.length (List.sort_uniq compare Workloads.names)));
+      case "by_name total" (fun () ->
+          List.iter
+            (fun n -> check_bool n true (Workloads.by_name n <> None))
+            Workloads.names);
+    ]

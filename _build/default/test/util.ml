@@ -1,0 +1,49 @@
+(* Shared helpers for the test suites. *)
+
+open Fortran_front
+
+let parse src = Parser.parse_program ~file:"test.f" src
+
+let parse_unit src =
+  match (parse src).Ast.punits with
+  | u :: _ -> u
+  | [] -> failwith "empty program"
+
+(* Wrap loose statements in a PROGRAM for quick parsing. *)
+let parse_body ?(decls = "") body =
+  let src =
+    Printf.sprintf "      PROGRAM T\n%s\n%s\n      END\n" decls body
+  in
+  parse_unit src
+
+let env_of ?config ?asserts src = Dependence.Depenv.make ?config ?asserts (parse_unit src)
+
+let ddg_of env = Dependence.Ddg.compute env
+
+(* The i-th loop (preorder) of the unit. *)
+let nth_loop env i =
+  List.nth (Dependence.Loopnest.loops env.Dependence.Depenv.nest) i
+
+let loop_by_iv env iv =
+  List.find
+    (fun (l : Dependence.Loopnest.loop) ->
+      String.equal l.Dependence.Loopnest.header.Ast.dvar iv)
+    (Dependence.Loopnest.loops env.Dependence.Depenv.nest)
+
+let loop_sid lp = lp.Dependence.Loopnest.lstmt.Ast.sid
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let run_output ?honor_parallel ?par_order src =
+  (Sim.Interp.run ?honor_parallel ?par_order (parse src)).Sim.Interp.output
+
+let case name f = Alcotest.test_case name `Quick f
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  nl = 0
+  ||
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
