@@ -684,6 +684,80 @@ let microbench () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Table 6: predicted vs measured speedup on the multicore runtime     *)
+(* ------------------------------------------------------------------ *)
+
+(* Auto-parallelize every unit of a workload (assertion script first),
+   returning the annotated program — the same pipeline ped --execute
+   uses. *)
+let parallelized_program (w : Workloads.t) =
+  let sess =
+    Ped.Session.load (Workloads.program w) ~unit_name:(Workloads.main_unit w)
+  in
+  List.iter
+    (fun cmd -> ignore (Ped.Command.run sess cmd))
+    w.Workloads.assertion_script;
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      match Ped.Session.focus sess u.Ast.uname with
+      | Ok () -> auto_parallelize sess
+      | Error _ -> ())
+    sess.Ped.Session.program.Ast.punits;
+  sess.Ped.Session.program
+
+let best_wall ?(reps = 3) ~domains program =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let o = Runtime.Exec.run ~domains program in
+    if o.Runtime.Exec.wall_s < !best then best := o.Runtime.Exec.wall_s
+  done;
+  !best
+
+let table6 () =
+  header
+    "Table 6: predicted (simulator cycles) vs measured (multicore runtime \
+     wall clock) speedup";
+  Printf.printf
+    "  this machine offers %d core(s); measured speedups cannot exceed that, \
+     while predictions assume the abstract machine really has P processors\n"
+    (Domain.recommended_domain_count ());
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  Printf.printf "%-10s" "program";
+  List.iter (fun p -> Printf.printf "  pred@%d meas@%d" p p) domain_counts;
+  Printf.printf "\n";
+  List.iter
+    (fun (w : Workloads.t) ->
+      let base = Workloads.program w in
+      let par = parallelized_program w in
+      let seq_wall = best_wall ~domains:1 base in
+      Printf.printf "%-10s" w.Workloads.name;
+      List.iter
+        (fun p ->
+          let pred = speedup_at p par in
+          let meas = seq_wall /. Float.max 1e-9 (best_wall ~domains:p par) in
+          Printf.printf "  %6.2f %6.2f" pred meas)
+        domain_counts;
+      Printf.printf "\n%!")
+    Workloads.all
+
+let calibrate_exp () =
+  header
+    "Calibration: per-op cycle weights fitted from measured multicore-runtime \
+     executions (one sample per workload)";
+  let progs = List.map Workloads.program Workloads.all in
+  let fitted = Runtime.Calibrate.fit progs in
+  let show label (m : Perf.Machine.t) =
+    Printf.printf
+      "%-11s %-24s flop %6.2f  mem %6.2f  intrinsic %6.2f  loop %6.2f  call \
+       %6.2f\n"
+      label m.Perf.Machine.name m.Perf.Machine.flop_cost m.Perf.Machine.mem_cost
+      m.Perf.Machine.intrinsic_cost m.Perf.Machine.loop_overhead
+      m.Perf.Machine.call_overhead
+  in
+  show "default:" Perf.Machine.default;
+  show "calibrated:" fitted
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -692,6 +766,8 @@ let experiments =
     ("table3", table3);
     ("table4", table4);
     ("table5", table5);
+    ("table6", table6);
+    ("calibrate", calibrate_exp);
     ("fig1", fig1);
     ("fig2", fig2);
     ("fig3", fig3);

@@ -3,22 +3,30 @@
    Usage:
      ped FILE.f [-u UNIT] [-s SCRIPT] [--no-interproc]
      ped -w WORKLOAD [-s SCRIPT]
+     ped [-w WORKLOAD] --execute [--domains N] [--schedule chunk|self]
+         [--validate] [--force-parallel]
+     ped --calibrate
 
    Without a script, reads commands from stdin (a REPL).  With one,
-   executes the script and prints the transcript. *)
+   executes the script and prints the transcript.  With --execute the
+   program is auto-parallelized (or --force-parallel'd), run on real
+   OCaml domains and checked against the sequential simulator; with no
+   workload/file every built-in workload runs. *)
+
+open Fortran_front
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
 
 let run_session sess script =
   match script with
   | Some path ->
-    let ic = open_in path in
-    let lines = ref [] in
-    (try
-       while true do
-         lines := input_line ic :: !lines
-       done
-     with End_of_file -> close_in ic);
     let lines =
-      List.rev !lines
+      String.split_on_char '\n' (read_file path)
       |> List.filter (fun l ->
              let l = String.trim l in
              l <> "" && l.[0] <> '#')
@@ -35,35 +43,205 @@ let run_session sess script =
        done
      with End_of_file -> print_endline "bye")
 
-let main file workload unit_name script no_interproc =
-  let interproc = not no_interproc in
-  let sess =
-    match (file, workload) with
-    | Some path, _ ->
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let src = really_input_string ic n in
-      close_in ic;
-      Ped.Session.load_source ~interproc ~file:path src
-        ~unit_name:(Option.map String.uppercase_ascii unit_name)
-    | None, Some wname -> (
-      match Workloads.by_name wname with
-      | Some w ->
-        let unit_name =
-          match unit_name with
-          | Some u -> String.uppercase_ascii u
-          | None -> Workloads.main_unit w
-        in
-        Ped.Session.load ~interproc (Workloads.program w) ~unit_name
-      | None ->
-        prerr_endline
-          ("unknown workload (available: " ^ String.concat ", " Workloads.names ^ ")");
-        exit 1)
-    | None, None ->
-      prerr_endline "give a Fortran file or a workload name (-w)";
+(* ------------------------------------------------------------------ *)
+(* Execute mode: run on the multicore runtime                          *)
+(* ------------------------------------------------------------------ *)
+
+let main_unit_of (program : Ast.program) =
+  match
+    List.find_opt
+      (fun (u : Ast.program_unit) -> u.Ast.kind = Ast.Main)
+      program.Ast.punits
+  with
+  | Some u -> u.Ast.uname
+  | None -> (List.hd program.Ast.punits).Ast.uname
+
+(* Apply the assertion script, then mark every provably-safe loop of
+   every unit PARALLEL DO — the editor's workflow, automated. *)
+let auto_parallelize (program : Ast.program) (assertion_script : string list) =
+  let sess = Ped.Session.load program ~unit_name:(main_unit_of program) in
+  List.iter (fun cmd -> ignore (Ped.Command.run sess cmd)) assertion_script;
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      match Ped.Session.focus sess u.Ast.uname with
+      | Ok () ->
+        List.iter
+          (fun (l : Dependence.Loopnest.loop) ->
+            let sid = l.Dependence.Loopnest.lstmt.Ast.sid in
+            if Ped.Session.is_parallelizable sess sid then
+              ignore
+                (Ped.Session.transform sess "parallelize"
+                   (Transform.Catalog.On_loop sid)))
+          (Ped.Session.loops sess)
+      | Error _ -> ())
+    sess.Ped.Session.program.Ast.punits;
+  sess.Ped.Session.program
+
+(* (name, program, assertion script) targets of this invocation *)
+let targets file workload =
+  match (file, workload) with
+  | Some path, _ ->
+    [ (Filename.basename path,
+       Parser.parse_program ~file:path (read_file path), []) ]
+  | None, Some wname -> (
+    match Workloads.by_name wname with
+    | Some w ->
+      [ (w.Workloads.name, Workloads.program w, w.Workloads.assertion_script) ]
+    | None ->
+      prerr_endline
+        ("unknown workload (available: "
+        ^ String.concat ", " Workloads.names
+        ^ ")");
+      exit 1)
+  | None, None ->
+    List.map
+      (fun (w : Workloads.t) ->
+        (w.Workloads.name, Workloads.program w, w.Workloads.assertion_script))
+      Workloads.all
+
+let execute_one name program script ~domains ~schedule ~validate
+    ~force_parallel =
+  let par_program =
+    if force_parallel then Runtime.Exec.force_parallel program
+    else auto_parallelize program script
+  in
+  let n_parallel =
+    List.fold_left
+      (fun acc (u : Ast.program_unit) ->
+        Ast.fold_stmts
+          (fun acc (s : Ast.stmt) ->
+            match s.Ast.node with
+            | Ast.Do (h, _) when h.Ast.parallel -> acc + 1
+            | _ -> acc)
+          acc u.Ast.body)
+      0 par_program.Ast.punits
+  in
+  Printf.printf "%s: %d PARALLEL DO loop%s%s\n%!" name n_parallel
+    (if n_parallel = 1 then "" else "s")
+    (if force_parallel then " (forced)" else "");
+  let n_conflicts =
+    if not validate then 0
+    else begin
+      let v = Runtime.Exec.run ~validate:true par_program in
+      (match v.Runtime.Exec.conflicts with
+      | [] ->
+        Printf.printf "  validator: no cross-iteration conflicts observed\n%!"
+      | cs ->
+        List.iter
+          (fun c ->
+            Printf.printf "  validator: %s\n%!"
+              (Runtime.Exec.conflict_to_string c))
+          cs);
+      List.length v.Runtime.Exec.conflicts
+    end
+  in
+  let seq = Sim.Interp.run ~honor_parallel:false program in
+  let o = Runtime.Exec.run ~domains ~schedule par_program in
+  let exact =
+    o.Runtime.Exec.output = seq.Sim.Interp.output
+    && o.Runtime.Exec.final_store = seq.Sim.Interp.final_store
+  in
+  (* printed values carry 6 significant digits, so cross-domain
+     reduction reassociation can flip the last printed digit: compare
+     output a decade looser than the raw final stores *)
+  let close =
+    Sim.Interp.outputs_match ~tol:1e-4 o.Runtime.Exec.output
+      seq.Sim.Interp.output
+    && Sim.Interp.stores_match o.Runtime.Exec.final_store
+         seq.Sim.Interp.final_store
+  in
+  Printf.printf
+    "  %d domains, %s schedule: %.4fs, %d statements, vs sequential \
+     simulator: %s\n%!"
+    domains
+    (Runtime.Pool.schedule_to_string schedule)
+    o.Runtime.Exec.wall_s o.Runtime.Exec.stmts_executed
+    (if exact then "identical"
+     else if close then "matching (within rounding)"
+     else "MISMATCH");
+  List.iter (fun l -> Printf.printf "  | %s\n" l) o.Runtime.Exec.output;
+  (* a forced-parallel run is EXPECTED to conflict/mismatch; report only *)
+  force_parallel || ((exact || close) && n_conflicts = 0)
+
+let execute file workload domains schedule validate force_parallel =
+  let domains = max 1 domains in
+  let schedule =
+    match Runtime.Pool.schedule_of_string schedule with
+    | Some s -> s
+    | None ->
+      prerr_endline "bad --schedule (chunk or self)";
       exit 1
   in
-  run_session sess script
+  let ok =
+    List.fold_left
+      (fun acc (name, program, script) ->
+        execute_one name program script ~domains ~schedule ~validate
+          ~force_parallel
+        && acc)
+      true
+      (targets file workload)
+  in
+  if not ok then exit 1
+
+let calibrate_mode file workload =
+  let ts = targets file workload in
+  Printf.printf "calibrating on %d program%s...\n%!" (List.length ts)
+    (if List.length ts = 1 then "" else "s");
+  let machine =
+    Runtime.Calibrate.fit (List.map (fun (_, p, _) -> p) ts)
+  in
+  let weights label (m : Perf.Machine.t) =
+    Printf.printf
+      "%s: flop %.2f  mem %.2f  intrinsic %.2f  loop %.2f  call %.2f\n" label
+      m.Perf.Machine.flop_cost m.Perf.Machine.mem_cost
+      m.Perf.Machine.intrinsic_cost m.Perf.Machine.loop_overhead
+      m.Perf.Machine.call_overhead
+  in
+  weights "default   " Perf.Machine.default;
+  weights "calibrated" machine
+
+(* ------------------------------------------------------------------ *)
+
+let main file workload unit_name script no_interproc exec domains schedule
+    validate force_parallel order seed calibrate =
+  if calibrate then calibrate_mode file workload
+  else if exec || validate || force_parallel then
+    execute file workload domains schedule validate force_parallel
+  else begin
+    let interproc = not no_interproc in
+    let sess =
+      match (file, workload) with
+      | Some path, _ ->
+        Ped.Session.load_source ~interproc ~file:path (read_file path)
+          ~unit_name:(Option.map String.uppercase_ascii unit_name)
+      | None, Some wname -> (
+        match Workloads.by_name wname with
+        | Some w ->
+          let unit_name =
+            match unit_name with
+            | Some u -> String.uppercase_ascii u
+            | None -> Workloads.main_unit w
+          in
+          Ped.Session.load ~interproc (Workloads.program w) ~unit_name
+        | None ->
+          prerr_endline
+            ("unknown workload (available: "
+            ^ String.concat ", " Workloads.names
+            ^ ")");
+          exit 1)
+      | None, None ->
+        prerr_endline "give a Fortran file or a workload name (-w)";
+        exit 1
+    in
+    (match order with
+    | "seq" -> ()
+    | "reverse" -> sess.Ped.Session.sim_order <- Sim.Interp.Reverse
+    | "shuffle" -> sess.Ped.Session.sim_order <- Sim.Interp.Shuffled seed
+    | o ->
+      prerr_endline ("bad --order " ^ o ^ " (seq, reverse or shuffle)");
+      exit 1);
+    run_session sess script
+  end
 
 open Cmdliner
 
@@ -86,9 +264,50 @@ let no_interproc =
   Arg.(value & flag & info [ "no-interproc" ]
          ~doc:"Disable interprocedural analysis")
 
+let exec_flag =
+  Arg.(value & flag & info [ "execute" ]
+         ~doc:"Auto-parallelize and run on the multicore runtime, checking \
+               the result against the sequential simulator (all workloads \
+               when no file or workload is given)")
+
+let domains =
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for --execute")
+
+let schedule =
+  Arg.(value & opt string "chunk" & info [ "schedule" ] ~docv:"POLICY"
+         ~doc:"Iteration scheduling for --execute: chunk (contiguous blocks) \
+               or self (atomic work counter)")
+
+let validate =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Run the shadow-memory dependence validator over every \
+               PARALLEL DO before executing")
+
+let force_parallel =
+  Arg.(value & flag & info [ "force-parallel" ]
+         ~doc:"Mark every DO loop parallel, bypassing the analysis (for \
+               exercising --validate on unsafe loops)")
+
+let order =
+  Arg.(value & opt string "seq" & info [ "order" ] ~docv:"ORDER"
+         ~doc:"Iteration order for simulated parallel loops in the editor: \
+               seq, reverse or shuffle")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Seed for --order shuffle")
+
+let calibrate =
+  Arg.(value & flag & info [ "calibrate" ]
+         ~doc:"Fit the performance model's per-op weights from measured \
+               runtime executions and print the machines")
+
 let cmd =
   let doc = "interactive parallel programming editor (ParaScope Editor)" in
   Cmd.v (Cmd.info "ped" ~doc)
-    Term.(const main $ file $ workload $ unit_name $ script $ no_interproc)
+    Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
+          $ exec_flag $ domains $ schedule $ validate $ force_parallel
+          $ order $ seed $ calibrate)
 
 let () = exit (Cmd.eval cmd)

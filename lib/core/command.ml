@@ -14,7 +14,7 @@ let help_text =
       "  assert VAR = N | assert VAR in LO HI | assert perm ARR | private sN VAR";
       "  preview T ARGS | apply T ARGS [!] | edit sN TEXT | undo | history";
       "  diff (changes vs the loaded program) | write FILE";
-      "  estimate [P] | advise | simulate [P]";
+      "  estimate [P] | advise | simulate [P] [seq|reverse|shuffle [SEED]]";
       "transformations: " ^ String.concat ", " Transform.Catalog.names;
     ]
 
@@ -365,19 +365,44 @@ let run (t : Session.t) (line : string) : string =
            (fun s -> Format.asprintf "%a" Advisor.pp_suggestion s)
            suggestions))
   | "simulate" :: rest -> (
-    let p =
+    (* simulate [P] [seq|reverse|shuffle [SEED]] *)
+    let p, rest =
       match rest with
-      | [ n ] -> Option.value ~default:8 (int_of_string_opt n)
-      | _ -> 8
+      | n :: more when int_of_string_opt n <> None ->
+        (Option.get (int_of_string_opt n), more)
+      | _ -> (8, rest)
     in
-    match Session.simulate ~processors:p t with
-    | Ok (seq, par, output) ->
-      String.concat "\n"
-        ([ Printf.sprintf "sequential: %.0f cycles" seq;
-           Printf.sprintf "parallel (%d procs): %.0f cycles" p par;
-           Printf.sprintf "speedup: %.2fx" (seq /. Float.max par 1.0) ]
-        @ if output = [] then [] else ("output:" :: List.map (fun l -> "  " ^ l) output))
-    | Error e -> "error: " ^ e)
+    let order =
+      match rest with
+      | [] | [ "seq" ] -> Ok Sim.Interp.Seq
+      | [ "reverse" ] -> Ok Sim.Interp.Reverse
+      | [ "shuffle" ] -> Ok (Sim.Interp.Shuffled 42)
+      | [ "shuffle"; seed ] when int_of_string_opt seed <> None ->
+        Ok (Sim.Interp.Shuffled (Option.get (int_of_string_opt seed)))
+      | w :: _ -> Error w
+    in
+    match order with
+    | Error w -> Printf.sprintf "error: bad simulate order %s (try help)" w
+    | Ok order -> (
+      t.Session.sim_order <- order;
+      match Session.simulate ~processors:p t with
+      | Ok (seq, par, output) ->
+        let order_note =
+          match order with
+          | Sim.Interp.Seq -> ""
+          | Sim.Interp.Reverse -> ", reverse iteration order"
+          | Sim.Interp.Shuffled s ->
+            Printf.sprintf ", shuffled iteration order (seed %d)" s
+        in
+        String.concat "\n"
+          ([ Printf.sprintf "sequential: %.0f cycles" seq;
+             Printf.sprintf "parallel (%d procs%s): %.0f cycles" p order_note
+               par;
+             Printf.sprintf "speedup: %.2fx" (seq /. Float.max par 1.0) ]
+          @
+          if output = [] then []
+          else ("output:" :: List.map (fun l -> "  " ^ l) output))
+      | Error e -> "error: " ^ e))
   | cmd :: _ -> Printf.sprintf "error: unknown command %s (try help)" cmd
 
 let script t lines =

@@ -13,6 +13,7 @@ type t = {
   mutable dep_filter : Filter.dep_filter;
   mutable src_filter : Filter.src_filter;
   mutable undo_stack : (Ast.program * string) list;
+  mutable sim_order : Sim.Interp.order;
   original : Ast.program;
   mutable interproc : Interproc.Summary.t option;
   use_interproc : bool;
@@ -68,6 +69,7 @@ let load ?(config = Depenv.full_config) ?(interproc = true)
     dep_filter = Filter.default_dep_filter;
     src_filter = Filter.Src_all;
     undo_stack = [];
+    sim_order = Sim.Interp.Seq;
     original = program;
     interproc = summary;
     use_interproc = interproc;
@@ -298,7 +300,10 @@ let simulate ?(processors = 8) t =
   match Sim.Interp.run ~machine ~honor_parallel:false t.program with
   | exception Sim.Interp.Runtime_error e -> Error e
   | seq -> (
-    match Sim.Interp.run ~machine ~honor_parallel:true t.program with
+    match
+      Sim.Interp.run ~machine ~honor_parallel:true ~par_order:t.sim_order
+        t.program
+    with
     | exception Sim.Interp.Runtime_error e -> Error e
     | par ->
       Ok (seq.Sim.Interp.cycles, par.Sim.Interp.cycles, par.Sim.Interp.output))

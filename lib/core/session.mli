@@ -26,6 +26,9 @@ type t = {
   mutable dep_filter : Filter.dep_filter;
   mutable src_filter : Filter.src_filter;
   mutable undo_stack : (Ast.program * string) list;
+  mutable sim_order : Sim.Interp.order;
+      (** iteration order for simulated parallel loops — [Reverse] or
+          [Shuffled] expose order-dependent (unsafe) parallelizations *)
   original : Ast.program;  (** as loaded, for the editor's diff view *)
   mutable interproc : Interproc.Summary.t option;
   use_interproc : bool;

@@ -32,3 +32,91 @@ let with_schedule s t = { t with schedule = s }
 
 let pp ppf t =
   Format.fprintf ppf "%s (%d processors)" t.name t.processors
+
+(* ------------------------------------------------------------------ *)
+(* Calibration: fit the per-op cycle weights from measurements         *)
+(* ------------------------------------------------------------------ *)
+
+type op_counts = {
+  flops : float;
+  mems : float;
+  intrinsics : float;
+  loop_iters : float;
+  calls : float;
+}
+
+let zero_counts =
+  { flops = 0.0; mems = 0.0; intrinsics = 0.0; loop_iters = 0.0; calls = 0.0 }
+
+let features c = [| c.flops; c.mems; c.intrinsics; c.loop_iters; c.calls |]
+
+(* Solve [a] x = [b] by Gaussian elimination with partial pivoting.
+   [a] and [b] are destroyed. *)
+let solve_linear a b =
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    let tmp = a.(col) in
+    a.(col) <- a.(!piv);
+    a.(!piv) <- tmp;
+    let tb = b.(col) in
+    b.(col) <- b.(!piv);
+    b.(!piv) <- tb;
+    let d = a.(col).(col) in
+    if Float.abs d > 1e-30 then
+      for r = 0 to n - 1 do
+        if r <> col then begin
+          let f = a.(r).(col) /. d in
+          for c = col to n - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+          done;
+          b.(r) <- b.(r) -. (f *. b.(col))
+        end
+      done
+  done;
+  Array.init n (fun i ->
+      if Float.abs a.(i).(i) > 1e-30 then b.(i) /. a.(i).(i) else 0.0)
+
+let calibrate samples t =
+  if samples = [] then t
+  else begin
+    let n = 5 in
+    (* ridge-regularized normal equations: (XᵀX + λI) w = Xᵀy *)
+    let ata = Array.make_matrix n n 0.0 in
+    let atb = Array.make n 0.0 in
+    List.iter
+      (fun (counts, time) ->
+        let x = features counts in
+        for i = 0 to n - 1 do
+          atb.(i) <- atb.(i) +. (x.(i) *. time);
+          for j = 0 to n - 1 do
+            ata.(i).(j) <- ata.(i).(j) +. (x.(i) *. x.(j))
+          done
+        done)
+      samples;
+    let trace = ref 0.0 in
+    for i = 0 to n - 1 do
+      trace := !trace +. ata.(i).(i)
+    done;
+    let lambda = 1e-9 *. Float.max 1.0 !trace in
+    for i = 0 to n - 1 do
+      ata.(i).(i) <- ata.(i).(i) +. lambda
+    done;
+    let w = solve_linear ata atb in
+    (* weights are relative: normalize so a flop costs 1 cycle, as in
+       the abstract machine; clamp to keep every op positive *)
+    let flop = Float.max 1e-12 w.(0) in
+    let rel i = Float.max 0.01 (w.(i) /. flop) in
+    {
+      t with
+      name = t.name ^ "-calibrated";
+      flop_cost = 1.0;
+      mem_cost = rel 1;
+      intrinsic_cost = rel 2;
+      loop_overhead = rel 3;
+      call_overhead = rel 4;
+    }
+  end

@@ -32,3 +32,31 @@ val default : t
 val with_processors : int -> t -> t
 val with_schedule : schedule -> t -> t
 val pp : Format.formatter -> t -> unit
+
+(** {2 Calibration}
+
+    The static cost model's per-op weights can be fitted from real
+    measurements: the multicore runtime counts the dynamic operations
+    of a program and measures its wall-clock time, and
+    {!calibrate} solves the least-squares system
+    [time ≈ w · counts] over the sample set. *)
+
+(** Dynamic operation counts of one measured execution. *)
+type op_counts = {
+  flops : float;       (** arithmetic/comparison operations *)
+  mems : float;        (** scalar and array loads/stores *)
+  intrinsics : float;  (** intrinsic evaluations *)
+  loop_iters : float;  (** DO iterations started *)
+  calls : float;       (** subroutine/function calls *)
+}
+
+val zero_counts : op_counts
+
+(** [calibrate samples t] — fit the five per-op weights from
+    [(counts, measured time)] samples (ridge-regularized least
+    squares), normalize so a flop costs 1 cycle as in the abstract
+    machine, and return [t] with the fitted weights.  Weights are
+    clamped positive; [fork_join] and [reduction_combine] are not
+    fitted (they need dedicated microbenchmarks).  With an empty
+    sample list, [t] is returned unchanged. *)
+val calibrate : (op_counts * float) list -> t -> t

@@ -1,0 +1,16 @@
+open Fortran_front
+
+let sample ?(repeat = 3) (prog : Ast.program) =
+  let best = ref infinity in
+  let ops = ref Perf.Machine.zero_counts in
+  for _ = 1 to max 1 repeat do
+    let o = Exec.run ~domains:1 prog in
+    if o.Exec.wall_s < !best then begin
+      best := o.Exec.wall_s;
+      ops := o.Exec.ops
+    end
+  done;
+  (!ops, !best)
+
+let fit ?(base = Perf.Machine.default) ?repeat (progs : Ast.program list) =
+  Perf.Machine.calibrate (List.map (fun p -> sample ?repeat p) progs) base

@@ -1,0 +1,19 @@
+(** Fit the performance estimator's machine model to this machine.
+
+    Runs programs on the real runtime (one domain, so scheduling noise
+    stays out of the samples), pairs each program's dynamic operation
+    counts with its best-of-[repeat] wall-clock time, and hands the
+    samples to {!Perf.Machine.calibrate} for the least-squares fit.
+    The result is a machine description whose per-op weights reflect
+    the interpreter running here, making predicted speedups comparable
+    with measured ones. *)
+
+open Fortran_front
+
+(** [sample prog] — (dynamic op counts, best wall seconds) over
+    [repeat] runs (default 3). *)
+val sample : ?repeat:int -> Ast.program -> Perf.Machine.op_counts * float
+
+(** [fit progs] — calibrated machine from one sample per program,
+    starting from [base] (default {!Perf.Machine.default}). *)
+val fit : ?base:Perf.Machine.t -> ?repeat:int -> Ast.program list -> Perf.Machine.t

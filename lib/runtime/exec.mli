@@ -1,0 +1,68 @@
+(** Multicore execution of analyzed Fortran programs.
+
+    A second interpreter alongside {!Sim.Interp}, sharing its ABI
+    (output formatting, COMMON keying, final-store snapshots) but
+    executing PARALLEL DO loops on real OCaml domains: iterations are
+    distributed over a {!Pool} under a chunked or self-scheduled
+    policy, loop bodies mutate shared {!Store} buffers in place, and
+    the per-loop {!Plan} supplies private copies, identity-seeded
+    reduction accumulators (combined deterministically in worker
+    order at the join), and last-value write-back.
+
+    With [~validate:true] no domains are spawned; instead the program
+    runs sequentially with every PARALLEL DO instrumented through
+    shadow memory — each element access is stamped with its iteration
+    number and cross-iteration flow/anti/output conflicts are
+    collected.  Storage the plan privatizes is excluded, so a clean
+    (empty) report means the observed execution really was free of
+    loop-carried dependences on shared data. *)
+
+open Fortran_front
+
+exception Runtime_error of string
+
+type conflict_kind = Flow | Anti | Output
+
+type conflict = {
+  c_loop : Ast.stmt_id;  (** sid of the monitored PARALLEL DO *)
+  c_var : string;
+  c_kind : conflict_kind;
+  c_offset : int;  (** element offset within the variable's storage *)
+  c_iter_a : int;  (** earlier iteration (first occurrence) *)
+  c_iter_b : int;  (** later iteration (first occurrence) *)
+  mutable c_count : int;  (** occurrences of this (loop, var, kind) *)
+}
+
+type outcome = {
+  output : string list;
+  wall_s : float;  (** wall-clock seconds of execution proper *)
+  stmts_executed : int;
+  final_store : (string * float list) list;
+      (** same shape and ordering as {!Sim.Interp.outcome.final_store} *)
+  conflicts : conflict list;  (** empty unless run with [~validate] *)
+  ops : Perf.Machine.op_counts;
+      (** dynamic operation counts, for {!Perf.Machine.calibrate} *)
+}
+
+(** [run prog] executes [prog]'s main unit.
+
+    @param domains worker domains to spawn (default 4; clamped ≥ 1)
+    @param schedule iteration scheduling policy (default {!Pool.Chunk})
+    @param validate run sequentially with shadow-memory conflict
+      detection instead of spawning domains (default false)
+    @param max_steps statement budget shared across domains
+    @raise Runtime_error on execution errors *)
+val run :
+  ?domains:int ->
+  ?schedule:Pool.schedule ->
+  ?validate:bool ->
+  ?max_steps:int ->
+  Ast.program ->
+  outcome
+
+(** Mark every DO loop PARALLEL, bypassing the analysis — for
+    exercising the validator on loops known to carry dependences. *)
+val force_parallel : Ast.program -> Ast.program
+
+val kind_to_string : conflict_kind -> string
+val conflict_to_string : conflict -> string

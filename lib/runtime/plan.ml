@@ -1,0 +1,60 @@
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+type t = {
+  p_iv : string;
+  p_privates : string list;
+  p_reductions : (string * Varclass.reduction_op) list;
+  p_arrays : string list;
+}
+
+let trivial iv = { p_iv = iv; p_privates = []; p_reductions = []; p_arrays = [] }
+
+let of_loop (env : Depenv.t) (lp : Loopnest.loop) =
+  let iv = lp.Loopnest.header.Ast.dvar in
+  let classes =
+    Varclass.classify ~cfg:env.Depenv.cfg env.Depenv.ctx env.Depenv.liveness
+      lp.Loopnest.lstmt
+  in
+  let privates, reductions =
+    List.fold_left
+      (fun (ps, rs) (v, c) ->
+        if String.equal v iv then (ps, rs)
+        else
+          match c with
+          | Varclass.Private _ | Varclass.Induction _ -> (v :: ps, rs)
+          | Varclass.Reduction op -> (ps, (v, op) :: rs)
+          | Varclass.Shared_safe | Varclass.Shared_unsafe -> (ps, rs))
+      ([], []) (Varclass.all classes)
+  in
+  {
+    p_iv = iv;
+    p_privates = List.rev privates;
+    p_reductions = List.rev reductions;
+    p_arrays = Arrayprivate.in_loop env lp.Loopnest.lstmt.Ast.sid;
+  }
+
+let build (program : Ast.program) =
+  let plans = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      let has_parallel =
+        Ast.fold_stmts
+          (fun acc (s : Ast.stmt) ->
+            acc
+            || match s.Ast.node with
+               | Ast.Do (h, _) -> h.Ast.parallel
+               | _ -> false)
+          false u.Ast.body
+      in
+      if has_parallel then begin
+        let env = Depenv.make u in
+        List.iter
+          (fun (lp : Loopnest.loop) ->
+            if lp.Loopnest.header.Ast.parallel then
+              Hashtbl.replace plans lp.Loopnest.lstmt.Ast.sid (of_loop env lp))
+          (Loopnest.loops env.Depenv.nest)
+      end)
+    program.Ast.punits;
+  plans

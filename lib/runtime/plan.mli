@@ -1,0 +1,35 @@
+(** Parallel-loop execution plans.
+
+    The static analysis already knows, per loop, which scalars are
+    privatizable, which are reductions (and with which operator), and
+    which work arrays are privatizable ({!Scalar_analysis.Varclass},
+    {!Dependence.Arrayprivate}).  The runtime consumes that knowledge:
+    each worker gets private copies of the plan's variables, reduction
+    accumulators start at the operator identity and are combined at
+    the join, and the dynamic validator excludes planned storage from
+    conflict monitoring (writes to privatized storage are not
+    dependences). *)
+
+open Fortran_front
+open Scalar_analysis
+open Dependence
+
+type t = {
+  p_iv : string;  (** the loop's induction variable *)
+  p_privates : string list;
+      (** scalars each worker copies: [Private] and [Induction]
+          classifications (inner-loop induction variables included) *)
+  p_reductions : (string * Varclass.reduction_op) list;
+  p_arrays : string list;  (** privatizable work arrays *)
+}
+
+(** Plan for one loop given its unit's analysis bundle. *)
+val of_loop : Depenv.t -> Loopnest.loop -> t
+
+(** Plans for every PARALLEL DO loop of the program, keyed by the
+    loop statement id.  Runs the per-unit scalar analyses once. *)
+val build : Ast.program -> (Ast.stmt_id, t) Hashtbl.t
+
+(** An empty fallback plan (privatizes only the induction
+    variable). *)
+val trivial : string -> t

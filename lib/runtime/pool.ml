@@ -1,0 +1,144 @@
+type schedule = Chunk | Self
+
+let schedule_to_string = function Chunk -> "chunk" | Self -> "self"
+
+let schedule_of_string = function
+  | "chunk" | "block" -> Some Chunk
+  | "self" | "dynamic" -> Some Self
+  | _ -> None
+
+type job = {
+  trip : int;
+  sched : schedule;
+  body : worker:int -> int -> unit;
+  next : int Atomic.t;           (* self-scheduling cursor *)
+  mutable cancelled : bool;      (* set on first exception *)
+  mutable remaining : int;       (* workers still running this job *)
+  mutable exn : exn option;
+  mutable exn_bt : Printexc.raw_backtrace option;
+}
+
+type t = {
+  n : int;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.n
+
+(* The share of worker [w]: contiguous block under [Chunk], atomic
+   next-iteration claims under [Self].  Both claim indices in
+   increasing order within a worker, which the runtime relies on for
+   last-value write-back. *)
+let dispatch t (job : job) w =
+  match job.sched with
+  | Chunk ->
+    let chunk = (job.trip + t.n - 1) / t.n in
+    let lo = w * chunk and hi = min job.trip ((w + 1) * chunk) in
+    let k = ref lo in
+    while !k < hi && not job.cancelled do
+      job.body ~worker:w !k;
+      incr k
+    done
+  | Self ->
+    let continue_ = ref true in
+    while !continue_ && not job.cancelled do
+      let k = Atomic.fetch_and_add job.next 1 in
+      if k >= job.trip then continue_ := false else job.body ~worker:w k
+    done
+
+let worker_loop t w () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while t.generation = !seen && not t.stopping do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      (try dispatch t job w
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.m;
+         if job.exn = None then begin
+           job.exn <- Some e;
+           job.exn_bt <- Some bt
+         end;
+         job.cancelled <- true;
+         Mutex.unlock t.m);
+      Mutex.lock t.m;
+      job.remaining <- job.remaining - 1;
+      if job.remaining = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.m
+    end
+  done
+
+let create n =
+  let n = max 1 n in
+  let t =
+    {
+      n;
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init n (fun w -> Domain.spawn (worker_loop t w));
+  t
+
+let run t ~schedule ~trip ~body =
+  if trip > 0 then begin
+    let job =
+      {
+        trip;
+        sched = schedule;
+        body;
+        next = Atomic.make 0;
+        cancelled = false;
+        remaining = t.n;
+        exn = None;
+        exn_bt = None;
+      }
+    in
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    while job.remaining > 0 do
+      Condition.wait t.work_done t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m;
+    match (job.exn, job.exn_bt) with
+    | Some e, Some bt -> Printexc.raise_with_backtrace e bt
+    | Some e, None -> raise e
+    | None, _ -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool n f =
+  let t = create n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

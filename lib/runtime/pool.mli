@@ -1,0 +1,53 @@
+(** A reusable pool of OCaml 5 domains.
+
+    Hand-rolled on [Domain]/[Mutex]/[Condition] (no external task
+    library): [create n] spawns [n] worker domains that sleep on a
+    condition variable; {!run} hands them a parallel-for job and
+    blocks the caller until every worker has drained its share.
+
+    Two scheduling policies mirror the machine models of the
+    ParaScope literature:
+
+    - [Chunk]: each worker takes one contiguous block of
+      ⌈trip/n⌉ iterations (static block scheduling — lowest
+      synchronization cost, best when iterations are uniform);
+    - [Self]: workers repeatedly claim the next iteration from a
+      shared atomic counter (self-scheduling — one fetch-and-add per
+      iteration, load-balances triangular or irregular work).
+
+    The pool is reusable: jobs run one at a time, workers park
+    between jobs.  An exception raised by any iteration cancels the
+    remaining iterations (best effort), and the first such exception
+    is re-raised in the caller after all workers have parked. *)
+
+type t
+
+type schedule = Chunk | Self
+
+val schedule_to_string : schedule -> string
+val schedule_of_string : string -> schedule option
+
+(** [create n] — spawn [n] worker domains ([n] is clamped to at
+    least 1). *)
+val create : int -> t
+
+(** Number of workers. *)
+val size : t -> int
+
+(** [run t ~schedule ~trip ~body] — execute [body ~worker k] for
+    every [k] in [0 .. trip-1].  [worker] identifies the executing
+    lane (0-based); a given worker index never runs concurrently
+    with itself, so per-worker state needs no locking.  Within one
+    worker, iteration indices are claimed in increasing order under
+    both policies.  Blocks until done; re-raises the first
+    iteration exception. *)
+val run :
+  t -> schedule:schedule -> trip:int -> body:(worker:int -> int -> unit) ->
+  unit
+
+(** Park and join every worker domain.  The pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool n f] — create, run [f], always shutdown. *)
+val with_pool : int -> (t -> 'a) -> 'a

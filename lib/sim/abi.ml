@@ -1,0 +1,36 @@
+let print_line vs =
+  String.concat " " (List.map (fun v -> Format.asprintf "%a" Value.pp_value v) vs)
+
+let common_key name = "/" ^ name
+
+let sort_store entries =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) entries
+
+let float_eq tol a b =
+  let d = Float.abs (a -. b) in
+  d <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let line_match tol a b =
+  let fields s =
+    String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+  in
+  let fa = fields a and fb = fields b in
+  List.length fa = List.length fb
+  && List.for_all2
+       (fun x y ->
+         match (float_of_string_opt x, float_of_string_opt y) with
+         | Some u, Some v -> float_eq tol u v
+         | _ -> String.equal x y)
+       fa fb
+
+let outputs_match ?(tol = 1e-6) a b =
+  List.length a = List.length b && List.for_all2 (line_match tol) a b
+
+let stores_match ?(tol = 1e-6) a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) ->
+         String.equal n1 n2
+         && List.length v1 = List.length v2
+         && List.for_all2 (float_eq tol) v1 v2)
+       a b

@@ -1,0 +1,41 @@
+(** The simulator/runtime ABI — the conventions both execution
+    backends (the virtual-clock simulator of {!Interp} and the real
+    multicore runtime of [Runtime.Exec]) must agree on, so that their
+    results are directly comparable:
+
+    - PRINT formatting: one line per PRINT, values joined by a single
+      space, reals printed with [%.6g];
+    - final-store snapshots: main-program and COMMON variables
+      flattened to floats, COMMON entries prefixed ["/"], sorted by
+      name;
+    - tolerant comparators for outputs and stores (parallel reduction
+      combining reassociates floating-point operations, so exact
+      equality is only guaranteed when no cross-worker reduction
+      occurred). *)
+
+(** Render the values of one PRINT statement as an output line. *)
+val print_line : Value.value list -> string
+
+(** Snapshot key for a COMMON variable (the ["/"] prefix). *)
+val common_key : string -> string
+
+(** Sort a store snapshot into its canonical order (by name, dropping
+    duplicate names). *)
+val sort_store : (string * float list) list -> (string * float list) list
+
+(** [float_eq tol a b] — relative tolerance comparison. *)
+val float_eq : float -> float -> float -> bool
+
+(** [line_match tol a b] — fields equal, numeric fields up to [tol]. *)
+val line_match : float -> string -> string -> bool
+
+(** [outputs_match ?tol a b] — same PRINT lines up to relative
+    tolerance on numeric fields. *)
+val outputs_match : ?tol:float -> string list -> string list -> bool
+
+(** Like {!outputs_match} for final stores. *)
+val stores_match :
+  ?tol:float ->
+  (string * float list) list ->
+  (string * float list) list ->
+  bool

@@ -408,12 +408,7 @@ and exec_stmt st ui frame (s : Ast.stmt) : signal =
     | _ -> err "bad assignment target")
   | Ast.Print args ->
     charge st ui args 10.0;
-    let line =
-      String.concat " "
-        (List.map
-           (fun a -> Format.asprintf "%a" pp_value (eval st ui frame a))
-           args)
-    in
+    let line = Abi.print_line (List.map (eval st ui frame) args) in
     st.out_lines <- line :: st.out_lines;
     Snormal
   | Ast.If (branches, els) -> (
@@ -585,8 +580,10 @@ let snapshot (frame : frame) commons : (string * float list) list =
       (name, !vals) :: acc
   in
   let acc = Hashtbl.fold one frame [] in
-  let acc = Hashtbl.fold (fun n s acc -> one ("/" ^ n) s acc) commons acc in
-  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) acc
+  let acc =
+    Hashtbl.fold (fun n s acc -> one (Abi.common_key n) s acc) commons acc
+  in
+  Abi.sort_store acc
 
 let run ?(machine = Perf.Machine.default) ?(honor_parallel = true)
     ?(par_order = Seq) ?(max_steps = 50_000_000) (prog : Ast.program) :
@@ -646,31 +643,8 @@ let run ?(machine = Perf.Machine.default) ?(honor_parallel = true)
 (* Comparisons                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let float_eq tol a b =
-  let d = Float.abs (a -. b) in
-  d <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+(* Comparison conventions live in {!Abi}, shared with the multicore
+   runtime; re-exported here for existing callers. *)
 
-let line_match tol a b =
-  let fields s =
-    String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
-  in
-  let fa = fields a and fb = fields b in
-  List.length fa = List.length fb
-  && List.for_all2
-       (fun x y ->
-         match (float_of_string_opt x, float_of_string_opt y) with
-         | Some u, Some v -> float_eq tol u v
-         | _ -> String.equal x y)
-       fa fb
-
-let outputs_match ?(tol = 1e-6) a b =
-  List.length a = List.length b && List.for_all2 (line_match tol) a b
-
-let stores_match ?(tol = 1e-6) a b =
-  List.length a = List.length b
-  && List.for_all2
-       (fun (n1, v1) (n2, v2) ->
-         String.equal n1 n2
-         && List.length v1 = List.length v2
-         && List.for_all2 (float_eq tol) v1 v2)
-       a b
+let outputs_match = Abi.outputs_match
+let stores_match = Abi.stores_match

@@ -24,6 +24,7 @@ let () =
       ("ped", Test_ped.suite);
       ("command", Test_command.suite);
       ("workloads", Test_workloads.suite);
+      ("runtime", Test_runtime.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("property", Test_property.suite);
