@@ -258,7 +258,7 @@ let table3 () =
               acc + List.length (Ped.Session.parallelizable_loops sess)
             | Error _ -> acc)
           0
-          sess.Ped.Session.program.Ast.punits
+          (Ped.Session.program sess).Ast.punits
       in
       Printf.printf " %8d\n" with_asserts)
     Workloads.all
@@ -353,8 +353,8 @@ let table5 () =
           match Ped.Session.focus sess u.Ast.uname with
           | Ok () -> auto_parallelize sess
           | Error _ -> ())
-        sess.Ped.Session.program.Ast.punits;
-      let program = sess.Ped.Session.program in
+        (Ped.Session.program sess).Ast.punits;
+      let program = (Ped.Session.program sess) in
       Printf.printf "%-10s" w.Workloads.name;
       List.iter
         (fun p -> Printf.printf " %7.2f" (speedup_at p program))
@@ -413,7 +413,7 @@ let fig2 () =
           ~unit_name:(Workloads.main_unit w)
       in
       let count filter =
-        sess.Ped.Session.dep_filter <- filter;
+        Ped.Session.set_dep_filter sess filter;
         List.length (Ped.Session.visible_deps sess)
       in
       let open Ped.Filter in
@@ -445,9 +445,9 @@ let fig3 () =
              (fun (d : Ddg.dep) ->
                (not d.Ddg.is_scalar)
                && d.Ddg.kind <> Ddg.Control
-               && Ped.Marking.status_of sess.Ped.Session.marking d
+               && Ped.Marking.status_of (Ped.Session.marking sess) d
                   = Ped.Marking.Pending)
-             sess.Ped.Session.ddg.Ddg.deps)
+             (Ped.Session.ddg sess).Ddg.deps)
       in
       let par () = List.length (Ped.Session.parallelizable_loops sess) in
       let pb = pending () and parb = par () in
@@ -475,7 +475,7 @@ let fig4 () =
           ~unit_name:(Workloads.main_unit w)
       in
       auto_parallelize sess;
-      speedup_at 8 sess.Ped.Session.program
+      speedup_at 8 (Ped.Session.program sess)
     in
     let transformed =
       let sess =
@@ -484,7 +484,7 @@ let fig4 () =
       in
       setup sess;
       auto_parallelize sess;
-      speedup_at 8 sess.Ped.Session.program
+      speedup_at 8 (Ped.Session.program sess)
     in
     (base, transformed)
   in
@@ -556,7 +556,7 @@ let ablation () =
           ~unit_name:(Workloads.main_unit w)
       in
       auto_parallelize sess;
-      let program = sess.Ped.Session.program in
+      let program = (Ped.Session.program sess) in
       Printf.printf "%-10s" name;
       List.iter
         (fun fork ->
@@ -702,8 +702,8 @@ let parallelized_program (w : Workloads.t) =
       match Ped.Session.focus sess u.Ast.uname with
       | Ok () -> auto_parallelize sess
       | Error _ -> ())
-    sess.Ped.Session.program.Ast.punits;
-  sess.Ped.Session.program
+    (Ped.Session.program sess).Ast.punits;
+  (Ped.Session.program sess)
 
 let best_wall ?(reps = 3) ~domains program =
   let best = ref infinity in
@@ -758,6 +758,190 @@ let calibrate_exp () =
   show "calibrated:" fitted
 
 (* ------------------------------------------------------------------ *)
+(* editburst: incremental engine vs full reanalysis on an edit burst   *)
+(* ------------------------------------------------------------------ *)
+
+(* A scripted editing session: the workload's assertions, then bursts
+   of single-statement edit / undo / redo.  The edit replaces a
+   statement with its own pretty-printed text — semantically identical
+   but carrying fresh statement ids, which is exactly what an
+   interactive edit looks like to the analyses. *)
+
+let focus_unit_of sess =
+  let name = Ped.Session.unit_name sess in
+  List.find
+    (fun (u : Ast.program_unit) -> String.equal u.Ast.uname name)
+    (Ped.Session.program sess).Ast.punits
+
+let first_assign sess =
+  Ast.fold_stmts
+    (fun acc (s : Ast.stmt) ->
+      match (acc, s.Ast.node) with
+      | None, Ast.Assign _ -> Some s
+      | _ -> acc)
+    None (focus_unit_of sess).Ast.body
+
+let ok_exn what = function Ok _ -> () | Error e -> failwith (what ^ ": " ^ e)
+
+let edit_burst sess =
+  match first_assign sess with
+  | None -> ()
+  | Some s ->
+    let text = Pretty.stmt_to_string s in
+    ok_exn "edit" (Ped.Session.edit_stmt sess s.Ast.sid text);
+    ok_exn "undo" (Ped.Session.undo sess);
+    ok_exn "redo" (Ped.Session.redo sess)
+
+let drive_asserts sess (w : Workloads.t) =
+  List.iter
+    (fun cmd -> ignore (Ped.Command.run sess cmd))
+    w.Workloads.assertion_script
+
+let drive_bursts sess ~bursts =
+  for _ = 1 to bursts do
+    edit_burst sess
+  done
+
+(* Structural-identity oracle: the session's engine-served graph must
+   equal a from-scratch analysis of its current program + assertions.
+   (Graphs are pure data; environments hold closures, so the graph and
+   its statistics are the comparable artifact.) *)
+let scratch_equal sess =
+  let u = focus_unit_of sess in
+  let scratch_env =
+    match Ped.Session.interproc sess with
+    | Some _ ->
+      let summary = Interproc.Summary.analyze (Ped.Session.program sess) in
+      Interproc.Summary.env_for ~config:(Ped.Session.config sess)
+        ~asserts:(Ped.Session.assertions sess) summary u
+    | None ->
+      Depenv.make ~config:(Ped.Session.config sess)
+        ~asserts:(Ped.Session.assertions sess) u
+  in
+  Ped.Session.ddg sess = Ddg.compute scratch_env
+
+let editburst_json = "BENCH_editburst.json"
+
+let editburst_run ~smoke () =
+  header
+    (Printf.sprintf
+       "editburst%s: analysis work per edit burst (assert, edit, undo, redo) \
+        - incremental engine vs full reanalysis"
+       (if smoke then " (smoke)" else ""));
+  let workloads =
+    if not smoke then Workloads.all
+    else
+      List.filter
+        (fun (w : Workloads.t) ->
+          List.mem w.Workloads.name
+            [ "matmul"; "jacobi"; "recur"; "callnest"; "arrpriv"; "spec77x" ])
+        Workloads.all
+  in
+  let bursts = if smoke then 1 else 2 in
+  (* per-mode measurement: (assert-phase tests, edit-phase tests,
+     edit-phase seconds, final stats, session) *)
+  let run_mode w program caching =
+    let sess =
+      Ped.Session.load ~caching program ~unit_name:(Workloads.main_unit w)
+    in
+    let s0 = Ped.Session.engine_stats sess in
+    drive_asserts sess w;
+    let sa = Ped.Session.engine_stats sess in
+    let t0 = Unix.gettimeofday () in
+    drive_bursts sess ~bursts;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let s1 = Ped.Session.engine_stats sess in
+    ( sess,
+      sa.Engine.tests_run - s0.Engine.tests_run,
+      s1.Engine.tests_run - sa.Engine.tests_run,
+      seconds,
+      s1 )
+  in
+  Printf.printf "%-10s %10s %10s %8s %10s %10s %8s %5s\n" "program"
+    "full-edit" "inc-edit" "ratio" "full-ms" "inc-ms" "ratio" "same";
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let program = Workloads.program w in
+        let base_sess, base_at, base_et, base_s, _ = run_mode w program false in
+        let inc_sess, inc_at, inc_et, inc_s, inc_stats =
+          run_mode w program true
+        in
+        let identical = scratch_equal inc_sess && scratch_equal base_sess in
+        let ratio a b = float_of_int a /. float_of_int (max 1 b) in
+        Printf.printf "%-10s %10d %10d %7.1fx %10.2f %10.2f %7.1fx %5s\n"
+          w.Workloads.name base_et inc_et (ratio base_et inc_et)
+          (base_s *. 1e3) (inc_s *. 1e3)
+          (base_s /. Float.max 1e-9 inc_s)
+          (if identical then "yes" else "NO");
+        (w.Workloads.name, (base_at, base_et, base_s), (inc_at, inc_et, inc_s),
+         inc_stats, identical))
+      workloads
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let sumf f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let base_edit = sum (fun (_, (_, t, _), _, _, _) -> t) in
+  let inc_edit = sum (fun (_, _, (_, t, _), _, _) -> t) in
+  let base_all = sum (fun (_, (a, t, _), _, _, _) -> a + t) in
+  let inc_all = sum (fun (_, _, (a, t, _), _, _) -> a + t) in
+  let base_s = sumf (fun (_, (_, _, s), _, _, _) -> s) in
+  let inc_s = sumf (fun (_, _, (_, _, s), _, _) -> s) in
+  let all_identical = List.for_all (fun (_, _, _, _, i) -> i) rows in
+  let edit_ratio = float_of_int base_edit /. float_of_int (max 1 inc_edit) in
+  let total_ratio = float_of_int base_all /. float_of_int (max 1 inc_all) in
+  let time_ratio = base_s /. Float.max 1e-9 inc_s in
+  Printf.printf
+    "aggregate: edits %d vs %d dependence tests (%.1fx), whole session %d vs \
+     %d (%.1fx), edit wall %.1f vs %.1f ms (%.1fx), results %s\n"
+    base_edit inc_edit edit_ratio base_all inc_all total_ratio (base_s *. 1e3)
+    (inc_s *. 1e3) time_ratio
+    (if all_identical then "identical" else "DIVERGED");
+  let oc = open_out editburst_json in
+  let row_json
+      (name, (bat, bet, bs), (iat, iet, is), (st : Engine.stats), identical) =
+    Printf.sprintf
+      "    { \"name\": %S, \"identical\": %b,\n\
+      \      \"full\": { \"assert_tests\": %d, \"edit_tests\": %d, \
+       \"edit_seconds\": %.6f },\n\
+      \      \"incremental\": { \"assert_tests\": %d, \"edit_tests\": %d, \
+       \"edit_seconds\": %.6f,\n\
+      \        \"env_hits\": %d, \"env_misses\": %d, \"invalidations\": %d,\n\
+      \        \"summary_hits\": %d, \"summary_builds\": %d,\n\
+      \        \"ddg_bucket_hits\": %d, \"ddg_bucket_misses\": %d } }"
+      name identical bat bet bs iat iet is st.Engine.env_hits
+      st.Engine.env_misses st.Engine.invalidations st.Engine.summary_hits
+      st.Engine.summary_builds st.Engine.ddg_bucket_hits
+      st.Engine.ddg_bucket_misses
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"editburst\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"bursts\": %d,\n\
+    \  \"workloads\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"aggregate\": {\n\
+    \    \"full_edit_tests\": %d, \"incremental_edit_tests\": %d, \
+     \"edit_tests_ratio\": %.2f,\n\
+    \    \"full_total_tests\": %d, \"incremental_total_tests\": %d, \
+     \"total_tests_ratio\": %.2f,\n\
+    \    \"full_edit_seconds\": %.6f, \"incremental_edit_seconds\": %.6f, \
+     \"edit_time_ratio\": %.2f,\n\
+    \    \"all_identical\": %b\n\
+    \  }\n\
+     }\n"
+    smoke bursts
+    (String.concat ",\n" (List.map row_json rows))
+    base_edit inc_edit edit_ratio base_all inc_all total_ratio base_s inc_s
+    time_ratio all_identical;
+  close_out oc;
+  Printf.printf "wrote %s\n" editburst_json
+
+let editburst () = editburst_run ~smoke:false ()
+let editburst_smoke () = editburst_run ~smoke:true ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -773,6 +957,8 @@ let experiments =
     ("fig3", fig3);
     ("fig4", fig4);
     ("ablation", ablation);
+    ("editburst", editburst);
+    ("editburst-smoke", editburst_smoke);
     ("bench", microbench);
   ]
 

@@ -22,8 +22,8 @@ let read_file path =
   close_in ic;
   src
 
-let run_session sess script =
-  match script with
+let run_session sess script ~engine_stats =
+  (match script with
   | Some path ->
     let lines =
       String.split_on_char '\n' (read_file path)
@@ -41,7 +41,8 @@ let run_session sess script =
          if String.trim line = "quit" then raise End_of_file;
          print_endline (Ped.Command.run sess line)
        done
-     with End_of_file -> print_endline "bye")
+     with End_of_file -> print_endline "bye"));
+  if engine_stats then print_endline (Ped.Session.engine_report sess)
 
 (* ------------------------------------------------------------------ *)
 (* Execute mode: run on the multicore runtime                          *)
@@ -74,8 +75,8 @@ let auto_parallelize (program : Ast.program) (assertion_script : string list) =
                    (Transform.Catalog.On_loop sid)))
           (Ped.Session.loops sess)
       | Error _ -> ())
-    sess.Ped.Session.program.Ast.punits;
-  sess.Ped.Session.program
+    (Ped.Session.program sess).Ast.punits;
+  (Ped.Session.program sess)
 
 (* (name, program, assertion script) targets of this invocation *)
 let targets file workload =
@@ -203,7 +204,7 @@ let calibrate_mode file workload =
 (* ------------------------------------------------------------------ *)
 
 let main file workload unit_name script no_interproc exec domains schedule
-    validate force_parallel order seed calibrate =
+    validate force_parallel order seed calibrate engine_stats =
   if calibrate then calibrate_mode file workload
   else if exec || validate || force_parallel then
     execute file workload domains schedule validate force_parallel
@@ -235,12 +236,12 @@ let main file workload unit_name script no_interproc exec domains schedule
     in
     (match order with
     | "seq" -> ()
-    | "reverse" -> sess.Ped.Session.sim_order <- Sim.Interp.Reverse
-    | "shuffle" -> sess.Ped.Session.sim_order <- Sim.Interp.Shuffled seed
+    | "reverse" -> Ped.Session.set_sim_order sess Sim.Interp.Reverse
+    | "shuffle" -> Ped.Session.set_sim_order sess (Sim.Interp.Shuffled seed)
     | o ->
       prerr_endline ("bad --order " ^ o ^ " (seq, reverse or shuffle)");
       exit 1);
-    run_session sess script
+    run_session sess script ~engine_stats
   end
 
 open Cmdliner
@@ -303,11 +304,15 @@ let calibrate =
          ~doc:"Fit the performance model's per-op weights from measured \
                runtime executions and print the machines")
 
+let engine_stats =
+  Arg.(value & flag & info [ "engine-stats" ]
+         ~doc:"Print incremental-analysis engine cache statistics on exit")
+
 let cmd =
   let doc = "interactive parallel programming editor (ParaScope Editor)" in
   Cmd.v (Cmd.info "ped" ~doc)
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
-          $ order $ seed $ calibrate)
+          $ order $ seed $ calibrate $ engine_stats)
 
 let () = exit (Cmd.eval cmd)

@@ -14,20 +14,20 @@ let pp_suggestion ppf s =
     (100.0 *. s.share) s.action s.why
 
 let next_target (t : Session.t) =
-  Perf.Estimator.rank_loops ~callee_cost:(Session.callee_cost t) t.Session.env
+  Perf.Estimator.rank_loops ~callee_cost:(Session.callee_cost t) (Session.env t)
   |> List.find_opt (fun ((lp : Loopnest.loop), _, _) ->
          (not lp.Loopnest.header.Ast.parallel)
          && not
               (List.exists
                  (fun (p : Loopnest.loop) -> p.Loopnest.header.Ast.parallel)
-                 (Loopnest.enclosing t.Session.env.Depenv.nest
+                 (Loopnest.enclosing (Session.env t).Depenv.nest
                     lp.Loopnest.lstmt.Ast.sid)))
   |> Option.map (fun (lp, _, share) -> (lp, share))
 
 let advise (t : Session.t) : suggestion list =
   let ranked =
     Perf.Estimator.rank_loops ~callee_cost:(Session.callee_cost t)
-      t.Session.env
+      (Session.env t)
   in
   let suggestions = ref [] in
   let add s = suggestions := s :: !suggestions in
@@ -72,7 +72,7 @@ let advise (t : Session.t) : suggestion list =
                   diagnosis = Some ds }
             | _ -> ());
             (* 3. last-value escapees: scalar expansion fixes them *)
-            (match Depenv.stmt t.Session.env sid with
+            (match Depenv.stmt (Session.env t) sid with
             | Some ({ Ast.node = Ast.Do _; _ } as loop_stmt) ->
               List.iter
                 (fun v ->
@@ -89,11 +89,11 @@ let advise (t : Session.t) : suggestion list =
                             v;
                         share; diagnosis = Some de }
                   | _ -> ())
-                (Transform.Parallelize.last_value_escapees t.Session.env
+                (Transform.Parallelize.last_value_escapees (Session.env t)
                    loop_stmt)
             | _ -> ());
             (* 3b. induction accumulators: substitution fixes them *)
-            (match Depenv.stmt t.Session.env sid with
+            (match Depenv.stmt (Session.env t) sid with
             | Some ({ Ast.node = Ast.Do _; _ } as loop_stmt) ->
               List.iter
                 (fun v ->
@@ -105,7 +105,7 @@ let advise (t : Session.t) : suggestion list =
                            the loop order independent"
                           v;
                       share; diagnosis = None })
-                (Transform.Indsub.needed t.Session.env loop_stmt)
+                (Transform.Indsub.needed (Session.env t) loop_stmt)
             | _ -> ());
             (* 4. assertion hints: only pending dependences block *)
             let blockers = Session.blocking t sid in
@@ -113,7 +113,7 @@ let advise (t : Session.t) : suggestion list =
               blockers <> []
               && List.for_all
                    (fun (d : Ddg.dep) ->
-                     Marking.status_of t.Session.marking d = Marking.Pending)
+                     Marking.status_of (Session.marking t) d = Marking.Pending)
                    blockers
             then
               add

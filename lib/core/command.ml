@@ -12,9 +12,10 @@ let help_text =
       "  vars | display | stats";
       "  mark N accept|reject|pending";
       "  assert VAR = N | assert VAR in LO HI | assert perm ARR | private sN VAR";
-      "  preview T ARGS | apply T ARGS [!] | edit sN TEXT | undo | history";
+      "  preview T ARGS | apply T ARGS [!] | edit sN TEXT | undo | redo | history";
       "  diff (changes vs the loaded program) | write FILE";
       "  estimate [P] | advise | simulate [P] [seq|reverse|shuffle [SEED]]";
+      "  engine (incremental-analysis cache statistics)";
       "transformations: " ^ String.concat ", " Transform.Catalog.names;
     ]
 
@@ -127,10 +128,10 @@ let run (t : Session.t) (line : string) : string =
       (List.map
          (fun (u : Ast.program_unit) ->
            Printf.sprintf "%s%s" u.Ast.uname
-             (if String.equal u.Ast.uname t.Session.unit_name then
+             (if String.equal u.Ast.uname (Session.unit_name t) then
                 "   <- focus"
               else ""))
-         t.Session.program.Ast.punits)
+         (Session.program t).Ast.punits)
   | [ "unit"; name ] -> (
     match Session.focus t (String.uppercase_ascii name) with
     | Ok () -> Printf.sprintf "focused on %s" (String.uppercase_ascii name)
@@ -145,25 +146,25 @@ let run (t : Session.t) (line : string) : string =
     | None -> "error: expected a target like s12 or l2")
   | "src" :: rest ->
     (match rest with
-    | [ "loops" ] -> t.Session.src_filter <- Filter.Src_loops
+    | [ "loops" ] -> Session.set_src_filter t Filter.Src_loops
     | "find" :: words ->
-      t.Session.src_filter <-
-        Filter.Src_contains (String.uppercase_ascii (String.concat " " words))
-    | [ "all" ] | [] -> t.Session.src_filter <- Filter.Src_all
+      Session.set_src_filter t
+        (Filter.Src_contains (String.uppercase_ascii (String.concat " " words)))
+    | [ "all" ] | [] -> Session.set_src_filter t Filter.Src_all
     | _ -> ());
     Pane.source_pane t
   | [ "deps"; "dot" ] ->
-    Ddg.dot ?loop:t.Session.selected t.Session.env t.Session.ddg
+    Ddg.dot ?loop:(Session.selected t) (Session.env t) (Session.ddg t)
   | "deps" :: rest -> (
-    match update_filter t t.Session.dep_filter rest with
+    match update_filter t (Session.dep_filter t) rest with
     | Ok f ->
-      t.Session.dep_filter <- f;
+      Session.set_dep_filter t f;
       Pane.dependence_pane t
     | Error e -> "error: " ^ e)
   | "vars" :: _ -> Pane.variable_pane t
   | "display" :: _ -> Pane.full_display t
   | "callgraph" :: rest -> (
-    match t.Session.interproc with
+    match Session.interproc t with
     | None -> "error: interprocedural analysis is off (reload without --no-interproc)"
     | Some summary ->
       let cg = Interproc.Summary.callgraph summary in
@@ -182,8 +183,8 @@ let run (t : Session.t) (line : string) : string =
     match
       List.find_opt
         (fun (u : Ast.program_unit) ->
-          String.equal u.Ast.uname t.Session.unit_name)
-        t.Session.program.Ast.punits
+          String.equal u.Ast.uname (Session.unit_name t))
+        (Session.program t).Ast.punits
     with
     | None -> "error: no focus unit"
     | Some u ->
@@ -218,7 +219,7 @@ let run (t : Session.t) (line : string) : string =
       walk 0 u.Ast.body;
       Buffer.contents buf)
   | "stats" :: _ ->
-    let s = t.Session.ddg.Ddg.stats in
+    let s = (Session.ddg t).Ddg.stats in
     String.concat "\n"
       (Printf.sprintf "reference pairs tested: %d" s.Ddg.pairs_tested
       :: Printf.sprintf "dependences: %d proven, %d pending" s.Ddg.proven
@@ -233,7 +234,7 @@ let run (t : Session.t) (line : string) : string =
         match
           List.find_opt
             (fun (d : Ddg.dep) -> d.Ddg.dep_id = id)
-            t.Session.ddg.Ddg.deps
+            (Session.ddg t).Ddg.deps
         with
         | Some d when d.Ddg.exact && status = Marking.Rejected ->
           "\nwarning: this dependence was proven by an exact test"
@@ -302,26 +303,30 @@ let run (t : Session.t) (line : string) : string =
       | Ok () -> Printf.sprintf "statement s%d replaced" sid
       | Error e -> "error: " ^ e)
     | None -> "error: usage: edit sN TEXT")
-  | "history" :: _ ->
-    if t.Session.undo_stack = [] then "no changes yet"
-    else
+  | "history" :: _ -> (
+    match Session.history t with
+    | [] -> "no changes yet"
+    | h ->
+      let n = List.length h in
       String.concat "\n"
-        (List.rev
-           (List.mapi
-              (fun i (_, what) -> Printf.sprintf "%2d. %s" (i + 1) what)
-              (List.rev t.Session.undo_stack)))
+        (List.mapi (fun i what -> Printf.sprintf "%2d. %s" (n - i) what) h))
   | "undo" :: _ -> (
     match Session.undo t with
     | Ok () -> "undone"
     | Error e -> "error: " ^ e)
+  | "redo" :: _ -> (
+    match Session.redo t with
+    | Ok () -> "redone"
+    | Error e -> "error: " ^ e)
+  | "engine" :: _ -> Session.engine_report t
   | "diff" :: _ -> (
     let find_unit (p : Ast.program) =
       List.find_opt
         (fun (u : Ast.program_unit) ->
-          String.equal u.Ast.uname t.Session.unit_name)
+          String.equal u.Ast.uname (Session.unit_name t))
         p.Ast.punits
     in
-    match (find_unit t.Session.original, find_unit t.Session.program) with
+    match (find_unit (Session.original t), find_unit (Session.program t)) with
     | Some before, Some after ->
       let lines u =
         Array.of_list (List.map snd (Pretty.source_lines u))
@@ -339,7 +344,7 @@ let run (t : Session.t) (line : string) : string =
   | [ "write"; path ] -> (
     try
       let oc = open_out path in
-      output_string oc (Pretty.program_to_string t.Session.program);
+      output_string oc (Pretty.program_to_string (Session.program t));
       close_out oc;
       Printf.sprintf "wrote %s" path
     with Sys_error e -> "error: " ^ e)
@@ -349,8 +354,8 @@ let run (t : Session.t) (line : string) : string =
       | [ n ] -> Option.value ~default:8 (int_of_string_opt n)
       | _ -> 8
     in
-    let seq = Perf.Estimator.unit_cost t.Session.env in
-    let speedup = Perf.Estimator.predicted_speedup t.Session.env ~processors:p in
+    let seq = Perf.Estimator.unit_cost (Session.env t) in
+    let speedup = Perf.Estimator.predicted_speedup (Session.env t) ~processors:p in
     Printf.sprintf
       "estimated sequential cycles: %.0f%s\npredicted speedup on %d processors: %.2fx"
       seq.Perf.Estimator.cycles
@@ -384,7 +389,7 @@ let run (t : Session.t) (line : string) : string =
     match order with
     | Error w -> Printf.sprintf "error: bad simulate order %s (try help)" w
     | Ok order -> (
-      t.Session.sim_order <- order;
+      Session.set_sim_order t order;
       match Session.simulate ~processors:p t with
       | Ok (seq, par, output) ->
         let order_note =

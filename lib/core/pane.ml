@@ -4,17 +4,17 @@ open Dependence
 
 let source_pane (t : Session.t) =
   match List.find_opt (fun (u : Ast.program_unit) ->
-      String.equal u.Ast.uname t.Session.unit_name) t.Session.program.Ast.punits
+      String.equal u.Ast.uname (Session.unit_name t)) (Session.program t).Ast.punits
   with
   | None -> "<no unit>"
   | Some u ->
     let lines = Pretty.source_lines u in
-    let lines = Filter.apply_src_filter t.Session.src_filter lines in
+    let lines = Filter.apply_src_filter (Session.src_filter t) lines in
     let buf = Buffer.create 1024 in
     List.iter
       (fun (sid, text) ->
         let marker =
-          match (sid, t.Session.selected) with
+          match (sid, (Session.selected t)) with
           | Some s, Some sel when s = sel -> ">"
           | _ -> " "
         in
@@ -53,7 +53,7 @@ let dep_row (t : Session.t) (d : Ddg.dep) =
     (Ddg.kind_to_string d.Ddg.kind)
     (if d.Ddg.var = "" then "-" else d.Ddg.var)
     d.Ddg.src d.Ddg.dst dirs level
-    (Marking.status_to_string (Marking.status_of t.Session.marking d))
+    (Marking.status_to_string (Marking.status_of (Session.marking t) d))
     dist
 
 let dependence_pane (t : Session.t) =
@@ -61,29 +61,29 @@ let dependence_pane (t : Session.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "dependences (%d shown, filter: %s)\n" (List.length deps)
-       (Filter.dep_filter_to_string t.Session.dep_filter));
+       (Filter.dep_filter_to_string (Session.dep_filter t)));
   List.iter (fun d -> Buffer.add_string buf (dep_row t d ^ "\n")) deps;
   Buffer.contents buf
 
 let variable_pane (t : Session.t) =
-  match t.Session.selected with
+  match (Session.selected t) with
   | None -> "select a loop to see its variables\n"
   | Some sid -> (
-    match Depenv.stmt t.Session.env sid with
+    match Depenv.stmt (Session.env t) sid with
     | Some ({ Ast.node = Ast.Do _; _ } as loop) ->
       let classes =
         Varclass.classify
           ~recognize_reductions:
-            t.Session.config.Depenv.recognize_reductions
-          ~cfg:t.Session.env.Depenv.cfg t.Session.env.Depenv.ctx
-          t.Session.env.Depenv.liveness loop
+            (Session.config t).Depenv.recognize_reductions
+          ~cfg:(Session.env t).Depenv.cfg (Session.env t).Depenv.ctx
+          (Session.env t).Depenv.liveness loop
       in
       let buf = Buffer.create 256 in
       Buffer.add_string buf (Printf.sprintf "variables of loop s%d\n" sid);
       List.iter
         (fun (v, c) ->
           let user =
-            if List.mem (sid, v) t.Session.user_private then
+            if List.mem (sid, v) (Session.user_private t) then
               "  [user: private]"
             else ""
           in
@@ -98,7 +98,7 @@ let variable_pane (t : Session.t) =
 let loops_pane (t : Session.t) =
   let ranked =
     Perf.Estimator.rank_loops ~callee_cost:(Session.callee_cost t)
-      t.Session.env
+      (Session.env t)
   in
   let share_of sid =
     match

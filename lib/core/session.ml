@@ -2,81 +2,93 @@ open Fortran_front
 open Dependence
 
 type t = {
-  mutable program : Ast.program;
+  engine : Engine.t;
   mutable unit_name : string;
   mutable env : Depenv.t;
   mutable ddg : Ddg.t;
   mutable marking : Marking.t;
-  mutable asserts : Depenv.assertions;
   mutable user_private : (Ast.stmt_id * string) list;
   mutable selected : Ast.stmt_id option;
   mutable dep_filter : Filter.dep_filter;
   mutable src_filter : Filter.src_filter;
   mutable undo_stack : (Ast.program * string) list;
+  mutable redo_stack : (Ast.program * string) list;
   mutable sim_order : Sim.Interp.order;
   original : Ast.program;
-  mutable interproc : Interproc.Summary.t option;
-  use_interproc : bool;
-  config : Depenv.config;
 }
+
+(* ---- accessors ---- *)
+
+let program t = Engine.program t.engine
+let unit_name t = t.unit_name
+let env t = t.env
+let ddg t = t.ddg
+let marking t = t.marking
+let assertions t = Engine.assertions t.engine
+let user_private t = t.user_private
+let selected t = t.selected
+let original t = t.original
+let config t = Engine.config t.engine
+let interproc t = Engine.summary t.engine
+let dep_filter t = t.dep_filter
+let set_dep_filter t f = t.dep_filter <- f
+let src_filter t = t.src_filter
+let set_src_filter t f = t.src_filter <- f
+let sim_order t = t.sim_order
+let set_sim_order t o = t.sim_order <- o
+let history t = List.map snd t.undo_stack
+let engine_stats t = Engine.stats t.engine
+let engine_report t = Engine.report t.engine
 
 let find_unit (program : Ast.program) name =
   List.find_opt
     (fun (u : Ast.program_unit) -> String.equal u.Ast.uname name)
     program.Ast.punits
 
-let analyze_unit t (u : Ast.program_unit) =
-  match t.interproc with
-  | Some summary ->
-    Interproc.Summary.env_for ~config:t.config ~asserts:t.asserts summary u
-  | None -> Depenv.make ~config:t.config ~asserts:t.asserts u
-
-let reanalyze t =
-  if t.use_interproc then
-    t.interproc <- Some (Interproc.Summary.analyze t.program);
-  match find_unit t.program t.unit_name with
-  | Some u ->
-    t.env <- analyze_unit t u;
-    t.ddg <- Ddg.compute t.env
+let focus_unit t =
+  match find_unit (program t) t.unit_name with
+  | Some u -> u
   | None -> failwith ("unit disappeared: " ^ t.unit_name)
 
-let load ?(config = Depenv.full_config) ?(interproc = true)
+(* The engine decides what actually needs recomputing; this just
+   refreshes the session's view of the focus unit. *)
+let refresh t =
+  match Engine.analysis t.engine ~unit_name:t.unit_name with
+  | Some (env, ddg) ->
+    t.env <- env;
+    t.ddg <- ddg
+  | None -> failwith ("unit disappeared: " ^ t.unit_name)
+
+let reanalyze = refresh
+
+let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
     (program : Ast.program) ~unit_name : t =
-  let u =
-    match find_unit program unit_name with
-    | Some u -> u
-    | None -> invalid_arg ("no such unit: " ^ unit_name)
+  (match find_unit program unit_name with
+  | Some _ -> ()
+  | None -> invalid_arg ("no such unit: " ^ unit_name));
+  let engine = Engine.create ?caching ~config ~interproc program in
+  let env, ddg =
+    match Engine.analysis engine ~unit_name with
+    | Some r -> r
+    | None -> assert false
   in
-  let summary =
-    if interproc then Some (Interproc.Summary.analyze program) else None
-  in
-  let asserts = Depenv.no_assertions in
-  let env =
-    match summary with
-    | Some s -> Interproc.Summary.env_for ~config ~asserts s u
-    | None -> Depenv.make ~config ~asserts u
-  in
-  let ddg = Ddg.compute env in
   {
-    program;
+    engine;
     unit_name;
     env;
     ddg;
     marking = Marking.empty;
-    asserts;
     user_private = [];
     selected = None;
     dep_filter = Filter.default_dep_filter;
     src_filter = Filter.Src_all;
     undo_stack = [];
+    redo_stack = [];
     sim_order = Sim.Interp.Seq;
     original = program;
-    interproc = summary;
-    use_interproc = interproc;
-    config;
   }
 
-let load_source ?config ?interproc ~file src ~unit_name : t =
+let load_source ?config ?interproc ?caching ~file src ~unit_name : t =
   let program = Parser.parse_program ~file src in
   let unit_name =
     match unit_name with
@@ -93,14 +105,14 @@ let load_source ?config ?interproc ~file src ~unit_name : t =
         | u :: _ -> u.Ast.uname
         | [] -> invalid_arg "empty program"))
   in
-  load ?config ?interproc program ~unit_name
+  load ?config ?interproc ?caching program ~unit_name
 
 let focus t name =
-  match find_unit t.program name with
+  match find_unit (program t) name with
   | Some _ ->
     t.unit_name <- name;
     t.selected <- None;
-    reanalyze t;
+    refresh t;
     Ok ()
   | None -> Error (Printf.sprintf "no unit named %s" name)
 
@@ -167,54 +179,60 @@ let mark_dep t dep_id status =
     t.marking <- Marking.mark t.marking d status;
     Ok ()
 
+(* ---- mutation: everything funnels through these two hooks ---- *)
+
+(* Program changes (edit, transformation, undo, redo) go to the
+   engine, which invalidates by fingerprint; the session only
+   maintains the undo/redo stacks around it. *)
+let commit t what new_program =
+  t.undo_stack <- (program t, what) :: t.undo_stack;
+  t.redo_stack <- [];
+  Engine.set_program t.engine new_program;
+  refresh t
+
+let set_asserts t asserts =
+  Engine.set_assertions t.engine asserts;
+  refresh t
+
 let assert_value t var n =
-  t.asserts <-
+  let a = assertions t in
+  set_asserts t
     {
-      t.asserts with
+      a with
       Depenv.asserted_values =
-        (var, n)
-        :: List.remove_assoc var t.asserts.Depenv.asserted_values;
-    };
-  reanalyze t
+        (var, n) :: List.remove_assoc var a.Depenv.asserted_values;
+    }
 
 let assert_range t var lo hi =
-  t.asserts <-
+  let a = assertions t in
+  set_asserts t
     {
-      t.asserts with
+      a with
       Depenv.asserted_ranges =
         (var, lo, hi)
         :: List.filter
              (fun (v, _, _) -> not (String.equal v var))
-             t.asserts.Depenv.asserted_ranges;
-    };
-  reanalyze t
+             a.Depenv.asserted_ranges;
+    }
 
 let assert_injective t arr =
-  if not (List.mem arr t.asserts.Depenv.asserted_injective) then begin
-    t.asserts <-
-      {
-        t.asserts with
-        Depenv.asserted_injective = arr :: t.asserts.Depenv.asserted_injective;
-      };
-    reanalyze t
-  end
+  let a = assertions t in
+  if not (List.mem arr a.Depenv.asserted_injective) then
+    set_asserts t
+      { a with Depenv.asserted_injective = arr :: a.Depenv.asserted_injective }
 
 let privatize t loop_sid var =
   if not (List.mem (loop_sid, var) t.user_private) then
     t.user_private <- (loop_sid, var) :: t.user_private
 
-let push_undo t what =
-  t.undo_stack <- (t.program, what) :: t.undo_stack
-
-let replace_unit t (u : Ast.program_unit) =
-  t.program <-
-    {
-      Ast.punits =
-        List.map
-          (fun (x : Ast.program_unit) ->
-            if String.equal x.Ast.uname u.Ast.uname then u else x)
-          t.program.Ast.punits;
-    }
+let replaced_program t (u : Ast.program_unit) =
+  {
+    Ast.punits =
+      List.map
+        (fun (x : Ast.program_unit) ->
+          if String.equal x.Ast.uname u.Ast.uname then u else x)
+        (program t).Ast.punits;
+  }
 
 let preview t name args =
   match Transform.Catalog.find name with
@@ -248,12 +266,12 @@ let transform ?(force = false) t name args =
         && (diag.Transform.Diagnosis.safe || force)
       then begin
         match entry.Transform.Catalog.apply t.env t.ddg args with
-        | Some u ->
-          push_undo t name;
-          replace_unit t u;
-          reanalyze t;
+        | Ok u ->
+          commit t name (replaced_program t u);
           Ok (diag, true)
-        | None -> Ok (diag, false)
+        | Error refusal ->
+          (* the apply's own refusal is the more precise diagnosis *)
+          Ok (refusal, false)
       end
       else Ok (diag, false))
 
@@ -267,42 +285,45 @@ let edit_stmt t sid text =
     | exception Lexer.Error (msg, loc) ->
       Error (Format.asprintf "lexical error at %a: %s" Loc.pp loc msg)
     | stmts -> (
-      match find_unit t.program t.unit_name with
-      | None -> Error "focus unit disappeared"
-      | Some u -> (
-        match Transform.Rewrite.replace_stmt u sid stmts with
-        | u' ->
-          push_undo t "edit";
-          replace_unit t u';
-          reanalyze t;
-          Ok ()
-        | exception Not_found ->
-          Error (Printf.sprintf "statement s%d not in unit %s" sid t.unit_name))))
+      match Transform.Rewrite.replace_stmt (focus_unit t) sid stmts with
+      | u' ->
+        commit t "edit" (replaced_program t u');
+        Ok ()
+      | exception Not_found ->
+        Error (Printf.sprintf "statement s%d not in unit %s" sid t.unit_name)))
 
 let undo t =
   match t.undo_stack with
   | [] -> Error "nothing to undo"
-  | (program, what) :: rest ->
-    t.program <- program;
+  | (restored, what) :: rest ->
     t.undo_stack <- rest;
-    reanalyze t;
+    t.redo_stack <- (program t, what) :: t.redo_stack;
+    Engine.set_program t.engine restored;
+    refresh t;
     Ok ()
-    |> fun r ->
-    ignore what;
-    r
+
+let redo t =
+  match t.redo_stack with
+  | [] -> Error "nothing to redo"
+  | (restored, what) :: rest ->
+    t.redo_stack <- rest;
+    t.undo_stack <- (program t, what) :: t.undo_stack;
+    Engine.set_program t.engine restored;
+    refresh t;
+    Ok ()
 
 let callee_cost t =
-  let costs = Perf.Estimator.program_costs t.program in
+  let costs = Perf.Estimator.program_costs (program t) in
   fun name -> List.assoc_opt name costs
 
 let simulate ?(processors = 8) t =
   let machine = Perf.Machine.with_processors processors Perf.Machine.default in
-  match Sim.Interp.run ~machine ~honor_parallel:false t.program with
+  let p = program t in
+  match Sim.Interp.run ~machine ~honor_parallel:false p with
   | exception Sim.Interp.Runtime_error e -> Error e
   | seq -> (
     match
-      Sim.Interp.run ~machine ~honor_parallel:true ~par_order:t.sim_order
-        t.program
+      Sim.Interp.run ~machine ~honor_parallel:true ~par_order:t.sim_order p
     with
     | exception Sim.Interp.Runtime_error e -> Error e
     | par ->

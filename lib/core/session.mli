@@ -1,10 +1,13 @@
 (** The editor session — Ped's central state.
 
-    A session holds the program being edited, the focus unit, the
-    current analyses (re-run after every change, as Ped reanalyzes
-    incrementally), dependence markings, user assertions,
-    user-privatized variables, view filters, the selected loop and an
-    undo stack.
+    A session holds the focus unit, dependence markings, user
+    assertions, user-privatized variables, view filters, the selected
+    loop and undo/redo stacks; the program itself and its analyses
+    live in an incremental {!Engine} the session queries on demand.
+    The session type is abstract: every program mutation funnels
+    through the engine's single post-edit hook, so callers cannot
+    bypass invalidation by poking state directly — and no command can
+    forget (or double-pay for) reanalysis.
 
     Parallelizability as the editor reports it respects the user's
     contributions: rejected dependences are ignored and
@@ -14,41 +17,74 @@
 open Fortran_front
 open Dependence
 
-type t = {
-  mutable program : Ast.program;
-  mutable unit_name : string;
-  mutable env : Depenv.t;
-  mutable ddg : Ddg.t;
-  mutable marking : Marking.t;
-  mutable asserts : Depenv.assertions;
-  mutable user_private : (Ast.stmt_id * string) list;
-  mutable selected : Ast.stmt_id option;
-  mutable dep_filter : Filter.dep_filter;
-  mutable src_filter : Filter.src_filter;
-  mutable undo_stack : (Ast.program * string) list;
-  mutable sim_order : Sim.Interp.order;
-      (** iteration order for simulated parallel loops — [Reverse] or
-          [Shuffled] expose order-dependent (unsafe) parallelizations *)
-  original : Ast.program;  (** as loaded, for the editor's diff view *)
-  mutable interproc : Interproc.Summary.t option;
-  use_interproc : bool;
-  config : Depenv.config;
-}
+type t
 
-(** [load ?config ?interproc program ~unit_name] — start a session
-    focused on [unit_name].  [interproc] (default true) runs
+(** [load ?config ?interproc ?caching program ~unit_name] — start a
+    session focused on [unit_name].  [interproc] (default true) runs
     whole-program analysis and feeds every CALL's side effects into
-    the unit analyses. *)
+    the unit analyses.  [caching] (default true) selects the
+    incremental engine; [~caching:false] recomputes everything after
+    every change — the from-scratch baseline the bench harness
+    measures against. *)
 val load :
-  ?config:Depenv.config -> ?interproc:bool -> Ast.program ->
-  unit_name:string -> t
+  ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
+  Ast.program -> unit_name:string -> t
 
 (** Parse source text and load it. *)
 val load_source :
-  ?config:Depenv.config -> ?interproc:bool -> file:string -> string ->
-  unit_name:string option -> t
+  ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
+  file:string -> string -> unit_name:string option -> t
 
-(** Re-run all analyses (after edits, assertions, marking...). *)
+(** {2 State accessors} *)
+
+val program : t -> Ast.program
+val unit_name : t -> string
+
+(** Scalar environment of the focus unit (engine-served). *)
+val env : t -> Depenv.t
+
+(** Dependence graph of the focus unit (engine-served). *)
+val ddg : t -> Ddg.t
+
+val marking : t -> Marking.t
+val assertions : t -> Depenv.assertions
+val user_private : t -> (Ast.stmt_id * string) list
+val selected : t -> Ast.stmt_id option
+
+(** The program as loaded, for the editor's diff view. *)
+val original : t -> Ast.program
+
+val config : t -> Depenv.config
+
+(** The interprocedural summary ([None] when loaded with
+    [~interproc:false]). *)
+val interproc : t -> Interproc.Summary.t option
+
+val dep_filter : t -> Filter.dep_filter
+val set_dep_filter : t -> Filter.dep_filter -> unit
+val src_filter : t -> Filter.src_filter
+val set_src_filter : t -> Filter.src_filter -> unit
+
+(** Iteration order for simulated parallel loops — [Reverse] or
+    [Shuffled] expose order-dependent (unsafe) parallelizations. *)
+val sim_order : t -> Sim.Interp.order
+
+val set_sim_order : t -> Sim.Interp.order -> unit
+
+(** Labels of the changes on the undo stack, newest first. *)
+val history : t -> string list
+
+(** Engine cache statistics (the [engine] command, [--engine-stats]). *)
+val engine_stats : t -> Engine.stats
+
+val engine_report : t -> string
+
+(** {2 Analysis} *)
+
+(** Force-refresh the focus unit's analyses through the engine (a
+    cache-served no-op unless something actually changed).  Scripts
+    and tests use it; commands never need to — every mutation already
+    refreshes. *)
 val reanalyze : t -> unit
 
 (** Switch the focus unit. *)
@@ -100,17 +136,19 @@ val preview :
   t -> string -> Transform.Catalog.args -> (Transform.Diagnosis.t, string) result
 
 (** [transform ?force t name args] — diagnose and, when applicable and
-    safe (or [force]d by the user, as Ped permits), apply and
-    reanalyze.  Returns the diagnosis and whether it was applied. *)
+    safe (or [force]d by the user, as Ped permits), apply and refresh.
+    Returns the diagnosis and whether it was applied; when the
+    rewrite itself refuses, its diagnosis is returned with [false]. *)
 val transform :
   ?force:bool -> t -> string -> Transform.Catalog.args ->
   (Transform.Diagnosis.t * bool, string) result
 
 (** [edit_stmt t sid text] — replace a statement with re-parsed
-    [text] (the source pane's editing), then reanalyze. *)
+    [text] (the source pane's editing), then refresh. *)
 val edit_stmt : t -> Ast.stmt_id -> string -> (unit, string) result
 
 val undo : t -> (unit, string) result
+val redo : t -> (unit, string) result
 
 (** {2 Execution} *)
 

@@ -121,22 +121,131 @@ let first_non_eq (dv : Dtest.direction array) : (int * Dtest.direction) option =
   go 0
 
 (* ------------------------------------------------------------------ *)
+(* Dependence-test memoization                                         *)
+(*                                                                     *)
+(* Array dependence testing — the expensive part of graph building —  *)
+(* is performed in buckets: the unit body is partitioned into top-    *)
+(* level statement groups (a whole DO nest is one group) and every     *)
+(* ordered pair of groups is tested as one unit of work.  A bucket's   *)
+(* result depends only on the two groups' contents (statements, ids,   *)
+(* call side effects) and on the scalar environment the subscript      *)
+(* machinery can observe from their statements (reaching definitions,  *)
+(* constants, assertions, aliases, config) — so a bucket keyed by a    *)
+(* digest of exactly those inputs can be replayed from a cache when    *)
+(* an edit elsewhere in the unit left them untouched.                  *)
+(* ------------------------------------------------------------------ *)
+
+type bucket = {
+  b_deps : dep list;  (* emission order; dep_ids are renumbered on merge *)
+  b_pairs : int;
+  b_disproved : (string * int) list;
+}
+
+type cache = {
+  buckets : (string, bucket) Hashtbl.t;
+  mutable tests_executed : int;
+  mutable bucket_hits : int;
+  mutable bucket_misses : int;
+}
+
+let make_cache () =
+  { buckets = Hashtbl.create 64; tests_executed = 0; bucket_hits = 0;
+    bucket_misses = 0 }
+
+let cache_counters c = (c.tests_executed, c.bucket_hits, c.bucket_misses)
+
+(* A definition site's analysis-relevant content: forward substitution
+   reads an assignment's right-hand side, induction rewriting reads a
+   DO header — bodies of nested statements are covered by their own
+   statements' signatures. *)
+let shallow_sig (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Do (h, _) ->
+    Marshal.to_string (s.Ast.sid, h.Ast.dvar, h.Ast.lo, h.Ast.hi, h.Ast.step) []
+  | Ast.If (branches, _) ->
+    Marshal.to_string (s.Ast.sid, List.map fst branches) []
+  | node -> Marshal.to_string (s.Ast.sid, node) []
+
+(* Scalar facts a group's dependence tests can consume: for every
+   scalar used at each statement, its propagated constant and the
+   contents of the definitions reaching it (forward substitution and
+   symbol cancellation read those). *)
+let group_ctx_sig (env : Depenv.t) (top : Ast.stmt) =
+  let buf = Buffer.create 512 in
+  Ast.iter_stmts
+    (fun s ->
+      let vars =
+        Defuse.uses env.Depenv.ctx s
+        |> List.filter (fun v -> not (Symbol.is_array env.Depenv.tbl v))
+        |> List.sort_uniq String.compare
+      in
+      List.iter
+        (fun v ->
+          Buffer.add_string buf (Printf.sprintf "%d:%s=" s.Ast.sid v);
+          (match Depenv.const_var_at env s.Ast.sid v with
+          | Some n -> Buffer.add_string buf (string_of_int n)
+          | None -> Buffer.add_char buf '?');
+          List.iter
+            (fun (d : Reaching.def) ->
+              match d.Reaching.def_at with
+              | Cfg.Stmt dsid -> (
+                match Depenv.stmt env dsid with
+                | Some ds -> Buffer.add_string buf (shallow_sig ds)
+                | None -> Buffer.add_string buf (Printf.sprintf "@%d" dsid))
+              | Cfg.Entry -> Buffer.add_string buf "@entry"
+              | Cfg.Exit -> Buffer.add_string buf "@exit")
+            (Reaching.defs_of_use env.Depenv.reaching s.Ast.sid v))
+        vars)
+    [ top ];
+  Digest.string (Buffer.contents buf)
+
+(* Content of a group: its statements (with ids) plus the array side
+   effects interprocedural analysis reports for its CALLs. *)
+let group_content_sig (env : Depenv.t) (top : Ast.stmt) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Marshal.to_string top [ Marshal.No_sharing ]);
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Call _ ->
+        Buffer.add_string buf (Marshal.to_string (env.Depenv.call_refs s) [])
+      | _ -> ())
+    [ top ];
+  Digest.string (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Graph construction                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let compute (env : Depenv.t) : t =
-  let next_id = ref 0 in
-  let fresh () = incr next_id; !next_id in
-  let deps = ref [] in
-  let pairs_tested = ref 0 in
-  let disproved : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
-
-  (* ---- array dependences ---- *)
+let compute ?cache (env : Depenv.t) : t =
   let refs = Array.of_list (collect_refs env) in
   let n_refs = Array.length refs in
-  for i = 0 to n_refs - 1 do
-    for j = i to n_refs - 1 do
+
+  (* ---- partition references into top-level statement groups ---- *)
+  let tops = Array.of_list env.Depenv.punit.Ast.body in
+  let ngroups = Array.length tops in
+  let group_of_sid = Hashtbl.create 64 in
+  Array.iteri
+    (fun g top ->
+      Ast.iter_stmts (fun s -> Hashtbl.replace group_of_sid s.Ast.sid g) [ top ])
+    tops;
+  let by_group = Array.make ngroups [] in
+  for i = n_refs - 1 downto 0 do
+    match Hashtbl.find_opt group_of_sid refs.(i).r_sid with
+    | Some g -> by_group.(g) <- i :: by_group.(g)
+    | None -> ()
+  done;
+  let by_group = Array.map Array.of_list by_group in
+
+  (* ---- one bucket of pair tests ---- *)
+  let test_bucket idx_a idx_b ~same : bucket =
+    let deps = ref [] in
+    let pairs = ref 0 in
+    let disproved : (string, int) Hashtbl.t = Hashtbl.create 4 in
+    let bump tbl k =
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    in
+    let do_pair i j =
       let r1 = refs.(i) and r2 = refs.(j) in
       let self_pair = i = j in
       let same_name = String.equal r1.r_array r2.r_array in
@@ -149,7 +258,8 @@ let compute (env : Depenv.t) : t =
         && ((not self_pair) || r1.r_write)
       in
       if eligible then begin
-        incr pairs_tested;
+        incr pairs;
+        (match cache with Some c -> c.tests_executed <- c.tests_executed + 1 | None -> ());
         let common = Loopnest.common env.Depenv.nest r1.r_sid r2.r_sid in
         let n = List.length common in
         let result =
@@ -222,7 +332,7 @@ let compute (env : Depenv.t) : t =
                 (fun (level, carrier) dvs ->
                   deps :=
                     {
-                      dep_id = fresh ();
+                      dep_id = 0;
                       kind =
                         kind_of ~src_write:src.r_write ~dst_write:dst.r_write;
                       var = src.r_array;
@@ -250,8 +360,88 @@ let compute (env : Depenv.t) : t =
               ~dist:neg_dist
           end
       end
+    in
+    if same then
+      Array.iter
+        (fun i -> Array.iter (fun j -> if j >= i then do_pair i j) idx_a)
+        idx_a
+    else Array.iter (fun i -> Array.iter (fun j -> do_pair i j) idx_b) idx_a;
+    {
+      b_deps = List.rev !deps;
+      b_pairs = !pairs;
+      b_disproved =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) disproved []
+        |> List.sort compare;
+    }
+  in
+
+  (* ---- bucket cache keys (computed only when a cache is in play) ---- *)
+  let content_sig = lazy (Array.map (fun top -> group_content_sig env top) tops) in
+  let ctx_sig = lazy (Array.map (fun top -> group_ctx_sig env top) tops) in
+  let global_sig =
+    lazy
+      (let arrays =
+         Array.to_list refs
+         |> List.map (fun r -> r.r_array)
+         |> List.sort_uniq String.compare
+       in
+       let buf = Buffer.create 128 in
+       Buffer.add_string buf
+         (Marshal.to_string (env.Depenv.config, env.Depenv.asserts) []);
+       List.iter
+         (fun a ->
+           List.iter
+             (fun b ->
+               if String.compare a b < 0 then
+                 Buffer.add_string buf
+                   (match env.Depenv.alias a b with
+                   | `Aligned -> "A"
+                   | `May -> "M"
+                   | `No -> "N"))
+             arrays)
+         arrays;
+       Digest.string (Buffer.contents buf))
+  in
+  let bucket_key g1 g2 =
+    Digest.string
+      (String.concat "|"
+         [ (Lazy.force content_sig).(g1); (Lazy.force content_sig).(g2);
+           (Lazy.force ctx_sig).(g1); (Lazy.force ctx_sig).(g2);
+           Lazy.force global_sig ])
+  in
+
+  (* ---- array dependences, bucket by bucket in canonical order ---- *)
+  let array_deps = ref [] in
+  let pairs_tested = ref 0 in
+  let disproved : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump_n tbl k n =
+    Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  for g1 = 0 to ngroups - 1 do
+    for g2 = g1 to ngroups - 1 do
+      if Array.length by_group.(g1) > 0 && Array.length by_group.(g2) > 0 then begin
+        let b =
+          match cache with
+          | None -> test_bucket by_group.(g1) by_group.(g2) ~same:(g1 = g2)
+          | Some c -> (
+            let key = bucket_key g1 g2 in
+            match Hashtbl.find_opt c.buckets key with
+            | Some b ->
+              c.bucket_hits <- c.bucket_hits + 1;
+              b
+            | None ->
+              c.bucket_misses <- c.bucket_misses + 1;
+              let b = test_bucket by_group.(g1) by_group.(g2) ~same:(g1 = g2) in
+              Hashtbl.replace c.buckets key b;
+              b)
+        in
+        pairs_tested := !pairs_tested + b.b_pairs;
+        List.iter (fun (t, n) -> bump_n disproved t n) b.b_disproved;
+        List.iter (fun d -> array_deps := d :: !array_deps) b.b_deps
+      end
     done
   done;
+  let deps = ref !array_deps in
 
   (* ---- scalar dependences ---- *)
   let cfgc = env.Depenv.config in
@@ -297,7 +487,7 @@ let compute (env : Depenv.t) : t =
             let emit kind (s1 : Ast.stmt) (s2 : Ast.stmt) =
               deps :=
                 {
-                  dep_id = fresh ();
+                  dep_id = 0;
                   kind;
                   var = v;
                   src = s1.Ast.sid;
@@ -335,7 +525,7 @@ let compute (env : Depenv.t) : t =
   let emit_scalar kind v s1 s2 ~exact ~test =
     deps :=
       {
-        dep_id = fresh ();
+        dep_id = 0;
         kind;
         var = v;
         src = s1;
@@ -404,7 +594,7 @@ let compute (env : Depenv.t) : t =
     (fun (e : Control_dep.edge) ->
       deps :=
         {
-          dep_id = fresh ();
+          dep_id = 0;
           kind = Control;
           var = "";
           src = e.Control_dep.branch;
@@ -422,7 +612,9 @@ let compute (env : Depenv.t) : t =
         :: !deps)
     env.Depenv.control;
 
-  let deps = List.rev !deps in
+  (* renumber in emission order so a cache-assisted build and a fresh
+     build of the same unit yield structurally identical graphs *)
+  let deps = List.rev !deps |> List.mapi (fun i d -> { d with dep_id = i + 1 }) in
   (* statistics cover the array-dependence pairs (the tested ones) *)
   let data_deps =
     List.filter (fun d -> d.kind <> Control && not d.is_scalar) deps

@@ -50,9 +50,32 @@ type stats = {
 
 type t = { deps : dep list; stats : stats }
 
-(** [compute env] — dependence graph of the whole unit, honouring
-    [env]'s config and assertions. *)
-val compute : Depenv.t -> t
+(** A memo table for the expensive array-dependence pair tests.
+
+    The unit body is partitioned into top-level statement groups (a
+    whole DO nest is one group); every ordered pair of groups is
+    tested as one {e bucket}, keyed by a digest of the two groups'
+    statements, call side effects, reaching scalar environment, and
+    the global assertion/config/alias state.  Passing the same cache
+    to successive {!compute} calls replays unchanged buckets instead
+    of re-running their dependence tests.  A cache may be shared
+    across program versions and units; stale entries are simply never
+    hit again. *)
+type cache
+
+val make_cache : unit -> cache
+
+(** [(tests_executed, bucket_hits, bucket_misses)] accumulated over
+    every [compute ~cache] call: pair tests actually run (cache
+    misses only), buckets served from the table, buckets computed. *)
+val cache_counters : cache -> int * int * int
+
+(** [compute ?cache env] — dependence graph of the whole unit,
+    honouring [env]'s config and assertions.  With [cache], array
+    dependence testing is served bucket-wise from the memo table; the
+    result is structurally identical to a cacheless build (dep ids
+    are renumbered in canonical emission order). *)
+val compute : ?cache:cache -> Depenv.t -> t
 
 (** Dependences carried by the given loop. *)
 val carried_by : t -> Ast.stmt_id -> dep list

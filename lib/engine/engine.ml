@@ -1,0 +1,222 @@
+open Fortran_front
+open Dependence
+
+type timings = {
+  mutable summary_s : float;
+  mutable env_s : float;
+  mutable ddg_s : float;
+}
+
+type stats = {
+  env_hits : int;
+  env_misses : int;
+  invalidations : int;
+  summary_hits : int;
+  summary_builds : int;
+  ddg_bucket_hits : int;
+  ddg_bucket_misses : int;
+  tests_run : int;
+  summary_s : float;
+  env_s : float;
+  ddg_s : float;
+}
+
+type counters = {
+  mutable env_hits : int;
+  mutable env_misses : int;
+  mutable invalidations : int;
+  mutable summary_hits : int;
+  mutable summary_builds : int;
+}
+
+type entry = { e_fp : Fingerprint.t; e_env : Depenv.t; e_ddg : Ddg.t }
+
+type t = {
+  caching : bool;
+  config : Depenv.config;
+  use_interproc : bool;
+  mutable program : Ast.program;
+  mutable asserts : Depenv.assertions;
+  (* per-unit analysis results, keyed by unit name, guarded by fingerprint *)
+  units : (string, entry) Hashtbl.t;
+  (* interprocedural summaries, keyed by whole-program fingerprint *)
+  summaries : (Fingerprint.t, Interproc.Summary.t) Hashtbl.t;
+  ddg_cache : Ddg.cache;
+  c : counters;
+  tm : timings;
+  (* cache-counter watermarks, so stats can be reset *)
+  mutable tests_base : int;
+  mutable hits_base : int;
+  mutable misses_base : int;
+}
+
+let create ?(caching = true) ?(config = Depenv.full_config)
+    ?(interproc = true) (program : Ast.program) : t =
+  {
+    caching;
+    config;
+    use_interproc = interproc;
+    program;
+    asserts = Depenv.no_assertions;
+    units = Hashtbl.create 8;
+    summaries = Hashtbl.create 8;
+    ddg_cache = Ddg.make_cache ();
+    c =
+      { env_hits = 0; env_misses = 0; invalidations = 0; summary_hits = 0;
+        summary_builds = 0 };
+    tm = { summary_s = 0.; env_s = 0.; ddg_s = 0. };
+    tests_base = 0;
+    hits_base = 0;
+    misses_base = 0;
+  }
+
+let caching t = t.caching
+let config t = t.config
+let use_interproc t = t.use_interproc
+let program t = t.program
+let assertions t = t.asserts
+
+(* The single post-edit hook: every program mutation funnels through
+   here.  Nothing is recomputed eagerly — stale cache entries are
+   detected by fingerprint mismatch at the next query. *)
+let set_program t program = t.program <- program
+
+let set_assertions t asserts = t.asserts <- asserts
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  cell := !cell +. (Unix.gettimeofday () -. t0);
+  r
+
+let summary t : Interproc.Summary.t option =
+  if not t.use_interproc then None
+  else begin
+    let build () =
+      t.c.summary_builds <- t.c.summary_builds + 1;
+      let cell = ref t.tm.summary_s in
+      let s = timed cell (fun () -> Interproc.Summary.analyze t.program) in
+      t.tm.summary_s <- !cell;
+      s
+    in
+    if not t.caching then Some (build ())
+    else begin
+      let key = Fingerprint.program t.program in
+      match Hashtbl.find_opt t.summaries key with
+      | Some s ->
+        t.c.summary_hits <- t.c.summary_hits + 1;
+        Some s
+      | None ->
+        let s = build () in
+        Hashtbl.replace t.summaries key s;
+        Some s
+    end
+  end
+
+let find_unit t name =
+  List.find_opt
+    (fun (u : Ast.program_unit) -> String.equal u.Ast.uname name)
+    t.program.Ast.punits
+
+let compute_unit t summary (u : Ast.program_unit) =
+  let env_cell = ref t.tm.env_s in
+  let env =
+    timed env_cell (fun () ->
+        match summary with
+        | Some s ->
+          Interproc.Summary.env_for ~config:t.config ~asserts:t.asserts s u
+        | None -> Depenv.make ~config:t.config ~asserts:t.asserts u)
+  in
+  t.tm.env_s <- !env_cell;
+  let ddg_cell = ref t.tm.ddg_s in
+  let ddg =
+    timed ddg_cell (fun () ->
+        if t.caching then Ddg.compute ~cache:t.ddg_cache env
+        else begin
+          (* baseline mode still counts its pair tests, through a
+             throwaway cache that can never hit *)
+          let throwaway = Ddg.make_cache () in
+          let d = Ddg.compute ~cache:throwaway env in
+          let tests, _, _ = Ddg.cache_counters throwaway in
+          t.tests_base <- t.tests_base - tests;
+          d
+        end)
+  in
+  t.tm.ddg_s <- !ddg_cell;
+  (env, ddg)
+
+(* Demand-driven analysis of one unit: served from cache when the
+   unit's fingerprint (content + config + assertions + interprocedural
+   facet) is unchanged, recomputed — and re-cached — otherwise. *)
+let analysis t ~unit_name : (Depenv.t * Ddg.t) option =
+  match find_unit t unit_name with
+  | None -> None
+  | Some u ->
+    let summary = summary t in
+    if not t.caching then Some (compute_unit t summary u)
+    else begin
+      let facet =
+        Option.map (fun s -> Fingerprint.interproc_facet s u) summary
+      in
+      let fp =
+        Fingerprint.analysis_key ~config:t.config ~asserts:t.asserts ~facet u
+      in
+      match Hashtbl.find_opt t.units unit_name with
+      | Some e when String.equal e.e_fp fp ->
+        t.c.env_hits <- t.c.env_hits + 1;
+        Some (e.e_env, e.e_ddg)
+      | prior ->
+        if prior <> None then t.c.invalidations <- t.c.invalidations + 1;
+        t.c.env_misses <- t.c.env_misses + 1;
+        let env, ddg = compute_unit t summary u in
+        Hashtbl.replace t.units unit_name { e_fp = fp; e_env = env; e_ddg = ddg };
+        Some (env, ddg)
+    end
+
+let stats t : stats =
+  let tests, hits, misses = Ddg.cache_counters t.ddg_cache in
+  {
+    env_hits = t.c.env_hits;
+    env_misses = t.c.env_misses;
+    invalidations = t.c.invalidations;
+    summary_hits = t.c.summary_hits;
+    summary_builds = t.c.summary_builds;
+    ddg_bucket_hits = hits - t.hits_base;
+    ddg_bucket_misses = misses - t.misses_base;
+    tests_run = tests - t.tests_base;
+    summary_s = t.tm.summary_s;
+    env_s = t.tm.env_s;
+    ddg_s = t.tm.ddg_s;
+  }
+
+let reset_stats t =
+  let tests, hits, misses = Ddg.cache_counters t.ddg_cache in
+  t.c.env_hits <- 0;
+  t.c.env_misses <- 0;
+  t.c.invalidations <- 0;
+  t.c.summary_hits <- 0;
+  t.c.summary_builds <- 0;
+  t.tm.summary_s <- 0.;
+  t.tm.env_s <- 0.;
+  t.tm.ddg_s <- 0.;
+  t.tests_base <- tests;
+  t.hits_base <- hits;
+  t.misses_base <- misses
+
+let report t =
+  let s = stats t in
+  String.concat "\n"
+    [
+      Printf.sprintf "engine: %s"
+        (if t.caching then "incremental (caching)" else "full reanalysis");
+      Printf.sprintf "  unit analyses : %d cached, %d computed (%d invalidated)"
+        s.env_hits s.env_misses s.invalidations;
+      Printf.sprintf "  summaries     : %d cached, %d built" s.summary_hits
+        s.summary_builds;
+      Printf.sprintf "  ddg buckets   : %d cached, %d computed"
+        s.ddg_bucket_hits s.ddg_bucket_misses;
+      Printf.sprintf "  pair tests run: %d" s.tests_run;
+      Printf.sprintf
+        "  time          : summary %.4fs, scalar env %.4fs, ddg %.4fs"
+        s.summary_s s.env_s s.ddg_s;
+    ]

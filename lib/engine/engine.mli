@@ -1,0 +1,84 @@
+(** The incremental, demand-driven analysis engine.
+
+    The session hands the engine a program and asks it for analysis
+    results ({!analysis}); the engine decides what actually needs
+    recomputing.  Three cache layers, each guarded by a content
+    fingerprint (MD5 of the marshalled data — the AST is pure data):
+
+    - {e interprocedural summaries}, keyed by the whole-program
+      fingerprint, so undo/redo — which restore a previous program
+      value — hit without any invalidation protocol;
+    - {e per-unit scalar environments and dependence graphs}, keyed by
+      unit name and guarded by a fingerprint of the unit's statements,
+      the analysis configuration, the user's assertions, and the
+      unit's {e view} of the interprocedural summary (per-CALL
+      effects, section pseudo-references, formal constants, alias
+      pairs) — a summary rebuild that left this view intact does not
+      invalidate the unit;
+    - {e dependence-test buckets} inside {!Dependence.Ddg}, so that
+      when a unit {e is} recomputed, only the loop nests whose
+      statements or reaching scalar environment changed get their
+      pair tests re-run.
+
+    All mutation funnels through {!set_program} and
+    {!set_assertions}; nothing recomputes eagerly, stale entries are
+    detected by fingerprint mismatch at the next query.  Created with
+    [~caching:false] the engine recomputes everything on every query
+    — the from-scratch baseline the bench harness compares against. *)
+
+open Fortran_front
+open Dependence
+
+type t
+
+(** Cumulative counters and per-pass wall-clock timings since creation
+    (or the last {!reset_stats}). *)
+type stats = {
+  env_hits : int;        (** unit analyses served from cache *)
+  env_misses : int;      (** unit analyses computed *)
+  invalidations : int;   (** misses caused by a stale cached entry *)
+  summary_hits : int;
+  summary_builds : int;
+  ddg_bucket_hits : int;
+  ddg_bucket_misses : int;
+  tests_run : int;       (** dependence pair tests actually executed *)
+  summary_s : float;
+  env_s : float;
+  ddg_s : float;
+}
+
+val create :
+  ?caching:bool ->
+  ?config:Depenv.config ->
+  ?interproc:bool ->
+  Ast.program ->
+  t
+
+val caching : t -> bool
+val config : t -> Depenv.config
+val use_interproc : t -> bool
+val program : t -> Ast.program
+val assertions : t -> Depenv.assertions
+
+(** The single post-edit hook: every program mutation (edit,
+    transformation, undo, redo) funnels through here. *)
+val set_program : t -> Ast.program -> unit
+
+val set_assertions : t -> Depenv.assertions -> unit
+
+(** The current interprocedural summary ([None] when interprocedural
+    analysis is off), built or served from cache on demand. *)
+val summary : t -> Interproc.Summary.t option
+
+(** [analysis t ~unit_name] — scalar environment and dependence graph
+    of the named unit under the current program and assertions;
+    [None] if no such unit.  Structurally identical to a from-scratch
+    analysis, whatever mix of caches served it. *)
+val analysis : t -> unit_name:string -> (Depenv.t * Ddg.t) option
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Human-readable statistics block (the [engine] editor command and
+    [ped --engine-stats]). *)
+val report : t -> string

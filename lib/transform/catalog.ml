@@ -12,10 +12,18 @@ type entry = {
   describe : string;
   needs : string;
   diagnose : Depenv.t -> Ddg.t -> args -> Diagnosis.t;
-  apply : Depenv.t -> Ddg.t -> args -> Ast.program_unit option;
+  apply : Depenv.t -> Ddg.t -> args -> (Ast.program_unit, Diagnosis.t) result;
 }
 
 let bad = Diagnosis.inapplicable "wrong arguments for this transformation"
+
+(* The rewriting functions signal "called on something the diagnosis
+   rejected" with [Invalid_argument]; fold that into the same typed
+   channel as wrong-shaped arguments. *)
+let guard f =
+  match f () with
+  | u -> Ok u
+  | exception Invalid_argument msg -> Error (Diagnosis.inapplicable msg)
 
 let all =
   [
@@ -29,8 +37,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Parallelize.apply env.Depenv.punit sid)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Parallelize.apply env.Depenv.punit sid)
+          | _ -> Error bad);
     };
     {
       name = "sequentialize";
@@ -48,8 +56,8 @@ let all =
       apply =
         (fun env _ -> function
           | On_loop sid ->
-            Some (Parallelize.apply_sequentialize env.Depenv.punit sid)
-          | _ -> None);
+            guard (fun () -> Parallelize.apply_sequentialize env.Depenv.punit sid)
+          | _ -> Error bad);
     };
     {
       name = "interchange";
@@ -61,8 +69,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Interchange.apply env.Depenv.punit sid)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Interchange.apply env.Depenv.punit sid)
+          | _ -> Error bad);
     };
     {
       name = "distribute";
@@ -74,8 +82,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env ddg -> function
-          | On_loop sid -> Some (Distribute.apply env ddg sid)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Distribute.apply env ddg sid)
+          | _ -> Error bad);
     };
     {
       name = "fuse";
@@ -87,8 +95,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_pair (a, b) -> Some (Fuse.apply env.Depenv.punit a b)
-          | _ -> None);
+          | On_pair (a, b) -> guard (fun () -> Fuse.apply env.Depenv.punit a b)
+          | _ -> Error bad);
     };
     {
       name = "reverse";
@@ -100,8 +108,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Reverse.apply env.Depenv.punit sid)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Reverse.apply env.Depenv.punit sid)
+          | _ -> Error bad);
     };
     {
       name = "skew";
@@ -114,8 +122,8 @@ let all =
       apply =
         (fun env _ -> function
           | With_factor (sid, f) ->
-            Some (Skew.apply env.Depenv.punit sid ~factor:f)
-          | _ -> None);
+            guard (fun () -> Skew.apply env.Depenv.punit sid ~factor:f)
+          | _ -> Error bad);
     };
     {
       name = "strip";
@@ -127,8 +135,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | With_factor (sid, b) -> Some (Strip_mine.apply env sid ~block:b)
-          | _ -> None);
+          | With_factor (sid, b) -> guard (fun () -> Strip_mine.apply env sid ~block:b)
+          | _ -> Error bad);
     };
     {
       name = "unroll";
@@ -140,8 +148,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | With_factor (sid, f) -> Some (Unroll.apply env sid ~factor:f)
-          | _ -> None);
+          | With_factor (sid, f) -> guard (fun () -> Unroll.apply env sid ~factor:f)
+          | _ -> Error bad);
     };
     {
       name = "expand";
@@ -153,8 +161,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | With_var (sid, v) -> Some (Scalar_expand.apply env sid ~var:v)
-          | _ -> None);
+          | With_var (sid, v) -> guard (fun () -> Scalar_expand.apply env sid ~var:v)
+          | _ -> Error bad);
     };
     {
       name = "indsub";
@@ -166,8 +174,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | With_var (sid, v) -> Some (Indsub.apply env sid ~var:v)
-          | _ -> None);
+          | With_var (sid, v) -> guard (fun () -> Indsub.apply env sid ~var:v)
+          | _ -> Error bad);
     };
     {
       name = "rename";
@@ -179,8 +187,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | With_var (sid, v) -> Some (Rename_scalar.apply env sid ~var:v)
-          | _ -> None);
+          | With_var (sid, v) -> guard (fun () -> Rename_scalar.apply env sid ~var:v)
+          | _ -> Error bad);
     };
     {
       name = "coalesce";
@@ -192,8 +200,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Coalesce.apply env sid)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Coalesce.apply env sid)
+          | _ -> Error bad);
     };
     {
       name = "normalize";
@@ -205,8 +213,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Normalize_loop.apply env sid)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Normalize_loop.apply env sid)
+          | _ -> Error bad);
     };
     {
       name = "tile";
@@ -218,8 +226,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env ddg -> function
-          | With_factor (sid, b) -> Some (Tile.apply env ddg sid ~block:b)
-          | _ -> None);
+          | With_factor (sid, b) -> guard (fun () -> Tile.apply env ddg sid ~block:b)
+          | _ -> Error bad);
     };
     {
       name = "peel-first";
@@ -231,8 +239,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Peel.apply env sid ~which:Peel.First)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Peel.apply env sid ~which:Peel.First)
+          | _ -> Error bad);
     };
     {
       name = "peel-last";
@@ -244,8 +252,8 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> Some (Peel.apply env sid ~which:Peel.Last)
-          | _ -> None);
+          | On_loop sid -> guard (fun () -> Peel.apply env sid ~which:Peel.Last)
+          | _ -> Error bad);
     };
     {
       name = "swap";
@@ -258,8 +266,8 @@ let all =
       apply =
         (fun env _ -> function
           | On_pair (a, b) ->
-            Some (Stmt_interchange.apply env.Depenv.punit a b)
-          | _ -> None);
+            guard (fun () -> Stmt_interchange.apply env.Depenv.punit a b)
+          | _ -> Error bad);
     };
   ]
 

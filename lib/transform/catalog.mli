@@ -19,9 +19,11 @@ type entry = {
   describe : string;    (** one-line description for the editor's menu *)
   needs : string;       (** argument syntax help, e.g. ["<loop>"] *)
   diagnose : Depenv.t -> Ddg.t -> args -> Diagnosis.t;
-  apply : Depenv.t -> Ddg.t -> args -> Ast.program_unit option;
-      (** [None] when the args don't fit; may raise [Invalid_argument]
-          if called on something the diagnosis rejected *)
+  apply : Depenv.t -> Ddg.t -> args -> (Ast.program_unit, Diagnosis.t) result;
+      (** [Error] carries the diagnosis explaining the refusal — both
+          "wrong argument shape" and "called on something the
+          diagnosis rejected" travel this one typed channel; apply
+          never raises *)
 }
 
 val all : entry list

@@ -1,0 +1,157 @@
+(* Engine cache correctness and hit/miss accounting.
+
+   The load-bearing property: whatever mix of edits, undos, redos,
+   refocuses and assertions a session has absorbed, the engine-served
+   dependence graph is structurally identical to a from-scratch
+   analysis of the session's current program and assertions.  The
+   graph (deps + statistics) is pure data, so polymorphic equality is
+   the oracle; environments hold closures and are compared only
+   through the graphs they produce. *)
+
+open Fortran_front
+open Dependence
+open Util
+
+let load ?(caching = true) name =
+  let w = Option.get (Workloads.by_name name) in
+  (w, Ped.Session.load ~caching (Workloads.program w)
+        ~unit_name:(Workloads.main_unit w))
+
+let focus_unit_of sess =
+  let name = Ped.Session.unit_name sess in
+  List.find
+    (fun (u : Ast.program_unit) -> String.equal u.Ast.uname name)
+    (Ped.Session.program sess).Ast.punits
+
+(* From-scratch graph of the session's current program + assertions. *)
+let scratch_ddg sess =
+  let u = focus_unit_of sess in
+  let env =
+    match Ped.Session.interproc sess with
+    | Some _ ->
+      let summary = Interproc.Summary.analyze (Ped.Session.program sess) in
+      Interproc.Summary.env_for ~config:(Ped.Session.config sess)
+        ~asserts:(Ped.Session.assertions sess) summary u
+    | None ->
+      Depenv.make ~config:(Ped.Session.config sess)
+        ~asserts:(Ped.Session.assertions sess) u
+  in
+  Ddg.compute env
+
+let check_scratch what sess =
+  check_bool (what ^ ": engine ddg = from-scratch ddg") true
+    (Ped.Session.ddg sess = scratch_ddg sess)
+
+let first_assign sess =
+  Ast.fold_stmts
+    (fun acc (s : Ast.stmt) ->
+      match (acc, s.Ast.node) with
+      | None, Ast.Assign _ -> Some s
+      | _ -> acc)
+    None (focus_unit_of sess).Ast.body
+
+let ok_exn what = function Ok _ -> () | Error e -> failwith (what ^ ": " ^ e)
+
+(* Re-submit a statement's own pretty-printed text: semantically the
+   identity edit, but it re-parses to fresh statement ids — the
+   canonical "user retyped the line" invalidation. *)
+let identity_edit sess =
+  match first_assign sess with
+  | None -> failwith "workload has no assignment statement"
+  | Some s ->
+    ok_exn "edit"
+      (Ped.Session.edit_stmt sess s.Ast.sid (Pretty.stmt_to_string s))
+
+(* --- correctness across every workload ---------------------------- *)
+
+let burst_case (w : Workloads.t) =
+  case (w.Workloads.name ^ ": incremental = from-scratch through a burst")
+    (fun () ->
+      let _, sess = load w.Workloads.name in
+      check_scratch "load" sess;
+      List.iter
+        (fun cmd -> ignore (Ped.Command.run sess cmd))
+        w.Workloads.assertion_script;
+      check_scratch "asserts" sess;
+      identity_edit sess;
+      check_scratch "edit" sess;
+      ok_exn "undo" (Ped.Session.undo sess);
+      check_scratch "undo" sess;
+      ok_exn "redo" (Ped.Session.redo sess);
+      check_scratch "redo" sess)
+
+(* --- hit/miss accounting ------------------------------------------ *)
+
+let delta (a : Engine.stats) (b : Engine.stats) f = f b - f a
+
+let suite =
+  List.map burst_case Workloads.all
+  @ [
+      case "stats: clean refresh is a pure cache hit" (fun () ->
+          let _, sess = load "matmul" in
+          let s0 = Ped.Session.engine_stats sess in
+          Ped.Session.reanalyze sess;
+          let s1 = Ped.Session.engine_stats sess in
+          check_int "env hit" 1 (delta s0 s1 (fun s -> s.Engine.env_hits));
+          check_int "no miss" 0 (delta s0 s1 (fun s -> s.Engine.env_misses));
+          check_int "no tests" 0 (delta s0 s1 (fun s -> s.Engine.tests_run)));
+      case "stats: edit invalidates but reuses untouched buckets" (fun () ->
+          let _, sess = load "jacobi" in
+          (* a fresh session's initial analysis = the full cost *)
+          let full = (Ped.Session.engine_stats sess).Engine.tests_run in
+          let s0 = Ped.Session.engine_stats sess in
+          identity_edit sess;
+          let s1 = Ped.Session.engine_stats sess in
+          check_bool "invalidated" true
+            (delta s0 s1 (fun s -> s.Engine.invalidations) >= 1);
+          check_bool "recomputed" true
+            (delta s0 s1 (fun s -> s.Engine.env_misses) >= 1);
+          check_bool "some buckets reused" true
+            (delta s0 s1 (fun s -> s.Engine.ddg_bucket_hits) >= 1);
+          let retested = delta s0 s1 (fun s -> s.Engine.tests_run) in
+          check_bool "retested strictly less than full" true
+            (retested < full && retested >= 0));
+      case "stats: undo and redo run no dependence tests" (fun () ->
+          let _, sess = load "jacobi" in
+          identity_edit sess;
+          let s0 = Ped.Session.engine_stats sess in
+          ok_exn "undo" (Ped.Session.undo sess);
+          let s1 = Ped.Session.engine_stats sess in
+          check_int "undo: no tests" 0
+            (delta s0 s1 (fun s -> s.Engine.tests_run));
+          check_bool "undo: summary from cache" true
+            (delta s0 s1 (fun s -> s.Engine.summary_hits) >= 1);
+          check_int "undo: no summary rebuild" 0
+            (delta s0 s1 (fun s -> s.Engine.summary_builds));
+          ok_exn "redo" (Ped.Session.redo sess);
+          let s2 = Ped.Session.engine_stats sess in
+          check_int "redo: no tests" 0
+            (delta s1 s2 (fun s -> s.Engine.tests_run)));
+      case "stats: refocus back to a cached unit is a hit" (fun () ->
+          let _, sess = load "callnest" in
+          ok_exn "focus" (Ped.Session.focus sess "ROWOP");
+          let s0 = Ped.Session.engine_stats sess in
+          ok_exn "refocus" (Ped.Session.focus sess "CALLNE");
+          let s1 = Ped.Session.engine_stats sess in
+          check_int "env hit" 1 (delta s0 s1 (fun s -> s.Engine.env_hits));
+          check_int "no tests" 0 (delta s0 s1 (fun s -> s.Engine.tests_run));
+          check_scratch "refocus" sess);
+      case "stats: assertion change invalidates and stays correct" (fun () ->
+          let _, sess = load "symbounds" in
+          let s0 = Ped.Session.engine_stats sess in
+          Ped.Session.assert_value sess "M" 64;
+          let s1 = Ped.Session.engine_stats sess in
+          check_bool "invalidated" true
+            (delta s0 s1 (fun s -> s.Engine.invalidations) >= 1);
+          check_scratch "assert" sess);
+      case "baseline mode recomputes everything" (fun () ->
+          let _, sess = load ~caching:false "matmul" in
+          let full = (Ped.Session.engine_stats sess).Engine.tests_run in
+          check_bool "initial analysis ran tests" true (full > 0);
+          let s0 = Ped.Session.engine_stats sess in
+          Ped.Session.reanalyze sess;
+          let s1 = Ped.Session.engine_stats sess in
+          check_int "refresh pays full price again" full
+            (delta s0 s1 (fun s -> s.Engine.tests_run));
+          check_scratch "baseline" sess);
+    ]

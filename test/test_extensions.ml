@@ -74,7 +74,7 @@ let suite =
                 (Ped.Session.transform sess "parallelize"
                    (Transform.Catalog.On_loop (loop_sid l))))
           (Ped.Session.loops sess);
-        let p = sess.Ped.Session.program in
+        let p = (Ped.Session.program sess) in
         let a = Sim.Interp.run ~par_order:Sim.Interp.Seq p in
         let b = Sim.Interp.run ~par_order:Sim.Interp.Reverse p in
         (* NOTE: the privatized work array is still shared storage in
@@ -119,9 +119,9 @@ let suite =
         in
         let out = Ped.Command.run sess "select l3" in
         check_bool "selected the K loop" true (contains ~needle:"selected" out);
-        let k = loop_by_iv sess.Ped.Session.env "K" in
+        let k = loop_by_iv (Ped.Session.env sess) "K" in
         check_bool "selection is K" true
-          (sess.Ped.Session.selected = Some (loop_sid k)));
+          ((Ped.Session.selected sess) = Some (loop_sid k)));
     case "command: callgraph and outline" (fun () ->
         let w = Option.get (Workloads.by_name "spec77x") in
         let sess =

@@ -57,12 +57,12 @@ let suite =
         check_bool "output preserved" true (contains ~needle:"3528" t));
     case "undo chain restores the original program" (fun () ->
         let sess = session "daxpy" ~unit_name:"DAXPY" in
-        let before = Pretty.program_to_string sess.Ped.Session.program in
+        let before = Pretty.program_to_string (Ped.Session.program sess) in
         ignore (Ped.Command.run sess "apply strip l1 4");
         ignore (Ped.Command.run sess "apply parallelize l3");
         ignore (Ped.Command.run sess "undo");
         ignore (Ped.Command.run sess "undo");
-        let after = Pretty.program_to_string sess.Ped.Session.program in
+        let after = Pretty.program_to_string (Ped.Session.program sess) in
         check_string "identical" before after);
     case "write, reload, behaviour identical" (fun () ->
         let sess = session "jacobi" ~unit_name:"JACOBI" in
@@ -81,7 +81,7 @@ let suite =
         close_in ic;
         Sys.remove path;
         let reloaded = Parser.parse_program ~file:"reload.f" src in
-        let a = Sim.Interp.run sess.Ped.Session.program in
+        let a = Sim.Interp.run (Ped.Session.program sess) in
         let b = Sim.Interp.run reloaded in
         check_bool "same output" true
           (Sim.Interp.outputs_match a.Sim.Interp.output b.Sim.Interp.output);
@@ -114,7 +114,7 @@ let suite =
         check_int "two blocked" 2 (List.length blocked);
         let back = List.nth blocked 1 in
         let body =
-          Dependence.Loopnest.body_stmts sess.Ped.Session.env.Dependence.Depenv.nest
+          Dependence.Loopnest.body_stmts (Ped.Session.env sess).Dependence.Depenv.nest
             (loop_sid back)
         in
         let sid = (List.hd body).Ast.sid in

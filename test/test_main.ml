@@ -28,4 +28,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("property", Test_property.suite);
+      ("engine", Test_engine.suite);
     ]

@@ -12,11 +12,11 @@ let suite =
         let deps =
           List.filter
             (fun (d : Ddg.dep) -> not d.Ddg.is_scalar && d.Ddg.kind <> Ddg.Control)
-            sess.Ped.Session.ddg.Ddg.deps
+            (Ped.Session.ddg sess).Ddg.deps
         in
         check_bool "some proven" true
           (List.exists
-             (fun d -> Ped.Marking.status_of sess.Ped.Session.marking d = Ped.Marking.Proven)
+             (fun d -> Ped.Marking.status_of (Ped.Session.marking sess) d = Ped.Marking.Proven)
              deps));
     case "marking: reject unblocks a loop and survives reanalysis" (fun () ->
         let sess = mk_session ~name:"tridiag" () in
@@ -41,12 +41,10 @@ let suite =
     case "filters: carried only and by variable" (fun () ->
         let sess = mk_session ~name:"matmul" () in
         let all = List.length (Ped.Session.visible_deps sess) in
-        sess.Ped.Session.dep_filter <-
-          { Ped.Filter.default_dep_filter with Ped.Filter.f_carried_only = true };
+        Ped.Session.set_dep_filter sess          { Ped.Filter.default_dep_filter with Ped.Filter.f_carried_only = true };
         let carried = List.length (Ped.Session.visible_deps sess) in
         check_bool "filter shrinks" true (carried < all);
-        sess.Ped.Session.dep_filter <-
-          { Ped.Filter.default_dep_filter with Ped.Filter.f_var = Some "C" };
+        Ped.Session.set_dep_filter sess          { Ped.Filter.default_dep_filter with Ped.Filter.f_var = Some "C" };
         List.iter
           (fun (d : Ddg.dep) -> check_string "var" "C" d.Ddg.var)
           (Ped.Session.visible_deps sess));
@@ -58,7 +56,7 @@ let suite =
              (Ped.Session.visible_deps sess)));
     case "source filter: loops only" (fun () ->
         let sess = mk_session () in
-        sess.Ped.Session.src_filter <- Ped.Filter.Src_loops;
+        Ped.Session.set_src_filter sess Ped.Filter.Src_loops;
         let pane = Ped.Pane.source_pane sess in
         List.iter
           (fun line ->
@@ -120,7 +118,7 @@ let suite =
         in
         let l = List.hd (Ped.Session.loops sess) in
         check_bool "blocked" false (Ped.Session.is_parallelizable sess (loop_sid l));
-        let body = Loopnest.body_stmts sess.Ped.Session.env.Depenv.nest (loop_sid l) in
+        let body = Loopnest.body_stmts (Ped.Session.env sess).Depenv.nest (loop_sid l) in
         let stmt = List.hd body in
         (match
            Ped.Session.edit_stmt sess stmt.Fortran_front.Ast.sid "A(I) = FLOAT(I)"
@@ -132,7 +130,7 @@ let suite =
     case "session: edit with syntax error is reported" (fun () ->
         let sess = mk_session () in
         let l = List.hd (Ped.Session.loops sess) in
-        let body = Loopnest.body_stmts sess.Ped.Session.env.Depenv.nest (loop_sid l) in
+        let body = Loopnest.body_stmts (Ped.Session.env sess).Depenv.nest (loop_sid l) in
         match
           Ped.Session.edit_stmt sess (List.hd body).Fortran_front.Ast.sid "DO == broken"
         with
@@ -153,7 +151,7 @@ let suite =
         let sess = mk_session ~name:"matmul" () in
         let out = Ped.Command.run sess "loops" in
         check_bool "has K" true (contains ~needle:"DO K" out);
-        let k = loop_by_iv sess.Ped.Session.env "K" in
+        let k = loop_by_iv (Ped.Session.env sess) "K" in
         let out = Ped.Command.run sess (Printf.sprintf "select s%d" (loop_sid k)) in
         check_bool "selected" true (contains ~needle:"selected" out);
         let out = Ped.Command.run sess "deps carried" in
@@ -175,7 +173,7 @@ let suite =
         let proven =
           List.find
             (fun (d : Ddg.dep) -> d.Ddg.exact && d.Ddg.kind <> Ddg.Control)
-            sess.Ped.Session.ddg.Ddg.deps
+            (Ped.Session.ddg sess).Ddg.deps
         in
         let out =
           Ped.Command.run sess (Printf.sprintf "mark %d reject" proven.Ddg.dep_id)
@@ -230,7 +228,7 @@ let suite =
     case "full display renders all panes" (fun () ->
         let sess = mk_session ~name:"matmul" () in
         ignore (Ped.Command.run sess (Printf.sprintf "select s%d"
-          (loop_sid (loop_by_iv sess.Ped.Session.env "K"))));
+          (loop_sid (loop_by_iv (Ped.Session.env sess) "K"))));
         let d = Ped.Pane.full_display sess in
         check_bool "source" true (contains ~needle:"PROGRAM MATMUL" d);
         check_bool "loops" true (contains ~needle:"loops:" d);

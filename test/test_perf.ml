@@ -85,7 +85,7 @@ let interproc_suite =
            diagnostics loop *)
         match
           Perf.Estimator.rank_loops
-            ~callee_cost:(Ped.Session.callee_cost sess) sess.Ped.Session.env
+            ~callee_cost:(Ped.Session.callee_cost sess) (Ped.Session.env sess)
         with
         | (top, _, share) :: _ ->
           check_string "STEP ranks first" "STEP"

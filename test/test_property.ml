@@ -188,7 +188,7 @@ let safe_transforms_preserve =
           if not (Transform.Diagnosis.ok d) then true
           else
             match entry.Transform.Catalog.apply env ddg args with
-            | Some u' ->
+            | Ok u' ->
               let ok = outputs program { Ast.punits = [ u' ] } in
               if not ok then
                 QCheck2.Test.fail_reportf
@@ -197,7 +197,7 @@ let safe_transforms_preserve =
                   (Pretty.unit_to_string u)
                   (Pretty.unit_to_string u')
               else true
-            | None -> true
+            | Error _ -> true
             | exception e ->
               QCheck2.Test.fail_reportf "%s raised %s on:@.%s" name
                 (Printexc.to_string e)

@@ -26,8 +26,8 @@ let parallelized (w : Workloads.t) =
                    (Transform.Catalog.On_loop (loop_sid l))))
           (Ped.Session.loops sess)
       | Error _ -> ())
-    sess.Ped.Session.program.Ast.punits;
-  sess.Ped.Session.program
+    (Ped.Session.program sess).Ast.punits;
+  (Ped.Session.program sess)
 
 let seq_reference program = Sim.Interp.run ~honor_parallel:false program
 
@@ -287,7 +287,7 @@ let suite =
         check_bool "order noted" true
           (contains ~needle:"reverse iteration order" out);
         check_bool "order persists in the session" true
-          (sess.Ped.Session.sim_order = Sim.Interp.Reverse);
+          ((Ped.Session.sim_order sess) = Sim.Interp.Reverse);
         let bad = Ped.Command.run sess "simulate 4 sideways" in
         check_bool "bad order rejected" true (contains ~needle:"error" bad));
   ]

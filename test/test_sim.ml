@@ -146,7 +146,7 @@ let suite =
                     (Ped.Session.transform sess "parallelize"
                        (Transform.Catalog.On_loop sid)))
               (Ped.Session.loops sess);
-            let p = sess.Ped.Session.program in
+            let p = (Ped.Session.program sess) in
             let a = Sim.Interp.run ~par_order:Sim.Interp.Seq p in
             let b = Sim.Interp.run ~par_order:(Sim.Interp.Shuffled 7) p in
             check_bool (w.Workloads.name ^ " order independent") true
