@@ -942,6 +942,51 @@ let editburst () = editburst_run ~smoke:false ()
 let editburst_smoke () = editburst_run ~smoke:true ()
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz smoke: a bounded run of the differential-testing oracles      *)
+(* (lib/oracle) — dependence brute force, transformation semantics,   *)
+(* runtime schedules — reported as JSON for CI trend tracking.        *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_json = "BENCH_fuzz.json"
+
+let fuzz_smoke () =
+  let cfg =
+    {
+      Oracle.Driver.default with
+      Oracle.Driver.n = 40;
+      seed = 42;
+      corpus_dir = Some "fuzz-failures";
+      progress = ignore;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let s = Oracle.Driver.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  print_string (Oracle.Driver.summary s);
+  let oc = open_out fuzz_json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fuzz-smoke\",\n\
+    \  \"programs\": %d, \"rejected\": %d, \"seconds\": %.3f,\n\
+    \  \"dependence\": { \"classes\": %d, \"misses\": %d, \"realized\": %d, \
+     \"spurious\": %d },\n\
+    \  \"semantics\": { \"instances\": %d, \"failures\": %d, \
+     \"sequence_steps\": %d, \"sequence_failures\": %d },\n\
+    \  \"runtime\": { \"parallel_loops\": %d, \"failures\": %d },\n\
+    \  \"green\": %b\n\
+     }\n"
+    s.Oracle.Driver.programs s.Oracle.Driver.rejected dt
+    s.Oracle.Driver.dep_classes s.Oracle.Driver.dep_misses
+    s.Oracle.Driver.dep_realized s.Oracle.Driver.dep_spurious
+    s.Oracle.Driver.sem_instances s.Oracle.Driver.sem_failures
+    s.Oracle.Driver.seq_steps s.Oracle.Driver.seq_failures
+    s.Oracle.Driver.run_loops s.Oracle.Driver.run_failures
+    (Oracle.Driver.ok s);
+  close_out oc;
+  Printf.printf "wrote %s\n" fuzz_json;
+  if not (Oracle.Driver.ok s) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -959,6 +1004,7 @@ let experiments =
     ("ablation", ablation);
     ("editburst", editburst);
     ("editburst-smoke", editburst_smoke);
+    ("fuzz-smoke", fuzz_smoke);
     ("bench", microbench);
   ]
 

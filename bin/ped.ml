@@ -6,6 +6,7 @@
      ped [-w WORKLOAD] --execute [--domains N] [--schedule chunk|self]
          [--validate] [--force-parallel]
      ped --calibrate
+     ped fuzz [--n N] [--seed N] [--oracle dep,sem,run] [--corpus DIR]
 
    Without a script, reads commands from stdin (a REPL).  With one,
    executes the script and prints the transcript.  With --execute the
@@ -308,11 +309,88 @@ let engine_stats =
   Arg.(value & flag & info [ "engine-stats" ]
          ~doc:"Print incremental-analysis engine cache statistics on exit")
 
+(* ------------------------------------------------------------------ *)
+(* fuzz subcommand: the differential-testing oracles                   *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_main n fseed oracle corpus no_shrink no_sequences small quiet =
+  let oracles =
+    String.split_on_char ',' oracle
+    |> List.concat_map (fun o ->
+           match String.trim (String.lowercase_ascii o) with
+           | "dep" | "dependence" -> [ Oracle.Driver.Dep ]
+           | "sem" | "semantics" -> [ Oracle.Driver.Sem ]
+           | "run" | "runtime" -> [ Oracle.Driver.Run ]
+           | "all" -> [ Oracle.Driver.Dep; Oracle.Driver.Sem; Oracle.Driver.Run ]
+           | other ->
+             prerr_endline
+               ("bad --oracle " ^ other ^ " (dep, sem, run, or all)");
+             exit 2)
+  in
+  let cfg =
+    {
+      Oracle.Driver.n;
+      seed = fseed;
+      oracles;
+      corpus_dir = corpus;
+      shrink = not no_shrink;
+      sequences = not no_sequences;
+      gen_cfg = (if small then Oracle.Gen.small else Oracle.Gen.default);
+      progress =
+        (if quiet then ignore
+         else fun m -> Printf.eprintf "  [fuzz] %s\n%!" m);
+    }
+  in
+  let stats = Oracle.Driver.run cfg in
+  print_string (Oracle.Driver.summary stats);
+  if not (Oracle.Driver.ok stats) then exit 1
+
+let fuzz_cmd =
+  let n =
+    Arg.(value & opt int 200 & info [ "n"; "num" ] ~docv:"N"
+           ~doc:"Programs to generate")
+  in
+  let fseed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed")
+  in
+  let oracle =
+    Arg.(value & opt string "all" & info [ "oracle" ] ~docv:"LIST"
+           ~doc:"Comma-separated oracles to run: dep (brute-force \
+                 dependence), sem (transformation semantics), run \
+                 (parallel runtime), or all")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Save minimized counterexamples to this directory")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "unshrunk" ]
+           ~doc:"Report counterexamples unminimized")
+  in
+  let no_sequences =
+    Arg.(value & flag & info [ "skip-sequences" ]
+           ~doc:"Skip composed transformation sequences")
+  in
+  let small =
+    Arg.(value & flag & info [ "small" ]
+           ~doc:"Generate smaller programs (smoke-test shape)")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output") in
+  let doc =
+    "fuzz the analyses, transformations and runtime against brute-force \
+     oracles"
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const fuzz_main $ n $ fseed $ oracle $ corpus $ no_shrink
+          $ no_sequences $ small $ quiet)
+
 let cmd =
   let doc = "interactive parallel programming editor (ParaScope Editor)" in
-  Cmd.v (Cmd.info "ped" ~doc)
+  let default =
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
           $ order $ seed $ calibrate $ engine_stats)
+  in
+  Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -636,6 +636,11 @@ let compute ?cache (env : Depenv.t) : t =
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* The graph is pure data (statement ids, expressions, direction
+   arrays), and dep ids are renumbered in canonical emission order, so
+   polymorphic equality is exactly structural identity. *)
+let equal (a : t) (b : t) = a = b
+
 let carried_by t loop_sid =
   List.filter (fun d -> d.carrier = Some loop_sid) t.deps
 

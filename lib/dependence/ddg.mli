@@ -77,6 +77,11 @@ val cache_counters : cache -> int * int * int
     are renumbered in canonical emission order). *)
 val compute : ?cache:cache -> Depenv.t -> t
 
+(** Structural identity of two graphs (deps and statistics).  Cache-
+    assisted, engine-served and from-scratch builds of the same unit
+    must all be [equal] — the invariant the engine fuzz tests pin. *)
+val equal : t -> t -> bool
+
 (** Dependences carried by the given loop. *)
 val carried_by : t -> Ast.stmt_id -> dep list
 

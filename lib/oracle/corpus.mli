@@ -1,0 +1,56 @@
+(** The persisted counterexample corpus.
+
+    A corpus entry is a single Fortran source file whose leading
+    comment lines carry replay metadata:
+
+    {v
+    C PED-FUZZ COUNTEREXAMPLE v1
+    C oracle: semantics
+    C seed: 42#17
+    C step: strip loop=2 factor=3
+          ... ordinary Fortran source ...
+    v}
+
+    [oracle] names the oracle that failed ([dependence], [semantics],
+    or [runtime]); [seed] records the driver seed and program index
+    that produced it (informational); each [step] line is a
+    transformation name plus a positional argument descriptor (see
+    {!Semcheck.describe_args}) — positional, because statement ids are
+    not stable across reparsing.  The metadata lines are valid F77
+    comments, so the file is also readable by any tool in the repo.
+
+    The test suite replays every file in [test/corpus/] through the
+    recorded oracle and fails if any reproduces — minimized failures
+    found by [ped fuzz] become regression tests by dropping the saved
+    file into that directory. *)
+
+open Fortran_front
+
+type entry = {
+  e_oracle : string;                (** "dependence" | "semantics" | "runtime" *)
+  e_seed : string;
+  e_steps : (string * string) list; (** (transform name, arg descriptor) *)
+  e_program : Ast.program;
+}
+
+(** [save ~dir ~oracle ~seed ~steps p] writes an entry and returns its
+    path.  The file name is derived from the oracle and a digest of
+    the content, so identical counterexamples dedup.  Creates [dir]
+    if needed. *)
+val save :
+  dir:string ->
+  oracle:string ->
+  seed:string ->
+  steps:(string * string) list ->
+  Ast.program ->
+  string
+
+val load : string -> (entry, string) result
+
+(** The [.f] files of a corpus directory, sorted; [[]] if the
+    directory does not exist. *)
+val files : string -> string list
+
+(** Run the entry's recorded oracle.  [Ok ()] = the failure no longer
+    reproduces (for a regression corpus this is the passing state). *)
+val replay : entry -> (unit, string) result

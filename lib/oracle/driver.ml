@@ -1,0 +1,263 @@
+open Fortran_front
+open Dependence
+
+type oracle = Dep | Sem | Run
+
+type config = {
+  n : int;
+  seed : int;
+  oracles : oracle list;
+  corpus_dir : string option;
+  shrink : bool;
+  gen_cfg : Gen.cfg;
+  sequences : bool;
+  progress : string -> unit;
+}
+
+let default =
+  {
+    n = 100;
+    seed = 0;
+    oracles = [ Dep; Sem; Run ];
+    corpus_dir = None;
+    shrink = true;
+    gen_cfg = Gen.default;
+    sequences = true;
+    progress = ignore;
+  }
+
+type stats = {
+  programs : int;
+  rejected : int;
+  dep_classes : int;
+  dep_misses : int;
+  dep_realized : int;
+  dep_spurious : int;
+  sem_instances : int;
+  sem_failures : int;
+  seq_steps : int;
+  seq_failures : int;
+  run_loops : int;
+  run_failures : int;
+  failures : string list;
+  saved : string list;
+}
+
+let ok s = s.failures = []
+
+let summary s =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "fuzz: %d programs (%d rejected as non-finite)" s.programs s.rejected;
+  line
+    "  dependence: %d concrete classes, %d misses; %d DDG edges realized, %d spurious"
+    s.dep_classes s.dep_misses s.dep_realized s.dep_spurious;
+  line "  semantics:  %d instances, %d failures; %d sequence steps, %d failures"
+    s.sem_instances s.sem_failures s.seq_steps s.seq_failures;
+  line "  runtime:    %d parallel loops executed, %d failures" s.run_loops
+    s.run_failures;
+  if s.failures = [] then line "  all oracles green"
+  else begin
+    line "  FAILURES:";
+    List.iter (fun f -> line "    %s" f) s.failures
+  end;
+  List.iter (fun f -> line "  saved %s" f) s.saved;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let max_steps = 2_000_000
+
+let baseline_ok p =
+  match Sim.Interp.run ~honor_parallel:false ~max_steps p with
+  | exception Sim.Interp.Runtime_error _ -> false
+  | o -> Gen.finite_outcome o
+
+(* greedy descent over the shrink candidates; [pred] must hold of the
+   input and is re-established at every step *)
+let minimize ~budget pred p0 =
+  let remaining = ref budget in
+  let rec go p =
+    let rec scan seq =
+      if !remaining <= 0 then None
+      else
+        match seq () with
+        | Seq.Nil -> None
+        | Seq.Cons (c, rest) ->
+          decr remaining;
+          if (try baseline_ok c && pred c with _ -> false) then Some c
+          else scan rest
+    in
+    match scan (Gen.shrink p) with Some c -> go c | None -> p
+  in
+  go p0
+
+let env_of p =
+  let u = List.find (fun u -> u.Ast.kind = Ast.Main) p.Ast.punits in
+  Depenv.make u
+
+let dep_misses p =
+  let env = env_of p in
+  let ddg = Ddg.compute env in
+  Depcheck.check env ddg p
+
+let run (cfg : config) : stats =
+  let enabled o = List.mem o cfg.oracles in
+  let rejected = ref 0 and programs = ref 0 in
+  let dep_classes = ref 0 and dep_miss = ref 0 in
+  let dep_realized = ref 0 and dep_spurious = ref 0 in
+  let sem_instances = ref 0 and sem_failures = ref 0 in
+  let seq_steps = ref 0 and seq_failures = ref 0 in
+  let run_loops = ref 0 and run_failures = ref 0 in
+  let failures = ref [] and saved = ref [] in
+  let record_failure line = failures := line :: !failures in
+  let persist ~oracle ~seed ~steps p =
+    match cfg.corpus_dir with
+    | None -> ()
+    | Some dir -> saved := Corpus.save ~dir ~oracle ~seed ~steps p :: !saved
+  in
+  for i = 0 to cfg.n - 1 do
+    let rng = Random.State.make [| cfg.seed; i |] in
+    let seed_desc = Printf.sprintf "%d#%d" cfg.seed i in
+    (* rejection-sample a program with a finite baseline *)
+    let rec draw attempts =
+      if attempts = 0 then None
+      else
+        let p = Gen.program ~cfg:cfg.gen_cfg rng in
+        if baseline_ok p then Some p
+        else begin
+          incr rejected;
+          draw (attempts - 1)
+        end
+    in
+    match draw 10 with
+    | None -> ()
+    | Some p ->
+      incr programs;
+      if i mod 25 = 0 then
+        cfg.progress (Printf.sprintf "program %d/%d" i cfg.n);
+      (* --- brute-force dependence oracle ----------------------- *)
+      if enabled Dep then begin
+        let r = dep_misses p in
+        dep_classes := !dep_classes + r.Depcheck.classes;
+        dep_realized := !dep_realized + r.Depcheck.realized;
+        dep_spurious := !dep_spurious + r.Depcheck.spurious;
+        if r.Depcheck.misses <> [] then begin
+          dep_miss := !dep_miss + List.length r.Depcheck.misses;
+          let q =
+            if cfg.shrink then
+              minimize ~budget:250
+                (fun c -> (dep_misses c).Depcheck.misses <> [])
+                p
+            else p
+          in
+          let final = dep_misses q in
+          List.iter
+            (fun m ->
+              record_failure
+                (Printf.sprintf "[dependence %s] %s" seed_desc
+                   (Depcheck.miss_to_string m)))
+            final.Depcheck.misses;
+          persist ~oracle:"dependence" ~seed:seed_desc ~steps:[] q
+        end
+      end;
+      (* --- semantics oracle ------------------------------------ *)
+      if enabled Sem then begin
+        let live, fs = Semcheck.check_instances p in
+        sem_instances := !sem_instances + live;
+        if fs <> [] then begin
+          sem_failures := !sem_failures + List.length fs;
+          let names =
+            List.sort_uniq String.compare
+              (List.map (fun f -> f.Semcheck.f_name) fs)
+          in
+          List.iter
+            (fun name ->
+              let still_fails c =
+                let _, fs' = Semcheck.check_instances ~only:[ name ] c in
+                fs' <> []
+              in
+              let q =
+                if cfg.shrink then minimize ~budget:120 still_fails p else p
+              in
+              let _, fs' = Semcheck.check_instances ~only:[ name ] q in
+              (match fs' with
+              | f :: _ ->
+                record_failure
+                  (Printf.sprintf "[semantics %s] %s" seed_desc
+                     (Semcheck.failure_to_string f));
+                persist ~oracle:"semantics" ~seed:seed_desc
+                  ~steps:[ (f.Semcheck.f_name, f.Semcheck.f_args) ]
+                  q
+              | [] ->
+                (* shrinking lost it; report the original *)
+                let f =
+                  List.find (fun f -> f.Semcheck.f_name = name) fs
+                in
+                record_failure
+                  (Printf.sprintf "[semantics %s] %s" seed_desc
+                     (Semcheck.failure_to_string f));
+                persist ~oracle:"semantics" ~seed:seed_desc
+                  ~steps:[ (f.Semcheck.f_name, f.Semcheck.f_args) ]
+                  p))
+            names
+        end;
+        if cfg.sequences then begin
+          let steps, sf = Semcheck.check_sequence rng p in
+          seq_steps := !seq_steps + List.length steps;
+          match sf with
+          | None -> ()
+          | Some f ->
+            incr seq_failures;
+            record_failure
+              (Printf.sprintf "[semantics-seq %s after %s] %s" seed_desc
+                 (String.concat " ; "
+                    (List.map (fun (n, a) -> n ^ " " ^ a) steps))
+                 (Semcheck.failure_to_string f));
+            (* sequences are saved unshrunk: the positional step
+               descriptors would dangle as the program shrinks *)
+            persist ~oracle:"semantics" ~seed:seed_desc ~steps p
+        end
+      end;
+      (* --- runtime oracle -------------------------------------- *)
+      if enabled Run then begin
+        let r = Runcheck.check p in
+        run_loops := !run_loops + r.Runcheck.parallel_loops;
+        if r.Runcheck.failures <> [] then begin
+          run_failures := !run_failures + List.length r.Runcheck.failures;
+          let q =
+            if cfg.shrink then
+              minimize ~budget:80
+                (fun c -> (Runcheck.check c).Runcheck.failures <> [])
+                p
+            else p
+          in
+          let final = Runcheck.check q in
+          List.iter
+            (fun f ->
+              record_failure
+                (Printf.sprintf "[runtime %s] %s" seed_desc
+                   (Runcheck.failure_to_string f)))
+            (if final.Runcheck.failures <> [] then final.Runcheck.failures
+             else r.Runcheck.failures);
+          persist ~oracle:"runtime" ~seed:seed_desc ~steps:[]
+            (if final.Runcheck.failures <> [] then q else p)
+        end
+      end
+  done;
+  {
+    programs = !programs;
+    rejected = !rejected;
+    dep_classes = !dep_classes;
+    dep_misses = !dep_miss;
+    dep_realized = !dep_realized;
+    dep_spurious = !dep_spurious;
+    sem_instances = !sem_instances;
+    sem_failures = !sem_failures;
+    seq_steps = !seq_steps;
+    seq_failures = !seq_failures;
+    run_loops = !run_loops;
+    run_failures = !run_failures;
+    failures = List.rev !failures;
+    saved = List.rev !saved;
+  }

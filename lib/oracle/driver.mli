@@ -1,0 +1,56 @@
+(** The fuzzing driver: generate → run every enabled oracle → shrink
+    and persist counterexamples.
+
+    Per program index [i], the generator draws from
+    [Random.State.make [| seed; i |]], so any single failing index can
+    be re-run in isolation.  Generated programs whose baseline
+    execution produces non-finite values (or crashes) are
+    rejection-sampled away — float comparison against garbage proves
+    nothing.
+
+    Counterexamples are minimized by greedy descent over
+    {!Gen.shrink} under a predicate that re-runs the failing oracle,
+    then saved to the corpus directory (when one is given) in the
+    {!Corpus} format.  Composed-sequence failures are saved unshrunk:
+    their step descriptors are positional and would dangle as the
+    program shrinks under them. *)
+
+type oracle = Dep | Sem | Run
+
+type config = {
+  n : int;                    (** programs to generate *)
+  seed : int;
+  oracles : oracle list;
+  corpus_dir : string option; (** save minimized counterexamples here *)
+  shrink : bool;
+  gen_cfg : Gen.cfg;
+  sequences : bool;           (** also fuzz composed transformation
+                                  sequences (semantics oracle) *)
+  progress : string -> unit;  (** narration callback *)
+}
+
+val default : config
+
+type stats = {
+  programs : int;        (** accepted (run through the oracles) *)
+  rejected : int;        (** discarded by rejection sampling *)
+  dep_classes : int;     (** concrete dependence classes checked *)
+  dep_misses : int;
+  dep_realized : int;    (** DDG array deps concretely realized *)
+  dep_spurious : int;    (** … and never realized (imprecision) *)
+  sem_instances : int;   (** single-transformation instances compared *)
+  sem_failures : int;
+  seq_steps : int;       (** composed-sequence steps compared *)
+  seq_failures : int;
+  run_loops : int;       (** analysis-approved DOALLs executed *)
+  run_failures : int;
+  failures : string list;  (** one human-readable line per failure *)
+  saved : string list;     (** corpus files written *)
+}
+
+val ok : stats -> bool
+
+(** Multi-line human-readable summary. *)
+val summary : stats -> string
+
+val run : config -> stats

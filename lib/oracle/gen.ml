@@ -1,0 +1,411 @@
+open Fortran_front
+
+type cfg = {
+  nests_min : int;
+  nests_max : int;
+  max_depth : int;
+  max_body : int;
+  guards : bool;
+  symbolic : bool;
+  triangular : bool;
+  aux : bool;
+  negative_step : bool;
+  nonunit_step : bool;
+  two_dim : bool;
+}
+
+let default =
+  {
+    nests_min = 1;
+    nests_max = 3;
+    max_depth = 3;
+    max_body = 3;
+    guards = true;
+    symbolic = true;
+    triangular = true;
+    aux = true;
+    negative_step = true;
+    nonunit_step = true;
+    two_dim = true;
+  }
+
+let small = { default with nests_max = 2; max_depth = 2; max_body = 2 }
+
+let observed_arrays = [ "A"; "B"; "C" ]
+
+(* ------------------------------------------------------------------ *)
+(* rng helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let int_in rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+let chance rng p = Random.State.float rng 1.0 < p
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(* weighted choice over (weight, thunk) pairs *)
+let weighted rng (cands : (int * (unit -> 'a)) list) : 'a =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 cands in
+  let n = Random.State.int rng total in
+  let rec go n = function
+    | [] -> assert false
+    | (w, f) :: rest -> if n < w then f () else go (n - w) rest
+  in
+  go n cands
+
+(* induction-variable name at a given loop depth (1-based) *)
+let iv_at_depth d = List.nth [ "I"; "J"; "L" ] (d - 1)
+
+(* ------------------------------------------------------------------ *)
+(* subscripts                                                          *)
+(*                                                                     *)
+(* Value ranges, so every subscript stays in bounds: induction         *)
+(* variables run in [1, 12] (and triangular/symbolic bounds only       *)
+(* shrink that), N in [5, 10], K in [0, 36] (stride ≤ 3, trip ≤ 12),   *)
+(* offsets in [-2, 2].  A/B accept [-4, 44]; C accepts [-4, 28] per    *)
+(* dimension.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_off rng = Ast.Int (int_in rng (-2) 2)
+
+let plus_off rng e =
+  match gen_off rng with
+  | Ast.Int 0 -> e
+  | off -> Ast.simplify (Ast.add e off)
+
+(* a 1-D subscript over the in-scope induction variables [ivs]
+   (innermost last); [allow_k] admits the auxiliary accumulator *)
+let gen_sub1 ?(allow_k = false) cfg rng ivs =
+  let iv () = Ast.Var (pick rng ivs) in
+  weighted rng
+    ([ (5, fun () -> plus_off rng (iv ()));
+       (2, fun () -> plus_off rng (Ast.mul (Ast.Int 2) (iv ())));
+       (1, fun () -> Ast.Int (int_in rng 1 6));
+     ]
+    @ (if List.length ivs >= 2 then
+         [ (2, fun () -> plus_off rng (Ast.add (iv ()) (iv ()))) ]
+       else [])
+    @ (if cfg.symbolic then [ (1, fun () -> plus_off rng (Ast.Var "N")) ]
+       else [])
+    @ if allow_k then [ (4, fun () -> Ast.Var "K") ] else [])
+
+(* a dimension of the 2-D array C: same shapes minus the doubled form *)
+let gen_sub2 cfg rng ivs =
+  let iv () = Ast.Var (pick rng ivs) in
+  weighted rng
+    ([ (5, fun () -> plus_off rng (iv ()));
+       (1, fun () -> Ast.Int (int_in rng 1 6));
+     ]
+    @ (if List.length ivs >= 2 then
+         [ (2, fun () -> plus_off rng (Ast.add (iv ()) (iv ()))) ]
+       else [])
+    @
+    if cfg.symbolic then [ (1, fun () -> plus_off rng (Ast.Var "N")) ]
+    else [])
+
+let gen_ref cfg rng ?(allow_k = false) ivs ~write =
+  weighted rng
+    ([ (3, fun () -> Ast.Index ("A", [ gen_sub1 ~allow_k cfg rng ivs ]));
+       (2, fun () -> Ast.Index ("B", [ gen_sub1 ~allow_k cfg rng ivs ]));
+     ]
+    @
+    if cfg.two_dim then
+      [ (2, fun () -> Ast.Index ("C", [ gen_sub2 cfg rng ivs; gen_sub2 cfg rng ivs ]))
+      ]
+    else [ (1, fun () -> Ast.Index ((if write then "A" else "B"),
+                                    [ gen_sub1 ~allow_k cfg rng ivs ])) ])
+
+(* ------------------------------------------------------------------ *)
+(* expressions                                                         *)
+(*                                                                     *)
+(* Multiplication is only by literal factors ≤ 1, and other            *)
+(* combinations are additive, so values grow at most linearly in the   *)
+(* statement count — the driver still rejection-samples for finite     *)
+(* results, but the reject rate stays low.                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_frac rng = Ast.Real (pick rng [ 0.25; 0.5; 0.75; 1.0 ])
+
+let gen_atom cfg rng ivs =
+  weighted rng
+    [ (5, fun () -> gen_ref cfg rng ivs ~write:false);
+      (2, fun () -> Ast.Var "T");
+      (1, fun () -> Ast.Var (pick rng ivs));
+      (2, fun () -> Ast.Real (float_of_int (int_in rng 1 9) *. 0.5));
+    ]
+
+let gen_rhs cfg rng ivs =
+  let a () = gen_atom cfg rng ivs in
+  weighted rng
+    [ (3, a);
+      (3, fun () -> Ast.add (a ()) (a ()));
+      (2, fun () -> Ast.sub (a ()) (a ()));
+      (2, fun () -> Ast.mul (a ()) (gen_frac rng));
+      (2, fun () -> Ast.add (a ()) (Ast.mul (a ()) (gen_frac rng)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_assign ?(allow_k = false) cfg rng ivs =
+  weighted rng
+    [ (5, fun () ->
+          Ast.mk (Ast.Assign (gen_ref cfg rng ~allow_k ivs ~write:true,
+                              gen_rhs cfg rng ivs)));
+      (1, fun () -> Ast.mk (Ast.Assign (Ast.Var "T", gen_rhs cfg rng ivs)));
+      (1, fun () ->
+          Ast.mk
+            (Ast.Assign (Ast.Var "S", Ast.add (Ast.Var "S") (gen_rhs cfg rng ivs))));
+    ]
+
+let gen_cond cfg rng ivs =
+  let iv () = Ast.Var (pick rng ivs) in
+  weighted rng
+    [ (3, fun () ->
+          Ast.Bin (pick rng [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Ne ],
+                   iv (), Ast.Int (int_in rng 2 9)));
+      (2, fun () ->
+          Ast.Bin (Ast.Eq, Ast.Index ("MOD", [ iv (); Ast.Int 2 ]), Ast.Int 0));
+      (1, fun () ->
+          Ast.Bin (Ast.Gt, gen_ref cfg rng ivs ~write:false,
+                   Ast.Real (float_of_int (int_in rng 1 5))));
+    ]
+
+let gen_guard cfg rng ivs =
+  let then_body = List.init (int_in rng 1 2) (fun _ -> gen_assign cfg rng ivs) in
+  let else_body =
+    if chance rng 0.3 then [ gen_assign cfg rng ivs ] else []
+  in
+  Ast.mk (Ast.If ([ (gen_cond cfg rng ivs, then_body) ], else_body))
+
+(* ------------------------------------------------------------------ *)
+(* loops                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_header cfg rng ~outer_ivs ~iv =
+  if cfg.negative_step && chance rng 0.15 then
+    (* descending *)
+    let step = if cfg.nonunit_step && chance rng 0.4 then -2 else -1 in
+    { Ast.dvar = iv; lo = Ast.Int (int_in rng 8 12); hi = Ast.Int (int_in rng 1 3);
+      step = Some (Ast.Int step); parallel = false }
+  else if chance rng 0.05 then
+    (* degenerate: zero-trip *)
+    { Ast.dvar = iv; lo = Ast.Int (int_in rng 9 12); hi = Ast.Int (int_in rng 3 8);
+      step = None; parallel = false }
+  else
+    let lo = Ast.Int (int_in rng 1 3) in
+    let hi =
+      weighted rng
+        ([ (5, fun () -> Ast.Int (int_in rng 5 12)) ]
+        @ (if cfg.symbolic then [ (2, fun () -> Ast.Var "N") ] else [])
+        @
+        if cfg.triangular && outer_ivs <> [] then
+          [ (2, fun () -> Ast.Var (pick rng outer_ivs)) ]
+        else [])
+    in
+    let step =
+      if cfg.nonunit_step && chance rng 0.25 then Some (Ast.Int 2) else None
+    in
+    { Ast.dvar = iv; lo; hi; step; parallel = false }
+
+(* a block of [n] statements at loop depth [depth]; [ivs] are the
+   enclosing induction variables, outermost first *)
+let rec gen_block cfg rng ~depth ~ivs n =
+  List.init n (fun _ ->
+      let r = Random.State.float rng 1.0 in
+      if depth < cfg.max_depth && r < 0.25 then gen_loop cfg rng ~depth:(depth + 1) ~ivs
+      else if cfg.guards && r < 0.45 then gen_guard cfg rng ivs
+      else gen_assign cfg rng ivs)
+
+and gen_loop cfg rng ~depth ~ivs =
+  let iv = iv_at_depth depth in
+  let h = gen_header cfg rng ~outer_ivs:ivs ~iv in
+  let body = gen_block cfg rng ~depth ~ivs:(ivs @ [ iv ]) (int_in rng 1 cfg.max_body) in
+  Ast.mk (Ast.Do (h, body))
+
+(* a perfect nest of the given depth, ending in a block of assigns —
+   the shape interchange/tile/skew/coalesce want *)
+let gen_perfect cfg rng depth =
+  let rec build d ivs =
+    let iv = iv_at_depth d in
+    let h = gen_header cfg rng ~outer_ivs:ivs ~iv in
+    let ivs' = ivs @ [ iv ] in
+    let body =
+      if d < depth then [ build (d + 1) ivs' ]
+      else List.init (int_in rng 1 2) (fun _ -> gen_assign cfg rng ivs')
+    in
+    Ast.mk (Ast.Do (h, body))
+  in
+  build 1 []
+
+(* auxiliary induction: K = 0; DO I: K = K + c; use K as a subscript *)
+let gen_aux cfg rng =
+  let stride = int_in rng 1 3 in
+  let h =
+    { Ast.dvar = "I"; lo = Ast.Int 1; hi = Ast.Int (int_in rng 6 12);
+      step = None; parallel = false }
+  in
+  let body =
+    Ast.mk (Ast.Assign (Ast.Var "K", Ast.add (Ast.Var "K") (Ast.Int stride)))
+    :: gen_assign ~allow_k:true cfg rng [ "I" ]
+    :: (if chance rng 0.5 then [ gen_assign ~allow_k:true cfg rng [ "I" ] ] else [])
+  in
+  [ Ast.mk (Ast.Assign (Ast.Var "K", Ast.Int 0));
+    Ast.mk (Ast.Do (h, body)) ]
+
+let gen_nest cfg rng : Ast.stmt list =
+  weighted rng
+    ([ (4, fun () -> [ gen_loop cfg rng ~depth:1 ~ivs:[] ]);
+       (3, fun () -> [ gen_perfect cfg rng (min 2 cfg.max_depth) ]);
+     ]
+    @ (if cfg.max_depth >= 3 then [ (1, fun () -> [ gen_perfect cfg rng 3 ]) ]
+       else [])
+    @ if cfg.aux then [ (1, fun () -> gen_aux cfg rng) ] else [])
+
+(* ------------------------------------------------------------------ *)
+(* whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prologue n_val =
+  Parser.parse_stmts_string ~file:"<fuzz-prologue>"
+    (Printf.sprintf
+       "      T = 1.5\n\
+       \      S = 0.0\n\
+       \      K = 0\n\
+       \      N = %d\n\
+       \      DO I = 1, 40\n\
+       \        A(I) = FLOAT(I) * 0.5\n\
+       \        B(I) = FLOAT(41 - I) * 0.25\n\
+       \      ENDDO\n\
+       \      DO I = 1, 12\n\
+       \        DO J = 1, 12\n\
+       \          C(I, J) = FLOAT(I + J) * 0.25\n\
+       \        ENDDO\n\
+       \      ENDDO\n"
+       n_val)
+
+let checksum =
+  "      DO I = 1, 40\n\
+  \        S = S + A(I) + B(I)\n\
+  \      ENDDO\n\
+  \      DO I = 1, 12\n\
+  \        DO J = 1, 12\n\
+  \          S = S + C(I, J)\n\
+  \        ENDDO\n\
+  \      ENDDO\n\
+  \      PRINT *, S, T, K, N\n"
+
+let decls =
+  [
+    { Ast.dname = "A"; dtyp = Ast.Treal; dims = [ (Ast.Int (-4), Ast.Int 44) ];
+      init = None; data_init = None; common_block = None };
+    { Ast.dname = "B"; dtyp = Ast.Treal; dims = [ (Ast.Int (-4), Ast.Int 44) ];
+      init = None; data_init = None; common_block = None };
+    { Ast.dname = "C"; dtyp = Ast.Treal;
+      dims = [ (Ast.Int (-4), Ast.Int 28); (Ast.Int (-4), Ast.Int 28) ];
+      init = None; data_init = None; common_block = None };
+  ]
+
+let program ?(cfg = default) rng =
+  let nests = int_in rng cfg.nests_min cfg.nests_max in
+  let middle = List.concat (List.init nests (fun _ -> gen_nest cfg rng)) in
+  let body =
+    prologue (int_in rng 5 10)
+    @ middle
+    @ Parser.parse_stmts_string ~file:"<fuzz-checksum>" checksum
+  in
+  {
+    Ast.punits =
+      [
+        { Ast.uname = "FUZZ"; kind = Ast.Main; decls; implicit_none = false;
+          implicits = []; body };
+      ];
+  }
+
+let finite_outcome (o : Sim.Interp.outcome) =
+  List.for_all
+    (fun (_, vs) ->
+      List.for_all (fun v -> Float.is_finite v && Float.abs v < 1e60) vs)
+    o.Sim.Interp.final_store
+
+(* ------------------------------------------------------------------ *)
+(* shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let splice stmts i repl =
+  List.concat (List.mapi (fun j s -> if j = i then repl else [ s ]) stmts)
+
+(* candidate replacements (each a statement list) for one statement,
+   biggest reduction first *)
+let rec shrink_stmt (s : Ast.stmt) : Ast.stmt list list =
+  match s.Ast.node with
+  | Ast.Do (h, body) ->
+    let unlooped =
+      [ Transform.Rewrite.subst_in_stmts h.Ast.dvar h.Ast.lo body ]
+    in
+    let bounds =
+      match (h.Ast.lo, h.Ast.hi) with
+      | Ast.Int l, Ast.Int n when abs (n - l) > 1 ->
+        [ [ { s with Ast.node = Ast.Do ({ h with Ast.hi = Ast.Int (l + ((n - l) / 2)) }, body) } ];
+          [ { s with Ast.node = Ast.Do ({ h with Ast.hi = h.Ast.lo; step = None }, body) } ];
+        ]
+      | _, Ast.Int _ -> []
+      | _ ->
+        (* symbolic or triangular bound: pin it *)
+        [ [ { s with Ast.node = Ast.Do ({ h with Ast.hi = Ast.Int 4 }, body) } ] ]
+    in
+    let step_drop =
+      match h.Ast.step with
+      | Some _ ->
+        [ [ { s with Ast.node = Ast.Do ({ h with Ast.step = None }, body) } ] ]
+      | None -> []
+    in
+    let inner =
+      List.map
+        (fun body' -> [ { s with Ast.node = Ast.Do (h, body') } ])
+        (shrink_stmts body)
+    in
+    unlooped @ bounds @ step_drop @ inner
+  | Ast.If (branches, els) ->
+    let unwraps =
+      List.map (fun (_, b) -> b) branches @ if els <> [] then [ els ] else []
+    in
+    let inner =
+      List.concat
+        (List.mapi
+           (fun i (c, b) ->
+             List.map
+               (fun b' ->
+                 [ { s with
+                     Ast.node =
+                       Ast.If
+                         (List.mapi (fun j cb -> if j = i then (c, b') else cb) branches,
+                          els) } ])
+               (shrink_stmts b))
+           branches)
+      @ List.map
+          (fun els' -> [ { s with Ast.node = Ast.If (branches, els') } ])
+          (shrink_stmts els)
+    in
+    unwraps @ inner
+  | _ -> []
+
+(* candidates for a statement list: drop one element, or replace one *)
+and shrink_stmts (stmts : Ast.stmt list) : Ast.stmt list list =
+  let n = List.length stmts in
+  let drops = List.init n (fun i -> splice stmts i []) in
+  let replacements =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (fun repl -> splice stmts i repl) (shrink_stmt s))
+         stmts)
+  in
+  drops @ replacements
+
+let shrink (p : Ast.program) : Ast.program Seq.t =
+  match p.Ast.punits with
+  | [ u ] ->
+    List.to_seq (shrink_stmts u.Ast.body)
+    |> Seq.filter (fun body -> body <> [])
+    |> Seq.map (fun body -> { Ast.punits = [ { u with Ast.body } ] })
+  | _ -> Seq.empty

@@ -1,0 +1,65 @@
+(** Randomized Fortran program generator for the differential-testing
+    oracles.
+
+    Programs are complete main units over a fixed storage shape — 1-D
+    real arrays [A] and [B] with bounds (-4, 44), a 2-D real array [C]
+    with bounds (-4, 28)², real scalars [T] (temporary) and [S]
+    (accumulator), and integer scalars [N] (symbolic loop bound, set
+    to a random literal at the top) and [K] (auxiliary induction
+    accumulator).  A deterministic prologue initializes storage, a
+    checksum epilogue folds the arrays into [S] and PRINTs the
+    observable scalars, and in between sit 1–[nests_max] random loop
+    nests: general nests to depth [max_depth] with IF guards, perfect
+    2- and 3-deep nests (interchange/tile/skew fodder), and auxiliary
+    induction-variable loops.  Loop bounds may be literal, symbolic
+    ([N]), or triangular (an outer induction variable); steps may be
+    non-unit and negative; a rare degenerate header yields a zero-trip
+    loop.  Subscripts cover ZIV/SIV/MIV forms: [i+c], [2i+c],
+    [i+j+c], [N+c], literals, and the auxiliary variable [K].
+
+    The generator draws from a [Random.State.t] directly (not a QCheck
+    generator) so one implementation serves the [ped fuzz] driver and,
+    via [QCheck2.Gen.make_primitive], the property-test suite. *)
+
+open Fortran_front
+
+type cfg = {
+  nests_min : int;
+  nests_max : int;   (** random nests between prologue and checksum *)
+  max_depth : int;   (** loop nesting depth, at most 3 *)
+  max_body : int;    (** statements per generated block *)
+  guards : bool;     (** IF/ELSE around assignments *)
+  symbolic : bool;   (** [N] as a loop bound / subscript term *)
+  triangular : bool; (** outer induction variable as an inner bound *)
+  aux : bool;        (** auxiliary induction nests ([K = K + c]) *)
+  negative_step : bool;
+  nonunit_step : bool;
+  two_dim : bool;    (** references to the 2-D array [C] *)
+}
+
+val default : cfg
+
+(** A cheaper shape for smoke tests: fewer nests, depth 2. *)
+val small : cfg
+
+(** The arrays whose final contents the semantics and runtime oracles
+    compare — the generator's observable state, together with the
+    PRINT output. *)
+val observed_arrays : string list
+
+(** [program rng] generates a complete single-unit program. *)
+val program : ?cfg:cfg -> Random.State.t -> Ast.program
+
+(** [finite_outcome o] — no array or scalar ended up NaN, infinite, or
+    absurdly large.  The driver rejection-samples generated programs
+    through this predicate so float comparisons downstream stay
+    meaningful. *)
+val finite_outcome : Sim.Interp.outcome -> bool
+
+(** Structural counterexample shrinker: candidate simplifications of
+    the main unit's body, biggest reduction first — drop a statement,
+    replace a loop by its body with the induction variable pinned to
+    the lower bound, shrink literal bounds toward a single iteration,
+    unwrap IF branches, and recursively the same inside nested
+    bodies.  Statement ids of untouched statements are preserved. *)
+val shrink : Ast.program -> Ast.program Seq.t

@@ -1,0 +1,39 @@
+(** The runtime oracle.
+
+    Parallelizes every loop the analysis approves (flipping its
+    PARALLEL bit through the catalog's [parallelize] entry), then
+    cross-checks three executions of the resulting program against the
+    sequential original:
+
+    - {b validation}: {!Runtime.Exec.run} with shadow-memory conflict
+      detection — any reported conflict on an analysis-approved DOALL
+      (outside plan-privatized storage) is an unsoundness signal;
+    - {b real parallel execution}: multicore runs across a matrix of
+      (domains, schedule) configurations, comparing PRINT output and
+      observed arrays;
+    - {b permuted simulation}: the simulator's [par_order] set to
+      [Reverse] and [Shuffled], which a correct DOALL must not
+      notice. *)
+
+open Fortran_front
+
+type failure = {
+  r_stage : string;  (** "validate" / "exec d=2 chunk" / "order reverse" … *)
+  r_what : string;
+}
+
+val failure_to_string : failure -> string
+
+type result = {
+  parallel_loops : int;  (** loops the analysis approved and we flipped *)
+  failures : failure list;
+}
+
+(** @param configs (domains, schedule) matrix
+             (default [[(2, Chunk); (3, Self)]])
+    @param max_steps execution budget per run *)
+val check :
+  ?configs:(int * Runtime.Pool.schedule) list ->
+  ?max_steps:int ->
+  Ast.program ->
+  result

@@ -1,0 +1,81 @@
+(** The semantics oracle.
+
+    For every transformation instance the catalog reports applicable
+    and safe on a program, apply it and compare the transformed
+    program's observable behaviour against the original's: PRINT
+    output (within tolerance — reductions reassociate) and the final
+    contents of the observed arrays.  Scalars introduced or renamed by
+    a transformation (strip-mine's block variable, scalar expansion's
+    temporaries) legitimately change the store's shape, so only the
+    arrays in [observe] (default {!Gen.observed_arrays}) plus the
+    PRINT output are compared.
+
+    Also checks a contract the editor relies on: an instance diagnosed
+    applicable+safe must not be refused by [apply].
+
+    Transformation arguments are addressed positionally — a loop by
+    its preorder index among the unit's DO statements, a statement
+    pair by flattened source positions — so a recorded failing step
+    can be replayed against a reparsed copy of the program whose
+    statement ids differ (see {!Corpus}). *)
+
+open Fortran_front
+open Dependence
+open Transform
+
+type failure = {
+  f_name : string;   (** catalog entry name *)
+  f_args : string;   (** positional argument descriptor, replayable *)
+  f_what : string;   (** what went wrong *)
+}
+
+val failure_to_string : failure -> string
+
+(** Positional descriptors for catalog arguments:
+    ["loop=2"], ["pair=4,5"], ["loop=1 factor=4"], ["loop=0 var=T"]. *)
+val describe_args : Depenv.t -> Catalog.args -> string
+
+(** Parse a descriptor back against a (possibly reparsed) unit.
+    Returns [None] if the positions no longer exist. *)
+val parse_args : Depenv.t -> string -> Catalog.args option
+
+(** [check_instances p] — sweep {!Catalog.sites} once over the
+    program's main unit.  Returns (live instances compared, failures);
+    no failures = all live instances preserved semantics.
+    @param observe arrays compared in the final store
+    @param factors blocking/unroll factors enumerated
+    @param only restrict to these catalog entry names (shrinking
+      re-checks just the failing transformation)
+    @param max_steps simulator budget per run *)
+val check_instances :
+  ?observe:string list ->
+  ?factors:int list ->
+  ?only:string list ->
+  ?max_steps:int ->
+  Ast.program ->
+  int * failure list
+
+(** [check_sequence rng p] — apply a random composed sequence of up to
+    [len] applicable+safe transformations (re-analyzing between
+    steps), comparing against the original after each step.  Returns
+    the step descriptors actually applied and the failure, if any. *)
+val check_sequence :
+  ?observe:string list ->
+  ?len:int ->
+  ?max_steps:int ->
+  Random.State.t ->
+  Ast.program ->
+  (string * string) list * failure option
+
+(** [replay_steps p steps] — re-apply recorded [(name, args)] steps,
+    checking semantics after each.  A step the diagnosis now refuses
+    ends the replay with [Ok] — refusing the transformation is one
+    valid way to have fixed the recorded bug.  [Error] means the bug
+    is still present (semantics still change) or the descriptor no
+    longer resolves against the program (corpus integrity). *)
+val replay_steps :
+  ?observe:string list ->
+  ?max_steps:int ->
+  Ast.program ->
+  (string * string) list ->
+  (unit, string) result

@@ -93,6 +93,9 @@ type wstate = {
   wt : tctx;
   ivc : Store.cell;
   priv_cells : (Store.cell * Store.cell) list;  (* original, private *)
+  ind_cells : (Store.cell * V.value * int) list;
+      (* private cell, value on loop entry, stride: re-seeded with the
+         closed form K0 + k*stride at the start of every iteration *)
   red_cells :
     (string * (Varclass.reduction_op * Store.cell * Store.cell)) list;
   arr_copies : (Store.arr * Store.buf) list;
@@ -622,6 +625,7 @@ and run_validated t ui frame s (h : Ast.do_header) body ~trip ~value_at
   (* make sure planned scalars exist so the exclusion reaches them *)
   let ensure v = try ignore (find_slot ui frame v) with Runtime_error _ -> () in
   List.iter ensure plan.Plan.p_privates;
+  List.iter (fun (v, _) -> ensure v) plan.Plan.p_inductions;
   List.iter (fun (v, _) -> ensure v) plan.Plan.p_reductions;
   t.g.epoch <- t.g.epoch + 1;
   let epoch = t.g.epoch in
@@ -633,6 +637,7 @@ and run_validated t ui frame s (h : Ast.do_header) body ~trip ~value_at
   in
   exclude h.Ast.dvar;
   List.iter exclude plan.Plan.p_privates;
+  List.iter (fun (v, _) -> exclude v) plan.Plan.p_inductions;
   List.iter (fun (v, _) -> exclude v) plan.Plan.p_reductions;
   List.iter exclude plan.Plan.p_arrays;
   let saved_iter = t.mon_iter and saved_loop = t.mon_loop in
@@ -671,7 +676,18 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
      reduction write-back afterwards *)
   let ensure v = try ignore (find_slot ui frame v) with Runtime_error _ -> () in
   List.iter ensure plan.Plan.p_privates;
+  List.iter (fun (v, _) -> ensure v) plan.Plan.p_inductions;
   List.iter (fun (v, _) -> ensure v) plan.Plan.p_reductions;
+  (* auxiliary inductions: capture the entry value now; workers get the
+     closed form per iteration and the join writes back the final value *)
+  let ind_info =
+    List.filter_map
+      (fun (v, stride) ->
+        match Hashtbl.find_opt frame v with
+        | Some (Store.Scalar c) -> Some (v, c, Store.get_cell c, stride)
+        | _ -> None)
+      plan.Plan.p_inductions
+  in
   let nw = Pool.size pool in
   let wstates = Array.make nw None in
   let bad = ref None in
@@ -713,6 +729,15 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
             | _ -> None)
           plan.Plan.p_privates
       in
+      let ind_cells =
+        List.map
+          (fun (v, c, k0, stride) ->
+            let nc = fresh_cell c in
+            Store.set_cell nc k0;
+            Hashtbl.replace wframe v (Store.Scalar nc);
+            (nc, k0, stride))
+          ind_info
+      in
       let red_cells =
         List.filter_map
           (fun (v, op) ->
@@ -740,7 +765,7 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
           plan.Plan.p_arrays
       in
       let ws =
-        { wframe; wt; ivc; priv_cells; red_cells; arr_copies;
+        { wframe; wt; ivc; priv_cells; ind_cells; red_cells; arr_copies;
           last_iter = -1; outs = [] }
       in
       wstates.(w) <- Some ws;
@@ -750,6 +775,9 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
     let ws = get_ws worker in
     ws.last_iter <- k;
     Store.set_cell ws.ivc (value_at k);
+    List.iter
+      (fun (nc, k0, stride) -> Store.set_cell nc (induction_value k0 stride k))
+      ws.ind_cells;
     ws.wt.ops.o_iters <- ws.wt.ops.o_iters + 1;
     ws.wt.out_rev <- [];
     let sg = exec_block ws.wt ui ws.wframe body in
@@ -817,8 +845,19 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
         Store.set_cell orig !acc
       | _ -> ())
     plan.Plan.p_reductions;
+  (* auxiliary inductions land on their sequential final value *)
+  List.iter
+    (fun (_, c, k0, stride) ->
+      Store.set_cell c (induction_value k0 stride trip))
+    ind_info;
   Store.set_cell iv_cell (value_at trip);
   match !bad with Some other -> other | None -> Snormal
+
+and induction_value k0 stride k : V.value =
+  match k0 with
+  | V.VI x -> V.VI (x + (stride * k))
+  | V.VR x -> V.VR (x +. float_of_int (stride * k))
+  | (V.VL _ | V.VS _) as v -> v
 
 and reduction_identity op (c : Store.cell) : V.value =
   let is_int =

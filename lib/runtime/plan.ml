@@ -5,11 +5,19 @@ open Dependence
 type t = {
   p_iv : string;
   p_privates : string list;
+  p_inductions : (string * int) list;
   p_reductions : (string * Varclass.reduction_op) list;
   p_arrays : string list;
 }
 
-let trivial iv = { p_iv = iv; p_privates = []; p_reductions = []; p_arrays = [] }
+let trivial iv =
+  {
+    p_iv = iv;
+    p_privates = [];
+    p_inductions = [];
+    p_reductions = [];
+    p_arrays = [];
+  }
 
 let of_loop (env : Depenv.t) (lp : Loopnest.loop) =
   let iv = lp.Loopnest.header.Ast.dvar in
@@ -17,20 +25,31 @@ let of_loop (env : Depenv.t) (lp : Loopnest.loop) =
     Varclass.classify ~cfg:env.Depenv.cfg env.Depenv.ctx env.Depenv.liveness
       lp.Loopnest.lstmt
   in
-  let privates, reductions =
+  let privates, inductions, reductions =
     List.fold_left
-      (fun (ps, rs) (v, c) ->
-        if String.equal v iv then (ps, rs)
+      (fun (ps, is, rs) (v, c) ->
+        if String.equal v iv then (ps, is, rs)
         else
           match c with
-          | Varclass.Private _ | Varclass.Induction _ -> (v :: ps, rs)
-          | Varclass.Reduction op -> (ps, (v, op) :: rs)
-          | Varclass.Shared_safe | Varclass.Shared_unsafe -> (ps, rs))
-      ([], []) (Varclass.all classes)
+          | Varclass.Private _ -> (v :: ps, is, rs)
+          | Varclass.Induction { stride = Some l } -> (
+            (* an auxiliary induction is only executable in parallel
+               when its per-iteration stride is a known constant: the
+               runtime then materializes the closed form.  Varclass
+               only emits constant strides today; anything else falls
+               back to a plain private copy. *)
+            match Symbolic.Linear.is_const l with
+            | Some c -> (ps, (v, c) :: is, rs)
+            | None -> (v :: ps, is, rs))
+          | Varclass.Induction { stride = None } -> (v :: ps, is, rs)
+          | Varclass.Reduction op -> (ps, is, (v, op) :: rs)
+          | Varclass.Shared_safe | Varclass.Shared_unsafe -> (ps, is, rs))
+      ([], [], []) (Varclass.all classes)
   in
   {
     p_iv = iv;
     p_privates = List.rev privates;
+    p_inductions = List.rev inductions;
     p_reductions = List.rev reductions;
     p_arrays = Arrayprivate.in_loop env lp.Loopnest.lstmt.Ast.sid;
   }

@@ -17,8 +17,14 @@ open Dependence
 type t = {
   p_iv : string;  (** the loop's induction variable *)
   p_privates : string list;
-      (** scalars each worker copies: [Private] and [Induction]
-          classifications (inner-loop induction variables included) *)
+      (** scalars each worker copies: [Private] classifications
+          (inner-loop induction variables included) *)
+  p_inductions : (string * int) list;
+      (** auxiliary induction scalars ([K = K + c] once per
+          iteration) with their constant stride [c].  Workers compute
+          the closed form [K0 + k*c] per iteration instead of sharing
+          the accumulating cell, and the final value [K0 + trip*c] is
+          written back at the join. *)
   p_reductions : (string * Varclass.reduction_op) list;
   p_arrays : string list;  (** privatizable work arrays *)
 }

@@ -5,6 +5,15 @@ exception Runtime_error of string
 
 type order = Seq | Reverse | Shuffled of int
 
+type access = {
+  a_sid : Ast.stmt_id;
+  a_var : string;
+  a_off : int;
+  a_write : bool;
+  a_instance : int;
+  a_iters : (Ast.stmt_id * int) list;
+}
+
 type outcome = {
   output : string list;
   cycles : float;
@@ -31,7 +40,26 @@ type state = {
   out_buf : Buffer.t;
   mutable out_lines : string list;
   loop_cycles : (Ast.stmt_id, float) Hashtbl.t;
+  (* array-access tracing (the brute-force dependence oracle's tap) *)
+  trace : (access -> unit) option;
+  mutable cur_sid : Ast.stmt_id;
+  mutable instance : int;  (* statement instances, in execution order *)
+  mutable loop_stack : (Ast.stmt_id * int) list;  (* innermost first *)
 }
+
+let record_access st ~var ~off ~write =
+  match st.trace with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        a_sid = st.cur_sid;
+        a_var = var;
+        a_off = off;
+        a_write = write;
+        a_instance = st.instance;
+        a_iters = List.rev st.loop_stack;
+      }
 
 type frame = (string, slot) Hashtbl.t
 
@@ -77,7 +105,10 @@ let rec eval st ui frame (e : Ast.expr) : value =
     | Some { kind = Symbol.Array _; _ } ->
       let idxs = List.map (fun a -> to_int (eval st ui frame a)) args in
       (match find_slot st ui frame b with
-      | Arr a -> get (elem_cell a idxs)
+      | Arr a ->
+        let off = offset a idxs in
+        record_access st ~var:b ~off ~write:false;
+        get { cstore = a.store; coff = off }
       | Scalar _ -> err "%s is not an array" b)
     | Some { kind = Symbol.Intrinsic; _ } -> eval_intrinsic st ui frame b args
     | Some { kind = Symbol.External_fun; _ } ->
@@ -385,6 +416,8 @@ and exec_block st ui frame (stmts : Ast.stmt list) : signal =
 and exec_stmt st ui frame (s : Ast.stmt) : signal =
   st.steps <- st.steps + 1;
   if st.steps > st.max_steps then err "statement budget exhausted";
+  st.cur_sid <- s.Ast.sid;
+  st.instance <- st.instance + 1;
   match s.Ast.node with
   | Ast.Continue -> Snormal
   | Ast.Goto l -> Sgoto l
@@ -402,7 +435,9 @@ and exec_stmt st ui frame (s : Ast.stmt) : signal =
       let idxs = List.map (fun a -> to_int (eval st ui frame a)) idxs in
       match find_slot st ui frame b with
       | Arr a ->
-        set (typ_of_var ui b) (elem_cell a idxs) v;
+        let off = offset a idxs in
+        record_access st ~var:b ~off ~write:true;
+        set (typ_of_var ui b) { cstore = a.store; coff = off } v;
         Snormal
       | Scalar _ -> err "%s is not an array" b)
     | _ -> err "bad assignment target")
@@ -481,7 +516,10 @@ and exec_do st ui frame (s : Ast.stmt) (h : Ast.do_header) body : signal =
   let run_iteration k : signal =
     set iv_typ iv_cell (value_at k);
     st.clock <- st.clock +. st.machine.Perf.Machine.loop_overhead;
-    exec_block st ui frame body
+    st.loop_stack <- (s.Ast.sid, k) :: st.loop_stack;
+    let r = exec_block st ui frame body in
+    st.loop_stack <- List.tl st.loop_stack;
+    r
   in
   (* F77: the DO variable receives its initial value even when the
      loop runs zero times *)
@@ -586,7 +624,7 @@ let snapshot (frame : frame) commons : (string * float list) list =
   Abi.sort_store acc
 
 let run ?(machine = Perf.Machine.default) ?(honor_parallel = true)
-    ?(par_order = Seq) ?(max_steps = 50_000_000) (prog : Ast.program) :
+    ?(par_order = Seq) ?(max_steps = 50_000_000) ?trace (prog : Ast.program) :
     outcome =
   let units = Hashtbl.create 8 in
   List.iter
@@ -617,6 +655,10 @@ let run ?(machine = Perf.Machine.default) ?(honor_parallel = true)
       out_buf = Buffer.create 256;
       out_lines = [];
       loop_cycles = Hashtbl.create 16;
+      trace;
+      cur_sid = -1;
+      instance = 0;
+      loop_stack = [];
     }
   in
   let main_ui = Hashtbl.find units main.Ast.uname in

@@ -26,6 +26,25 @@ exception Runtime_error of string
 
 type order = Seq | Reverse | Shuffled of int  (** seed *)
 
+(** One concrete array-element access, as reported to the [trace]
+    callback of {!run}: the accessing statement, the array and the
+    element's flat offset within its storage, read or write, a global
+    statement-instance number (monotone in execution order; two
+    accesses of the same instance belong to one execution of one
+    statement), and the active DO loops with their 0-based normalized
+    iteration numbers, outermost first.  Scalar accesses are not
+    reported — the dependence oracle that consumes this trace checks
+    the array dependence tests, whose domain is exactly these
+    references. *)
+type access = {
+  a_sid : Ast.stmt_id;
+  a_var : string;
+  a_off : int;
+  a_write : bool;
+  a_instance : int;
+  a_iters : (Ast.stmt_id * int) list;
+}
+
 type outcome = {
   output : string list;        (** PRINT lines, in order *)
   cycles : float;              (** simulated parallel time *)
@@ -44,6 +63,8 @@ type outcome = {
            (default true; false gives the sequential baseline)
     @param par_order iteration order for parallel loops
     @param max_steps statement budget, guards runaways
+    @param trace called once per array-element access, in execution
+           order (see {!access})
     @raise Runtime_error on missing main, bad subscripts, recursion,
            or budget exhaustion *)
 val run :
@@ -51,6 +72,7 @@ val run :
   ?honor_parallel:bool ->
   ?par_order:order ->
   ?max_steps:int ->
+  ?trace:(access -> unit) ->
   Ast.program ->
   outcome
 

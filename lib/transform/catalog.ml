@@ -108,7 +108,7 @@ let all =
           | _ -> bad);
       apply =
         (fun env _ -> function
-          | On_loop sid -> guard (fun () -> Reverse.apply env.Depenv.punit sid)
+          | On_loop sid -> guard (fun () -> Reverse.apply env sid)
           | _ -> Error bad);
     };
     {
@@ -275,3 +275,74 @@ let find name =
   List.find_opt (fun e -> String.equal e.name name) all
 
 let names = List.map (fun e -> e.name) all
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Statement blocks of the unit: the top-level body, every DO body,
+   every IF branch. *)
+let rec blocks_of (stmts : Ast.stmt list) : Ast.stmt list list =
+  stmts
+  :: List.concat_map
+       (fun (s : Ast.stmt) ->
+         match s.Ast.node with
+         | Ast.Do (_, body) -> blocks_of body
+         | Ast.If (branches, els) ->
+           List.concat_map (fun (_, b) -> blocks_of b) branches
+           @ blocks_of els
+         | _ -> [])
+       stmts
+
+let adjacent_pairs pred (stmts : Ast.stmt list) =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if pred a && pred b then (a.Ast.sid, b.Ast.sid) :: go rest else go rest
+    | _ -> []
+  in
+  go stmts
+
+let sites ?(factors = [ 4 ]) (env : Depenv.t) : (string * args) list =
+  let loops = Loopnest.loops env.Depenv.nest in
+  let is_do (s : Ast.stmt) =
+    match s.Ast.node with Ast.Do _ -> true | _ -> false
+  in
+  let is_assign (s : Ast.stmt) =
+    match s.Ast.node with Ast.Assign _ -> true | _ -> false
+  in
+  let blocks = blocks_of env.Depenv.punit.Ast.body in
+  let fuses =
+    List.concat_map (adjacent_pairs is_do) blocks
+    |> List.map (fun (a, b) -> ("fuse", On_pair (a, b)))
+  in
+  let swaps =
+    List.concat_map (adjacent_pairs is_assign) blocks
+    |> List.map (fun (a, b) -> ("swap", On_pair (a, b)))
+  in
+  let per_loop (l : Loopnest.loop) =
+    let sid = l.Loopnest.lstmt.Ast.sid in
+    let body = Loopnest.body_stmts env.Depenv.nest sid in
+    let written_scalars =
+      List.concat_map
+        (fun s -> Scalar_analysis.Defuse.may_defs env.Depenv.ctx s)
+        body
+      |> List.sort_uniq String.compare
+      |> List.filter (fun v ->
+             (not (Symbol.is_array env.Depenv.tbl v))
+             && not (String.equal v l.Loopnest.header.Ast.dvar))
+    in
+    List.map (fun n -> (n, On_loop sid))
+      [ "parallelize"; "interchange"; "distribute"; "reverse"; "normalize";
+        "coalesce"; "peel-first"; "peel-last" ]
+    @ List.concat_map
+        (fun f ->
+          [ ("skew", With_factor (sid, 1)); ("strip", With_factor (sid, f));
+            ("unroll", With_factor (sid, f)); ("tile", With_factor (sid, f)) ])
+        factors
+    @ List.concat_map
+        (fun v ->
+          [ ("expand", With_var (sid, v)); ("rename", With_var (sid, v));
+            ("indsub", With_var (sid, v)) ])
+        written_scalars
+  in
+  fuses @ swaps @ List.concat_map per_loop loops

@@ -29,3 +29,12 @@ type entry = {
 val all : entry list
 val find : string -> entry option
 val names : string list
+
+(** [sites env] — every candidate (transformation, argument) instance
+    of the unit: each catalog entry on each loop of the nest (with the
+    given factor values where one is needed, and each scalar written
+    in the loop body where a variable is needed), fusion on adjacent
+    DO pairs, statement interchange on adjacent assignment pairs.
+    This is the cross product the fuzzing oracles and the property
+    suite sweep — diagnosis decides which instances are live. *)
+val sites : ?factors:int list -> Depenv.t -> (string * args) list

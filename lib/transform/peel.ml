@@ -48,11 +48,26 @@ let apply (env : Depenv.t) sid ~which : Ast.program_unit =
       | _ -> invalid_arg "Peel.apply: unknown step"
     in
     let step_e = Ast.Int st in
+    (* the value of the final iteration: [hi] only when the stride
+       divides the span — with a non-unit stride it is
+       lo + ((hi−lo)/st)·st (truncating division, as in F77) *)
+    let last_value =
+      match (Depenv.int_at env sid h.Ast.lo, Depenv.int_at env sid h.Ast.hi) with
+      | Some l, Some hv -> Ast.Int (l + ((hv - l) / st * st))
+      | _ ->
+        if st = 1 || st = -1 then h.Ast.hi
+        else
+          Ast.simplify
+            (Ast.add h.Ast.lo
+               (Ast.mul
+                  (Ast.Bin (Ast.Div, Ast.sub h.Ast.hi h.Ast.lo, step_e))
+                  step_e))
+    in
     let peeled_iv, new_lo, new_hi =
       match which with
       | First ->
         (h.Ast.lo, Ast.simplify (Ast.add h.Ast.lo step_e), h.Ast.hi)
-      | Last -> (h.Ast.hi, h.Ast.lo, Ast.simplify (Ast.sub h.Ast.hi step_e))
+      | Last -> (last_value, h.Ast.lo, Ast.simplify (Ast.sub last_value step_e))
     in
     let copy =
       Rewrite.subst_in_stmts h.Ast.dvar peeled_iv (Rewrite.refresh_sids body)

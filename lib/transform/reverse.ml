@@ -23,7 +23,11 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
     (* auxiliary induction accumulators pair values with iterations by
        execution order: reversal re-pairs them *)
     let aux = Indsub.needed env loop in
-    let safe = carried = [] && escapees = [] && aux = [] in
+    let step_known =
+      Depenv.int_at env sid (Option.value ~default:(Ast.Int 1) h.Ast.step)
+      <> None
+    in
+    let safe = carried = [] && escapees = [] && aux = [] && step_known in
     let notes =
       List.map (fun d -> Format.asprintf "carried %a" Ddg.pp_dep d) carried
       @ List.map
@@ -34,20 +38,52 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
             Printf.sprintf
               "%s is an induction accumulator: substitute it first (indsub)" v)
           aux
+      @ (if step_known then [] else [ "step is not a known constant" ])
     in
     Diagnosis.make ~applicable:true ~safe ~profitable:false ~notes ()
 
-let apply (u : Ast.program_unit) sid : Ast.program_unit =
+let apply (env : Depenv.t) sid : Ast.program_unit =
+  let u = env.Depenv.punit in
   Rewrite.update_stmt u sid (fun s ->
       match s.Ast.node with
       | Ast.Do (h, body) ->
         let step = Option.value ~default:(Ast.Int 1) h.Ast.step in
+        let st =
+          match Depenv.int_at env sid step with
+          | Some s when s <> 0 -> s
+          | _ -> invalid_arg "Reverse.apply: unknown step"
+        in
+        (* the reversed loop must start on the last value the original
+           actually reaches: [hi] only when the stride divides the
+           span, lo + ((hi−lo)/st)·st in general.  The naive swap
+           (hi, lo, −st) visits the wrong residue class — DO 1,10,2
+           reversed is 9,7,5,3,1, not 10,8,6,4,2. *)
+        let new_lo =
+          if st = 1 || st = -1 then h.Ast.hi
+          else
+            match
+              (Depenv.int_at env sid h.Ast.lo, Depenv.int_at env sid h.Ast.hi)
+            with
+            | Some l, Some hv ->
+              let trip = (hv - l + st) / st in
+              if trip <= 0 then
+                (* zero-trip either way: the swap preserves the
+                   (empty) iteration set exactly *)
+                h.Ast.hi
+              else Ast.Int (l + ((trip - 1) * st))
+            | _ ->
+              Ast.simplify
+                (Ast.add h.Ast.lo
+                   (Ast.mul
+                      (Ast.Bin (Ast.Div, Ast.sub h.Ast.hi h.Ast.lo, Ast.Int st))
+                      (Ast.Int st)))
+        in
         let h' =
           {
             h with
-            Ast.lo = h.Ast.hi;
+            Ast.lo = new_lo;
             hi = h.Ast.lo;
-            step = Some (Ast.simplify (Ast.Un (Ast.Neg, step)));
+            step = Some (Ast.Int (-st));
           }
         in
         { s with Ast.node = Ast.Do (h', body) }

@@ -8,4 +8,10 @@ open Fortran_front
 open Dependence
 
 val diagnose : Depenv.t -> Ddg.t -> Ast.stmt_id -> Diagnosis.t
-val apply : Ast.program_unit -> Ast.stmt_id -> Ast.program_unit
+
+(** Reverses the iteration order in place.  With a non-unit stride
+    the reversed loop starts on the last value the original actually
+    reaches (lo + ((hi−lo)/st)·st), not on [hi].
+    @raise Invalid_argument when the step is not a known nonzero
+    constant. *)
+val apply : Depenv.t -> Ast.stmt_id -> Ast.program_unit

@@ -9,23 +9,45 @@ let classify_var (env : Depenv.t) loop var =
   in
   Varclass.lookup classes var
 
+(* [var] is the induction variable of [loop] itself or of a DO nested
+   in it.  Expanding an induction variable is never meaningful: the
+   substitution would rewrite its uses to array elements while the DO
+   header keeps assigning the original scalar. *)
+let is_induction_var (loop : Ast.stmt) var =
+  Ast.fold_stmts
+    (fun acc s ->
+      acc
+      || match s.Ast.node with
+         | Ast.Do (h, _) -> String.equal h.Ast.dvar var
+         | _ -> false)
+    false [ loop ]
+
 let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~var : Diagnosis.t =
   ignore ddg;
   match Rewrite.find_do env.Depenv.punit sid with
   | None -> Diagnosis.inapplicable "not a DO loop"
+  | Some (loop, _, _) when is_induction_var loop var ->
+    Diagnosis.inapplicable
+      (var ^ " is a loop induction variable, not an expandable temporary")
   | Some (loop, h, _) -> (
     match Symbol.lookup env.Depenv.tbl var with
     | Some { kind = Symbol.Scalar; _ } -> (
+      let st =
+        match h.Ast.step with
+        | None -> Some 1
+        | Some e -> Depenv.int_at env sid e
+      in
       let trip =
-        match Depenv.int_at env sid (Ast.sub h.Ast.hi h.Ast.lo) with
-        | Some d -> Some (d + 1)
-        | None -> None
+        match (st, Depenv.int_at env sid (Ast.sub h.Ast.hi h.Ast.lo)) with
+        | (None | Some 0), _ | _, None -> None
+        | Some s, Some d -> Some ((d + s) / s)
       in
       match classify_var env loop var with
       | Some (Varclass.Private { needs_last_value }) -> (
         match trip with
         | None ->
-          Diagnosis.inapplicable "trip count is not a known constant"
+          Diagnosis.inapplicable
+            "trip count or step is not a known constant"
         | Some t when t <= 0 -> Diagnosis.inapplicable "empty loop"
         | Some t ->
           (* last-value copy-out reads the final iteration's element,
@@ -67,6 +89,8 @@ let apply (env : Depenv.t) sid ~var : Ast.program_unit =
   let u = env.Depenv.punit in
   match Rewrite.find_do u sid with
   | None -> invalid_arg "Scalar_expand.apply: not a DO loop"
+  | Some (loop, _, _) when is_induction_var loop var ->
+    invalid_arg "Scalar_expand.apply: cannot expand an induction variable"
   | Some (loop, h, body) ->
     let hi_const =
       match Depenv.int_at env sid h.Ast.hi with
@@ -78,6 +102,17 @@ let apply (env : Depenv.t) sid ~var : Ast.program_unit =
       | Some n -> n
       | None -> invalid_arg "Scalar_expand.apply: unknown bound"
     in
+    let st =
+      match h.Ast.step with
+      | None -> 1
+      | Some e -> (
+        match Depenv.int_at env sid e with
+        | Some s when s <> 0 -> s
+        | _ -> invalid_arg "Scalar_expand.apply: unknown step")
+    in
+    (* the value of the final iteration: [hi] only when the stride
+       divides the span, lo + ((hi−lo)/st)·st in general *)
+    let last_const = lo_const + (hi_const - lo_const) / st * st in
     let arr = Rewrite.fresh_name env.Depenv.tbl (var ^ "X") in
     let elem = Ast.Index (arr, [ Ast.Var h.Ast.dvar ]) in
     (* the substitution rewrites assignment left-hand sides too *)
@@ -88,7 +123,7 @@ let apply (env : Depenv.t) sid ~var : Ast.program_unit =
     in
     let copy_out =
       if needs_last then
-        [ Ast.mk (Ast.Assign (Ast.Var var, Ast.Index (arr, [ h.Ast.hi ]))) ]
+        [ Ast.mk (Ast.Assign (Ast.Var var, Ast.Index (arr, [ Ast.Int last_const ]))) ]
       else []
     in
     let typ = Symbol.typ_of env.Depenv.tbl var in
@@ -97,7 +132,13 @@ let apply (env : Depenv.t) sid ~var : Ast.program_unit =
         {
           Ast.dname = arr;
           dtyp = typ;
-          dims = [ (Ast.Int lo_const, Ast.Int hi_const) ];
+          (* [min]/[max] so a negative-step loop still declares a
+             forward range covering every visited element *)
+          dims =
+            [
+              ( Ast.Int (min lo_const last_const),
+                Ast.Int (max lo_const last_const) );
+            ];
           init = None;
           data_init = None;
           common_block = None;

@@ -31,12 +31,26 @@ let apply (env : Depenv.t) sid ~block : Ast.program_unit =
   | None -> invalid_arg "Strip_mine.apply: not a DO loop"
   | Some (loop, h, body) ->
     let step = Option.value ~default:(Ast.Int 1) h.Ast.step in
+    (* the inner loop's bound clamp depends on the iteration direction:
+       MIN for an ascending loop, MAX for a descending one — MIN on a
+       negative step would re-execute every earlier strip *)
+    let clamp =
+      match
+        match h.Ast.step with
+        | None -> Some 1
+        | Some e -> Depenv.int_at env sid e
+      with
+      | Some s when s > 0 -> "MIN"
+      | Some s when s < 0 -> "MAX"
+      | Some _ | None ->
+        invalid_arg "Strip_mine.apply: step is not a known nonzero constant"
+    in
     let svar = Rewrite.fresh_name env.Depenv.tbl (h.Ast.dvar ^ "S") in
     let big_step = Ast.simplify (Ast.mul (Ast.int_ block) step) in
-    (* inner: DO I = IS, MIN(IS + (block−1)·step, hi), step *)
+    (* inner: DO I = IS, MIN/MAX(IS + (block−1)·step, hi), step *)
     let inner_hi =
       Ast.Index
-        ( "MIN",
+        ( clamp,
           [
             Ast.simplify
               (Ast.add (Ast.Var svar)

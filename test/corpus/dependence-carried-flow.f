@@ -1,0 +1,20 @@
+C PED-FUZZ COUNTEREXAMPLE v1
+C oracle: dependence
+C seed: 0#0
+C A level-1 carried flow dependence plus loop-independent flow into
+C the checksum: the brute-force oracle must find every concrete
+C (kind, var, src, dst, level, direction) class in the DDG.
+      PROGRAM FUZZ
+      REAL A((-4):44)
+      DO I = 1, 40
+        A(I) = FLOAT(I)
+      ENDDO
+      DO I = 2, 20
+        A(I) = A(I - 1) * 0.5
+      ENDDO
+      S = 0.0
+      DO I = 1, 40
+        S = S + A(I)
+      ENDDO
+      PRINT *, S
+      END

@@ -1,0 +1,15 @@
+C PED-FUZZ COUNTEREXAMPLE v1
+C oracle: runtime
+C seed: 7#4
+C An auxiliary induction scalar (K = K + 1) live after an
+C analysis-approved DOALL: the runtime used to privatize K like a
+C plain scalar, losing the accumulated final value under d=2 chunk.
+      PROGRAM FUZZ
+      REAL A((-4):44)
+      REAL B((-4):44)
+      REAL C((-4):28, (-4):28)
+      DO I = 1, 2
+        K = K + 1
+      ENDDO
+      PRINT *, S, T, K, N
+      END

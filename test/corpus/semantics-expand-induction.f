@@ -1,0 +1,26 @@
+C PED-FUZZ COUNTEREXAMPLE v1
+C oracle: semantics
+C seed: 0#7
+C Scalar expansion of an inner loop's induction variable: the
+C classifier saw J as privatizable in the outer loop and expansion
+C rewrote its uses to JX(I) while the inner DO kept assigning J.
+C Expansion must refuse induction variables.
+      PROGRAM FUZZ
+      REAL A((-4):44)
+      REAL C((-4):28, (-4):28)
+      DO I = 1, 40
+        A(I) = FLOAT(I) * 0.25
+      ENDDO
+      DO I = 1, 8
+        DO J = 1, 8
+          C(I, J) = A(I) + FLOAT(J)
+        ENDDO
+      ENDDO
+      S = 0.0
+      DO I = 1, 8
+        DO J = 1, 8
+          S = S + C(I, J)
+        ENDDO
+      ENDDO
+      PRINT *, S
+      END

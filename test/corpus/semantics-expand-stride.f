@@ -1,0 +1,18 @@
+C PED-FUZZ COUNTEREXAMPLE v1
+C oracle: semantics
+C seed: 42#99
+C step: expand loop=1 var=T
+C Scalar expansion's last-value copy-out read TX(hi), but with a
+C non-unit stride the last iteration is lo + ((hi-lo)/st)*st -- here
+C L = 7, not 8 -- so the live-out T took a value from an iteration
+C that never ran (an uninitialized element).
+      PROGRAM FUZZ
+      REAL A((-4):44)
+      DO I = 1, 40
+        A(I) = FLOAT(41 - I) * 0.125
+      ENDDO
+      DO L = 3, 8, 2
+        T = 3 + A(L + L)
+      ENDDO
+      PRINT *, S, T, K, N
+      END

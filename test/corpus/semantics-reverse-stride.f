@@ -1,0 +1,20 @@
+C PED-FUZZ COUNTEREXAMPLE v1
+C oracle: semantics
+C seed: 7#7
+C Loop reversal on a non-unit stride: the naive header swap
+C (hi, lo, -st) visits 10,8,6,4,2 instead of 9,7,5,3,1 -- the
+C reversed loop must start on lo + ((hi-lo)/st)*st.
+      PROGRAM FUZZ
+      REAL A((-4):44)
+      DO I = 1, 40
+        A(I) = FLOAT(41 - I)
+      ENDDO
+      DO I = 1, 10, 2
+        A(I) = A(I) + FLOAT(I) * 0.5
+      ENDDO
+      S = 0.0
+      DO I = 1, 40
+        S = S + A(I)
+      ENDDO
+      PRINT *, S
+      END

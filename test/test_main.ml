@@ -29,4 +29,5 @@ let () =
       ("integration", Test_integration.suite);
       ("property", Test_property.suite);
       ("engine", Test_engine.suite);
+      ("oracle", Test_oracle.suite);
     ]

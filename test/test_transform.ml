@@ -187,7 +187,7 @@ let suite =
         let sid = loop_sid (loop_by_iv env "I") in
         let d = Transform.Reverse.diagnose env ddg sid in
         check_bool "safe" true d.Transform.Diagnosis.safe;
-        check_preserved "reverse" env (Transform.Reverse.apply env.Depenv.punit sid));
+        check_preserved "reverse" env (Transform.Reverse.apply env sid));
     case "reverse: carried dep makes it unsafe" (fun () ->
         let env =
           env_of
@@ -477,3 +477,193 @@ let coalesce_suite =
   ]
 
 let suite = suite @ coalesce_suite
+
+(* ------------------------------------------------------------------ *)
+(* Stride and trip-count edge cases — zero-trip loops, negative
+   steps, non-unit strides — the corners the fuzzing oracles
+   (lib/oracle) flushed out in reverse, peel and strip mining.       *)
+
+(* A random-access frame: fill A, run [body], checksum A.  The loop
+   under test uses M (and L when nested) so [loop_by_iv] is
+   unambiguous. *)
+let edge_src body =
+  Printf.sprintf
+    "      PROGRAM E\n\
+    \      REAL A(40)\n\
+    \      DO I = 1, 40\n\
+    \        A(I) = FLOAT(41 - I)\n\
+    \      ENDDO\n\
+     %s\
+    \      S = 0.0\n\
+    \      DO I = 1, 40\n\
+    \        S = S + A(I)\n\
+    \      ENDDO\n\
+    \      PRINT *, S\n\
+    \      END\n"
+    body
+
+(* Diagnose a catalog instance on [src]; when approved, apply it and
+   require identical simulated output.  [expect_live] additionally
+   requires the approval (the instance is known transformable). *)
+let exercise ?(expect_live = false) name args_of src =
+  let env = env_of src in
+  let ddg = ddg_of env in
+  let entry = Option.get (Transform.Catalog.find name) in
+  let args = args_of env in
+  let d = entry.Transform.Catalog.diagnose env ddg args in
+  if Transform.Diagnosis.ok d then (
+    match entry.Transform.Catalog.apply env ddg args with
+    | Ok u' ->
+      check_preserved name env u';
+      Some u'
+    | Error d' ->
+      Alcotest.failf "%s refused after an ok diagnosis: %s" name
+        (Transform.Diagnosis.to_string d'))
+  else if expect_live then
+    Alcotest.failf "%s unexpectedly refused: %s" name
+      (Transform.Diagnosis.to_string d)
+  else None
+
+let on_m env = Transform.Catalog.On_loop (loop_sid (loop_by_iv env "M"))
+
+let with_factor f env =
+  Transform.Catalog.With_factor (loop_sid (loop_by_iv env "M"), f)
+
+let edge_suite =
+  [
+    case "reverse: non-unit stride starts on the last reached value"
+      (fun () ->
+        let u' =
+          exercise ~expect_live:true "reverse" on_m
+            (edge_src
+               "      DO M = 1, 10, 2\n\
+               \        A(M) = A(M) + FLOAT(M)\n\
+               \      ENDDO\n")
+        in
+        check_bool "header starts at 9" true
+          (contains ~needle:"DO M = 9, 1," (Pretty.unit_to_string (Option.get u'))));
+    case "reverse: negative non-unit stride" (fun () ->
+        let u' =
+          exercise ~expect_live:true "reverse" on_m
+            (edge_src
+               "      DO M = 10, 1, -3\n\
+               \        A(M) = A(M) * 0.5\n\
+               \      ENDDO\n")
+        in
+        check_bool "header is DO M = 1, 10, 3" true
+          (contains ~needle:"DO M = 1, 10, 3"
+             (Pretty.unit_to_string (Option.get u'))));
+    case "reverse: zero-trip loop stays zero-trip" (fun () ->
+        ignore
+          (exercise ~expect_live:true "reverse" on_m
+             (edge_src
+                "      DO M = 4, 3, 2\n\
+                \        A(M) = 0.0\n\
+                \      ENDDO\n")));
+    case "peel-last: non-unit stride peels the last reached value"
+      (fun () ->
+        ignore
+          (exercise ~expect_live:true "peel-last" on_m
+             (edge_src
+                "      DO M = 1, 11, 3\n\
+                \        A(M) = A(M) + 1.0\n\
+                \      ENDDO\n")));
+    case "peel-first: negative step" (fun () ->
+        ignore
+          (exercise ~expect_live:true "peel-first" on_m
+             (edge_src
+                "      DO M = 10, 2, -2\n\
+                \        A(M) = A(M) + 1.0\n\
+                \      ENDDO\n")));
+    case "peel: zero-trip loop" (fun () ->
+        ignore
+          (exercise "peel-first" on_m
+             (edge_src
+                "      DO M = 9, 3\n\
+                \        A(M) = 0.0\n\
+                \      ENDDO\n")));
+    case "strip: non-unit stride" (fun () ->
+        ignore
+          (exercise ~expect_live:true "strip" (with_factor 4)
+             (edge_src
+                "      DO M = 1, 20, 3\n\
+                \        A(M) = A(M) + 2.0\n\
+                \      ENDDO\n")));
+    case "strip: negative step" (fun () ->
+        ignore
+          (exercise ~expect_live:true "strip" (with_factor 4)
+             (edge_src
+                "      DO M = 20, 1, -3\n\
+                \        A(M) = A(M) * 0.5\n\
+                \      ENDDO\n")));
+    case "strip: zero-trip loop" (fun () ->
+        ignore
+          (exercise "strip" (with_factor 2)
+             (edge_src
+                "      DO M = 5, 4\n\
+                \        A(M) = 0.0\n\
+                \      ENDDO\n")));
+    case "skew: zero-trip inner loop" (fun () ->
+        ignore
+          (exercise "skew" (with_factor 1)
+             (edge_src
+                "      DO M = 1, 6\n\
+                \        DO L = 8, 3\n\
+                \          A(L) = A(L) + 1.0\n\
+                \        ENDDO\n\
+                \      ENDDO\n")));
+    case "tile: zero-trip outer loop" (fun () ->
+        ignore
+          (exercise "tile" (with_factor 3)
+             (edge_src
+                "      DO M = 6, 1\n\
+                \        DO L = 1, 8\n\
+                \          A(L) = A(L) * 0.5\n\
+                \        ENDDO\n\
+                \      ENDDO\n")));
+    case "tile: non-unit inner stride" (fun () ->
+        ignore
+          (exercise "tile" (with_factor 3)
+             (edge_src
+                "      DO M = 1, 6\n\
+                \        DO L = 1, 20, 2\n\
+                \          A(L) = A(L) + FLOAT(M)\n\
+                \        ENDDO\n\
+                \      ENDDO\n")));
+    case "expand: non-unit stride copies out the last reached value"
+      (fun () ->
+        let u' =
+          exercise ~expect_live:true "expand"
+            (fun env ->
+              Transform.Catalog.With_var
+                (loop_sid (loop_by_iv env "M"), "T"))
+            (edge_src
+               "      DO M = 3, 8, 2\n\
+               \        T = 3.0 + A(M + M)\n\
+               \        A(M) = T\n\
+               \      ENDDO\n\
+               \      A(1) = T\n")
+        in
+        check_bool "copy-out reads TX(7), the last iteration" true
+          (contains ~needle:"TX(7)" (Pretty.unit_to_string (Option.get u'))));
+    case "expand: refuses an inner loop's induction variable" (fun () ->
+        let env =
+          env_of
+            (edge_src
+               "      DO M = 1, 6\n\
+               \        DO L = 1, 6\n\
+               \          A(L) = A(L) + FLOAT(M)\n\
+               \        ENDDO\n\
+               \      ENDDO\n")
+        in
+        let ddg = ddg_of env in
+        let sid = loop_sid (loop_by_iv env "M") in
+        let d = Transform.Scalar_expand.diagnose env ddg sid ~var:"L" in
+        check_bool "diagnosed not ok" false (Transform.Diagnosis.ok d);
+        (try
+           ignore (Transform.Scalar_expand.apply env sid ~var:"L");
+           Alcotest.fail "apply accepted an induction variable"
+         with Invalid_argument _ -> ()));
+  ]
+
+let suite = suite @ edge_suite

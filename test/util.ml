@@ -41,6 +41,31 @@ let run_output ?honor_parallel ?par_order src =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* Property tests draw from QCHECK_SEED when set (reproduction),
+   otherwise from fresh entropy; every suite routes through here so a
+   failing property always ends with the command that replays it. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s when int_of_string_opt (String.trim s) <> None ->
+      Option.get (int_of_string_opt (String.trim s))
+    | _ ->
+      Random.self_init ();
+      Random.int 1_000_000_000)
+
+let qcheck_case test =
+  let seed = Lazy.force qcheck_seed in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf "property failed: rerun with QCHECK_SEED=%d\n%!" seed;
+        raise e )
+
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
   nl = 0
