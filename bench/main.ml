@@ -13,6 +13,9 @@ let line = String.make 78 '-'
 let header title =
   Printf.printf "\n%s\n%s\n%s\n" line title line
 
+(* monotonic wall clock, from lib/telemetry's C stub *)
+let now_s () = Int64.to_float (Telemetry.now_ns ()) /. 1e9
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -847,9 +850,9 @@ let editburst_run ~smoke () =
     let s0 = Ped.Session.engine_stats sess in
     drive_asserts sess w;
     let sa = Ped.Session.engine_stats sess in
-    let t0 = Unix.gettimeofday () in
+    let t0 = now_s () in
     drive_bursts sess ~bursts;
-    let seconds = Unix.gettimeofday () -. t0 in
+    let seconds = now_s () -. t0 in
     let s1 = Ped.Session.engine_stats sess in
     ( sess,
       sa.Engine.tests_run - s0.Engine.tests_run,
@@ -959,9 +962,9 @@ let fuzz_smoke () =
       progress = ignore;
     }
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let s = Oracle.Driver.run cfg in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = now_s () -. t0 in
   print_string (Oracle.Driver.summary s);
   let oc = open_out fuzz_json in
   Printf.fprintf oc
@@ -987,6 +990,107 @@ let fuzz_smoke () =
   if not (Oracle.Driver.ok s) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* telemetry-overhead: cost of the observability layer on the         *)
+(* analysis path — the same edit-burst workload driven under a null   *)
+(* (disabled) sink, a counters-only sink and a full recording sink.   *)
+(* The disabled hot path is also measured directly, per call, and     *)
+(* converted into an implied workload overhead: that number is the    *)
+(* <2% gate, since there is no uninstrumented build to diff against.  *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_json = "BENCH_telemetry.json"
+
+let telemetry_overhead () =
+  header
+    "telemetry-overhead: analysis cost under disabled / counters / \
+     recording telemetry";
+  (* per-call cost of the disabled (null-sink) hot path *)
+  let null = Telemetry.null in
+  let dead = Telemetry.counter null "bench.dead" in
+  let per_op reps f =
+    let t0 = Telemetry.now_ns () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Int64.to_float (Int64.sub (Telemetry.now_ns ()) t0) /. float_of_int reps
+  in
+  let ops = 10_000_000 in
+  let ns_counter = per_op ops (fun () -> Telemetry.incr dead) in
+  let ns_span = per_op ops (fun () -> Telemetry.span null "x" Fun.id) in
+  Printf.printf "disabled hot path: %.2f ns/incr, %.2f ns/span\n" ns_counter
+    ns_span;
+  (* the edit-burst workload under one sink; returns seconds *)
+  let drive sink =
+    Telemetry.set_default sink;
+    let t0 = now_s () in
+    List.iter
+      (fun (w : Workloads.t) ->
+        let sess =
+          Ped.Session.load ~telemetry:sink (Workloads.program w)
+            ~unit_name:(Workloads.main_unit w)
+        in
+        drive_asserts sess w;
+        drive_bursts sess ~bursts:1)
+      Workloads.all;
+    let dt = now_s () -. t0 in
+    Telemetry.set_default Telemetry.null;
+    dt
+  in
+  let median xs =
+    let a = List.sort compare xs in
+    List.nth a (List.length a / 2)
+  in
+  let reps = 5 in
+  (* warm up allocators and code paths once, then interleave the modes
+     so drift hits all three equally *)
+  ignore (drive Telemetry.null);
+  let disabled = ref [] and counters = ref [] and recording = ref [] in
+  let spans_per_rep = ref 0 in
+  for _ = 1 to reps do
+    disabled := drive Telemetry.null :: !disabled;
+    counters := drive (Telemetry.make ()) :: !counters;
+    let r = Telemetry.make ~record_spans:true () in
+    recording := drive r :: !recording;
+    spans_per_rep := List.length (Telemetry.spans r)
+  done;
+  let d = median !disabled
+  and c = median !counters
+  and r = median !recording in
+  let pct x = (x -. d) /. d *. 100. in
+  (* implied cost of the disabled instrumentation: every span is two
+     no-op calls' worth, every counter flush one *)
+  let implied_ns = float_of_int !spans_per_rep *. ns_span in
+  let disabled_pct = implied_ns /. (d *. 1e9) *. 100. in
+  Printf.printf "%-10s %10s %10s\n" "mode" "median-ms" "overhead";
+  Printf.printf "%-10s %10.2f %9.2f%%\n" "disabled" (d *. 1e3) disabled_pct;
+  Printf.printf "%-10s %10.2f %9.2f%%\n" "counters" (c *. 1e3) (pct c);
+  Printf.printf "%-10s %10.2f %9.2f%%\n" "recording" (r *. 1e3) (pct r);
+  Printf.printf "(%d spans per rep when recording)\n" !spans_per_rep;
+  let oc = open_out telemetry_json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"telemetry-overhead\",\n\
+    \  \"reps\": %d,\n\
+    \  \"ns_per_disabled_counter\": %.3f,\n\
+    \  \"ns_per_disabled_span\": %.3f,\n\
+    \  \"spans_per_rep\": %d,\n\
+    \  \"median_seconds\": { \"disabled\": %.6f, \"counters\": %.6f, \
+     \"recording\": %.6f },\n\
+    \  \"overhead_pct\": { \"disabled\": %.4f, \"counters\": %.2f, \
+     \"recording\": %.2f },\n\
+    \  \"disabled_overhead_lt_2pct\": %b\n\
+     }\n"
+    reps ns_counter ns_span !spans_per_rep d c r disabled_pct (pct c) (pct r)
+    (disabled_pct < 2.);
+  close_out oc;
+  Printf.printf "wrote %s\n" telemetry_json;
+  if disabled_pct >= 2. then begin
+    Printf.eprintf "telemetry-overhead: disabled overhead %.2f%% >= 2%%\n"
+      disabled_pct;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1005,6 +1109,7 @@ let experiments =
     ("editburst", editburst);
     ("editburst-smoke", editburst_smoke);
     ("fuzz-smoke", fuzz_smoke);
+    ("telemetry-overhead", telemetry_overhead);
     ("bench", microbench);
   ]
 

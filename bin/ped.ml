@@ -5,6 +5,7 @@
      ped -w WORKLOAD [-s SCRIPT]
      ped [-w WORKLOAD] --execute [--domains N] [--schedule chunk|self]
          [--validate] [--force-parallel]
+     ped ... [--profile] [--trace out.json]
      ped --calibrate
      ped fuzz [--n N] [--seed N] [--oracle dep,sem,run] [--corpus DIR]
 
@@ -60,8 +61,11 @@ let main_unit_of (program : Ast.program) =
 
 (* Apply the assertion script, then mark every provably-safe loop of
    every unit PARALLEL DO — the editor's workflow, automated. *)
-let auto_parallelize (program : Ast.program) (assertion_script : string list) =
-  let sess = Ped.Session.load program ~unit_name:(main_unit_of program) in
+let auto_parallelize ?telemetry (program : Ast.program)
+    (assertion_script : string list) =
+  let sess =
+    Ped.Session.load ?telemetry program ~unit_name:(main_unit_of program)
+  in
   List.iter (fun cmd -> ignore (Ped.Command.run sess cmd)) assertion_script;
   List.iter
     (fun (u : Ast.program_unit) ->
@@ -102,10 +106,10 @@ let targets file workload =
       Workloads.all
 
 let execute_one name program script ~domains ~schedule ~validate
-    ~force_parallel =
+    ~force_parallel ~telemetry =
   let par_program =
     if force_parallel then Runtime.Exec.force_parallel program
-    else auto_parallelize program script
+    else auto_parallelize ?telemetry program script
   in
   let n_parallel =
     List.fold_left
@@ -124,7 +128,7 @@ let execute_one name program script ~domains ~schedule ~validate
   let n_conflicts =
     if not validate then 0
     else begin
-      let v = Runtime.Exec.run ~validate:true par_program in
+      let v = Runtime.Exec.run ~validate:true ?telemetry par_program in
       (match v.Runtime.Exec.conflicts with
       | [] ->
         Printf.printf "  validator: no cross-iteration conflicts observed\n%!"
@@ -138,7 +142,7 @@ let execute_one name program script ~domains ~schedule ~validate
     end
   in
   let seq = Sim.Interp.run ~honor_parallel:false program in
-  let o = Runtime.Exec.run ~domains ~schedule par_program in
+  let o = Runtime.Exec.run ~domains ~schedule ?telemetry par_program in
   let exact =
     o.Runtime.Exec.output = seq.Sim.Interp.output
     && o.Runtime.Exec.final_store = seq.Sim.Interp.final_store
@@ -165,7 +169,8 @@ let execute_one name program script ~domains ~schedule ~validate
   (* a forced-parallel run is EXPECTED to conflict/mismatch; report only *)
   force_parallel || ((exact || close) && n_conflicts = 0)
 
-let execute file workload domains schedule validate force_parallel =
+let execute file workload domains schedule validate force_parallel ~telemetry
+    =
   let domains = max 1 domains in
   let schedule =
     match Runtime.Pool.schedule_of_string schedule with
@@ -174,16 +179,13 @@ let execute file workload domains schedule validate force_parallel =
       prerr_endline "bad --schedule (chunk or self)";
       exit 1
   in
-  let ok =
-    List.fold_left
-      (fun acc (name, program, script) ->
-        execute_one name program script ~domains ~schedule ~validate
-          ~force_parallel
-        && acc)
-      true
-      (targets file workload)
-  in
-  if not ok then exit 1
+  List.fold_left
+    (fun acc (name, program, script) ->
+      execute_one name program script ~domains ~schedule ~validate
+        ~force_parallel ~telemetry
+      && acc)
+    true
+    (targets file workload)
 
 let calibrate_mode file workload =
   let ts = targets file workload in
@@ -205,16 +207,48 @@ let calibrate_mode file workload =
 (* ------------------------------------------------------------------ *)
 
 let main file workload unit_name script no_interproc exec domains schedule
-    validate force_parallel order seed calibrate engine_stats =
-  if calibrate then calibrate_mode file workload
+    validate force_parallel order seed calibrate engine_stats profile trace =
+  (* one recording sink, installed as the process default, so the
+     session, the transformation catalog, the analysis passes and the
+     runtime workers all emit to the same place *)
+  let sink =
+    if profile || trace <> None then begin
+      let s = Telemetry.make ~record_spans:true () in
+      Telemetry.set_default s;
+      Some s
+    end
+    else None
+  in
+  let finish ok =
+    (match sink with
+    | Some s ->
+      if profile then print_string (Telemetry.profile_report s);
+      Option.iter
+        (fun path ->
+          Telemetry.write_chrome_trace s path;
+          Printf.printf
+            "trace written to %s (open in chrome://tracing or \
+             ui.perfetto.dev)\n%!"
+            path)
+        trace
+    | None -> ());
+    if not ok then exit 1
+  in
+  if calibrate then begin
+    calibrate_mode file workload;
+    finish true
+  end
   else if exec || validate || force_parallel then
-    execute file workload domains schedule validate force_parallel
+    finish
+      (execute file workload domains schedule validate force_parallel
+         ~telemetry:sink)
   else begin
     let interproc = not no_interproc in
     let sess =
       match (file, workload) with
       | Some path, _ ->
-        Ped.Session.load_source ~interproc ~file:path (read_file path)
+        Ped.Session.load_source ~interproc ?telemetry:sink ~file:path
+          (read_file path)
           ~unit_name:(Option.map String.uppercase_ascii unit_name)
       | None, Some wname -> (
         match Workloads.by_name wname with
@@ -224,7 +258,8 @@ let main file workload unit_name script no_interproc exec domains schedule
             | Some u -> String.uppercase_ascii u
             | None -> Workloads.main_unit w
           in
-          Ped.Session.load ~interproc (Workloads.program w) ~unit_name
+          Ped.Session.load ~interproc ?telemetry:sink (Workloads.program w)
+            ~unit_name
         | None ->
           prerr_endline
             ("unknown workload (available: "
@@ -242,7 +277,8 @@ let main file workload unit_name script no_interproc exec domains schedule
     | o ->
       prerr_endline ("bad --order " ^ o ^ " (seq, reverse or shuffle)");
       exit 1);
-    run_session sess script ~engine_stats
+    run_session sess script ~engine_stats;
+    finish true
   end
 
 open Cmdliner
@@ -308,6 +344,17 @@ let calibrate =
 let engine_stats =
   Arg.(value & flag & info [ "engine-stats" ]
          ~doc:"Print incremental-analysis engine cache statistics on exit")
+
+let profile =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Record telemetry spans and print an aggregated profile tree \
+               (count, total and self time per span) on exit")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record telemetry spans and write a Chrome trace_event JSON \
+               file on exit — one lane per OCaml domain; open it in \
+               chrome://tracing or ui.perfetto.dev")
 
 (* ------------------------------------------------------------------ *)
 (* fuzz subcommand: the differential-testing oracles                   *)
@@ -389,7 +436,7 @@ let cmd =
   let default =
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
-          $ order $ seed $ calibrate $ engine_stats)
+          $ order $ seed $ calibrate $ engine_stats $ profile $ trace)
   in
   Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd ]
 

@@ -88,6 +88,15 @@ let solve (cfg : Cfg.t) (p : 'a problem) : 'a result =
   let to_map h =
     Hashtbl.fold (fun k v acc -> Cfg.NodeMap.add k v acc) h Cfg.NodeMap.empty
   in
+  (* solver convergence feeds the observability layer: total worklist
+     visits and a per-solve distribution (process-default sink) *)
+  let tel = Telemetry.default () in
+  if Telemetry.metrics_on tel then begin
+    Telemetry.incr (Telemetry.counter tel "dataflow.solves");
+    Telemetry.add (Telemetry.counter tel "dataflow.node_visits") !iters;
+    Telemetry.observe (Telemetry.histogram tel "dataflow.visits_per_solve")
+      !iters
+  end;
   { input_ = to_map in_; output_ = to_map out; iters = !iters }
 
 let input r n =

@@ -39,6 +39,7 @@ let set_sim_order t o = t.sim_order <- o
 let history t = List.map snd t.undo_stack
 let engine_stats t = Engine.stats t.engine
 let engine_report t = Engine.report t.engine
+let telemetry t = Engine.telemetry t.engine
 
 let find_unit (program : Ast.program) name =
   List.find_opt
@@ -62,11 +63,11 @@ let refresh t =
 let reanalyze = refresh
 
 let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
-    (program : Ast.program) ~unit_name : t =
+    ?telemetry (program : Ast.program) ~unit_name : t =
   (match find_unit program unit_name with
   | Some _ -> ()
   | None -> invalid_arg ("no such unit: " ^ unit_name));
-  let engine = Engine.create ?caching ~config ~interproc program in
+  let engine = Engine.create ?caching ~config ~interproc ?telemetry program in
   let env, ddg =
     match Engine.analysis engine ~unit_name with
     | Some r -> r
@@ -88,7 +89,8 @@ let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
     original = program;
   }
 
-let load_source ?config ?interproc ?caching ~file src ~unit_name : t =
+let load_source ?config ?interproc ?caching ?telemetry ~file src ~unit_name :
+    t =
   let program = Parser.parse_program ~file src in
   let unit_name =
     match unit_name with
@@ -105,7 +107,7 @@ let load_source ?config ?interproc ?caching ~file src ~unit_name : t =
         | u :: _ -> u.Ast.uname
         | [] -> invalid_arg "empty program"))
   in
-  load ?config ?interproc ?caching program ~unit_name
+  load ?config ?interproc ?caching ?telemetry program ~unit_name
 
 let focus t name =
   match find_unit (program t) name with

@@ -25,14 +25,18 @@ type t
     the unit analyses.  [caching] (default true) selects the
     incremental engine; [~caching:false] recomputes everything after
     every change — the from-scratch baseline the bench harness
-    measures against. *)
+    measures against.  [telemetry] is handed to the engine, so the
+    interactive, bench, fuzz and runtime paths can all emit to one
+    sink (default: a fresh private sink per session). *)
 val load :
   ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
+  ?telemetry:Telemetry.sink ->
   Ast.program -> unit_name:string -> t
 
 (** Parse source text and load it. *)
 val load_source :
   ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
+  ?telemetry:Telemetry.sink ->
   file:string -> string -> unit_name:string option -> t
 
 (** {2 State accessors} *)
@@ -78,6 +82,9 @@ val history : t -> string list
 val engine_stats : t -> Engine.stats
 
 val engine_report : t -> string
+
+(** The session's telemetry sink (the engine's). *)
+val telemetry : t -> Telemetry.sink
 
 (** {2 Analysis} *)
 

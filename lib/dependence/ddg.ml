@@ -217,7 +217,9 @@ let group_content_sig (env : Depenv.t) (top : Ast.stmt) =
 (* Graph construction                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let compute ?cache (env : Depenv.t) : t =
+let compute_impl ?cache ~tel (env : Depenv.t) : t =
+  let executed = ref 0 in
+  let local_hits = ref 0 and local_misses = ref 0 in
   let refs = Array.of_list (collect_refs env) in
   let n_refs = Array.length refs in
 
@@ -259,6 +261,7 @@ let compute ?cache (env : Depenv.t) : t =
       in
       if eligible then begin
         incr pairs;
+        incr executed;
         (match cache with Some c -> c.tests_executed <- c.tests_executed + 1 | None -> ());
         let common = Loopnest.common env.Depenv.nest r1.r_sid r2.r_sid in
         let n = List.length common in
@@ -270,11 +273,11 @@ let compute ?cache (env : Depenv.t) : t =
           | Some norm ->
             let d1 = Subscript.analyze_ref env ~norm r1.r_sid r1.r_subs in
             let d2 = Subscript.analyze_ref env ~norm r2.r_sid r2.r_subs in
-            Dtest.test_pair env ~common:norm ~src:(r1.r_sid, d1)
-              ~dst:(r2.r_sid, d2)
+            Dtest.test_pair ~telemetry:tel env ~common:norm
+              ~src:(r1.r_sid, d1) ~dst:(r2.r_sid, d2)
           | None ->
             (* unnormalizable nest: assume dependence in all directions *)
-            Dtest.solve
+            Dtest.solve ~telemetry:tel
               {
                 Dtest.nloops = n;
                 trips = Array.make n None;
@@ -420,18 +423,25 @@ let compute ?cache (env : Depenv.t) : t =
   for g1 = 0 to ngroups - 1 do
     for g2 = g1 to ngroups - 1 do
       if Array.length by_group.(g1) > 0 && Array.length by_group.(g2) > 0 then begin
+        let run_bucket () =
+          Telemetry.span tel "ddg.bucket"
+            ~args:[ ("groups", Printf.sprintf "%d,%d" g1 g2) ]
+            (fun () -> test_bucket by_group.(g1) by_group.(g2) ~same:(g1 = g2))
+        in
         let b =
           match cache with
-          | None -> test_bucket by_group.(g1) by_group.(g2) ~same:(g1 = g2)
+          | None -> run_bucket ()
           | Some c -> (
             let key = bucket_key g1 g2 in
             match Hashtbl.find_opt c.buckets key with
             | Some b ->
               c.bucket_hits <- c.bucket_hits + 1;
+              incr local_hits;
               b
             | None ->
               c.bucket_misses <- c.bucket_misses + 1;
-              let b = test_bucket by_group.(g1) by_group.(g2) ~same:(g1 = g2) in
+              incr local_misses;
+              let b = run_bucket () in
               Hashtbl.replace c.buckets key b;
               b)
         in
@@ -630,7 +640,29 @@ let compute ?cache (env : Depenv.t) : t =
       pending = List.length data_deps - proven;
     }
   in
+  (* flush aggregated tallies to the sink in one pass — the pair-test
+     loop itself stays counter-free *)
+  if Telemetry.metrics_on tel then begin
+    let c name = Telemetry.counter tel name in
+    Telemetry.add (c "ddg.pairs_tested") stats.pairs_tested;
+    Telemetry.add (c "ddg.tests_executed") !executed;
+    Telemetry.add (c "ddg.bucket_hits") !local_hits;
+    Telemetry.add (c "ddg.bucket_misses") !local_misses;
+    Telemetry.add (c "ddg.deps_proven") stats.proven;
+    Telemetry.add (c "ddg.deps_pending") stats.pending;
+    List.iter
+      (fun (t, n) -> Telemetry.add (c ("dtest.disproved." ^ t)) n)
+      stats.disproved
+  end;
   { deps; stats }
+
+let compute ?cache ?telemetry (env : Depenv.t) : t =
+  let tel =
+    match telemetry with Some t -> t | None -> Telemetry.default ()
+  in
+  Telemetry.span tel "ddg.compute"
+    ~args:[ ("unit", env.Depenv.punit.Ast.uname) ]
+    (fun () -> compute_impl ?cache ~tel env)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

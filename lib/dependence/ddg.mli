@@ -74,8 +74,15 @@ val cache_counters : cache -> int * int * int
     honouring [env]'s config and assertions.  With [cache], array
     dependence testing is served bucket-wise from the memo table; the
     result is structurally identical to a cacheless build (dep ids
-    are renumbered in canonical emission order). *)
-val compute : ?cache:cache -> Depenv.t -> t
+    are renumbered in canonical emission order).
+
+    [telemetry] (default: the process {!Telemetry.default} sink)
+    receives a [ddg.compute] span, one [ddg.bucket] span per computed
+    bucket, and counters: [ddg.pairs_tested] (all pairs, including
+    cache-replayed), [ddg.tests_executed] (pair tests actually run),
+    [ddg.bucket_hits]/[ddg.bucket_misses], [ddg.deps_proven]/
+    [ddg.deps_pending], and [dtest.disproved.<test>]. *)
+val compute : ?cache:cache -> ?telemetry:Telemetry.sink -> Depenv.t -> t
 
 (** Structural identity of two graphs (deps and statistics).  Cache-
     assisted, engine-served and from-scratch builds of the same unit

@@ -73,14 +73,21 @@ let make ?oracle ?call_refs ?(alias = fun _ _ -> `No)
     ?(config = full_config) ?(asserts = no_assertions)
     (punit : Ast.program_unit) : t =
   let oracle_opt = oracle in
-  let tbl = Symbol.build punit in
-  let ctx = Defuse.make ?oracle tbl punit in
-  let cfg = Cfg.build punit in
-  let reaching = Reaching.analyze ctx cfg in
-  let liveness = Liveness.analyze ctx cfg in
-  let constants = Constants.analyze ctx cfg in
-  let control = Control_dep.compute cfg in
-  let nest = Loopnest.build punit in
+  (* scalar-analysis passes emit to the process-default sink: the
+     environment is rebuilt from many call sites (engine, interproc,
+     oracle) that have no sink of their own to thread through *)
+  let tel = Telemetry.default () in
+  Telemetry.span tel "analysis.depenv" ~args:[ ("unit", punit.Ast.uname) ]
+  @@ fun () ->
+  let pass name f = Telemetry.span tel ("analysis." ^ name) f in
+  let tbl = pass "symbols" (fun () -> Symbol.build punit) in
+  let ctx = pass "defuse" (fun () -> Defuse.make ?oracle tbl punit) in
+  let cfg = pass "cfg" (fun () -> Cfg.build punit) in
+  let reaching = pass "reaching" (fun () -> Reaching.analyze ctx cfg) in
+  let liveness = pass "liveness" (fun () -> Liveness.analyze ctx cfg) in
+  let constants = pass "constants" (fun () -> Constants.analyze ctx cfg) in
+  let control = pass "control-dep" (fun () -> Control_dep.compute cfg) in
+  let nest = pass "loopnest" (fun () -> Loopnest.build punit) in
   let call_refs =
     match call_refs with
     | Some f -> f

@@ -224,7 +224,10 @@ let dim_admits p (d : dim_pair) (dirs : direction option array) : bool =
 
 let all_star n = Array.make n None
 
-let solve (p : problem) : result =
+let solve ?telemetry (p : problem) : result =
+  let tel =
+    match telemetry with Some t -> t | None -> Telemetry.default ()
+  in
   let n = p.nloops in
   (* an unknown lower bound makes any trip value meaningless: the
      iteration variable ranges over all integers in raw mode *)
@@ -250,10 +253,18 @@ let solve (p : problem) : result =
     (* whether exactness can be claimed: all dims separable & solved *)
     let exact_ok = ref true in
     let seen_loop = Array.make n false in
+    (* span names follow the classic tier taxonomy; SIV sub-variants
+       (strong / weak-zero / weak-crossing / exact) share one lane *)
+    let tier_of = function
+      | [] -> "dtest.ziv"
+      | [ _ ] -> "dtest.siv"
+      | _ -> "dtest.gcd"
+    in
     List.iter
       (fun d ->
         if !verdict = None then begin
           let pos = nonzero_positions d in
+          Telemetry.span tel (tier_of pos) @@ fun () ->
           (* separability accounting *)
           List.iter
             (fun k ->
@@ -328,7 +339,7 @@ let solve (p : problem) : result =
     (* delta propagation: a pinned distance δk turns βk into αk + δk in
        every other dimension — coupled MIV dims often collapse to SIV
        or ZIV and can then be disproved *)
-    if !verdict = None && Array.exists Option.is_some pinned then
+    let delta_pass () =
       List.iter
         (fun d ->
           if !verdict = None then begin
@@ -373,7 +384,10 @@ let solve (p : problem) : result =
               end
             end
           end)
-        usable;
+        usable
+    in
+    if !verdict = None && Array.exists Option.is_some pinned then
+      Telemetry.span tel "dtest.delta" delta_pass;
     match !verdict with
     | Some test -> Independent { test }
     | None ->
@@ -406,7 +420,7 @@ let solve (p : problem) : result =
             choices
         end
       in
-      refine 0;
+      Telemetry.span tel "dtest.banerjee" (fun () -> refine 0);
       let survivors = List.rev !survivors in
       if survivors = [] then Independent { test = "banerjee" }
       else begin
@@ -449,7 +463,7 @@ let split_dims n (common : Subscript.norm_loop list) (l : Linear.t) :
     common;
   (coeffs, !rest)
 
-let test_pair (env : Depenv.t) ~(common : Subscript.norm_loop list)
+let test_pair ?telemetry (env : Depenv.t) ~(common : Subscript.norm_loop list)
     ~(src : Ast.stmt_id * Subscript.dim list)
     ~(dst : Ast.stmt_id * Subscript.dim list) : result =
   let n = List.length common in
@@ -483,7 +497,7 @@ let test_pair (env : Depenv.t) ~(common : Subscript.norm_loop list)
             { a = Array.make n 0; b = Array.make n 0; c = 0; usable = false })
         src_dims dst_dims
   in
-  solve { nloops = n; trips; trips_exact; lo_known; dims }
+  solve ?telemetry { nloops = n; trips; trips_exact; lo_known; dims }
 
 (* ------------------------------------------------------------------ *)
 (* Brute-force oracle (for tests)                                      *)

@@ -58,14 +58,18 @@ type result =
 
 (** [solve p] runs the battery.  With [p.dims = []] (e.g. scalar or
     unanalyzable pair) the result is a maybe-dependence with all
-    direction vectors. *)
-val solve : problem -> result
+    direction vectors.  When [telemetry] (default: the process
+    {!Telemetry.default} sink) is recording, each tier examined emits
+    a span ([dtest.ziv] / [dtest.siv] / [dtest.gcd] / [dtest.delta] /
+    [dtest.banerjee]). *)
+val solve : ?telemetry:Telemetry.sink -> problem -> result
 
 (** [test_pair env ~common ~src ~dst] — build the {!problem} for two
     array references (given as statement id and analyzed subscript
     dimensions) and solve it.  Dimension-count mismatch (linearized
     array usage) degrades to an unanalyzable problem, as in Ped. *)
 val test_pair :
+  ?telemetry:Telemetry.sink ->
   Depenv.t ->
   common:Subscript.norm_loop list ->
   src:Ast.stmt_id * Subscript.dim list ->

@@ -1,12 +1,6 @@
 open Fortran_front
 open Dependence
 
-type timings = {
-  mutable summary_s : float;
-  mutable env_s : float;
-  mutable ddg_s : float;
-}
-
 type stats = {
   env_hits : int;
   env_misses : int;
@@ -21,20 +15,33 @@ type stats = {
   ddg_s : float;
 }
 
-type counters = {
-  mutable env_hits : int;
-  mutable env_misses : int;
-  mutable invalidations : int;
-  mutable summary_hits : int;
-  mutable summary_builds : int;
-}
+let zero_stats =
+  {
+    env_hits = 0;
+    env_misses = 0;
+    invalidations = 0;
+    summary_hits = 0;
+    summary_builds = 0;
+    ddg_bucket_hits = 0;
+    ddg_bucket_misses = 0;
+    tests_run = 0;
+    summary_s = 0.;
+    env_s = 0.;
+    ddg_s = 0.;
+  }
 
 type entry = { e_fp : Fingerprint.t; e_env : Depenv.t; e_ddg : Ddg.t }
 
+(* All accounting lives in telemetry counters on [sink]; [stats] is a
+   view of those counters relative to the [base] watermark taken by
+   [reset_stats].  The dependence-test and bucket tallies are bumped
+   by [Ddg.compute ~telemetry:sink] itself — the engine only reads
+   them back. *)
 type t = {
   caching : bool;
   config : Depenv.config;
   use_interproc : bool;
+  sink : Telemetry.sink;
   mutable program : Ast.program;
   mutable asserts : Depenv.assertions;
   (* per-unit analysis results, keyed by unit name, guarded by fingerprint *)
@@ -42,32 +49,50 @@ type t = {
   (* interprocedural summaries, keyed by whole-program fingerprint *)
   summaries : (Fingerprint.t, Interproc.Summary.t) Hashtbl.t;
   ddg_cache : Ddg.cache;
-  c : counters;
-  tm : timings;
-  (* cache-counter watermarks, so stats can be reset *)
-  mutable tests_base : int;
-  mutable hits_base : int;
-  mutable misses_base : int;
+  c_env_hits : Telemetry.counter;
+  c_env_misses : Telemetry.counter;
+  c_invalidations : Telemetry.counter;
+  c_summary_hits : Telemetry.counter;
+  c_summary_builds : Telemetry.counter;
+  c_tests : Telemetry.counter;
+  c_bucket_hits : Telemetry.counter;
+  c_bucket_misses : Telemetry.counter;
+  c_summary_ns : Telemetry.counter;
+  c_env_ns : Telemetry.counter;
+  c_ddg_ns : Telemetry.counter;
+  mutable base : stats;
 }
 
 let create ?(caching = true) ?(config = Depenv.full_config)
-    ?(interproc = true) (program : Ast.program) : t =
+    ?(interproc = true) ?telemetry (program : Ast.program) : t =
+  (* a private live sink by default: counters work out of the box and
+     two engines never share accounting *)
+  let sink =
+    match telemetry with Some s -> s | None -> Telemetry.make ()
+  in
+  let c = Telemetry.counter sink in
   {
     caching;
     config;
     use_interproc = interproc;
+    sink;
     program;
     asserts = Depenv.no_assertions;
     units = Hashtbl.create 8;
     summaries = Hashtbl.create 8;
     ddg_cache = Ddg.make_cache ();
-    c =
-      { env_hits = 0; env_misses = 0; invalidations = 0; summary_hits = 0;
-        summary_builds = 0 };
-    tm = { summary_s = 0.; env_s = 0.; ddg_s = 0. };
-    tests_base = 0;
-    hits_base = 0;
-    misses_base = 0;
+    c_env_hits = c "engine.env_hits";
+    c_env_misses = c "engine.env_misses";
+    c_invalidations = c "engine.invalidations";
+    c_summary_hits = c "engine.summary_hits";
+    c_summary_builds = c "engine.summary_builds";
+    c_tests = c "ddg.tests_executed";
+    c_bucket_hits = c "ddg.bucket_hits";
+    c_bucket_misses = c "ddg.bucket_misses";
+    c_summary_ns = c "engine.summary_ns";
+    c_env_ns = c "engine.env_ns";
+    c_ddg_ns = c "engine.ddg_ns";
+    base = zero_stats;
   }
 
 let caching t = t.caching
@@ -75,6 +100,7 @@ let config t = t.config
 let use_interproc t = t.use_interproc
 let program t = t.program
 let assertions t = t.asserts
+let telemetry t = t.sink
 
 (* The single post-edit hook: every program mutation funnels through
    here.  Nothing is recomputed eagerly — stale cache entries are
@@ -83,28 +109,20 @@ let set_program t program = t.program <- program
 
 let set_assertions t asserts = t.asserts <- asserts
 
-let timed cell f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  cell := !cell +. (Unix.gettimeofday () -. t0);
-  r
-
 let summary t : Interproc.Summary.t option =
   if not t.use_interproc then None
   else begin
     let build () =
-      t.c.summary_builds <- t.c.summary_builds + 1;
-      let cell = ref t.tm.summary_s in
-      let s = timed cell (fun () -> Interproc.Summary.analyze t.program) in
-      t.tm.summary_s <- !cell;
-      s
+      Telemetry.incr t.c_summary_builds;
+      Telemetry.timed t.sink ~span_name:"engine.summary" t.c_summary_ns
+        (fun () -> Interproc.Summary.analyze t.program)
     in
     if not t.caching then Some (build ())
     else begin
       let key = Fingerprint.program t.program in
       match Hashtbl.find_opt t.summaries key with
       | Some s ->
-        t.c.summary_hits <- t.c.summary_hits + 1;
+        Telemetry.incr t.c_summary_hits;
         Some s
       | None ->
         let s = build () in
@@ -119,36 +137,30 @@ let find_unit t name =
     t.program.Ast.punits
 
 let compute_unit t summary (u : Ast.program_unit) =
-  let env_cell = ref t.tm.env_s in
   let env =
-    timed env_cell (fun () ->
+    Telemetry.timed t.sink ~span_name:"engine.env" t.c_env_ns (fun () ->
         match summary with
         | Some s ->
           Interproc.Summary.env_for ~config:t.config ~asserts:t.asserts s u
         | None -> Depenv.make ~config:t.config ~asserts:t.asserts u)
   in
-  t.tm.env_s <- !env_cell;
-  let ddg_cell = ref t.tm.ddg_s in
   let ddg =
-    timed ddg_cell (fun () ->
-        if t.caching then Ddg.compute ~cache:t.ddg_cache env
-        else begin
-          (* baseline mode still counts its pair tests, through a
-             throwaway cache that can never hit *)
-          let throwaway = Ddg.make_cache () in
-          let d = Ddg.compute ~cache:throwaway env in
-          let tests, _, _ = Ddg.cache_counters throwaway in
-          t.tests_base <- t.tests_base - tests;
-          d
-        end)
+    Telemetry.timed t.sink ~span_name:"engine.ddg" t.c_ddg_ns (fun () ->
+        if t.caching then
+          Ddg.compute ~cache:t.ddg_cache ~telemetry:t.sink env
+        else
+          (* baseline mode: no memo table, but the sink still counts
+             every pair test executed *)
+          Ddg.compute ~telemetry:t.sink env)
   in
-  t.tm.ddg_s <- !ddg_cell;
   (env, ddg)
 
 (* Demand-driven analysis of one unit: served from cache when the
    unit's fingerprint (content + config + assertions + interprocedural
    facet) is unchanged, recomputed — and re-cached — otherwise. *)
 let analysis t ~unit_name : (Depenv.t * Ddg.t) option =
+  Telemetry.span t.sink "engine.analysis" ~args:[ ("unit", unit_name) ]
+  @@ fun () ->
   match find_unit t unit_name with
   | None -> None
   | Some u ->
@@ -163,45 +175,51 @@ let analysis t ~unit_name : (Depenv.t * Ddg.t) option =
       in
       match Hashtbl.find_opt t.units unit_name with
       | Some e when String.equal e.e_fp fp ->
-        t.c.env_hits <- t.c.env_hits + 1;
+        Telemetry.incr t.c_env_hits;
         Some (e.e_env, e.e_ddg)
       | prior ->
-        if prior <> None then t.c.invalidations <- t.c.invalidations + 1;
-        t.c.env_misses <- t.c.env_misses + 1;
+        if prior <> None then Telemetry.incr t.c_invalidations;
+        Telemetry.incr t.c_env_misses;
         let env, ddg = compute_unit t summary u in
         Hashtbl.replace t.units unit_name { e_fp = fp; e_env = env; e_ddg = ddg };
         Some (env, ddg)
     end
 
-let stats t : stats =
-  let tests, hits, misses = Ddg.cache_counters t.ddg_cache in
+let seconds c = float_of_int (Telemetry.value c) /. 1e9
+
+(* Absolute counter readings (since engine creation). *)
+let read t : stats =
   {
-    env_hits = t.c.env_hits;
-    env_misses = t.c.env_misses;
-    invalidations = t.c.invalidations;
-    summary_hits = t.c.summary_hits;
-    summary_builds = t.c.summary_builds;
-    ddg_bucket_hits = hits - t.hits_base;
-    ddg_bucket_misses = misses - t.misses_base;
-    tests_run = tests - t.tests_base;
-    summary_s = t.tm.summary_s;
-    env_s = t.tm.env_s;
-    ddg_s = t.tm.ddg_s;
+    env_hits = Telemetry.value t.c_env_hits;
+    env_misses = Telemetry.value t.c_env_misses;
+    invalidations = Telemetry.value t.c_invalidations;
+    summary_hits = Telemetry.value t.c_summary_hits;
+    summary_builds = Telemetry.value t.c_summary_builds;
+    ddg_bucket_hits = Telemetry.value t.c_bucket_hits;
+    ddg_bucket_misses = Telemetry.value t.c_bucket_misses;
+    tests_run = Telemetry.value t.c_tests;
+    summary_s = seconds t.c_summary_ns;
+    env_s = seconds t.c_env_ns;
+    ddg_s = seconds t.c_ddg_ns;
   }
 
-let reset_stats t =
-  let tests, hits, misses = Ddg.cache_counters t.ddg_cache in
-  t.c.env_hits <- 0;
-  t.c.env_misses <- 0;
-  t.c.invalidations <- 0;
-  t.c.summary_hits <- 0;
-  t.c.summary_builds <- 0;
-  t.tm.summary_s <- 0.;
-  t.tm.env_s <- 0.;
-  t.tm.ddg_s <- 0.;
-  t.tests_base <- tests;
-  t.hits_base <- hits;
-  t.misses_base <- misses
+let stats t : stats =
+  let s = read t and b = t.base in
+  {
+    env_hits = s.env_hits - b.env_hits;
+    env_misses = s.env_misses - b.env_misses;
+    invalidations = s.invalidations - b.invalidations;
+    summary_hits = s.summary_hits - b.summary_hits;
+    summary_builds = s.summary_builds - b.summary_builds;
+    ddg_bucket_hits = s.ddg_bucket_hits - b.ddg_bucket_hits;
+    ddg_bucket_misses = s.ddg_bucket_misses - b.ddg_bucket_misses;
+    tests_run = s.tests_run - b.tests_run;
+    summary_s = s.summary_s -. b.summary_s;
+    env_s = s.env_s -. b.env_s;
+    ddg_s = s.ddg_s -. b.ddg_s;
+  }
+
+let reset_stats t = t.base <- read t
 
 let report t =
   let s = stats t in

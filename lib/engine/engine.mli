@@ -31,8 +31,9 @@ open Dependence
 
 type t
 
-(** Cumulative counters and per-pass wall-clock timings since creation
-    (or the last {!reset_stats}). *)
+(** Cumulative counters and per-pass monotonic-clock timings since
+    creation (or the last {!reset_stats}) — a thin view over the
+    engine's telemetry counters. *)
 type stats = {
   env_hits : int;        (** unit analyses served from cache *)
   env_misses : int;      (** unit analyses computed *)
@@ -47,14 +48,24 @@ type stats = {
   ddg_s : float;
 }
 
+(** [create ?telemetry program] — [telemetry] is the sink all engine
+    accounting (and, when it is recording, the [engine.analysis] /
+    [engine.summary] / [engine.env] / [engine.ddg] spans) is emitted
+    to.  The default is a fresh private live sink, so every engine
+    counts independently; passing {!Telemetry.null} disables
+    accounting entirely (stats read as zero). *)
 val create :
   ?caching:bool ->
   ?config:Depenv.config ->
   ?interproc:bool ->
+  ?telemetry:Telemetry.sink ->
   Ast.program ->
   t
 
 val caching : t -> bool
+
+(** The sink given to (or created by) {!create}. *)
+val telemetry : t -> Telemetry.sink
 val config : t -> Depenv.config
 val use_interproc : t -> bool
 val program : t -> Ast.program

@@ -64,6 +64,7 @@ type global = {
   validate : bool;
   max_steps : int;
   steps : int Atomic.t;
+  sink : Telemetry.sink;
   mutable epoch : int;  (* validator epoch; validate mode is sequential *)
   conflicts : (Ast.stmt_id * string * conflict_kind, conflict) Hashtbl.t;
   bad_mutex : Mutex.t;  (* first-wins capture of escaping signals *)
@@ -108,6 +109,7 @@ type wstate = {
 (* ------------------------------------------------------------------ *)
 
 let record_conflict t var kind off other =
+  Telemetry.incr (Telemetry.counter t.g.sink "runtime.validator.conflicts");
   let key = (t.mon_loop, var, kind) in
   match Hashtbl.find_opt t.g.conflicts key with
   | Some c -> c.c_count <- c.c_count + 1
@@ -791,7 +793,12 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
       Mutex.unlock t.g.bad_mutex;
       raise Abort_loop
   in
-  (try Pool.run pool ~schedule:t.g.schedule ~trip ~body:body_fn
+  (try
+     Telemetry.span t.g.sink "exec.parallel-loop"
+       ~args:
+         [ ("loop", Printf.sprintf "s%d" s.Ast.sid);
+           ("trip", string_of_int trip) ]
+       (fun () -> Pool.run pool ~schedule:t.g.schedule ~trip ~body:body_fn)
    with Abort_loop -> ());
   (* merge worker-buffered PRINT output in iteration order *)
   let outs =
@@ -965,7 +972,10 @@ let conflict_list (g : global) =
            (b.c_loop, b.c_var, b.c_kind))
 
 let run ?(domains = 4) ?(schedule = Pool.Chunk) ?(validate = false)
-    ?(max_steps = 50_000_000) (prog : Ast.program) : outcome =
+    ?(max_steps = 50_000_000) ?telemetry (prog : Ast.program) : outcome =
+  let sink =
+    match telemetry with Some s -> s | None -> Telemetry.default ()
+  in
   let units = Hashtbl.create 8 in
   List.iter
     (fun (u : Ast.program_unit) ->
@@ -983,7 +993,9 @@ let run ?(domains = 4) ?(schedule = Pool.Chunk) ?(validate = false)
   let commons = Hashtbl.create 8 in
   init_commons (Hashtbl.fold (fun _ ui acc -> ui :: acc) units []) commons;
   let plans = Plan.build prog in
-  let pool = if validate then None else Some (Pool.create domains) in
+  let pool =
+    if validate then None else Some (Pool.create ~telemetry:sink domains)
+  in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   let g =
     {
@@ -995,6 +1007,7 @@ let run ?(domains = 4) ?(schedule = Pool.Chunk) ?(validate = false)
       validate;
       max_steps;
       steps = Atomic.make 0;
+      sink;
       epoch = 0;
       conflicts = Hashtbl.create 8;
       bad_mutex = Mutex.create ();
@@ -1013,15 +1026,17 @@ let run ?(domains = 4) ?(schedule = Pool.Chunk) ?(validate = false)
   in
   let main_ui = Hashtbl.find units main.Ast.uname in
   let frame = build_frame t main_ui [] in
-  let t0 = Unix.gettimeofday () in
-  (try
+  (* monotonic wall clock: NTP slew must not skew speedup tables *)
+  let t0 = Telemetry.now_ns () in
+  (Telemetry.span sink "exec.run" @@ fun () ->
+   try
      match exec_block t main_ui frame main.Ast.body with
      | Snormal | Sreturn | Sstop -> ()
      | Sgoto l -> err "GOTO %d escapes the main program" l
    with
-  | Exit -> ()
-  | Failure msg -> err "%s" msg);
-  let wall = Unix.gettimeofday () -. t0 in
+   | Exit -> ()
+   | Failure msg -> err "%s" msg);
+  let wall = Int64.to_float (Int64.sub (Telemetry.now_ns ()) t0) /. 1e9 in
   {
     output = List.rev t.out_rev;
     wall_s = wall;

@@ -35,7 +35,7 @@ type conflict = {
 
 type outcome = {
   output : string list;
-  wall_s : float;  (** wall-clock seconds of execution proper *)
+  wall_s : float;  (** monotonic-clock seconds of execution proper *)
   stmts_executed : int;
   final_store : (string * float list) list;
       (** same shape and ordering as {!Sim.Interp.outcome.final_store} *)
@@ -51,12 +51,18 @@ type outcome = {
     @param validate run sequentially with shadow-memory conflict
       detection instead of spawning domains (default false)
     @param max_steps statement budget shared across domains
+    @param telemetry sink for runtime observability (default: the
+      process {!Telemetry.default} sink): an [exec.run] span, one
+      [exec.parallel-loop] span per parallel-loop execution, the pool's
+      per-worker spans and utilization metrics, and the
+      [runtime.validator.conflicts] counter
     @raise Runtime_error on execution errors *)
 val run :
   ?domains:int ->
   ?schedule:Pool.schedule ->
   ?validate:bool ->
   ?max_steps:int ->
+  ?telemetry:Telemetry.sink ->
   Ast.program ->
   outcome
 

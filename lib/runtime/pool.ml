@@ -23,6 +23,7 @@ type t = {
   m : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
+  sink : Telemetry.sink;
   mutable job : job option;
   mutable generation : int;
   mutable stopping : bool;
@@ -36,21 +37,42 @@ let size t = t.n
    increasing order within a worker, which the runtime relies on for
    last-value write-back. *)
 let dispatch t (job : job) w =
-  match job.sched with
-  | Chunk ->
-    let chunk = (job.trip + t.n - 1) / t.n in
-    let lo = w * chunk and hi = min job.trip ((w + 1) * chunk) in
-    let k = ref lo in
-    while !k < hi && not job.cancelled do
-      job.body ~worker:w !k;
-      incr k
-    done
-  | Self ->
-    let continue_ = ref true in
-    while !continue_ && not job.cancelled do
-      let k = Atomic.fetch_and_add job.next 1 in
-      if k >= job.trip then continue_ := false else job.body ~worker:w k
-    done
+  let tel = t.sink in
+  let iters = ref 0 in
+  let t0 = if Telemetry.metrics_on tel then Telemetry.now_ns () else 0L in
+  (* runs on the worker's own domain, so the span lands in that
+     domain's lane of the trace *)
+  Telemetry.span tel
+    (match job.sched with Chunk -> "pool.chunk" | Self -> "pool.self")
+    ~args:[ ("worker", string_of_int w) ]
+    (fun () ->
+      match job.sched with
+      | Chunk ->
+        let chunk = (job.trip + t.n - 1) / t.n in
+        let lo = w * chunk and hi = min job.trip ((w + 1) * chunk) in
+        let k = ref lo in
+        while !k < hi && not job.cancelled do
+          job.body ~worker:w !k;
+          incr k;
+          incr iters
+        done
+      | Self ->
+        let continue_ = ref true in
+        while !continue_ && not job.cancelled do
+          let k = Atomic.fetch_and_add job.next 1 in
+          if k >= job.trip then continue_ := false
+          else begin
+            job.body ~worker:w k;
+            incr iters
+          end
+        done);
+  if Telemetry.metrics_on tel then begin
+    Telemetry.add
+      (Telemetry.counter tel "pool.busy_ns")
+      (Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0));
+    Telemetry.add (Telemetry.counter tel "pool.iterations") !iters;
+    Telemetry.observe (Telemetry.histogram tel "pool.iters_per_worker") !iters
+  end
 
 let worker_loop t w () =
   let seen = ref 0 in
@@ -85,14 +107,18 @@ let worker_loop t w () =
     end
   done
 
-let create n =
+let create ?telemetry n =
   let n = max 1 n in
+  let sink =
+    match telemetry with Some s -> s | None -> Telemetry.default ()
+  in
   let t =
     {
       n;
       m = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
+      sink;
       job = None;
       generation = 0;
       stopping = false;
@@ -104,6 +130,12 @@ let create n =
 
 let run t ~schedule ~trip ~body =
   if trip > 0 then begin
+    Telemetry.incr (Telemetry.counter t.sink "pool.jobs");
+    Telemetry.span t.sink "pool.run"
+      ~args:
+        [ ("trip", string_of_int trip);
+          ("sched", schedule_to_string schedule) ]
+    @@ fun () ->
     let job =
       {
         trip;
@@ -139,6 +171,6 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let with_pool n f =
-  let t = create n in
+let with_pool ?telemetry n f =
+  let t = create ?telemetry n in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

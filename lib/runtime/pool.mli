@@ -28,8 +28,13 @@ val schedule_to_string : schedule -> string
 val schedule_of_string : string -> schedule option
 
 (** [create n] — spawn [n] worker domains ([n] is clamped to at
-    least 1). *)
-val create : int -> t
+    least 1).  [telemetry] (default: the process {!Telemetry.default}
+    sink at creation time) receives per-job [pool.run] spans on the
+    caller, per-worker [pool.chunk]/[pool.self] spans on each worker
+    domain's own lane, and worker-utilization metrics ([pool.jobs],
+    [pool.iterations], [pool.busy_ns], and the
+    [pool.iters_per_worker] histogram). *)
+val create : ?telemetry:Telemetry.sink -> int -> t
 
 (** Number of workers. *)
 val size : t -> int
@@ -50,4 +55,4 @@ val run :
 val shutdown : t -> unit
 
 (** [with_pool n f] — create, run [f], always shutdown. *)
-val with_pool : int -> (t -> 'a) -> 'a
+val with_pool : ?telemetry:Telemetry.sink -> int -> (t -> 'a) -> 'a

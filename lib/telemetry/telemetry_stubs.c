@@ -1,0 +1,24 @@
+/* Monotonic clock for telemetry spans.
+
+   OCaml's stdlib only exposes wall-clock time; span durations must
+   come from CLOCK_MONOTONIC so that NTP slew or a suspended laptop
+   cannot produce negative or wildly wrong intervals.  The unboxed
+   native variant keeps the hot path allocation-free. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t tel_clock_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value tel_clock_ns_byte(value unit)
+{
+  return caml_copy_int64(tel_clock_ns_unboxed(unit));
+}

@@ -271,6 +271,26 @@ let all =
     };
   ]
 
+(* Every diagnose/apply goes through the process-default telemetry
+   sink: catalog entries are invoked from editor commands, scripts and
+   the fuzzer alike, none of which thread a sink of their own. *)
+let instrument e =
+  {
+    e with
+    diagnose =
+      (fun env ddg args ->
+        Telemetry.span (Telemetry.default ())
+          ("transform." ^ e.name ^ ".diagnose")
+          (fun () -> e.diagnose env ddg args));
+    apply =
+      (fun env ddg args ->
+        Telemetry.span (Telemetry.default ())
+          ("transform." ^ e.name ^ ".apply")
+          (fun () -> e.apply env ddg args));
+  }
+
+let all = List.map instrument all
+
 let find name =
   List.find_opt (fun e -> String.equal e.name name) all
 

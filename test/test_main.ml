@@ -29,5 +29,6 @@ let () =
       ("integration", Test_integration.suite);
       ("property", Test_property.suite);
       ("engine", Test_engine.suite);
+      ("telemetry", Test_telemetry.suite);
       ("oracle", Test_oracle.suite);
     ]

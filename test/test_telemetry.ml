@@ -1,0 +1,220 @@
+(* lib/telemetry: counters, histograms, span discipline, concurrent
+   emission from real domains, and the exporters' structure. *)
+
+open Util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* digits → '#', for comparing timing lines byte-for-byte in shape *)
+let mask = String.map (fun c -> if c >= '0' && c <= '9' then '#' else c)
+
+let substring_count hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let suite =
+  [
+    case "counters: incr, add, interning" (fun () ->
+        let s = Telemetry.make () in
+        let c = Telemetry.counter s "a" in
+        Telemetry.incr c;
+        Telemetry.add c 4;
+        check_int "value" 5 (Telemetry.value c);
+        (* same name → same handle *)
+        Telemetry.incr (Telemetry.counter s "a");
+        check_int "interned" 6 (Telemetry.value c);
+        Telemetry.add_ns c 1_000L;
+        check_int "add_ns" 1006 (Telemetry.value c);
+        Telemetry.incr (Telemetry.counter s "b");
+        Alcotest.(check (list (pair string int)))
+          "dump" [ ("a", 1006); ("b", 1) ]
+          (List.sort compare (Telemetry.counters s)));
+    case "null sink is inert" (fun () ->
+        let c = Telemetry.counter Telemetry.null "x" in
+        Telemetry.incr c;
+        Telemetry.add c 5;
+        check_int "dead counter" 0 (Telemetry.value c);
+        let h = Telemetry.histogram Telemetry.null "h" in
+        Telemetry.observe h 3;
+        check_int "dead histogram" 0 (Telemetry.hist_count h);
+        check_bool "metrics_on" false (Telemetry.metrics_on Telemetry.null);
+        check_bool "recording" false (Telemetry.recording Telemetry.null);
+        check_int "span still runs f" 42
+          (Telemetry.span Telemetry.null "s" (fun () -> 42));
+        check_bool "no spans" true (Telemetry.spans Telemetry.null = []);
+        match Telemetry.set_recording Telemetry.null true with
+        | () -> Alcotest.fail "set_recording on null should refuse"
+        | exception Invalid_argument _ -> ());
+    case "histogram: power-of-two bucketing" (fun () ->
+        List.iter
+          (fun (v, i) ->
+            check_int (Printf.sprintf "bucket_index %d" v) i
+              (Telemetry.bucket_index v))
+          [ (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4);
+            (1023, 10); (1024, 11) ];
+        let s = Telemetry.make () in
+        let h = Telemetry.histogram s "h" in
+        List.iter (Telemetry.observe h) [ 0; 1; 2; 3; 4; 1000; -9 ];
+        check_int "count" 7 (Telemetry.hist_count h);
+        check_int "sum (negatives clamp to 0)" 1010 (Telemetry.hist_sum h);
+        Alcotest.(check (list (pair int int)))
+          "buckets (upper bound, count)"
+          [ (0, 2); (1, 1); (3, 2); (7, 1); (1023, 1) ]
+          (Telemetry.hist_buckets h));
+    case "spans: nesting, paths, args" (fun () ->
+        let s = Telemetry.make ~record_spans:true () in
+        Telemetry.span s "outer" (fun () ->
+            Telemetry.span s ~args:[ ("k", "v") ] "inner" (fun () -> ()));
+        match Telemetry.spans s with
+        | [ o; i ] ->
+          check_str "outer first (t0 order)" "outer" o.Telemetry.sp_name;
+          Alcotest.(check (list string))
+            "outer path" [ "outer" ] o.Telemetry.sp_path;
+          Alcotest.(check (list string))
+            "inner path" [ "outer"; "inner" ] i.Telemetry.sp_path;
+          check_bool "inner within outer" true
+            (o.Telemetry.sp_t0 <= i.Telemetry.sp_t0
+            && i.Telemetry.sp_t1 <= o.Telemetry.sp_t1);
+          Alcotest.(check (list (pair string string)))
+            "args" [ ("k", "v") ] i.Telemetry.sp_args
+        | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+    case "spans: exception safety and recording toggle" (fun () ->
+        let s = Telemetry.make ~record_spans:true () in
+        (try Telemetry.span s "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        check_int "span closed on raise" 1 (List.length (Telemetry.spans s));
+        Telemetry.set_recording s false;
+        Telemetry.span s "off" (fun () -> ());
+        check_int "not recorded when off" 1 (List.length (Telemetry.spans s));
+        Telemetry.set_recording s true;
+        Telemetry.span s "on" (fun () -> ());
+        check_int "recorded again" 2 (List.length (Telemetry.spans s));
+        Telemetry.reset_spans s;
+        check_bool "reset" true (Telemetry.spans s = []));
+    case "spans: close discipline" (fun () ->
+        let s = Telemetry.make ~record_spans:true () in
+        let a = Telemetry.open_span s "a" in
+        let b = Telemetry.open_span s "b" in
+        (match Telemetry.close_span a with
+        | () -> Alcotest.fail "out-of-order close should raise"
+        | exception Telemetry.Discipline _ -> ());
+        Telemetry.close_span b;
+        (match Telemetry.close_span b with
+        | () -> Alcotest.fail "double close should raise"
+        | exception Telemetry.Discipline _ -> ());
+        Telemetry.close_span a;
+        check_int "both spans landed" 2 (List.length (Telemetry.spans s)));
+    case "timed: accumulates and returns" (fun () ->
+        let s = Telemetry.make () in
+        let c = Telemetry.counter s "ns" in
+        check_int "result" 7 (Telemetry.timed s c (fun () -> 7));
+        check_bool "nanoseconds accumulated" true (Telemetry.value c >= 0);
+        check_int "null timed still runs f" 3
+          (Telemetry.timed Telemetry.null
+             (Telemetry.counter Telemetry.null "ns")
+             (fun () -> 3)));
+    case "concurrent domains: no torn records, one lane each" (fun () ->
+        let s = Telemetry.make ~record_spans:true () in
+        let per = 200 in
+        let doms =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to per do
+                    Telemetry.span s "outer" (fun () ->
+                        Telemetry.span s "inner" (fun () ->
+                            Telemetry.incr (Telemetry.counter s "n")))
+                  done;
+                  (Domain.self () :> int)))
+        in
+        let tids = List.map Domain.join doms in
+        check_int "counter total" (4 * per)
+          (Telemetry.value (Telemetry.counter s "n"));
+        let sp = Telemetry.spans s in
+        check_int "span total" (4 * per * 2) (List.length sp);
+        List.iter
+          (fun (r : Telemetry.span_record) ->
+            check_bool "path well-formed" true
+              (r.Telemetry.sp_path = [ "outer" ]
+              || r.Telemetry.sp_path = [ "outer"; "inner" ]);
+            check_bool "times ordered" true
+              (r.Telemetry.sp_t0 <= r.Telemetry.sp_t1))
+          sp;
+        List.iter
+          (fun tid ->
+            check_int
+              (Printf.sprintf "domain %d emitted its own" tid)
+              (per * 2)
+              (List.length
+                 (List.filter (fun r -> r.Telemetry.sp_tid = tid) sp)))
+          tids;
+        (* the accessor's (tid, t0) sort *)
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+            (a.Telemetry.sp_tid < b.Telemetry.sp_tid
+            || (a.Telemetry.sp_tid = b.Telemetry.sp_tid
+               && a.Telemetry.sp_t0 <= b.Telemetry.sp_t0))
+            && sorted rest
+          | _ -> true
+        in
+        check_bool "sorted by (tid, t0)" true (sorted sp));
+    case "chrome trace: envelope, lanes, events" (fun () ->
+        let s = Telemetry.make ~record_spans:true () in
+        Telemetry.span s "a" (fun () ->
+            Telemetry.span s ~args:[ ("q", "\"quoted\"") ] "b" (fun () -> ()));
+        let j = Telemetry.chrome_trace s in
+        check_bool "envelope" true
+          (String.length j > 16 && String.sub j 0 16 = {|{"traceEvents":[|});
+        check_int "one X event per span" 2 (substring_count j {|"ph":"X"|});
+        check_int "one thread_name lane" 1 (substring_count j {|"ph":"M"|});
+        check_bool "escapes args" true
+          (substring_count j {|\"quoted\"|} = 1));
+    case "metrics json and profile report" (fun () ->
+        let s = Telemetry.make ~record_spans:true () in
+        Telemetry.add (Telemetry.counter s "c1") 3;
+        Telemetry.observe (Telemetry.histogram s "h1") 5;
+        Telemetry.span s "sp" (fun () -> ());
+        let m = Telemetry.metrics_json s in
+        check_bool "counters object" true (substring_count m {|"c1":3|} = 1);
+        check_bool "histograms object" true (substring_count m {|"h1"|} = 1);
+        let p = Telemetry.profile_report s in
+        check_bool "report names span" true (substring_count p "sp" >= 1);
+        check_bool "report names counter" true (substring_count p "c1" = 1));
+    case "engine report: --engine-stats format unchanged" (fun () ->
+        let w = Option.get (Workloads.by_name "matmul") in
+        let sess =
+          Ped.Session.load (Workloads.program w)
+            ~unit_name:(Workloads.main_unit w)
+        in
+        let st = Ped.Session.engine_stats sess in
+        let lines =
+          String.split_on_char '\n' (Ped.Session.engine_report sess)
+        in
+        check_int "line count" 6 (List.length lines);
+        check_str "header" "engine: incremental (caching)" (List.nth lines 0);
+        check_str "unit analyses"
+          (Printf.sprintf
+             "  unit analyses : %d cached, %d computed (%d invalidated)"
+             st.Engine.env_hits st.Engine.env_misses st.Engine.invalidations)
+          (List.nth lines 1);
+        check_str "summaries"
+          (Printf.sprintf "  summaries     : %d cached, %d built"
+             st.Engine.summary_hits st.Engine.summary_builds)
+          (List.nth lines 2);
+        check_str "ddg buckets"
+          (Printf.sprintf "  ddg buckets   : %d cached, %d computed"
+             st.Engine.ddg_bucket_hits st.Engine.ddg_bucket_misses)
+          (List.nth lines 3);
+        check_str "pair tests"
+          (Printf.sprintf "  pair tests run: %d" st.Engine.tests_run)
+          (List.nth lines 4);
+        check_str "time line shape"
+          "  time          : summary #.####s, scalar env #.####s, ddg #.####s"
+          (mask (List.nth lines 5)));
+  ]
