@@ -1091,6 +1091,99 @@ let telemetry_overhead () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* precision: the analysis-precision dashboard.  Per-tier disproval /  *)
+(* assumed / proven counts over every unit of the workload corpus      *)
+(* (straight from the DDGs' provenance records), plus the dependence   *)
+(* oracle's spurious-edge rate attributed to the deciding tier over a  *)
+(* generated corpus.  Written as BENCH_precision.json for CI trends.   *)
+(* ------------------------------------------------------------------ *)
+
+let precision_json = "BENCH_precision.json"
+
+let precision_run ~fuzz_n ~small label =
+  header
+    (Printf.sprintf
+       "Precision dashboard (%s): which tier decides, what is assumed, what \
+        the oracle refutes"
+       label);
+  let p = Explain.Precision.create () in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let sess =
+        Ped.Session.load (Workloads.program w)
+          ~unit_name:(Workloads.main_unit w)
+      in
+      List.iter
+        (fun (u : Ast.program_unit) ->
+          match Ped.Session.focus sess u.Ast.uname with
+          | Ok () ->
+            let ddg = Ped.Session.ddg sess in
+            List.iter
+              (fun (tier, n) ->
+                Explain.Precision.add p ~tier Explain.Provenance.Disproved n)
+              (Ddg.disproved_by_tier ddg);
+            List.iter
+              (fun (tier, n) ->
+                Explain.Precision.add p ~tier Explain.Provenance.Assumed n)
+              (Ddg.assumed_by_tier ddg);
+            List.iter
+              (fun (tier, n) ->
+                Explain.Precision.add p ~tier Explain.Provenance.Proven n)
+              (Ddg.proven_by_tier ddg)
+          | Error _ -> ())
+        (Ped.Session.program sess).Ast.punits)
+    Workloads.all;
+  let cfg =
+    {
+      Oracle.Driver.default with
+      Oracle.Driver.n = fuzz_n;
+      seed = 42;
+      oracles = [ Oracle.Driver.Dep ];
+      gen_cfg = (if small then Oracle.Gen.small else Oracle.Gen.default);
+      progress = ignore;
+    }
+  in
+  let t0 = now_s () in
+  let s = Oracle.Driver.run cfg in
+  let dt = now_s () -. t0 in
+  List.iter
+    (fun (tier, n) -> Explain.Precision.add_spurious p ~tier n)
+    s.Oracle.Driver.dep_spurious_by_tier;
+  Printf.printf "%-16s %10s %10s %10s %10s\n" "tier" "disproved" "assumed"
+    "proven" "spurious";
+  List.iter
+    (fun (tier, dis, asm, prv, spu) ->
+      Printf.printf "%-16s %10d %10d %10d %10d\n" tier dis asm prv spu)
+    (Explain.Precision.rows p);
+  Printf.printf
+    "assumed fraction: %.4f over %d surviving edges (workload corpus)\n"
+    (Explain.Precision.assumed_fraction p)
+    (Explain.Precision.total_edges p);
+  Printf.printf
+    "oracle: %d fuzz programs, %d edges realized, %d spurious (%.1fs)\n"
+    s.Oracle.Driver.programs s.Oracle.Driver.dep_realized
+    s.Oracle.Driver.dep_spurious dt;
+  let oc = open_out precision_json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": %S,\n\
+    \  \"fuzz_programs\": %d,\n\
+    \  \"oracle_realized\": %d,\n\
+    \  \"oracle_spurious\": %d,\n\
+    \  \"dashboard\": %s\n\
+     }\n"
+    label s.Oracle.Driver.programs s.Oracle.Driver.dep_realized
+    s.Oracle.Driver.dep_spurious
+    (Explain.Precision.to_json p);
+  close_out oc;
+  Printf.printf "wrote %s\n" precision_json
+
+let precision () = precision_run ~fuzz_n:150 ~small:false "precision"
+
+let precision_smoke () =
+  precision_run ~fuzz_n:25 ~small:true "precision-smoke"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1109,6 +1202,8 @@ let experiments =
     ("editburst", editburst);
     ("editburst-smoke", editburst_smoke);
     ("fuzz-smoke", fuzz_smoke);
+    ("precision", precision);
+    ("precision-smoke", precision_smoke);
     ("telemetry-overhead", telemetry_overhead);
     ("bench", microbench);
   ]

@@ -83,6 +83,39 @@ let auto_parallelize ?telemetry (program : Ast.program)
     (Ped.Session.program sess).Ast.punits;
   (Ped.Session.program sess)
 
+(* The validator's static predictor: a (loop, variable, kind) -> dep id
+   map over every unit's dependence graph, so each observed conflict is
+   tagged with the static edge that foresaw it — or flagged unpredicted
+   when no edge did. *)
+let build_predictor ?telemetry (program : Ast.program) =
+  let kind_str = function
+    | Dependence.Ddg.Flow -> "flow"
+    | Dependence.Ddg.Anti -> "anti"
+    | Dependence.Ddg.Output -> "output"
+    | Dependence.Ddg.Control -> "control"
+  in
+  let tag = Explain.Tag.create () in
+  let sess =
+    Ped.Session.load ?telemetry program ~unit_name:(main_unit_of program)
+  in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      match Ped.Session.focus sess u.Ast.uname with
+      | Ok () ->
+        List.iter
+          (fun (d : Dependence.Ddg.dep) ->
+            match d.Dependence.Ddg.carrier with
+            | Some loop ->
+              Explain.Tag.add tag ~loop ~var:d.Dependence.Ddg.var
+                ~kind:(kind_str d.Dependence.Ddg.kind)
+                ~dep:d.Dependence.Ddg.dep_id
+            | None -> ())
+          (Ped.Session.ddg sess).Dependence.Ddg.deps
+      | Error _ -> ())
+    program.Ast.punits;
+  fun loop var kind ->
+    Explain.Tag.find tag ~loop ~var ~kind:(Runtime.Exec.kind_to_string kind)
+
 (* (name, program, assertion script) targets of this invocation *)
 let targets file workload =
   match (file, workload) with
@@ -128,7 +161,10 @@ let execute_one name program script ~domains ~schedule ~validate
   let n_conflicts =
     if not validate then 0
     else begin
-      let v = Runtime.Exec.run ~validate:true ?telemetry par_program in
+      let predict = build_predictor ?telemetry par_program in
+      let v =
+        Runtime.Exec.run ~validate:true ~predict ?telemetry par_program
+      in
       (match v.Runtime.Exec.conflicts with
       | [] ->
         Printf.printf "  validator: no cross-iteration conflicts observed\n%!"
@@ -207,13 +243,14 @@ let calibrate_mode file workload =
 (* ------------------------------------------------------------------ *)
 
 let main file workload unit_name script no_interproc exec domains schedule
-    validate force_parallel order seed calibrate engine_stats profile trace =
+    validate force_parallel order seed calibrate engine_stats profile trace
+    metrics =
   (* one recording sink, installed as the process default, so the
      session, the transformation catalog, the analysis passes and the
      runtime workers all emit to the same place *)
   let sink =
-    if profile || trace <> None then begin
-      let s = Telemetry.make ~record_spans:true () in
+    if profile || trace <> None || metrics <> None then begin
+      let s = Telemetry.make ~record_spans:(profile || trace <> None) () in
       Telemetry.set_default s;
       Some s
     end
@@ -230,7 +267,15 @@ let main file workload unit_name script no_interproc exec domains schedule
             "trace written to %s (open in chrome://tracing or \
              ui.perfetto.dev)\n%!"
             path)
-        trace
+        trace;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Telemetry.metrics_json s);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "metrics written to %s\n%!" path)
+        metrics
     | None -> ());
     if not ok then exit 1
   in
@@ -283,8 +328,13 @@ let main file workload unit_name script no_interproc exec domains schedule
 
 open Cmdliner
 
+(* Not positional: a [Cmd.group] reads the first positional argument
+   as a sub-command name, so [ped FILE.f] would be rejected as an
+   unknown command.  The driver below rewrites a leading non-option
+   argument into [--file], keeping the documented usage working. *)
 let file =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:"Fortran source file")
 
 let workload =
   Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
@@ -355,6 +405,12 @@ let trace =
          ~doc:"Record telemetry spans and write a Chrome trace_event JSON \
                file on exit — one lane per OCaml domain; open it in \
                chrome://tracing or ui.perfetto.dev")
+
+let metrics =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the telemetry counters (dependence-test disprovals per \
+               tier, assumed/proven edges, cache hits, validator conflicts) \
+               as JSON to FILE on exit")
 
 (* ------------------------------------------------------------------ *)
 (* fuzz subcommand: the differential-testing oracles                   *)
@@ -436,8 +492,17 @@ let cmd =
   let default =
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
-          $ order $ seed $ calibrate $ engine_stats $ profile $ trace)
+          $ order $ seed $ calibrate $ engine_stats $ profile $ trace
+          $ metrics)
   in
   Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () =
+  let argv =
+    match Array.to_list Sys.argv with
+    | exe :: a :: rest
+      when a <> "fuzz" && String.length a > 0 && a.[0] <> '-' ->
+      Array.of_list (exe :: "--file" :: a :: rest)
+    | _ -> Sys.argv
+  in
+  exit (Cmd.eval ~argv cmd)

@@ -12,6 +12,8 @@ let help_text =
       "  vars | display | stats";
       "  mark N accept|reject|pending";
       "  assert VAR = N | assert VAR in LO HI | assert perm ARR | private sN VAR";
+      "  why N | why sA:sB   (provenance of a dependence / of its absence)";
+      "  explain T ARGS      (diagnosis plus the blocking edges' provenance)";
       "  preview T ARGS | apply T ARGS [!] | edit sN TEXT | undo | redo | history";
       "  diff (changes vs the loaded program) | write FILE";
       "  estimate [P] | advise | simulate [P] [seq|reverse|shuffle [SEED]]";
@@ -88,6 +90,79 @@ let rec update_filter t (f : Filter.dep_filter) toks =
     match parse_sid t tok with
     | Some sid -> update_filter t { f with Filter.f_stmt = Some sid } rest
     | None -> Error (Printf.sprintf "unknown filter word %s" tok))
+
+(* The why command's pair form: every tested outcome between two
+   statements — surviving edges with their provenance, and the
+   disproved-pair table's answer to "why is there NO dependence". *)
+let why_pair t ~src ~dst =
+  let ddg = Session.ddg t in
+  let deps =
+    List.filter
+      (fun (d : Ddg.dep) ->
+        (d.Ddg.src = src && d.Ddg.dst = dst)
+        || (d.Ddg.src = dst && d.Ddg.dst = src))
+      ddg.Ddg.deps
+  in
+  let nodeps = Ddg.why_no ddg ~src ~dst in
+  let dep_blocks =
+    List.map
+      (fun (d : Ddg.dep) ->
+        Explain.Chain.render_to_string
+          ~header:(Format.asprintf "#%d %a" d.Ddg.dep_id Ddg.pp_dep d)
+          d.Ddg.prov)
+      deps
+  in
+  let nodep_blocks =
+    List.map
+      (fun (nd : Ddg.nodep) ->
+        Explain.Chain.render_to_string
+          ~header:
+            (Printf.sprintf "no dependence on %s: s%d -> s%d" nd.Ddg.nd_var
+               nd.Ddg.nd_src nd.Ddg.nd_dst)
+          nd.Ddg.nd_prov)
+      nodeps
+  in
+  match dep_blocks @ nodep_blocks with
+  | [] ->
+    Printf.sprintf "nothing recorded between s%d and s%d (no pair tested)" src
+      dst
+  | blocks -> String.concat "\n" blocks
+
+let why_dep t id =
+  match Ddg.find_dep (Session.ddg t) id with
+  | Some d ->
+    Explain.Chain.render_to_string
+      ~header:(Format.asprintf "#%d %a" d.Ddg.dep_id Ddg.pp_dep d)
+      d.Ddg.prov
+  | None -> Printf.sprintf "error: no dependence #%d" id
+
+(* The explain command walks from a diagnosis to the provenance of
+   each blocking edge it names. *)
+let explain_transform t name args =
+  match Session.explain t name args with
+  | Error e -> "error: " ^ e
+  | Ok d ->
+    let blocking = Transform.Diagnosis.blocking d in
+    let chains =
+      List.map
+        (fun id ->
+          match Ddg.find_dep (Session.ddg t) id with
+          | Some dep ->
+            Explain.Chain.render_to_string
+              ~header:(Format.asprintf "#%d %a" id Ddg.pp_dep dep)
+              dep.Ddg.prov
+          | None ->
+            Printf.sprintf
+              "#%d (edge of the transformed candidate, not in the current \
+               graph)"
+              id)
+        blocking
+    in
+    String.concat "\n"
+      (Transform.Diagnosis.to_string d
+      ::
+      (if blocking = [] then []
+       else "blocking dependences:" :: chains))
 
 (* A minimal LCS diff over source lines, for the [diff] command. *)
 let line_diff (a : string array) (b : string array) : string list =
@@ -272,6 +347,21 @@ let run (t : Session.t) (line : string) : string =
       Session.privatize t sid var;
       Printf.sprintf "%s is private in loop s%d" var sid
     | None -> "error: usage: private sN VAR")
+  | [ "why"; tok ] when String.contains tok ':' -> (
+    match String.split_on_char ':' tok with
+    | [ a; b ] -> (
+      match (parse_sid t a, parse_sid t b) with
+      | Some src, Some dst -> why_pair t ~src ~dst
+      | _ -> "error: usage: why N | why sA:sB")
+    | _ -> "error: usage: why N | why sA:sB")
+  | [ "why"; n ] -> (
+    match int_of_string_opt n with
+    | Some id -> why_dep t id
+    | None -> "error: usage: why N | why sA:sB")
+  | "explain" :: name :: rest -> (
+    match parse_transform_args t rest with
+    | Some args -> explain_transform t name args
+    | None -> "error: bad transformation arguments")
   | "preview" :: name :: rest -> (
     match parse_transform_args t rest with
     | Some args -> (

@@ -256,6 +256,8 @@ let diagnose_in_session t name args =
          t.env t.ddg sid)
   | _ -> preview t name args
 
+let explain = diagnose_in_session
+
 let transform ?(force = false) t name args =
   match Transform.Catalog.find name with
   | None -> Error (Printf.sprintf "unknown transformation %s" name)

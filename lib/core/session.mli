@@ -142,6 +142,14 @@ val privatize : t -> Ast.stmt_id -> string -> unit
 val preview :
   t -> string -> Transform.Catalog.args -> (Transform.Diagnosis.t, string) result
 
+(** [explain t name args] — the diagnosis exactly as [transform] would
+    compute it: unlike [preview], it respects the session's user
+    contributions (rejected dependences, privatized scalars).  The
+    [explain] command pairs it with each blocking dependence's
+    provenance chain. *)
+val explain :
+  t -> string -> Transform.Catalog.args -> (Transform.Diagnosis.t, string) result
+
 (** [transform ?force t name args] — diagnose and, when applicable and
     safe (or [force]d by the user, as Ped permits), apply and refresh.
     Returns the diagnosis and whether it was applied; when the

@@ -24,6 +24,7 @@ type dep = {
   exact : bool;
   test : string;
   is_scalar : bool;
+  prov : Explain.Provenance.t;
 }
 
 let pp_dep ppf d =
@@ -42,6 +43,13 @@ let pp_dep ppf d =
     | None -> " loop-independent")
     (if d.exact then " [proven]" else " [pending]")
 
+type nodep = {
+  nd_var : string;
+  nd_src : Ast.stmt_id;
+  nd_dst : Ast.stmt_id;
+  nd_prov : Explain.Provenance.t;
+}
+
 type stats = {
   pairs_tested : int;
   disproved : (string * int) list;
@@ -49,7 +57,7 @@ type stats = {
   pending : int;
 }
 
-type t = { deps : dep list; stats : stats }
+type t = { deps : dep list; nodeps : nodep list; stats : stats }
 
 (* ------------------------------------------------------------------ *)
 (* Reference collection                                                *)
@@ -61,9 +69,19 @@ type aref = {
   r_subs : Ast.expr list;
   r_write : bool;
   r_pos : int;  (* flattened source position, for intra-iteration order *)
+  r_call : bool;  (* a CALL's Mod/Ref summary, not a source subscript *)
 }
 
 let star_expr = Ast.Index ("%STAR", [])
+
+(* Render a reference for provenance records; a CALL's whole-array
+   summary prints a star subscript. *)
+let render_ref (r : aref) =
+  Printf.sprintf "%s(%s)" r.r_array
+    (String.concat ","
+       (List.map
+          (fun e -> if e = star_expr then "*" else Pretty.expr_to_string e)
+          r.r_subs))
 
 let collect_refs (env : Depenv.t) : aref list =
   let pos = ref 0 in
@@ -76,14 +94,14 @@ let collect_refs (env : Depenv.t) : aref list =
         (fun (a, subs) ->
           acc :=
             { r_sid = s.Ast.sid; r_array = a; r_subs = subs; r_write = true;
-              r_pos = p }
+              r_pos = p; r_call = false }
             :: !acc)
         (Defuse.array_writes env.Depenv.ctx s);
       List.iter
         (fun (a, subs) ->
           acc :=
             { r_sid = s.Ast.sid; r_array = a; r_subs = subs; r_write = false;
-              r_pos = p }
+              r_pos = p; r_call = false }
             :: !acc)
         (Defuse.array_reads env.Depenv.ctx s);
       (* array side effects of calls, as pseudo-references *)
@@ -98,7 +116,7 @@ let collect_refs (env : Depenv.t) : aref list =
           in
           acc :=
             { r_sid = s.Ast.sid; r_array = a; r_subs = subs; r_write = is_write;
-              r_pos = p }
+              r_pos = p; r_call = true }
             :: !acc)
         (env.Depenv.call_refs s))
     env.Depenv.punit.Ast.body;
@@ -137,6 +155,7 @@ let first_non_eq (dv : Dtest.direction array) : (int * Dtest.direction) option =
 
 type bucket = {
   b_deps : dep list;  (* emission order; dep_ids are renumbered on merge *)
+  b_nodeps : nodep list;  (* disproved pairs, emission order *)
   b_pairs : int;
   b_disproved : (string * int) list;
 }
@@ -242,6 +261,7 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
   (* ---- one bucket of pair tests ---- *)
   let test_bucket idx_a idx_b ~same : bucket =
     let deps = ref [] in
+    let nodeps = ref [] in
     let pairs = ref 0 in
     let disproved : (string, int) Hashtbl.t = Hashtbl.create 4 in
     let bump tbl k =
@@ -265,6 +285,28 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
         (match cache with Some c -> c.tests_executed <- c.tests_executed + 1 | None -> ());
         let common = Loopnest.common env.Depenv.nest r1.r_sid r2.r_sid in
         let n = List.length common in
+        (* ddg-level provenance context the pure tester cannot see:
+           the rendered pair, alias uncertainty, call summaries *)
+        let enrich ~swap (prov : Explain.Provenance.t) =
+          let a, b = (render_ref r1, render_ref r2) in
+          let extra =
+            (if alias_kind = `May then
+               [ Explain.Provenance.May_alias (r1.r_array, r2.r_array) ]
+             else [])
+            @ (if r1.r_call then
+                 [ Explain.Provenance.Call_summary r1.r_array ]
+               else [])
+            @
+            if
+              r2.r_call
+              && ((not r1.r_call) || not (String.equal r1.r_array r2.r_array))
+            then [ Explain.Provenance.Call_summary r2.r_array ]
+            else []
+          in
+          { prov with
+            Explain.Provenance.pair = Some (if swap then (b, a) else (a, b));
+            assumptions = extra @ prov.Explain.Provenance.assumptions }
+        in
         let result =
           match
             (if alias_kind = `Aligned then Subscript.normalize env common
@@ -275,22 +317,47 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
             let d2 = Subscript.analyze_ref env ~norm r2.r_sid r2.r_subs in
             Dtest.test_pair ~telemetry:tel env ~common:norm
               ~src:(r1.r_sid, d1) ~dst:(r2.r_sid, d2)
-          | None ->
+          | None -> (
             (* unnormalizable nest: assume dependence in all directions *)
-            Dtest.solve ~telemetry:tel
-              {
-                Dtest.nloops = n;
-                trips = Array.make n None;
-                trips_exact = Array.map (fun _ -> true) (Array.make n None);
-                lo_known = Array.make n false;
-                dims =
-                  [ { Dtest.a = Array.make n 0; b = Array.make n 0; c = 0;
-                      usable = false } ];
-              }
+            let r =
+              Dtest.solve ~telemetry:tel
+                {
+                  Dtest.nloops = n;
+                  trips = Array.make n None;
+                  trips_exact = Array.map (fun _ -> true) (Array.make n None);
+                  lo_known = Array.make n false;
+                  dims =
+                    [ { Dtest.a = Array.make n 0; b = Array.make n 0; c = 0;
+                        usable = false } ];
+                }
+            in
+            (* the synthetic problem's own assumptions are noise — the
+               real reason is the incomparable subscript base *)
+            match r with
+            | Dtest.Dependent { dirs; dist; exact; test; prov } ->
+              Dtest.Dependent
+                { dirs; dist; exact; test;
+                  prov =
+                    { prov with
+                      Explain.Provenance.loops =
+                        Array.of_list
+                          (List.map
+                             (fun (lp : Loopnest.loop) ->
+                               lp.Loopnest.header.Ast.dvar)
+                             common);
+                      assumptions =
+                        (if alias_kind = `May then []
+                         else [ Explain.Provenance.Unnormalized ]) } }
+            | r -> r)
         in
         match result with
-        | Dtest.Independent { test } -> bump disproved test
-        | Dtest.Dependent { dirs; dist; exact; test } ->
+        | Dtest.Independent { test; prov } ->
+          bump disproved test;
+          nodeps :=
+            { nd_var = r1.r_array; nd_src = r1.r_sid; nd_dst = r2.r_sid;
+              nd_prov = enrich ~swap:false prov }
+            :: !nodeps
+        | Dtest.Dependent { dirs; dist; exact; test; prov } ->
           (* partition surviving direction vectors by orientation *)
           let fwd = ref [] and bwd = ref [] and eq_fwd = ref false and eq_bwd = ref false in
           List.iter
@@ -316,7 +383,7 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
             else if src_write then Flow
             else Anti
           in
-          let emit ~src ~dst ~dvs ~loop_indep ~dist =
+          let emit ~src ~dst ~dvs ~loop_indep ~dist ~prov =
             if dvs <> [] || loop_indep then begin
               (* group carried vectors by carrying level *)
               let by_level = Hashtbl.create 4 in
@@ -350,17 +417,19 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
                       exact;
                       test;
                       is_scalar = false;
+                      prov;
                     }
                     :: !deps)
                 by_level
             end
           in
-          emit ~src:r1 ~dst:r2 ~dvs:(List.rev !fwd) ~loop_indep:!eq_fwd ~dist;
+          emit ~src:r1 ~dst:r2 ~dvs:(List.rev !fwd) ~loop_indep:!eq_fwd ~dist
+            ~prov:(enrich ~swap:false prov);
           (* a self-pair's backward vectors mirror its forward ones *)
           if not self_pair then begin
             let neg_dist = Array.map (Option.map (fun d -> -d)) dist in
             emit ~src:r2 ~dst:r1 ~dvs:(List.rev !bwd) ~loop_indep:!eq_bwd
-              ~dist:neg_dist
+              ~dist:neg_dist ~prov:(enrich ~swap:true prov)
           end
       end
     in
@@ -371,6 +440,7 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
     else Array.iter (fun i -> Array.iter (fun j -> do_pair i j) idx_b) idx_a;
     {
       b_deps = List.rev !deps;
+      b_nodeps = List.rev !nodeps;
       b_pairs = !pairs;
       b_disproved =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) disproved []
@@ -415,6 +485,7 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
 
   (* ---- array dependences, bucket by bucket in canonical order ---- *)
   let array_deps = ref [] in
+  let nodeps_acc = ref [] in
   let pairs_tested = ref 0 in
   let disproved : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let bump_n tbl k n =
@@ -447,6 +518,7 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
         in
         pairs_tested := !pairs_tested + b.b_pairs;
         List.iter (fun (t, n) -> bump_n disproved t n) b.b_disproved;
+        List.iter (fun nd -> nodeps_acc := nd :: !nodeps_acc) b.b_nodeps;
         List.iter (fun d -> array_deps := d :: !array_deps) b.b_deps
       end
     done
@@ -511,6 +583,9 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
                   exact = false;
                   test = "scalar";
                   is_scalar = true;
+                  prov =
+                    Explain.Provenance.simple ~tier:"scalar"
+                      Explain.Provenance.Assumed;
                 }
                 :: !deps
             in
@@ -549,6 +624,10 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
         exact;
         test;
         is_scalar = true;
+        prov =
+          Explain.Provenance.simple ~tier:test
+            (if exact then Explain.Provenance.Proven
+             else Explain.Provenance.Assumed);
       }
       :: !deps
   in
@@ -618,6 +697,9 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
           exact = true;
           test = "control";
           is_scalar = false;
+          prov =
+            Explain.Provenance.simple ~tier:"control"
+              Explain.Provenance.Proven;
         }
         :: !deps)
     env.Depenv.control;
@@ -652,9 +734,25 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
     Telemetry.add (c "ddg.deps_pending") stats.pending;
     List.iter
       (fun (t, n) -> Telemetry.add (c ("dtest.disproved." ^ t)) n)
-      stats.disproved
+      stats.disproved;
+    (* provenance tallies: which tier each surviving edge came from *)
+    let by_tier = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        let key =
+          ( d.prov.Explain.Provenance.tier,
+            d.prov.Explain.Provenance.outcome = Explain.Provenance.Proven )
+        in
+        Hashtbl.replace by_tier key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_tier key)))
+      data_deps;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_tier []
+    |> List.sort compare
+    |> List.iter (fun ((tier, proven), n) ->
+           let prefix = if proven then "dtest.proven." else "dtest.assumed." in
+           Telemetry.add (c (prefix ^ tier)) n)
   end;
-  { deps; stats }
+  { deps; nodeps = List.rev !nodeps_acc; stats }
 
 let compute ?cache ?telemetry (env : Depenv.t) : t =
   let tel =
@@ -672,6 +770,40 @@ let compute ?cache ?telemetry (env : Depenv.t) : t =
    arrays), and dep ids are renumbered in canonical emission order, so
    polymorphic equality is exactly structural identity. *)
 let equal (a : t) (b : t) = a = b
+
+let find_dep t id = List.find_opt (fun d -> d.dep_id = id) t.deps
+
+let why_no t ~src ~dst =
+  List.filter
+    (fun nd ->
+      (nd.nd_src = src && nd.nd_dst = dst)
+      || (nd.nd_src = dst && nd.nd_dst = src))
+    t.nodeps
+
+let tally_by_tier tiers =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun tier ->
+      Hashtbl.replace tbl tier
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tier)))
+    tiers;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let deps_by_tier t outcome =
+  tally_by_tier
+    (List.filter_map
+       (fun d ->
+         if d.prov.Explain.Provenance.outcome = outcome then
+           Some d.prov.Explain.Provenance.tier
+         else None)
+       t.deps)
+
+let assumed_by_tier t = deps_by_tier t Explain.Provenance.Assumed
+let proven_by_tier t = deps_by_tier t Explain.Provenance.Proven
+
+let disproved_by_tier t =
+  tally_by_tier
+    (List.map (fun nd -> nd.nd_prov.Explain.Provenance.tier) t.nodeps)
 
 let carried_by t loop_sid =
   List.filter (fun d -> d.carrier = Some loop_sid) t.deps

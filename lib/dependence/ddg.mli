@@ -35,9 +35,21 @@ type dep = {
   exact : bool;  (** proven by an exact test (editor mark: proven) *)
   test : string;
   is_scalar : bool;
+  prov : Explain.Provenance.t;
+      (** why this edge exists: the deciding tier, its outcome, the
+          tested reference pair, and the assumptions consulted *)
 }
 
 val pp_dep : Format.formatter -> dep -> unit
+
+(** A disproved reference pair — the entry of the no-dependence table
+    that answers "why is there NO dependence here?". *)
+type nodep = {
+  nd_var : string;
+  nd_src : Ast.stmt_id;
+  nd_dst : Ast.stmt_id;
+  nd_prov : Explain.Provenance.t;
+}
 
 (** Dependence-test statistics: how many reference pairs each test
     disproved, how many dependences were proven vs assumed. *)
@@ -48,7 +60,7 @@ type stats = {
   pending : int;
 }
 
-type t = { deps : dep list; stats : stats }
+type t = { deps : dep list; nodeps : nodep list; stats : stats }
 
 (** A memo table for the expensive array-dependence pair tests.
 
@@ -81,13 +93,31 @@ val cache_counters : cache -> int * int * int
     bucket, and counters: [ddg.pairs_tested] (all pairs, including
     cache-replayed), [ddg.tests_executed] (pair tests actually run),
     [ddg.bucket_hits]/[ddg.bucket_misses], [ddg.deps_proven]/
-    [ddg.deps_pending], and [dtest.disproved.<test>]. *)
+    [ddg.deps_pending], [dtest.disproved.<test>], and the per-tier
+    provenance tallies [dtest.assumed.<tier>] / [dtest.proven.<tier>]. *)
 val compute : ?cache:cache -> ?telemetry:Telemetry.sink -> Depenv.t -> t
 
 (** Structural identity of two graphs (deps and statistics).  Cache-
     assisted, engine-served and from-scratch builds of the same unit
     must all be [equal] — the invariant the engine fuzz tests pin. *)
 val equal : t -> t -> bool
+
+(** The dependence with the given id, if any. *)
+val find_dep : t -> int -> dep option
+
+(** [why_no t ~src ~dst] — the disproved reference pairs between the
+    two statements, in either orientation: the provenance of the
+    absence of a dependence. *)
+val why_no : t -> src:Ast.stmt_id -> dst:Ast.stmt_id -> nodep list
+
+(** Edges grouped by the provenance tier that decided them, sorted by
+    tier name — the precision dashboard's raw material.  [assumed] and
+    [proven] partition {!t.deps}; [disproved] tallies {!t.nodeps} (and
+    agrees with {!stats.disproved} on the array pairs). *)
+val assumed_by_tier : t -> (string * int) list
+
+val proven_by_tier : t -> (string * int) list
+val disproved_by_tier : t -> (string * int) list
 
 (** Dependences carried by the given loop. *)
 val carried_by : t -> Ast.stmt_id -> dep list

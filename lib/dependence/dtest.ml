@@ -16,13 +16,39 @@ type problem = {
 }
 
 type result =
-  | Independent of { test : string }
+  | Independent of { test : string; prov : Explain.Provenance.t }
   | Dependent of {
       dirs : direction array list;
       dist : int option array;
       exact : bool;
       test : string;
+      prov : Explain.Provenance.t;
     }
+
+(* The assumptions a decision over [p] consulted: per-loop bound
+   weaknesses and per-dimension analyzability.  Computed up front so
+   disproofs and surviving dependences report the same consulted set. *)
+let assumptions_of (p : problem) (names : string array) :
+    Explain.Provenance.assumption list =
+  let loops = ref [] in
+  for k = p.nloops - 1 downto 0 do
+    if not p.lo_known.(k) then
+      loops := Explain.Provenance.Raw_bounds names.(k) :: !loops
+    else
+      match p.trips.(k) with
+      | None -> loops := Explain.Provenance.Unknown_trip names.(k) :: !loops
+      | Some _ ->
+        if not p.trips_exact.(k) then
+          loops := Explain.Provenance.Asserted_trip names.(k) :: !loops
+  done;
+  let dims =
+    List.mapi
+      (fun i d ->
+        if d.usable then None else Some (Explain.Provenance.Nonlinear_dim (i + 1)))
+      p.dims
+    |> List.filter_map Fun.id
+  in
+  !loops @ dims
 
 (* ------------------------------------------------------------------ *)
 (* Extended integers for Banerjee bounds                               *)
@@ -224,11 +250,24 @@ let dim_admits p (d : dim_pair) (dirs : direction option array) : bool =
 
 let all_star n = Array.make n None
 
-let solve ?telemetry (p : problem) : result =
+let solve ?telemetry ?names (p : problem) : result =
   let tel =
     match telemetry with Some t -> t | None -> Telemetry.default ()
   in
   let n = p.nloops in
+  let names =
+    match names with
+    | Some a -> a
+    | None -> Array.init n (fun k -> Printf.sprintf "L%d" (k + 1))
+  in
+  let assumptions = assumptions_of p names in
+  let prov tier outcome =
+    { Explain.Provenance.tier; outcome; pair = None; loops = names;
+      assumptions }
+  in
+  let disproved test =
+    Independent { test; prov = prov test Explain.Provenance.Disproved }
+  in
   (* an unknown lower bound makes any trip value meaningless: the
      iteration variable ranges over all integers in raw mode *)
   let p =
@@ -238,7 +277,7 @@ let solve ?telemetry (p : problem) : result =
   in
   (* 0. empty loops *)
   if Array.exists (function Some t -> t < 0 | None -> false) p.trips then
-    Independent { test = "empty-loop" }
+    disproved "empty-loop"
   else begin
     let usable = List.filter (fun d -> d.usable) p.dims in
     (* distance pinned per loop by strong-SIV dimensions *)
@@ -252,6 +291,8 @@ let solve ?telemetry (p : problem) : result =
     in
     (* whether exactness can be claimed: all dims separable & solved *)
     let exact_ok = ref true in
+    (* whether a pinned distance came out of delta propagation *)
+    let delta_used = ref false in
     let seen_loop = Array.make n false in
     (* span names follow the classic tier taxonomy; SIV sub-variants
        (strong / weak-zero / weak-crossing / exact) share one lane *)
@@ -377,7 +418,10 @@ let solve ?telemetry (p : problem) : result =
                       (match p.trips.(k) with
                       | Some t when abs delta > t -> decide "delta-siv"
                       | _ -> ());
-                      if !verdict = None then record_pin k delta
+                      if !verdict = None then begin
+                        delta_used := true;
+                        record_pin k delta
+                      end
                     end
                   end
                 | _ :: _ :: _ -> ()
@@ -389,7 +433,7 @@ let solve ?telemetry (p : problem) : result =
     if !verdict = None && Array.exists Option.is_some pinned then
       Telemetry.span tel "dtest.delta" delta_pass;
     match !verdict with
-    | Some test -> Independent { test }
+    | Some test -> disproved test
     | None ->
       (* direction-vector refinement with pruning *)
       let survivors = ref [] in
@@ -422,7 +466,7 @@ let solve ?telemetry (p : problem) : result =
       in
       Telemetry.span tel "dtest.banerjee" (fun () -> refine 0);
       let survivors = List.rev !survivors in
-      if survivors = [] then Independent { test = "banerjee" }
+      if survivors = [] then disproved "banerjee"
       else begin
         let dist = pinned in
         (* A dependence is proven ("exact") when every dimension was
@@ -443,7 +487,23 @@ let solve ?telemetry (p : problem) : result =
                          usable))
                (List.init n (fun i -> i))
         in
-        Dependent { dirs = survivors; dist; exact; test = "hierarchy" }
+        (* finer attribution than the compatibility [test] field: the
+           tier that decided the surviving dependence — exact SIV (or
+           delta-propagated) distances prove it, Banerjee refinement
+           merely failed to disprove it, and a pair with no usable
+           dimension was never really tested *)
+        let tier =
+          if usable = [] then "unanalyzable"
+          else if exact then if !delta_used then "delta" else "siv"
+          else "banerjee"
+        in
+        let outcome =
+          if exact then Explain.Provenance.Proven
+          else Explain.Provenance.Assumed
+        in
+        Dependent
+          { dirs = survivors; dist; exact; test = "hierarchy";
+            prov = prov tier outcome }
       end
   end
 
@@ -497,7 +557,13 @@ let test_pair ?telemetry (env : Depenv.t) ~(common : Subscript.norm_loop list)
             { a = Array.make n 0; b = Array.make n 0; c = 0; usable = false })
         src_dims dst_dims
   in
-  solve ?telemetry { nloops = n; trips; trips_exact; lo_known; dims }
+  let names =
+    Array.of_list
+      (List.map
+         (fun nl -> nl.Subscript.nloop.Loopnest.header.Ast.dvar)
+         common)
+  in
+  solve ?telemetry ~names { nloops = n; trips; trips_exact; lo_known; dims }
 
 (* ------------------------------------------------------------------ *)
 (* Brute-force oracle (for tests)                                      *)

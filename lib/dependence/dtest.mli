@@ -48,21 +48,29 @@ type problem = {
 }
 
 type result =
-  | Independent of { test : string }
+  | Independent of {
+      test : string;
+      prov : Explain.Provenance.t;  (** why the pair was disproved *)
+    }
   | Dependent of {
       dirs : direction array list;  (** surviving direction vectors *)
       dist : int option array;      (** per-loop exact distance if pinned *)
       exact : bool;                 (** proven to exist (→ "proven" mark) *)
       test : string;                (** deciding test, for statistics *)
+      prov : Explain.Provenance.t;
+          (** tier that decided ([siv] / [delta] / [banerjee] /
+              [unanalyzable]) and the assumptions consulted *)
     }
 
 (** [solve p] runs the battery.  With [p.dims = []] (e.g. scalar or
     unanalyzable pair) the result is a maybe-dependence with all
-    direction vectors.  When [telemetry] (default: the process
-    {!Telemetry.default} sink) is recording, each tier examined emits
-    a span ([dtest.ziv] / [dtest.siv] / [dtest.gcd] / [dtest.delta] /
-    [dtest.banerjee]). *)
-val solve : ?telemetry:Telemetry.sink -> problem -> result
+    direction vectors.  [names] labels the common loops in the
+    provenance record (default [L1], [L2], ...).  When [telemetry]
+    (default: the process {!Telemetry.default} sink) is recording,
+    each tier examined emits a span ([dtest.ziv] / [dtest.siv] /
+    [dtest.gcd] / [dtest.delta] / [dtest.banerjee]). *)
+val solve :
+  ?telemetry:Telemetry.sink -> ?names:string array -> problem -> result
 
 (** [test_pair env ~common ~src ~dst] — build the {!problem} for two
     array references (given as statement id and analyzed subscript

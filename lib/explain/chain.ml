@@ -1,0 +1,28 @@
+let render (p : Provenance.t) : string list =
+  let decided =
+    Printf.sprintf "  decided by: %s (%s)" p.Provenance.tier
+      (Provenance.outcome_to_string p.Provenance.outcome)
+  in
+  let pair =
+    match p.Provenance.pair with
+    | Some (s, d) -> [ Printf.sprintf "  refs: %s -> %s" s d ]
+    | None -> []
+  in
+  let loops =
+    if Array.length p.Provenance.loops = 0 then []
+    else
+      [ Printf.sprintf "  common loops: %s"
+          (String.concat ", " (Array.to_list p.Provenance.loops)) ]
+  in
+  let assumptions =
+    match p.Provenance.assumptions with
+    | [] -> []
+    | l ->
+      "  assumptions:"
+      :: List.map
+           (fun a -> "    - " ^ Provenance.assumption_to_string a)
+           l
+  in
+  (decided :: pair) @ loops @ assumptions
+
+let render_to_string ~header p = String.concat "\n" (header :: render p)

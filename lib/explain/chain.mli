@@ -1,0 +1,14 @@
+(** Rendering a provenance record as an indented "why" chain.
+
+    The editor prints one header line per edge (or per disproved pair)
+    and hangs these lines underneath — the full decision chain the
+    [why] and [explain] commands show. *)
+
+(** [render p] — the chain lines (without trailing newlines), each
+    already indented two spaces: deciding tier and outcome, the tested
+    reference pair, the common loops, and every assumption consulted. *)
+val render : Provenance.t -> string list
+
+(** [render_to_string ~header p] — [header] followed by the chain,
+    newline-joined. *)
+val render_to_string : header:string -> Provenance.t -> string

@@ -1,0 +1,80 @@
+type tally = {
+  mutable disproved : int;
+  mutable assumed : int;
+  mutable proven : int;
+  mutable spurious : int;
+}
+
+type t = (string, tally) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let tally (t : t) tier =
+  match Hashtbl.find_opt t tier with
+  | Some x -> x
+  | None ->
+    let x = { disproved = 0; assumed = 0; proven = 0; spurious = 0 } in
+    Hashtbl.replace t tier x;
+    x
+
+let add t ~tier (o : Provenance.outcome) n =
+  let x = tally t tier in
+  match o with
+  | Provenance.Disproved -> x.disproved <- x.disproved + n
+  | Provenance.Assumed -> x.assumed <- x.assumed + n
+  | Provenance.Proven -> x.proven <- x.proven + n
+
+let add_spurious t ~tier n =
+  let x = tally t tier in
+  x.spurious <- x.spurious + n
+
+let merge (dst : t) (src : t) =
+  Hashtbl.iter
+    (fun tier x ->
+      let d = tally dst tier in
+      d.disproved <- d.disproved + x.disproved;
+      d.assumed <- d.assumed + x.assumed;
+      d.proven <- d.proven + x.proven;
+      d.spurious <- d.spurious + x.spurious)
+    src
+
+let rows (t : t) =
+  Hashtbl.fold
+    (fun tier x acc -> (tier, x.disproved, x.assumed, x.proven, x.spurious) :: acc)
+    t []
+  |> List.sort compare
+
+let totals t =
+  List.fold_left
+    (fun (d, a, p, s) (_, dis, asm, prv, spu) ->
+      (d + dis, a + asm, p + prv, s + spu))
+    (0, 0, 0, 0) (rows t)
+
+let total_edges t =
+  let _, a, p, _ = totals t in
+  a + p
+
+let assumed_fraction t =
+  let _, a, p, _ = totals t in
+  if a + p = 0 then 0.0 else float_of_int a /. float_of_int (a + p)
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"tiers\": {\n";
+  let row_strings =
+    List.map
+      (fun (tier, dis, asm, prv, spu) ->
+        Printf.sprintf
+          "    %S: {\"disproved\": %d, \"assumed\": %d, \"proven\": %d, \
+           \"spurious\": %d}"
+          tier dis asm prv spu)
+      (rows t)
+  in
+  Buffer.add_string buf (String.concat ",\n" row_strings);
+  let dis, asm, prv, spu = totals t in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  },\n  \"disproved\": %d,\n  \"assumed\": %d,\n  \"proven\": %d,\n\
+       \  \"spurious\": %d,\n  \"assumed_fraction\": %.4f\n}"
+       dis asm prv spu (assumed_fraction t));
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** The analysis-precision dashboard's accumulator.
+
+    Tallies dependence decisions per deciding tier — disproved pairs,
+    assumed edges, proven edges — plus, when a differential oracle ran,
+    the spurious edges (assumed but never realized by any execution)
+    attributed to the tier that failed to disprove them.  [bench
+    precision] folds a whole workload corpus into one of these and
+    serializes it as BENCH_precision.json. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~tier outcome n] — count [n] pairs decided by [tier]. *)
+val add : t -> tier:string -> Provenance.outcome -> int -> unit
+
+(** [add_spurious t ~tier n] — [n] oracle-refuted edges whose deciding
+    tier was [tier]. *)
+val add_spurious : t -> tier:string -> int -> unit
+
+(** [merge dst src] — fold [src]'s tallies into [dst]. *)
+val merge : t -> t -> unit
+
+(** [(tier, disproved, assumed, proven, spurious)] rows, sorted by
+    tier name. *)
+val rows : t -> (string * int * int * int * int) list
+
+val total_edges : t -> int  (** assumed + proven *)
+
+(** Assumed edges over all edges; 0 when there are none. *)
+val assumed_fraction : t -> float
+
+(** The dashboard as a JSON object: per-tier counts, totals, and the
+    assumed fraction. *)
+val to_json : t -> string

@@ -1,0 +1,52 @@
+type outcome = Disproved | Proven | Assumed
+
+type assumption =
+  | Unknown_trip of string
+  | Asserted_trip of string
+  | Raw_bounds of string
+  | Nonlinear_dim of int
+  | May_alias of string * string
+  | Call_summary of string
+  | Unnormalized
+
+type t = {
+  tier : string;
+  outcome : outcome;
+  pair : (string * string) option;
+  loops : string array;
+  assumptions : assumption list;
+}
+
+let outcome_to_string = function
+  | Disproved -> "disproved"
+  | Proven -> "proven"
+  | Assumed -> "assumed"
+
+let assumption_to_string = function
+  | Unknown_trip l -> Printf.sprintf "trip count of loop %s is unknown" l
+  | Asserted_trip l ->
+    Printf.sprintf
+      "trip count of loop %s comes from a user-asserted range (upper bound \
+       only)"
+      l
+  | Raw_bounds l ->
+    Printf.sprintf
+      "loop %s has non-affine bounds (raw mode: unbounded iteration range)" l
+  | Nonlinear_dim i ->
+    Printf.sprintf
+      "subscript dimension %d is nonlinear or has un-cancellable symbols" i
+  | May_alias (a, b) ->
+    Printf.sprintf "%s and %s may overlap at an unknown offset" a b
+  | Call_summary a ->
+    Printf.sprintf
+      "%s's reference is an interprocedural Mod/Ref summary of a CALL" a
+  | Unnormalized -> "the common loop nest could not be normalized"
+
+let simple ~tier outcome =
+  { tier; outcome; pair = None; loops = [||]; assumptions = [] }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%s)" t.tier (outcome_to_string t.outcome);
+  match t.pair with
+  | Some (s, d) -> Format.fprintf ppf " %s -> %s" s d
+  | None -> ()

@@ -1,0 +1,64 @@
+(** Decision provenance — the "why" behind every dependence decision.
+
+    Each reference pair the dependence tester examines yields one
+    provenance record: which test tier decided it, with what outcome,
+    and which assumptions the decision consulted (unknown symbolic
+    bounds, user-asserted ranges, interprocedural call summaries, ...).
+    The record is pure data — strings, ints, arrays — so it survives
+    the engine's bucket cache byte-identically: a cached replay and a
+    from-scratch analysis of the same unit carry equal provenance.
+
+    The layer is deliberately dependency-free: the dependence machinery
+    fills records in, the editor renders them ({!Chain}), and the
+    precision dashboard aggregates them ({!Precision}). *)
+
+(** How the deciding tier left the pair. *)
+type outcome =
+  | Disproved  (** no dependence — the pair lands in the no-dep table *)
+  | Proven     (** dependence proven to exist (editor mark: proven) *)
+  | Assumed    (** dependence assumed conservatively (mark: pending) *)
+
+(** An input the decision consulted that weakened or conditioned it.
+    Loop-shaped assumptions name the loop's induction variable. *)
+type assumption =
+  | Unknown_trip of string  (** loop trip count not a known constant *)
+  | Asserted_trip of string
+      (** trip bounded only by a user-asserted range: sound for
+          disproofs, existence cannot be proven from it *)
+  | Raw_bounds of string
+      (** loop lower bound not affine (raw mode): the iteration
+          variable ranges over all integers in the tests *)
+  | Nonlinear_dim of int
+      (** 1-based subscript dimension that was nonlinear or carried
+          un-cancellable symbols — it constrains nothing *)
+  | May_alias of string * string
+      (** the two arrays may overlap at an unknown offset *)
+  | Call_summary of string
+      (** the named array's reference is an interprocedural Mod/Ref
+          summary of a CALL, not a source subscript *)
+  | Unnormalized
+      (** the common loop nest could not be normalized; dependence
+          assumed in all directions *)
+
+type t = {
+  tier : string;
+      (** deciding test: a disproving tier name ([ziv], [strong-siv],
+          [gcd], [banerjee], ...) for {!Disproved}; [siv] / [delta] /
+          [banerjee] / [unanalyzable] for surviving array pairs;
+          [scalar] / [def-use] / [order] / [control] for non-array
+          edges *)
+  outcome : outcome;
+  pair : (string * string) option;
+      (** the tested source/destination references, rendered *)
+  loops : string array;  (** common loops, outermost first *)
+  assumptions : assumption list;
+}
+
+val outcome_to_string : outcome -> string
+val assumption_to_string : assumption -> string
+
+(** A record with no pair, no loops, no assumptions — the shape of
+    scalar, def-use, order and control edges. *)
+val simple : tier:string -> outcome -> t
+
+val pp : Format.formatter -> t -> unit

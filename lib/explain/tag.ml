@@ -1,0 +1,9 @@
+type t = (int * string * string, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add (t : t) ~loop ~var ~kind ~dep =
+  let key = (loop, var, kind) in
+  if not (Hashtbl.mem t key) then Hashtbl.replace t key dep
+
+let find (t : t) ~loop ~var ~kind = Hashtbl.find_opt t (loop, var, kind)

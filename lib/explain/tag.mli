@@ -1,0 +1,20 @@
+(** Matching runtime validator conflicts back to static predictions.
+
+    The static analysis predicts cross-iteration conflicts: every
+    dependence carried by a loop names a (loop, variable, kind)
+    triple.  Feeding those predictions into a table lets the runtime
+    validator tag each observed conflict with the dependence id that
+    predicted it — or flag it {e unpredicted}, a soundness signal. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~loop ~var ~kind ~dep] — dependence [dep] predicts a [kind]
+    conflict on [var] in the loop with statement id [loop].  The first
+    prediction for a triple wins (lowest dep id when added in id
+    order). *)
+val add : t -> loop:int -> var:string -> kind:string -> dep:int -> unit
+
+(** The dependence id predicting this conflict, if any. *)
+val find : t -> loop:int -> var:string -> kind:string -> int option

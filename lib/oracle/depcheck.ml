@@ -19,6 +19,7 @@ type report = {
   misses : miss list;
   realized : int;
   spurious : int;
+  spurious_by_tier : (string * int) list;
   truncated : bool;
 }
 
@@ -186,10 +187,24 @@ let check ?(max_steps = 2_000_000) ?(cell_cap = 160) (_env : Depenv.t)
             List.iter (fun d -> Hashtbl.replace hit d.Ddg.dep_id ()) covered))
     classes;
   let realized = Hashtbl.length hit in
+  (* attribute each never-realized edge to the tier that decided it:
+     the precision dashboard's per-tier spurious-edge rate *)
+  let by_tier = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ddg.dep) ->
+      if not (Hashtbl.mem hit d.Ddg.dep_id) then begin
+        let tier = d.Ddg.prov.Explain.Provenance.tier in
+        Hashtbl.replace by_tier tier
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_tier tier))
+      end)
+    scoped;
   {
     classes = Hashtbl.length classes;
     misses = !misses;
     realized;
     spurious = List.length scoped - realized;
+    spurious_by_tier =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_tier []
+      |> List.sort compare;
     truncated = !truncated;
   }

@@ -46,6 +46,9 @@ type report = {
   misses : miss list;
   realized : int;  (** DDG array deps matched by some concrete class *)
   spurious : int;  (** DDG array deps never realized (precision) *)
+  spurious_by_tier : (string * int) list;
+      (** the spurious edges grouped by the provenance tier that
+          decided them, sorted — which analysis stage over-approximates *)
   truncated : bool;  (** some array element's access list exceeded
                          [cell_cap] and was subsampled — missing
                          coverage possible, soundness of reported

@@ -33,6 +33,7 @@ type stats = {
   dep_misses : int;
   dep_realized : int;
   dep_spurious : int;
+  dep_spurious_by_tier : (string * int) list;
   sem_instances : int;
   sem_failures : int;
   seq_steps : int;
@@ -52,6 +53,12 @@ let summary s =
   line
     "  dependence: %d concrete classes, %d misses; %d DDG edges realized, %d spurious"
     s.dep_classes s.dep_misses s.dep_realized s.dep_spurious;
+  if s.dep_spurious_by_tier <> [] then
+    line "    spurious by deciding tier: %s"
+      (String.concat ", "
+         (List.map
+            (fun (tier, n) -> Printf.sprintf "%s %d" tier n)
+            s.dep_spurious_by_tier));
   line "  semantics:  %d instances, %d failures; %d sequence steps, %d failures"
     s.sem_instances s.sem_failures s.seq_steps s.seq_failures;
   line "  runtime:    %d parallel loops executed, %d failures" s.run_loops
@@ -106,6 +113,7 @@ let run (cfg : config) : stats =
   let rejected = ref 0 and programs = ref 0 in
   let dep_classes = ref 0 and dep_miss = ref 0 in
   let dep_realized = ref 0 and dep_spurious = ref 0 in
+  let dep_spurious_by_tier : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let sem_instances = ref 0 and sem_failures = ref 0 in
   let seq_steps = ref 0 and seq_failures = ref 0 in
   let run_loops = ref 0 and run_failures = ref 0 in
@@ -142,6 +150,13 @@ let run (cfg : config) : stats =
         dep_classes := !dep_classes + r.Depcheck.classes;
         dep_realized := !dep_realized + r.Depcheck.realized;
         dep_spurious := !dep_spurious + r.Depcheck.spurious;
+        List.iter
+          (fun (tier, n) ->
+            Hashtbl.replace dep_spurious_by_tier tier
+              (n
+              + Option.value ~default:0
+                  (Hashtbl.find_opt dep_spurious_by_tier tier)))
+          r.Depcheck.spurious_by_tier;
         if r.Depcheck.misses <> [] then begin
           dep_miss := !dep_miss + List.length r.Depcheck.misses;
           let q =
@@ -252,6 +267,9 @@ let run (cfg : config) : stats =
     dep_misses = !dep_miss;
     dep_realized = !dep_realized;
     dep_spurious = !dep_spurious;
+    dep_spurious_by_tier =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) dep_spurious_by_tier []
+      |> List.sort compare;
     sem_instances = !sem_instances;
     sem_failures = !sem_failures;
     seq_steps = !seq_steps;

@@ -38,6 +38,8 @@ type stats = {
   dep_misses : int;
   dep_realized : int;    (** DDG array deps concretely realized *)
   dep_spurious : int;    (** … and never realized (imprecision) *)
+  dep_spurious_by_tier : (string * int) list;
+      (** spurious edges grouped by deciding provenance tier, sorted *)
   sem_instances : int;   (** single-transformation instances compared *)
   sem_failures : int;
   seq_steps : int;       (** composed-sequence steps compared *)

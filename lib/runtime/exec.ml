@@ -20,6 +20,8 @@ let kind_to_string = function
   | Anti -> "anti"
   | Output -> "output"
 
+type pred = Untracked | Predicted of int | Unpredicted
+
 type conflict = {
   c_loop : Ast.stmt_id;
   c_var : string;
@@ -28,12 +30,17 @@ type conflict = {
   c_iter_a : int;
   c_iter_b : int;
   mutable c_count : int;
+  c_pred : pred;
 }
 
 let conflict_to_string c =
-  Printf.sprintf "loop@%d: %s dependence on %s[%d]: iterations %d and %d%s"
+  Printf.sprintf "loop@%d: %s dependence on %s[%d]: iterations %d and %d%s%s"
     c.c_loop (kind_to_string c.c_kind) c.c_var c.c_offset c.c_iter_a c.c_iter_b
     (if c.c_count > 1 then Printf.sprintf " (%d occurrences)" c.c_count else "")
+    (match c.c_pred with
+    | Untracked -> ""
+    | Predicted id -> Printf.sprintf " [predicted by static dep #%d]" id
+    | Unpredicted -> " [UNPREDICTED by the static analysis]")
 
 type ops = {
   mutable o_flops : int;
@@ -62,6 +69,9 @@ type global = {
   pool : Pool.t option;  (* None in validate mode *)
   schedule : Pool.schedule;
   validate : bool;
+  predict : (Ast.stmt_id -> string -> conflict_kind -> int option) option;
+      (* maps an observed conflict back to the static dependence that
+         predicted it, if the caller supplied a dependence graph *)
   max_steps : int;
   steps : int Atomic.t;
   sink : Telemetry.sink;
@@ -114,6 +124,20 @@ let record_conflict t var kind off other =
   match Hashtbl.find_opt t.g.conflicts key with
   | Some c -> c.c_count <- c.c_count + 1
   | None ->
+    let c_pred =
+      match t.g.predict with
+      | None -> Untracked
+      | Some f -> (
+        match f t.mon_loop var kind with
+        | Some dep_id ->
+          Telemetry.incr
+            (Telemetry.counter t.g.sink "runtime.validator.predicted");
+          Predicted dep_id
+        | None ->
+          Telemetry.incr
+            (Telemetry.counter t.g.sink "runtime.validator.unpredicted");
+          Unpredicted)
+    in
     Hashtbl.replace t.g.conflicts key
       {
         c_loop = t.mon_loop;
@@ -123,6 +147,7 @@ let record_conflict t var kind off other =
         c_iter_a = min other t.mon_iter;
         c_iter_b = max other t.mon_iter;
         c_count = 1;
+        c_pred;
       }
 
 let monitored t (b : Store.buf) =
@@ -972,7 +997,8 @@ let conflict_list (g : global) =
            (b.c_loop, b.c_var, b.c_kind))
 
 let run ?(domains = 4) ?(schedule = Pool.Chunk) ?(validate = false)
-    ?(max_steps = 50_000_000) ?telemetry (prog : Ast.program) : outcome =
+    ?predict ?(max_steps = 50_000_000) ?telemetry (prog : Ast.program) :
+    outcome =
   let sink =
     match telemetry with Some s -> s | None -> Telemetry.default ()
   in
@@ -1005,6 +1031,7 @@ let run ?(domains = 4) ?(schedule = Pool.Chunk) ?(validate = false)
       pool;
       schedule;
       validate;
+      predict;
       max_steps;
       steps = Atomic.make 0;
       sink;

@@ -23,6 +23,13 @@ exception Runtime_error of string
 
 type conflict_kind = Flow | Anti | Output
 
+(** Whether the static analysis foresaw a conflict.  [Untracked] when
+    the run was given no predictor; [Predicted id] names the static
+    dependence (by graph id) that covers the observed (loop, variable,
+    kind); [Unpredicted] marks a conflict no static edge accounts for
+    — an analysis soundness signal the precision dashboard counts. *)
+type pred = Untracked | Predicted of int | Unpredicted
+
 type conflict = {
   c_loop : Ast.stmt_id;  (** sid of the monitored PARALLEL DO *)
   c_var : string;
@@ -31,6 +38,7 @@ type conflict = {
   c_iter_a : int;  (** earlier iteration (first occurrence) *)
   c_iter_b : int;  (** later iteration (first occurrence) *)
   mutable c_count : int;  (** occurrences of this (loop, var, kind) *)
+  c_pred : pred;  (** static-prediction tag (first occurrence wins) *)
 }
 
 type outcome = {
@@ -50,6 +58,11 @@ type outcome = {
     @param schedule iteration scheduling policy (default {!Pool.Chunk})
     @param validate run sequentially with shadow-memory conflict
       detection instead of spawning domains (default false)
+    @param predict map an observed (loop sid, variable, kind) to the
+      static dependence id that predicted it, tagging each conflict
+      {!Predicted} or {!Unpredicted} and bumping the
+      [runtime.validator.predicted]/[.unpredicted] counters; without
+      it conflicts are {!Untracked} and print unchanged
     @param max_steps statement budget shared across domains
     @param telemetry sink for runtime observability (default: the
       process {!Telemetry.default} sink): an [exec.run] span, one
@@ -61,6 +74,7 @@ val run :
   ?domains:int ->
   ?schedule:Pool.schedule ->
   ?validate:bool ->
+  ?predict:(Ast.stmt_id -> string -> conflict_kind -> int option) ->
   ?max_steps:int ->
   ?telemetry:Telemetry.sink ->
   Ast.program ->

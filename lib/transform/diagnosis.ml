@@ -1,23 +1,53 @@
+type reason =
+  | Dep of { dep_id : int; text : string }
+  | Last_value of string
+  | Induction of string
+  | Granularity of string
+  | Note of string
+
 type t = {
   applicable : bool;
   safe : bool;
   profitable : bool;
-  notes : string list;
+  reasons : reason list;  (* chronological *)
 }
 
 let make ?(applicable = true) ?(safe = true) ?(profitable = true)
-    ?(notes = []) () =
-  { applicable; safe; profitable; notes }
+    ?(notes = []) ?(reasons = []) () =
+  { applicable; safe; profitable;
+    reasons = List.map (fun n -> Note n) notes @ reasons }
 
 let inapplicable reason =
-  { applicable = false; safe = false; profitable = false; notes = [ reason ] }
+  { applicable = false; safe = false; profitable = false;
+    reasons = [ Note reason ] }
 
-let note t msg = { t with notes = msg :: t.notes }
+let add t r = { t with reasons = t.reasons @ [ r ] }
+let note t msg = add t (Note msg)
+
+let blocking t =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Dep { dep_id; _ } when not (List.mem dep_id acc) -> dep_id :: acc
+      | _ -> acc)
+    [] t.reasons
+  |> List.rev
+
+let render_reason = function
+  | Dep { text; _ } -> text
+  | Last_value v ->
+    Printf.sprintf "%s needs its last value after the loop (expand it first)" v
+  | Induction v ->
+    Printf.sprintf "%s is an induction accumulator: substitute it first (indsub)"
+      v
+  | Granularity s | Note s -> s
+
+let notes t = List.map render_reason t.reasons
 
 let pp ppf t =
   Format.fprintf ppf "applicable: %b, safe: %b, profitable: %b" t.applicable
     t.safe t.profitable;
-  List.iter (fun n -> Format.fprintf ppf "@.  - %s" n) (List.rev t.notes)
+  List.iter (fun n -> Format.fprintf ppf "@.  - %s" n) (notes t)
 
 let to_string t = Format.asprintf "%a" pp t
 

@@ -5,23 +5,56 @@
     (syntactically meaningful here), {e safe} (dependences show the
     meaning is preserved), and {e profitable} (heuristically worth
     doing).  Ped performs an unsafe transformation only if the user
-    insists; the editor layer enforces that policy. *)
+    insists; the editor layer enforces that policy.
+
+    Reasons are structured: a rejection that names a blocking
+    dependence records its dependence id, so the editor's [explain]
+    command can walk from the refusal to the exact edges — and their
+    provenance — that caused it.  The human-readable notes strings are
+    derived from the reasons. *)
+
+(** One reason behind a verdict, in the order it was found. *)
+type reason =
+  | Dep of { dep_id : int; text : string }
+      (** a blocking dependence, with its rendered description *)
+  | Last_value of string
+      (** scalar needing its last value after the loop *)
+  | Induction of string
+      (** auxiliary induction accumulator: substitute it first *)
+  | Granularity of string  (** profitability heuristic verdict *)
+  | Note of string  (** free-text remark *)
 
 type t = {
   applicable : bool;
   safe : bool;
   profitable : bool;
-  notes : string list;  (** human-readable reasons, newest first *)
+  reasons : reason list;  (** chronological *)
 }
 
+(** [make ()] — [notes] wrap as {!Note} and precede [reasons]; both
+    are kept in the order given (oldest first). *)
 val make :
   ?applicable:bool -> ?safe:bool -> ?profitable:bool -> ?notes:string list ->
-  unit -> t
+  ?reasons:reason list -> unit -> t
 
 (** Not applicable, with a reason; safety and profit are moot. *)
 val inapplicable : string -> t
 
+(** Append a free-text note (chronological order). *)
 val note : t -> string -> t
+
+(** Append a structured reason. *)
+val add : t -> reason -> t
+
+(** The ids of the blocking dependences named by the reasons, in
+    order of first mention, without duplicates. *)
+val blocking : t -> int list
+
+val render_reason : reason -> string
+
+(** The notes, oldest first, derived from the reasons. *)
+val notes : t -> string list
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -114,11 +114,15 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid1 sid2 : Diagnosis.t =
       let profitable =
         Ddg.parallelizable env' ddg' sid1 || List.length (b1 @ b2) > 1
       in
-      let notes =
+      let reasons =
+        (* ids refer to the re-analyzed fused candidate's graph *)
         List.map
-          (fun d -> Format.asprintf "fusion-preventing %a" Ddg.pp_dep d)
+          (fun (d : Ddg.dep) ->
+            Diagnosis.Dep
+              { dep_id = d.Ddg.dep_id;
+                text = Format.asprintf "fusion-preventing %a" Ddg.pp_dep d })
           preventing
       in
-      Diagnosis.make ~applicable:true ~safe ~profitable ~notes ()
+      Diagnosis.make ~applicable:true ~safe ~profitable ~reasons ()
       end
     end

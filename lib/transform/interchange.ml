@@ -86,18 +86,21 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
         Ddg.parallelizable env ddg inner.Ast.sid
         && not (Ddg.parallelizable env ddg outer.Ast.sid)
       in
-      let notes =
+      let reasons =
         List.map
-          (fun d -> Format.asprintf "prevented by %a" Ddg.pp_dep d)
+          (fun (d : Ddg.dep) ->
+            Diagnosis.Dep
+              { dep_id = d.Ddg.dep_id;
+                text = Format.asprintf "prevented by %a" Ddg.pp_dep d })
           blockers
         @ (if shape = `Trap then
-             [ "trapezoidal (skewed) nest: bounds will use MAX/MIN" ]
+             [ Diagnosis.Note "trapezoidal (skewed) nest: bounds will use MAX/MIN" ]
            else [])
         @
-        if profitable then [ "moves parallelism outward" ]
-        else [ "no obvious granularity gain" ]
+        if profitable then [ Diagnosis.Note "moves parallelism outward" ]
+        else [ Diagnosis.Granularity "no obvious granularity gain" ]
       in
-      Diagnosis.make ~applicable:true ~safe ~profitable ~notes ()
+      Diagnosis.make ~applicable:true ~safe ~profitable ~reasons ()
     end
 
 let apply (u : Ast.program_unit) sid : Ast.program_unit =

@@ -64,27 +64,25 @@ let diagnose ?(ignore_deps = []) ?(user_private = []) (env : Depenv.t)
       let par = m.Perf.Machine.fork_join +. (float_of_int chunks *. per_iter) in
       par < seq
     in
-    let notes =
-      (if h.Ast.parallel then [ "loop is already parallel" ] else [])
+    let reasons =
+      (if h.Ast.parallel then [ Diagnosis.Note "loop is already parallel" ]
+       else [])
       @ List.map
-          (fun d -> Format.asprintf "blocked by %a" Ddg.pp_dep d)
+          (fun (d : Ddg.dep) ->
+            Diagnosis.Dep
+              { dep_id = d.Ddg.dep_id;
+                text = Format.asprintf "blocked by %a" Ddg.pp_dep d })
           blockers
-      @ List.map
-          (fun v ->
-            Printf.sprintf
-              "%s needs its last value after the loop (expand it first)" v)
-          escapees
-      @ List.map
-          (fun v ->
-            Printf.sprintf
-              "%s is an induction accumulator: substitute it first (indsub)"
-              v)
-          aux_blockers
+      @ List.map (fun v -> Diagnosis.Last_value v) escapees
+      @ List.map (fun v -> Diagnosis.Induction v) aux_blockers
       @
       if profitable then []
-      else [ "fork/join overhead exceeds the parallel gain (granularity)" ]
+      else
+        [ Diagnosis.Granularity
+            "fork/join overhead exceeds the parallel gain (granularity)" ]
     in
-    Diagnosis.make ~applicable:(not h.Ast.parallel) ~safe ~profitable ~notes ()
+    Diagnosis.make ~applicable:(not h.Ast.parallel) ~safe ~profitable ~reasons
+      ()
 
 let set_parallel value u sid =
   Rewrite.update_stmt u sid (fun s ->

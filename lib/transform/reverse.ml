@@ -28,19 +28,23 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid : Diagnosis.t =
       <> None
     in
     let safe = carried = [] && escapees = [] && aux = [] && step_known in
-    let notes =
-      List.map (fun d -> Format.asprintf "carried %a" Ddg.pp_dep d) carried
-      @ List.map
-          (fun v -> Printf.sprintf "%s's final value is observed after the loop" v)
-          escapees
+    let reasons =
+      List.map
+        (fun (d : Ddg.dep) ->
+          Diagnosis.Dep
+            { dep_id = d.Ddg.dep_id;
+              text = Format.asprintf "carried %a" Ddg.pp_dep d })
+        carried
       @ List.map
           (fun v ->
-            Printf.sprintf
-              "%s is an induction accumulator: substitute it first (indsub)" v)
-          aux
-      @ (if step_known then [] else [ "step is not a known constant" ])
+            Diagnosis.Note
+              (Printf.sprintf "%s's final value is observed after the loop" v))
+          escapees
+      @ List.map (fun v -> Diagnosis.Induction v) aux
+      @ (if step_known then []
+         else [ Diagnosis.Note "step is not a known constant" ])
     in
-    Diagnosis.make ~applicable:true ~safe ~profitable:false ~notes ()
+    Diagnosis.make ~applicable:true ~safe ~profitable:false ~reasons ()
 
 let apply (env : Depenv.t) sid : Ast.program_unit =
   let u = env.Depenv.punit in
@@ -58,8 +62,8 @@ let apply (env : Depenv.t) sid : Ast.program_unit =
            span, lo + ((hi−lo)/st)·st in general.  The naive swap
            (hi, lo, −st) visits the wrong residue class — DO 1,10,2
            reversed is 9,7,5,3,1, not 10,8,6,4,2. *)
-        let new_lo =
-          if st = 1 || st = -1 then h.Ast.hi
+        let new_lo, needs_guard =
+          if st = 1 || st = -1 then (h.Ast.hi, false)
           else
             match
               (Depenv.int_at env sid h.Ast.lo, Depenv.int_at env sid h.Ast.hi)
@@ -69,14 +73,20 @@ let apply (env : Depenv.t) sid : Ast.program_unit =
               if trip <= 0 then
                 (* zero-trip either way: the swap preserves the
                    (empty) iteration set exactly *)
-                h.Ast.hi
-              else Ast.Int (l + ((trip - 1) * st))
+                (h.Ast.hi, false)
+              else (Ast.Int (l + ((trip - 1) * st)), false)
             | _ ->
-              Ast.simplify
-                (Ast.add h.Ast.lo
-                   (Ast.mul
-                      (Ast.Bin (Ast.Div, Ast.sub h.Ast.hi h.Ast.lo, Ast.Int st))
-                      (Ast.Int st)))
+              ( Ast.simplify
+                  (Ast.add h.Ast.lo
+                     (Ast.mul
+                        (Ast.Bin (Ast.Div, Ast.sub h.Ast.hi h.Ast.lo, Ast.Int st))
+                        (Ast.Int st))),
+                (* the truncating division rounds toward zero, so a
+                   zero-trip loop (hi on the wrong side of lo) can
+                   yield a start value that executes one spurious
+                   iteration — guard the reversed loop with the
+                   original loop's emptiness test *)
+                true )
         in
         let h' =
           {
@@ -86,5 +96,13 @@ let apply (env : Depenv.t) sid : Ast.program_unit =
             step = Some (Ast.Int (-st));
           }
         in
-        { s with Ast.node = Ast.Do (h', body) }
+        if needs_guard then begin
+          let cond =
+            if st > 0 then Ast.Bin (Ast.Le, h.Ast.lo, h.Ast.hi)
+            else Ast.Bin (Ast.Ge, h.Ast.lo, h.Ast.hi)
+          in
+          let inner = Ast.mk ~loc:s.Ast.loc (Ast.Do (h', body)) in
+          { s with Ast.node = Ast.If ([ (cond, [ inner ]) ], []) }
+        end
+        else { s with Ast.node = Ast.Do (h', body) }
       | _ -> s)

@@ -38,11 +38,15 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid1 sid2 : Diagnosis.t =
         ddg.Ddg.deps
     in
     let safe = connecting = [] in
-    let notes =
-      List.map (fun d -> Format.asprintf "connected by %a" Ddg.pp_dep d)
+    let reasons =
+      List.map
+        (fun (d : Ddg.dep) ->
+          Diagnosis.Dep
+            { dep_id = d.Ddg.dep_id;
+              text = Format.asprintf "connected by %a" Ddg.pp_dep d })
         connecting
     in
-    Diagnosis.make ~applicable:true ~safe ~profitable:false ~notes ()
+    Diagnosis.make ~applicable:true ~safe ~profitable:false ~reasons ()
 
 let apply (u : Ast.program_unit) sid1 sid2 : Ast.program_unit =
   match find_adjacent sid1 sid2 u.Ast.body with

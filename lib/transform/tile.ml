@@ -27,12 +27,12 @@ let diagnose (env : Depenv.t) (ddg : Ddg.t) sid ~block : Diagnosis.t =
           let env1 = Depenv.remake env candidate in
           let ddg1 = Ddg.compute env1 in
           let di = Interchange.diagnose env1 ddg1 sid in
-          let notes =
-            ("tiling = strip inner + interchange strip loop outward"
-            :: di.Diagnosis.notes)
+          let reasons =
+            Diagnosis.Note "tiling = strip inner + interchange strip loop outward"
+            :: di.Diagnosis.reasons
           in
           Diagnosis.make ~applicable:di.Diagnosis.applicable
-            ~safe:di.Diagnosis.safe ~profitable:true ~notes ())
+            ~safe:di.Diagnosis.safe ~profitable:true ~reasons ())
 
 let apply (env : Depenv.t) (ddg : Ddg.t) sid ~block : Ast.program_unit =
   ignore ddg;

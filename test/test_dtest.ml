@@ -202,7 +202,7 @@ let delta_propagation =
           }
         in
         match Dtest.solve p with
-        | Dtest.Independent { test } ->
+        | Dtest.Independent { test; _ } ->
           check_bool "delta test decided" true
             (test = "delta-siv" || test = "delta-ziv")
         | Dtest.Dependent _ -> Alcotest.fail "expected delta disproof");
@@ -249,13 +249,13 @@ let weak_crossing =
         (* α + β = 30 over [0,10]²: impossible *)
         check_bool "indep" true
           (match Dtest.solve (p1 ~trip:(Some 10) 1 (-1) (-30)) with
-           | Dtest.Independent { test } -> test = "weak-crossing-siv"
+           | Dtest.Independent { test; _ } -> test = "weak-crossing-siv"
            | _ -> false));
     case "weak-crossing siv: fractional crossing disproves" (fun () ->
         (* 2(α + β) = 5: no whole solution *)
         check_bool "indep" true
           (match Dtest.solve (p1 ~trip:(Some 10) 2 (-2) (-5)) with
-           | Dtest.Independent { test } -> test = "weak-crossing-siv"
+           | Dtest.Independent { test; _ } -> test = "weak-crossing-siv"
            | _ -> false));
     case "weak-crossing siv: feasible crossing keeps the dependence" (fun () ->
         check_bool "dep" true

@@ -20,6 +20,7 @@ let dep ?(kind = Ddg.Flow) ?(is_scalar = false) ?(level = Some 1)
     exact;
     test = "t";
     is_scalar;
+    prov = Explain.Provenance.simple ~tier:"t" Explain.Provenance.Assumed;
   }
 
 let sample =

@@ -31,4 +31,5 @@ let () =
       ("engine", Test_engine.suite);
       ("telemetry", Test_telemetry.suite);
       ("oracle", Test_oracle.suite);
+      ("explain", Test_explain.suite);
     ]

@@ -19,6 +19,7 @@ let dep ?(kind = Ddg.Flow) ?(exact = false) ?(level = Some 1) ~src ~dst var =
     exact;
     test = "t";
     is_scalar = false;
+    prov = Explain.Provenance.simple ~tier:"t" Explain.Provenance.Assumed;
   }
 
 let suite =
@@ -70,6 +71,7 @@ let suite =
         let d2 = { (dep ~src:2 ~dst:3 "B") with Ddg.dep_id = 2 } in
         let g =
           { Ddg.deps = [ d1; d2 ];
+            nodeps = [];
             stats = { Ddg.pairs_tested = 0; disproved = []; proven = 0; pending = 2 } }
         in
         let m = Ped.Marking.mark Ped.Marking.empty d2 Ped.Marking.Rejected in

@@ -133,7 +133,19 @@ let engine_matches_scratch () =
         let scratch = Dependence.Ddg.compute (Dependence.Depenv.make u) in
         if not (Dependence.Ddg.equal served scratch) then
           Alcotest.failf "engine DDG diverged from scratch (%s) on:\n%s" what
-            (Pretty.program_to_string q)
+            (Pretty.program_to_string q);
+        (* provenance must survive the bucket cache byte-identically:
+           pin it explicitly, not just via the structural equality *)
+        let provs g =
+          List.map (fun d -> d.Dependence.Ddg.prov) g.Dependence.Ddg.deps
+        in
+        if provs served <> provs scratch then
+          Alcotest.failf "cached provenance diverged from scratch (%s) on:\n%s"
+            what (Pretty.program_to_string q);
+        if served.Dependence.Ddg.nodeps <> scratch.Dependence.Ddg.nodeps then
+          Alcotest.failf
+            "cached no-dependence table diverged from scratch (%s) on:\n%s"
+            what (Pretty.program_to_string q)
     in
     check_version "initial" p;
     (* edit burst: successive shrink steps are structural edits of the
