@@ -1,0 +1,92 @@
+(* Shared JSON emission for the harness's BENCH_*.json artifacts.
+
+   Every experiment used to hand-roll its Printf format string; this
+   is the one writer they share.  Values only — the reader contract
+   (key names) stays with each experiment. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string  (* pre-rendered JSON, spliced verbatim *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.1f" f
+  else
+    (* shortest representation that still round-trips typical bench
+       values (ratios, seconds, percentages) *)
+    let s = Printf.sprintf "%.6g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let to_string (v : t) : string =
+  let b = Buffer.create 256 in
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Int x -> Buffer.add_string b (string_of_int x)
+    | Float x -> Buffer.add_string b (float_repr x)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | Raw s -> Buffer.add_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          go (indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape key);
+          Buffer.add_string b "\": ";
+          go (indent + 2) value)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+(* Write [v] to [file] (with trailing newline) and log the artifact,
+   the way every experiment reports its BENCH_*.json. *)
+let write file (v : t) : unit =
+  let oc = open_out file in
+  output_string oc (to_string v);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file

@@ -899,47 +899,57 @@ let editburst_run ~smoke () =
     base_edit inc_edit edit_ratio base_all inc_all total_ratio (base_s *. 1e3)
     (inc_s *. 1e3) time_ratio
     (if all_identical then "identical" else "DIVERGED");
-  let oc = open_out editburst_json in
   let row_json
       (name, (bat, bet, bs), (iat, iet, is), (st : Engine.stats), identical) =
-    Printf.sprintf
-      "    { \"name\": %S, \"identical\": %b,\n\
-      \      \"full\": { \"assert_tests\": %d, \"edit_tests\": %d, \
-       \"edit_seconds\": %.6f },\n\
-      \      \"incremental\": { \"assert_tests\": %d, \"edit_tests\": %d, \
-       \"edit_seconds\": %.6f,\n\
-      \        \"env_hits\": %d, \"env_misses\": %d, \"invalidations\": %d,\n\
-      \        \"summary_hits\": %d, \"summary_builds\": %d,\n\
-      \        \"ddg_bucket_hits\": %d, \"ddg_bucket_misses\": %d } }"
-      name identical bat bet bs iat iet is st.Engine.env_hits
-      st.Engine.env_misses st.Engine.invalidations st.Engine.summary_hits
-      st.Engine.summary_builds st.Engine.ddg_bucket_hits
-      st.Engine.ddg_bucket_misses
+    Jout.Obj
+      [
+        ("name", Jout.Str name);
+        ("identical", Jout.Bool identical);
+        ( "full",
+          Jout.Obj
+            [
+              ("assert_tests", Jout.Int bat);
+              ("edit_tests", Jout.Int bet);
+              ("edit_seconds", Jout.Float bs);
+            ] );
+        ( "incremental",
+          Jout.Obj
+            [
+              ("assert_tests", Jout.Int iat);
+              ("edit_tests", Jout.Int iet);
+              ("edit_seconds", Jout.Float is);
+              ("env_hits", Jout.Int st.Engine.env_hits);
+              ("env_misses", Jout.Int st.Engine.env_misses);
+              ("invalidations", Jout.Int st.Engine.invalidations);
+              ("summary_hits", Jout.Int st.Engine.summary_hits);
+              ("summary_builds", Jout.Int st.Engine.summary_builds);
+              ("ddg_bucket_hits", Jout.Int st.Engine.ddg_bucket_hits);
+              ("ddg_bucket_misses", Jout.Int st.Engine.ddg_bucket_misses);
+            ] );
+      ]
   in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"editburst\",\n\
-    \  \"smoke\": %b,\n\
-    \  \"bursts\": %d,\n\
-    \  \"workloads\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"aggregate\": {\n\
-    \    \"full_edit_tests\": %d, \"incremental_edit_tests\": %d, \
-     \"edit_tests_ratio\": %.2f,\n\
-    \    \"full_total_tests\": %d, \"incremental_total_tests\": %d, \
-     \"total_tests_ratio\": %.2f,\n\
-    \    \"full_edit_seconds\": %.6f, \"incremental_edit_seconds\": %.6f, \
-     \"edit_time_ratio\": %.2f,\n\
-    \    \"all_identical\": %b\n\
-    \  }\n\
-     }\n"
-    smoke bursts
-    (String.concat ",\n" (List.map row_json rows))
-    base_edit inc_edit edit_ratio base_all inc_all total_ratio base_s inc_s
-    time_ratio all_identical;
-  close_out oc;
-  Printf.printf "wrote %s\n" editburst_json
+  Jout.write editburst_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str "editburst");
+         ("smoke", Jout.Bool smoke);
+         ("bursts", Jout.Int bursts);
+         ("workloads", Jout.List (List.map row_json rows));
+         ( "aggregate",
+           Jout.Obj
+             [
+               ("full_edit_tests", Jout.Int base_edit);
+               ("incremental_edit_tests", Jout.Int inc_edit);
+               ("edit_tests_ratio", Jout.Float edit_ratio);
+               ("full_total_tests", Jout.Int base_all);
+               ("incremental_total_tests", Jout.Int inc_all);
+               ("total_tests_ratio", Jout.Float total_ratio);
+               ("full_edit_seconds", Jout.Float base_s);
+               ("incremental_edit_seconds", Jout.Float inc_s);
+               ("edit_time_ratio", Jout.Float time_ratio);
+               ("all_identical", Jout.Bool all_identical);
+             ] );
+       ])
 
 let editburst () = editburst_run ~smoke:false ()
 let editburst_smoke () = editburst_run ~smoke:true ()
@@ -966,27 +976,37 @@ let fuzz_smoke () =
   let s = Oracle.Driver.run cfg in
   let dt = now_s () -. t0 in
   print_string (Oracle.Driver.summary s);
-  let oc = open_out fuzz_json in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"fuzz-smoke\",\n\
-    \  \"programs\": %d, \"rejected\": %d, \"seconds\": %.3f,\n\
-    \  \"dependence\": { \"classes\": %d, \"misses\": %d, \"realized\": %d, \
-     \"spurious\": %d },\n\
-    \  \"semantics\": { \"instances\": %d, \"failures\": %d, \
-     \"sequence_steps\": %d, \"sequence_failures\": %d },\n\
-    \  \"runtime\": { \"parallel_loops\": %d, \"failures\": %d },\n\
-    \  \"green\": %b\n\
-     }\n"
-    s.Oracle.Driver.programs s.Oracle.Driver.rejected dt
-    s.Oracle.Driver.dep_classes s.Oracle.Driver.dep_misses
-    s.Oracle.Driver.dep_realized s.Oracle.Driver.dep_spurious
-    s.Oracle.Driver.sem_instances s.Oracle.Driver.sem_failures
-    s.Oracle.Driver.seq_steps s.Oracle.Driver.seq_failures
-    s.Oracle.Driver.run_loops s.Oracle.Driver.run_failures
-    (Oracle.Driver.ok s);
-  close_out oc;
-  Printf.printf "wrote %s\n" fuzz_json;
+  Jout.write fuzz_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str "fuzz-smoke");
+         ("programs", Jout.Int s.Oracle.Driver.programs);
+         ("rejected", Jout.Int s.Oracle.Driver.rejected);
+         ("seconds", Jout.Float dt);
+         ( "dependence",
+           Jout.Obj
+             [
+               ("classes", Jout.Int s.Oracle.Driver.dep_classes);
+               ("misses", Jout.Int s.Oracle.Driver.dep_misses);
+               ("realized", Jout.Int s.Oracle.Driver.dep_realized);
+               ("spurious", Jout.Int s.Oracle.Driver.dep_spurious);
+             ] );
+         ( "semantics",
+           Jout.Obj
+             [
+               ("instances", Jout.Int s.Oracle.Driver.sem_instances);
+               ("failures", Jout.Int s.Oracle.Driver.sem_failures);
+               ("sequence_steps", Jout.Int s.Oracle.Driver.seq_steps);
+               ("sequence_failures", Jout.Int s.Oracle.Driver.seq_failures);
+             ] );
+         ( "runtime",
+           Jout.Obj
+             [
+               ("parallel_loops", Jout.Int s.Oracle.Driver.run_loops);
+               ("failures", Jout.Int s.Oracle.Driver.run_failures);
+             ] );
+         ("green", Jout.Bool (Oracle.Driver.ok s));
+       ]);
   if not (Oracle.Driver.ok s) then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1066,24 +1086,30 @@ let telemetry_overhead () =
   Printf.printf "%-10s %10.2f %9.2f%%\n" "counters" (c *. 1e3) (pct c);
   Printf.printf "%-10s %10.2f %9.2f%%\n" "recording" (r *. 1e3) (pct r);
   Printf.printf "(%d spans per rep when recording)\n" !spans_per_rep;
-  let oc = open_out telemetry_json in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"telemetry-overhead\",\n\
-    \  \"reps\": %d,\n\
-    \  \"ns_per_disabled_counter\": %.3f,\n\
-    \  \"ns_per_disabled_span\": %.3f,\n\
-    \  \"spans_per_rep\": %d,\n\
-    \  \"median_seconds\": { \"disabled\": %.6f, \"counters\": %.6f, \
-     \"recording\": %.6f },\n\
-    \  \"overhead_pct\": { \"disabled\": %.4f, \"counters\": %.2f, \
-     \"recording\": %.2f },\n\
-    \  \"disabled_overhead_lt_2pct\": %b\n\
-     }\n"
-    reps ns_counter ns_span !spans_per_rep d c r disabled_pct (pct c) (pct r)
-    (disabled_pct < 2.);
-  close_out oc;
-  Printf.printf "wrote %s\n" telemetry_json;
+  Jout.write telemetry_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str "telemetry-overhead");
+         ("reps", Jout.Int reps);
+         ("ns_per_disabled_counter", Jout.Float ns_counter);
+         ("ns_per_disabled_span", Jout.Float ns_span);
+         ("spans_per_rep", Jout.Int !spans_per_rep);
+         ( "median_seconds",
+           Jout.Obj
+             [
+               ("disabled", Jout.Float d);
+               ("counters", Jout.Float c);
+               ("recording", Jout.Float r);
+             ] );
+         ( "overhead_pct",
+           Jout.Obj
+             [
+               ("disabled", Jout.Float disabled_pct);
+               ("counters", Jout.Float (pct c));
+               ("recording", Jout.Float (pct r));
+             ] );
+         ("disabled_overhead_lt_2pct", Jout.Bool (disabled_pct < 2.));
+       ]);
   if disabled_pct >= 2. then begin
     Printf.eprintf "telemetry-overhead: disabled overhead %.2f%% >= 2%%\n"
       disabled_pct;
@@ -1163,25 +1189,152 @@ let precision_run ~fuzz_n ~small label =
     "oracle: %d fuzz programs, %d edges realized, %d spurious (%.1fs)\n"
     s.Oracle.Driver.programs s.Oracle.Driver.dep_realized
     s.Oracle.Driver.dep_spurious dt;
-  let oc = open_out precision_json in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": %S,\n\
-    \  \"fuzz_programs\": %d,\n\
-    \  \"oracle_realized\": %d,\n\
-    \  \"oracle_spurious\": %d,\n\
-    \  \"dashboard\": %s\n\
-     }\n"
-    label s.Oracle.Driver.programs s.Oracle.Driver.dep_realized
-    s.Oracle.Driver.dep_spurious
-    (Explain.Precision.to_json p);
-  close_out oc;
-  Printf.printf "wrote %s\n" precision_json
+  Jout.write precision_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str label);
+         ("fuzz_programs", Jout.Int s.Oracle.Driver.programs);
+         ("oracle_realized", Jout.Int s.Oracle.Driver.dep_realized);
+         ("oracle_spurious", Jout.Int s.Oracle.Driver.dep_spurious);
+         ("dashboard", Jout.Raw (Explain.Precision.to_json p));
+       ])
 
 let precision () = precision_run ~fuzz_n:150 ~small:false "precision"
 
 let precision_smoke () =
   precision_run ~fuzz_n:25 ~small:true "precision-smoke"
+
+(* ------------------------------------------------------------------ *)
+(* multisession: many concurrent sessions over one shared cache — the *)
+(* analysis-server model.  Each workload becomes a batch job (its     *)
+(* assertion script plus edit/undo/redo bursts), duplicated so the    *)
+(* cross-session cache has identical units to dedup, and every job's  *)
+(* final dependence graph is checked byte-identical against a         *)
+(* from-scratch single-session replay.  Gates: all identical, and     *)
+(* shared-cache hit rate > 0.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let multisession_json = "BENCH_multisession.json"
+
+let first_assign_of_unit (u : Ast.program_unit) =
+  Ast.fold_stmts
+    (fun acc (s : Ast.stmt) ->
+      match (acc, s.Ast.node) with
+      | None, Ast.Assign _ -> Some s
+      | _ -> acc)
+    None u.Ast.body
+
+(* The command-language version of editburst's driver.  Statement ids
+   are taken from the canonically renumbered program — exactly what
+   the batch driver (and the server) analyzes — so scripted [edit sN]
+   lands on the right statement in every copy.  Each burst ends in
+   [undo], leaving the original ids in place for the next one; a
+   final redo/undo pair exercises the redo path too. *)
+let burst_script (w : Workloads.t) ~bursts =
+  let program = Ast.renumber_program (Workloads.program w) in
+  let main_u =
+    List.find
+      (fun (u : Ast.program_unit) ->
+        String.equal u.Ast.uname (Workloads.main_unit w))
+      program.Ast.punits
+  in
+  match first_assign_of_unit main_u with
+  | None -> w.Workloads.assertion_script
+  | Some s ->
+    let edit =
+      Printf.sprintf "edit s%d %s" s.Ast.sid
+        (String.trim (Pretty.stmt_to_string s))
+    in
+    w.Workloads.assertion_script
+    @ List.concat (List.init bursts (fun _ -> [ edit; "undo" ]))
+    @ [ "redo"; "undo" ]
+
+let multisession_run ~smoke label =
+  header
+    (Printf.sprintf
+       "%s: concurrent sessions over one shared cross-session cache \
+        (interleaved batch) - throughput, hit rate, byte-identity vs \
+        from-scratch"
+       label);
+  let workloads =
+    if not smoke then Workloads.all
+    else
+      List.filter
+        (fun (w : Workloads.t) ->
+          List.mem w.Workloads.name
+            [ "matmul"; "jacobi"; "recur"; "callnest" ])
+        Workloads.all
+  in
+  let bursts = if smoke then 1 else 2 in
+  let copies = 2 in
+  let jobs =
+    List.concat_map
+      (fun (w : Workloads.t) ->
+        let script = burst_script w ~bursts in
+        List.init copies (fun c ->
+            {
+              Server.Batch.j_id = Printf.sprintf "%s/%d" w.Workloads.name c;
+              j_file = w.Workloads.name ^ ".f";
+              j_source = w.Workloads.source;
+              j_unit = Some (Workloads.main_unit w);
+              j_script = script;
+            }))
+      workloads
+  in
+  let cache = Server.Cache.create () in
+  match Server.Batch.run ~cache ~domains:1 ~check:true jobs with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" label e;
+    exit 1
+  | Ok o ->
+    print_endline (Server.Batch.report o);
+    let cs = o.Server.Batch.o_cache in
+    let hit_rate = Server.Cache.hit_rate cs in
+    let identical = o.Server.Batch.o_identical = Some true in
+    Jout.write multisession_json
+      (Jout.Obj
+         [
+           ("experiment", Jout.Str label);
+           ("smoke", Jout.Bool smoke);
+           ("sessions", Jout.Int o.Server.Batch.o_jobs);
+           ("copies_per_workload", Jout.Int copies);
+           ("bursts", Jout.Int bursts);
+           ("commands", Jout.Int o.Server.Batch.o_commands);
+           ("edits", Jout.Int o.Server.Batch.o_edits);
+           ("elapsed_seconds", Jout.Float o.Server.Batch.o_elapsed_s);
+           ( "sessions_per_sec",
+             Jout.Float (Server.Batch.sessions_per_sec o) );
+           ("edits_per_sec", Jout.Float (Server.Batch.edits_per_sec o));
+           ( "cache",
+             Jout.Obj
+               [
+                 ("hits", Jout.Int cs.Server.Cache.hits);
+                 ("misses", Jout.Int cs.Server.Cache.misses);
+                 ("hit_rate", Jout.Float hit_rate);
+                 ("insertions", Jout.Int cs.Server.Cache.insertions);
+                 ("evictions", Jout.Int cs.Server.Cache.evictions);
+                 ("entries", Jout.Int cs.Server.Cache.entries);
+                 ("bucket_entries", Jout.Int cs.Server.Cache.bucket_entries);
+               ] );
+           ("all_identical", Jout.Bool identical);
+           ("hit_rate_positive", Jout.Bool (hit_rate > 0.));
+         ]);
+    if not identical then begin
+      Printf.eprintf
+        "%s: shared-cache DDGs diverged from from-scratch replay\n" label;
+      exit 1
+    end;
+    if hit_rate <= 0. then begin
+      Printf.eprintf
+        "%s: duplicated sessions produced no cross-session cache hits\n"
+        label;
+      exit 1
+    end
+
+let multisession () = multisession_run ~smoke:false "multisession"
+
+let multisession_smoke () =
+  multisession_run ~smoke:true "multisession-smoke"
 
 (* ------------------------------------------------------------------ *)
 
@@ -1204,6 +1357,8 @@ let experiments =
     ("fuzz-smoke", fuzz_smoke);
     ("precision", precision);
     ("precision-smoke", precision_smoke);
+    ("multisession", multisession);
+    ("multisession-smoke", multisession_smoke);
     ("telemetry-overhead", telemetry_overhead);
     ("bench", microbench);
   ]

@@ -487,6 +487,156 @@ let fuzz_cmd =
     Term.(const fuzz_main $ n $ fseed $ oracle $ corpus $ no_shrink
           $ no_sequences $ small $ quiet)
 
+(* ------------------------------------------------------------------ *)
+(* serve subcommand: the multi-session analysis server                 *)
+(* ------------------------------------------------------------------ *)
+
+let serve_main cache_dir cache_mb history_limit trace profile =
+  let sink = Telemetry.make ~record_spans:(trace <> None || profile) () in
+  Telemetry.set_default sink;
+  let cache = Server.Cache.create ~telemetry:sink ~budget_mb:cache_mb () in
+  (match cache_dir with
+  | None -> ()
+  | Some dir -> (
+    match Server.Cache.load cache ~dir with
+    | Ok 0 -> ()
+    | Ok n ->
+      Printf.eprintf "[serve] warmed %d ddg buckets from %s\n%!" n dir
+    | Error e -> Printf.eprintf "[serve] %s\n%!" e));
+  let srv = Server.Serve.create ~telemetry:sink ~cache ~history_limit () in
+  Server.Serve.serve srv stdin stdout;
+  (match cache_dir with
+  | None -> ()
+  | Some dir -> (
+    match Server.Cache.save cache ~dir with
+    | Ok n -> Printf.eprintf "[serve] saved %d ddg buckets to %s\n%!" n dir
+    | Error e -> Printf.eprintf "[serve] save failed: %s\n%!" e));
+  if profile then print_string (Telemetry.profile_report sink);
+  Option.iter
+    (fun path ->
+      Telemetry.write_chrome_trace sink path;
+      Printf.eprintf
+        "[serve] trace written to %s (one lane per session)\n%!" path)
+    trace
+
+let cache_dir =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist the shared dependence-test cache here: warmed on \
+               start, saved on exit; a file from another format version is \
+               rejected")
+
+let cache_mb =
+  Arg.(value & opt int 256 & info [ "cache-mb" ] ~docv:"MB"
+         ~doc:"LRU byte budget of the shared analysis cache")
+
+let history_limit =
+  Arg.(value & opt int 1000 & info [ "history-limit" ] ~docv:"N"
+         ~doc:"Undo-history bound per session (oldest entries dropped)")
+
+let serve_cmd =
+  let doc =
+    "serve many editor sessions over stdin/stdout with one shared analysis \
+     cache (line protocol: open/cmd/stats/sessions/cache/close/quit)"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve_main $ cache_dir $ cache_mb $ history_limit $ trace
+          $ profile)
+
+(* ------------------------------------------------------------------ *)
+(* batch subcommand: stream edit-scripts through concurrent sessions   *)
+(* ------------------------------------------------------------------ *)
+
+let batch_main jobfile bdomains repeat cache_dir cache_mb history_limit check
+    audit trace quiet =
+  if audit then print_endline (Server.Audit.report ());
+  match Server.Batch.parse_job_file jobfile with
+  | Error e ->
+    prerr_endline e;
+    exit 2
+  | Ok jobs ->
+    let jobs =
+      List.concat
+        (List.init (max 1 repeat) (fun r ->
+             if r = 0 then jobs
+             else
+               List.map
+                 (fun (j : Server.Batch.job) ->
+                   { j with Server.Batch.j_id =
+                       Printf.sprintf "%s~%d" j.Server.Batch.j_id r })
+                 jobs))
+    in
+    let sink = Telemetry.make ~record_spans:(trace <> None) () in
+    Telemetry.set_default sink;
+    let cache = Server.Cache.create ~telemetry:sink ~budget_mb:cache_mb () in
+    (* the persistent cache only feeds the fully shared (single-domain)
+       mode; partitioned workers build their own *)
+    (match (cache_dir, bdomains <= 1) with
+    | Some dir, true -> (
+      match Server.Cache.load cache ~dir with
+      | Ok 0 -> ()
+      | Ok n ->
+        if not quiet then
+          Printf.eprintf "[batch] warmed %d ddg buckets from %s\n%!" n dir
+      | Error e -> Printf.eprintf "[batch] %s\n%!" e)
+    | _ -> ());
+    (match
+       Server.Batch.run ~telemetry:sink ~cache ~domains:bdomains
+         ~history_limit ~check jobs
+     with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok o ->
+      if not quiet then print_endline (Server.Batch.report o);
+      (match (cache_dir, bdomains <= 1) with
+      | Some dir, true -> (
+        match Server.Cache.save cache ~dir with
+        | Ok n ->
+          if not quiet then
+            Printf.eprintf "[batch] saved %d ddg buckets to %s\n%!" n dir
+        | Error e -> Printf.eprintf "[batch] save failed: %s\n%!" e)
+      | _ -> ());
+      Option.iter
+        (fun path ->
+          Telemetry.write_chrome_trace sink path;
+          if not quiet then
+            Printf.eprintf "[batch] trace written to %s\n%!" path)
+        trace;
+      if o.Server.Batch.o_identical = Some false then exit 1)
+
+let batch_cmd =
+  let jobfile =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBFILE"
+           ~doc:"Job file: one $(b,FILE[#UNIT] :: cmd ; cmd) line per \
+                 session")
+  in
+  let bdomains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains: 1 interleaves all sessions over one fully \
+                 shared cache; more partitions jobs with a private cache \
+                 per domain (see --audit for why)")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Run the job list N times (duplicates exercise \
+                 cross-session cache sharing)")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Replay every job from scratch (no caching, no sharing) and \
+                 require byte-identical dependence graphs; exit 1 on \
+                 mismatch")
+  in
+  let audit =
+    Arg.(value & flag & info [ "audit" ]
+           ~doc:"Print the domain-safety audit of shared state first")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No report output") in
+  let doc = "stream edit-script jobs through concurrent analysis sessions" in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const batch_main $ jobfile $ bdomains $ repeat $ cache_dir
+          $ cache_mb $ history_limit $ check $ audit $ trace $ quiet)
+
 let cmd =
   let doc = "interactive parallel programming editor (ParaScope Editor)" in
   let default =
@@ -495,13 +645,15 @@ let cmd =
           $ order $ seed $ calibrate $ engine_stats $ profile $ trace
           $ metrics)
   in
-  Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd ]
+  Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd; serve_cmd; batch_cmd ]
 
 let () =
   let argv =
     match Array.to_list Sys.argv with
     | exe :: a :: rest
-      when a <> "fuzz" && String.length a > 0 && a.[0] <> '-' ->
+      when a <> "fuzz" && a <> "serve" && a <> "batch"
+           && String.length a > 0
+           && a.[0] <> '-' ->
       Array.of_list (exe :: "--file" :: a :: rest)
     | _ -> Sys.argv
   in

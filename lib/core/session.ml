@@ -3,6 +3,7 @@ open Dependence
 
 type t = {
   engine : Engine.t;
+  history_limit : int;
   mutable unit_name : string;
   mutable env : Depenv.t;
   mutable ddg : Ddg.t;
@@ -37,6 +38,7 @@ let set_src_filter t f = t.src_filter <- f
 let sim_order t = t.sim_order
 let set_sim_order t o = t.sim_order <- o
 let history t = List.map snd t.undo_stack
+let history_limit t = t.history_limit
 let engine_stats t = Engine.stats t.engine
 let engine_report t = Engine.report t.engine
 let telemetry t = Engine.telemetry t.engine
@@ -63,11 +65,15 @@ let refresh t =
 let reanalyze = refresh
 
 let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
-    ?telemetry (program : Ast.program) ~unit_name : t =
+    ?sharing ?(history_limit = 1000) ?telemetry (program : Ast.program)
+    ~unit_name : t =
   (match find_unit program unit_name with
   | Some _ -> ()
   | None -> invalid_arg ("no such unit: " ^ unit_name));
-  let engine = Engine.create ?caching ~config ~interproc ?telemetry program in
+  if history_limit < 1 then invalid_arg "history_limit must be >= 1";
+  let engine =
+    Engine.create ?caching ~config ~interproc ?sharing ?telemetry program
+  in
   let env, ddg =
     match Engine.analysis engine ~unit_name with
     | Some r -> r
@@ -75,6 +81,7 @@ let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
   in
   {
     engine;
+    history_limit;
     unit_name;
     env;
     ddg;
@@ -89,8 +96,8 @@ let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
     original = program;
   }
 
-let load_source ?config ?interproc ?caching ?telemetry ~file src ~unit_name :
-    t =
+let load_source ?config ?interproc ?caching ?sharing ?history_limit
+    ?telemetry ~file src ~unit_name : t =
   let program = Parser.parse_program ~file src in
   let unit_name =
     match unit_name with
@@ -107,7 +114,8 @@ let load_source ?config ?interproc ?caching ?telemetry ~file src ~unit_name :
         | u :: _ -> u.Ast.uname
         | [] -> invalid_arg "empty program"))
   in
-  load ?config ?interproc ?caching ?telemetry program ~unit_name
+  load ?config ?interproc ?caching ?sharing ?history_limit ?telemetry program
+    ~unit_name
 
 let focus t name =
   match find_unit (program t) name with
@@ -183,11 +191,22 @@ let mark_dep t dep_id status =
 
 (* ---- mutation: everything funnels through these two hooks ---- *)
 
+(* Drop the oldest entries beyond the history limit — a thousand-edit
+   batch script must not grow memory linearly in retained program
+   snapshots. *)
+let truncate_history limit stack =
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  if List.compare_length_with stack limit <= 0 then stack else take limit stack
+
 (* Program changes (edit, transformation, undo, redo) go to the
    engine, which invalidates by fingerprint; the session only
    maintains the undo/redo stacks around it. *)
 let commit t what new_program =
-  t.undo_stack <- (program t, what) :: t.undo_stack;
+  t.undo_stack <-
+    truncate_history t.history_limit ((program t, what) :: t.undo_stack);
   t.redo_stack <- [];
   Engine.set_program t.engine new_program;
   refresh t

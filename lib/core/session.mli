@@ -25,17 +25,24 @@ type t
     the unit analyses.  [caching] (default true) selects the
     incremental engine; [~caching:false] recomputes everything after
     every change — the from-scratch baseline the bench harness
-    measures against.  [telemetry] is handed to the engine, so the
-    interactive, bench, fuzz and runtime paths can all emit to one
-    sink (default: a fresh private sink per session). *)
+    measures against.  [sharing] hooks the engine into a cross-session
+    cache (the analysis server's).  [history_limit] (default 1000, must
+    be >= 1) bounds the undo stack: the oldest entries are dropped once
+    it is full, so long-running server sessions don't grow memory
+    linearly in retained program snapshots.  [telemetry] is handed to
+    the engine, so the interactive, bench, fuzz and runtime paths can
+    all emit to one sink (default: a fresh private sink per
+    session). *)
 val load :
   ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
+  ?sharing:Engine.sharing -> ?history_limit:int ->
   ?telemetry:Telemetry.sink ->
   Ast.program -> unit_name:string -> t
 
 (** Parse source text and load it. *)
 val load_source :
   ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
+  ?sharing:Engine.sharing -> ?history_limit:int ->
   ?telemetry:Telemetry.sink ->
   file:string -> string -> unit_name:string option -> t
 
@@ -77,6 +84,9 @@ val set_sim_order : t -> Sim.Interp.order -> unit
 
 (** Labels of the changes on the undo stack, newest first. *)
 val history : t -> string list
+
+(** The bound on the undo stack this session was loaded with. *)
+val history_limit : t -> int
 
 (** Engine cache statistics (the [engine] command, [--engine-stats]). *)
 val engine_stats : t -> Engine.stats

@@ -172,6 +172,25 @@ let make_cache () =
     bucket_misses = 0 }
 
 let cache_counters c = (c.tests_executed, c.bucket_hits, c.bucket_misses)
+let cache_entries c = Hashtbl.length c.buckets
+
+(* Buckets are pure data (deps, nodeps, counts — no closures), so the
+   memo table marshals cleanly; this is what the persistent
+   cross-process cache stores.  Counters are deliberately excluded:
+   they describe a run, not the table. *)
+let export_cache c : string = Marshal.to_string c.buckets []
+
+let import_cache (s : string) ~(into : cache) : int =
+  let imported : (string, bucket) Hashtbl.t = Marshal.from_string s 0 in
+  let added = ref 0 in
+  Hashtbl.iter
+    (fun key bucket ->
+      if not (Hashtbl.mem into.buckets key) then begin
+        Hashtbl.replace into.buckets key bucket;
+        Stdlib.incr added
+      end)
+    imported;
+  !added
 
 (* A definition site's analysis-relevant content: forward substitution
    reads an assignment's right-hand side, induction rewriting reads a

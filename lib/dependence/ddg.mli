@@ -82,6 +82,20 @@ val make_cache : unit -> cache
     misses only), buckets served from the table, buckets computed. *)
 val cache_counters : cache -> int * int * int
 
+(** Number of memoized buckets in the table. *)
+val cache_entries : cache -> int
+
+(** Marshal the memo table (pure data — no closures) for the
+    persistent cross-process cache.  Counters are not included. *)
+val export_cache : cache -> string
+
+(** [import_cache s ~into] — add the buckets serialized by
+    {!export_cache} to [into], keeping existing entries on key
+    collision; returns the number of buckets added.  Raises
+    [Failure] on malformed input (the caller guards the payload with
+    its own format fingerprint). *)
+val import_cache : string -> into:cache -> int
+
 (** [compute ?cache env] — dependence graph of the whole unit,
     honouring [env]'s config and assertions.  With [cache], array
     dependence testing is served bucket-wise from the memo table; the

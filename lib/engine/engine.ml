@@ -32,6 +32,22 @@ let zero_stats =
 
 type entry = { e_fp : Fingerprint.t; e_env : Depenv.t; e_ddg : Ddg.t }
 
+(* Cross-session sharing hooks.  The engine stays ignorant of the
+   cache behind them (lib/server owns the LRU/persistence policy);
+   it consults the hooks after a local miss and publishes what it
+   computed.  Keys are the same content fingerprints that guard the
+   local tables, so a hit is correct by construction. *)
+type sharing = {
+  sh_find_summary : Fingerprint.t -> Interproc.Summary.t option;
+  sh_add_summary : Fingerprint.t -> Interproc.Summary.t -> unit;
+  sh_find_unit : Fingerprint.t -> (Depenv.t * Ddg.t) option;
+  sh_add_unit : Fingerprint.t -> Depenv.t * Ddg.t -> unit;
+  sh_ddg_cache : Ddg.cache option;
+      (** when present, the engine's dependence-test bucket memo —
+          shared partial results across sessions analyzing similar
+          (not identical) units *)
+}
+
 (* All accounting lives in telemetry counters on [sink]; [stats] is a
    view of those counters relative to the [base] watermark taken by
    [reset_stats].  The dependence-test and bucket tallies are bumped
@@ -41,6 +57,7 @@ type t = {
   caching : bool;
   config : Depenv.config;
   use_interproc : bool;
+  sharing : sharing option;
   sink : Telemetry.sink;
   mutable program : Ast.program;
   mutable asserts : Depenv.assertions;
@@ -64,7 +81,7 @@ type t = {
 }
 
 let create ?(caching = true) ?(config = Depenv.full_config)
-    ?(interproc = true) ?telemetry (program : Ast.program) : t =
+    ?(interproc = true) ?sharing ?telemetry (program : Ast.program) : t =
   (* a private live sink by default: counters work out of the box and
      two engines never share accounting *)
   let sink =
@@ -75,12 +92,16 @@ let create ?(caching = true) ?(config = Depenv.full_config)
     caching;
     config;
     use_interproc = interproc;
+    sharing;
     sink;
     program;
     asserts = Depenv.no_assertions;
     units = Hashtbl.create 8;
     summaries = Hashtbl.create 8;
-    ddg_cache = Ddg.make_cache ();
+    ddg_cache =
+      (match sharing with
+      | Some { sh_ddg_cache = Some cache; _ } -> cache
+      | _ -> Ddg.make_cache ());
     c_env_hits = c "engine.env_hits";
     c_env_misses = c "engine.env_misses";
     c_invalidations = c "engine.invalidations";
@@ -124,10 +145,20 @@ let summary t : Interproc.Summary.t option =
       | Some s ->
         Telemetry.incr t.c_summary_hits;
         Some s
-      | None ->
-        let s = build () in
-        Hashtbl.replace t.summaries key s;
-        Some s
+      | None -> (
+        match
+          Option.bind t.sharing (fun sh -> sh.sh_find_summary key)
+        with
+        | Some s ->
+          (* served by another session's work *)
+          Telemetry.incr t.c_summary_hits;
+          Hashtbl.replace t.summaries key s;
+          Some s
+        | None ->
+          let s = build () in
+          Hashtbl.replace t.summaries key s;
+          Option.iter (fun sh -> sh.sh_add_summary key s) t.sharing;
+          Some s)
     end
   end
 
@@ -177,12 +208,23 @@ let analysis t ~unit_name : (Depenv.t * Ddg.t) option =
       | Some e when String.equal e.e_fp fp ->
         Telemetry.incr t.c_env_hits;
         Some (e.e_env, e.e_ddg)
-      | prior ->
-        if prior <> None then Telemetry.incr t.c_invalidations;
-        Telemetry.incr t.c_env_misses;
-        let env, ddg = compute_unit t summary u in
-        Hashtbl.replace t.units unit_name { e_fp = fp; e_env = env; e_ddg = ddg };
-        Some (env, ddg)
+      | prior -> (
+        match Option.bind t.sharing (fun sh -> sh.sh_find_unit fp) with
+        | Some (env, ddg) ->
+          (* another session already analyzed this exact unit under
+             this exact config/assertion/interproc view *)
+          Telemetry.incr t.c_env_hits;
+          Hashtbl.replace t.units unit_name
+            { e_fp = fp; e_env = env; e_ddg = ddg };
+          Some (env, ddg)
+        | None ->
+          if prior <> None then Telemetry.incr t.c_invalidations;
+          Telemetry.incr t.c_env_misses;
+          let env, ddg = compute_unit t summary u in
+          Hashtbl.replace t.units unit_name
+            { e_fp = fp; e_env = env; e_ddg = ddg };
+          Option.iter (fun sh -> sh.sh_add_unit fp (env, ddg)) t.sharing;
+          Some (env, ddg))
     end
 
 let seconds c = float_of_int (Telemetry.value c) /. 1e9

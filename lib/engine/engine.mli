@@ -48,16 +48,37 @@ type stats = {
   ddg_s : float;
 }
 
+(** Cross-session sharing hooks — how a server-level shared cache
+    (lib/server) plugs in {e behind} the local tables.  After a local
+    miss the engine consults [sh_find_*]; whatever it then computes it
+    publishes through [sh_add_*].  Keys are the exact content
+    fingerprints guarding the local tables (whole-program fingerprint
+    for summaries, the full per-unit analysis key for unit results),
+    so two sessions over identical units dedup their dependence work
+    and a hit can never be stale.  [sh_ddg_cache], when present,
+    replaces the engine's private dependence-test bucket memo so even
+    {e partially} overlapping units share pair-test results. *)
+type sharing = {
+  sh_find_summary : string -> Interproc.Summary.t option;
+  sh_add_summary : string -> Interproc.Summary.t -> unit;
+  sh_find_unit : string -> (Depenv.t * Ddg.t) option;
+  sh_add_unit : string -> Depenv.t * Ddg.t -> unit;
+  sh_ddg_cache : Ddg.cache option;
+}
+
 (** [create ?telemetry program] — [telemetry] is the sink all engine
     accounting (and, when it is recording, the [engine.analysis] /
     [engine.summary] / [engine.env] / [engine.ddg] spans) is emitted
     to.  The default is a fresh private live sink, so every engine
     counts independently; passing {!Telemetry.null} disables
-    accounting entirely (stats read as zero). *)
+    accounting entirely (stats read as zero).  [sharing] hooks the
+    engine into a cross-session cache; shared hits count as cache
+    hits in {!stats}. *)
 val create :
   ?caching:bool ->
   ?config:Depenv.config ->
   ?interproc:bool ->
+  ?sharing:sharing ->
   ?telemetry:Telemetry.sink ->
   Ast.program ->
   t

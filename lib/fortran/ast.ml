@@ -65,13 +65,23 @@ type program_unit = {
 
 type program = { punits : program_unit list }
 
-let sid_counter = ref 0
+(* Atomic: the batch/server drivers parse and edit programs from
+   several domains at once, and a torn plain-ref increment could hand
+   the same id to two statements of one session. *)
+let sid_counter = Atomic.make 0
 
-let fresh_sid () =
-  incr sid_counter;
-  !sid_counter
+let fresh_sid () = 1 + Atomic.fetch_and_add sid_counter 1
 
-let reset_sids () = sid_counter := 0
+let reset_sids () = Atomic.set sid_counter 0
+
+(* Raise the supply so it never re-issues an id at or below [n]
+   (atomic maximum). *)
+let ensure_sids_above n =
+  let rec go () =
+    let cur = Atomic.get sid_counter in
+    if cur < n && not (Atomic.compare_and_set sid_counter cur n) then go ()
+  in
+  go ()
 
 let mk ?label ?(loc = Loc.none) node = { sid = fresh_sid (); label; loc; node }
 
@@ -106,6 +116,34 @@ let rec map_stmts f stmts =
       in
       f { s with node })
     stmts
+
+(* Canonical ids: preorder 1..n over the whole program.  Two parses of
+   the same source — in this process or another — renumber to
+   structurally identical programs, which is what lets fingerprint-
+   keyed caches dedup work across sessions.  The global supply is
+   raised past n so later edits stay collision-free. *)
+let renumber_program (p : program) : program =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let rec stmts ss = List.map stmt ss
+  and stmt s =
+    let sid = fresh () in
+    let node =
+      match s.node with
+      | If (branches, els) ->
+        If (List.map (fun (c, body) -> (c, stmts body)) branches, stmts els)
+      | Do (h, body) -> Do (h, stmts body)
+      | (Assign _ | Call _ | Goto _ | Continue | Return | Stop | Print _) as n
+        -> n
+    in
+    { s with sid; node }
+  in
+  let p' = { punits = List.map (fun u -> { u with body = stmts u.body }) p.punits } in
+  ensure_sids_above !next;
+  p'
 
 let find_stmt sid stmts =
   fold_stmts (fun found s -> if s.sid = sid then Some s else found) None stmts

@@ -96,6 +96,19 @@ val fresh_sid : unit -> stmt_id
     deterministic ids. *)
 val reset_sids : unit -> unit
 
+(** [ensure_sids_above n] raises the supply so no id at or below [n]
+    is ever issued again (atomic maximum; safe from any domain). *)
+val ensure_sids_above : int -> unit
+
+(** [renumber_program p] reassigns statement ids canonically —
+    preorder [1..n] over the whole program — and raises the global
+    supply past [n] so subsequent edits cannot collide.  Two parses of
+    the same source renumber to structurally identical programs, even
+    across processes: the server and batch drivers renumber at session
+    open so fingerprint-keyed caches dedup identical units across
+    sessions. *)
+val renumber_program : program -> program
+
 (** [mk ?label ?loc node] builds a statement with a fresh id. *)
 val mk : ?label:int -> ?loc:Loc.t -> stmt_node -> stmt
 

@@ -1,0 +1,80 @@
+type safety = Safe | Guarded | Unsafe
+
+type component = { comp : string; safety : safety; notes : string }
+
+let components =
+  [
+    {
+      comp = "Ast.sid_counter";
+      safety = Guarded;
+      notes =
+        "global statement-id source; Atomic fetch-and-add, and \
+         renumber_program keeps ids canonical per program";
+    };
+    {
+      comp = "Telemetry sink";
+      safety = Safe;
+      notes =
+        "counters/histograms are atomic; span logs are per-domain \
+         (Domain.DLS), so concurrent emission never tears";
+    };
+    {
+      comp = "Server.Cache keyed table";
+      safety = Guarded;
+      notes = "every lookup/insert/eviction holds the cache mutex";
+    };
+    {
+      comp = "Ddg bucket memo (Cache.ddg_cache)";
+      safety = Unsafe;
+      notes =
+        "consulted and mutated inside Ddg.compute without a lock; \
+         concurrent compute on two domains would race the Hashtbl";
+    };
+    {
+      comp = "Depenv.t scalar environments";
+      safety = Unsafe;
+      notes =
+        "cached unit results carry closures over lazy memo tables \
+         with no synchronization; a shared hit on another domain \
+         would race their fill-in";
+    };
+    {
+      comp = "Session / Engine local tables";
+      safety = Safe;
+      notes = "confined: one session lives on one domain by design";
+    };
+    {
+      comp = "Runtime.Pool";
+      safety = Guarded;
+      notes = "mutex/condition job handoff; atomic self-scheduling";
+    };
+  ]
+
+(* The verdict is computed, not asserted: fix the Unsafe rows and it
+   flips on its own. *)
+let sharing_across_domains =
+  List.for_all (fun c -> c.safety <> Unsafe) components
+
+let safety_to_string = function
+  | Safe -> "safe"
+  | Guarded -> "guarded"
+  | Unsafe -> "unsafe"
+
+let report () =
+  let rows =
+    List.map
+      (fun c ->
+        Printf.sprintf "  %-38s %-8s %s" c.comp (safety_to_string c.safety)
+          c.notes)
+      components
+  in
+  String.concat "\n"
+    ([ "domain-safety audit of shared state:" ] @ rows
+    @ [
+        (if sharing_across_domains then
+           "verdict: one shared cache may serve all domains"
+         else
+           "verdict: cross-domain cache sharing disabled — multi-domain \
+            batch partitions jobs, one private cache per domain; the fully \
+            shared cache needs a single domain (interleaved mode)");
+      ])

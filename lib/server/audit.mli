@@ -1,0 +1,35 @@
+(** Domain-safety audit of the analysis stack.
+
+    The batch driver can run jobs on multiple OCaml domains, but how
+    much state may be {e shared} across them is a property of the
+    code, not a flag — this module is the reviewed inventory that
+    justifies the driver's policy.  The verdict
+    ({!sharing_across_domains} = [false]): per-domain state is safe,
+    so jobs can be {e partitioned} across domains each with a private
+    {!Cache}, but one cache must not be shared by concurrently
+    running domains — the dependence-test bucket memo is consulted
+    from inside [Ddg.compute] without a lock, and scalar environments
+    carry unsynchronized lazy memo tables.
+
+    When one of the [Unsafe] rows is fixed (locking the bucket memo,
+    freezing environments), flip the verdict here and the batch
+    driver's partitioned mode becomes a fully shared one. *)
+
+type safety =
+  | Safe      (** usable from any domain concurrently as-is *)
+  | Guarded   (** safe because of an explicit lock / atomic *)
+  | Unsafe    (** must stay confined to one domain *)
+
+type component = { comp : string; safety : safety; notes : string }
+
+(** The reviewed inventory of process-global and cross-session
+    mutable state, one row per component. *)
+val components : component list
+
+(** Whether one {!Cache} may be handed to sessions running on
+    different domains concurrently.  [false] while any shared-path
+    component is [Unsafe]. *)
+val sharing_across_domains : bool
+
+(** The inventory and verdict, as text ([ped batch --audit]). *)
+val report : unit -> string

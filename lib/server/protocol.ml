@@ -1,0 +1,62 @@
+type request =
+  | Open of { rsid : string; file : string; unit_name : string option }
+  | Cmd of { rsid : string; line : string }
+  | Stats of string
+  | Sessions
+  | Cache_stats
+  | Close of string
+  | Quit
+
+(* First two whitespace-separated tokens, and everything after the
+   second — [cmd ID ...] must keep the command line verbatim,
+   including any run of spaces inside an edit's text. *)
+let split_verb (line : string) : string * string =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    ( String.sub line 0 i,
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse (line : string) : (request, string) result =
+  let line = String.trim line in
+  let verb, rest = split_verb line in
+  match verb with
+  | "" -> Error "empty request"
+  | "open" -> (
+    match String.split_on_char ' ' rest |> List.filter (( <> ) "") with
+    | [ rsid; file ] -> Ok (Open { rsid; file; unit_name = None })
+    | [ rsid; file; u ] -> Ok (Open { rsid; file; unit_name = Some u })
+    | _ -> Error "usage: open ID FILE [UNIT]")
+  | "cmd" -> (
+    let rsid, cmdline = split_verb rest in
+    match (rsid, cmdline) with
+    | "", _ | _, "" -> Error "usage: cmd ID COMMAND..."
+    | rsid, line -> Ok (Cmd { rsid; line }))
+  | "stats" ->
+    if rest = "" then Error "usage: stats ID" else Ok (Stats rest)
+  | "sessions" -> Ok Sessions
+  | "cache" -> Ok Cache_stats
+  | "close" ->
+    if rest = "" then Error "usage: close ID" else Ok (Close rest)
+  | "quit" -> Ok Quit
+  | v -> Error (Printf.sprintf "unknown request %S" v)
+
+let payload_of_text (text : string) : string list =
+  match String.split_on_char '\n' text with
+  | [ "" ] -> []
+  | lines -> (
+    (* drop a single trailing newline's empty segment *)
+    match List.rev lines with
+    | "" :: rev -> List.rev rev
+    | _ -> lines)
+
+let respond oc (r : (string * string list, string) result) : unit =
+  (match r with
+  | Ok (id, payload) ->
+    output_string oc (if id = "" then "ok\n" else "ok " ^ id ^ "\n");
+    List.iter (fun l -> output_string oc ("| " ^ l ^ "\n")) payload
+  | Error msg ->
+    output_string oc
+      ("err " ^ String.concat " / " (String.split_on_char '\n' msg) ^ "\n"));
+  output_string oc ".\n";
+  flush oc

@@ -1,0 +1,44 @@
+(** The analysis server's line protocol.
+
+    [ped serve] multiplexes editor sessions over stdin/stdout, one
+    request per line, session-addressed:
+
+    {v
+    open ID FILE [UNIT]   start session ID on FILE (focus UNIT or main)
+    cmd ID COMMAND...     run one editor command line in session ID
+    stats ID              session ID's engine cache statistics
+    sessions              list open sessions
+    cache                 shared-cache statistics
+    close ID              end session ID
+    quit                  save caches (if configured) and exit
+    v}
+
+    Every request gets one framed response: a status line ([ok ID] or
+    [err MESSAGE]), each payload line prefixed with ["| "], and a
+    terminating ["."] line.  The prefix keeps payload content — which
+    may contain anything the editor prints, including a bare dot —
+    from being mistaken for the frame terminator, so a thin client
+    can drive the server with three string operations. *)
+
+type request =
+  | Open of { rsid : string; file : string; unit_name : string option }
+  | Cmd of { rsid : string; line : string }
+  | Stats of string
+  | Sessions
+  | Cache_stats
+  | Close of string
+  | Quit
+
+(** Parse one request line.  [Error] explains the malformation; blank
+    lines are [Error] too (the caller decides whether to ignore
+    them). *)
+val parse : string -> (request, string) result
+
+(** Write one framed response: [Ok (id, payload)] becomes
+    [ok id] / ["| "]-prefixed payload lines / ["."]; [Error msg]
+    becomes [err msg] / ["."].  Flushes. *)
+val respond : out_channel -> (string * string list, string) result -> unit
+
+(** Split a multi-line command output into payload lines (no trailing
+    empty line). *)
+val payload_of_text : string -> string list

@@ -71,6 +71,7 @@ type span_record = {
   sp_name : string;
   sp_path : string list;
   sp_tid : int;
+  sp_lane : string option;
   sp_t0 : int64;
   sp_t1 : int64;
   sp_args : (string * string) list;
@@ -82,6 +83,7 @@ type span_record = {
    also under the lock. *)
 type log = {
   l_tid : int;
+  mutable l_lane : string option;    (* ambient lane label (with_lane) *)
   mutable l_done : span_record list; (* newest first *)
   mutable l_stack : frame list;      (* innermost first *)
 }
@@ -89,6 +91,7 @@ type log = {
 and frame = {
   f_name : string;
   f_args : (string * string) list;
+  f_lane : string option;
   f_t0 : int64;
   f_log : log;
 }
@@ -117,7 +120,8 @@ let make_sink ~metrics ~record_spans =
   let key =
     Domain.DLS.new_key (fun () ->
         let l =
-          { l_tid = (Domain.self () :> int); l_done = []; l_stack = [] }
+          { l_tid = (Domain.self () :> int); l_lane = None; l_done = [];
+            l_stack = [] }
         in
         Mutex.lock lock;
         logs := l :: !logs;
@@ -176,9 +180,25 @@ let open_span s ?(args = []) name =
   if not s.s_rec then Off
   else
     let log = Domain.DLS.get s.s_key in
-    let fr = { f_name = name; f_args = args; f_t0 = now_ns (); f_log = log } in
+    let fr =
+      { f_name = name; f_args = args; f_lane = log.l_lane; f_t0 = now_ns ();
+        f_log = log }
+    in
     log.l_stack <- fr :: log.l_stack;
     On fr
+
+(* [with_lane s lane f] — label every span the calling domain opens on
+   [s] during [f] with [lane].  The server wraps each session request
+   in one, so traces from concurrent sessions multiplexed on one
+   domain land in separate exporter lanes instead of interleaving. *)
+let with_lane s lane f =
+  if not s.s_rec then f ()
+  else begin
+    let log = Domain.DLS.get s.s_key in
+    let prev = log.l_lane in
+    log.l_lane <- Some lane;
+    Fun.protect ~finally:(fun () -> log.l_lane <- prev) f
+  end
 
 let close_span = function
   | Off -> ()
@@ -193,6 +213,7 @@ let close_span = function
           sp_name = fr.f_name;
           sp_path = path;
           sp_tid = log.l_tid;
+          sp_lane = fr.f_lane;
           sp_t0 = fr.f_t0;
           sp_t1 = now_ns ();
           sp_args = fr.f_args;
@@ -338,16 +359,41 @@ let chrome_trace s =
     Buffer.add_string buf "\n";
     Buffer.add_string buf s
   in
-  (* One lane per domain: a thread_name metadata record per tid. *)
-  let tids = List.sort_uniq compare (List.map (fun r -> r.sp_tid) all) in
+  (* One lane per (domain, lane label): unlabeled spans keep their
+     domain id as tid; labeled ones (sessions multiplexed on one
+     domain) get synthetic tids past the real domain ids, so each
+     session renders as its own named track. *)
+  let keys =
+    List.sort_uniq compare (List.map (fun r -> (r.sp_tid, r.sp_lane)) all)
+  in
+  let max_tid = List.fold_left (fun acc r -> max acc r.sp_tid) 0 all in
+  let display = Hashtbl.create 8 in
+  let next = ref max_tid in
   List.iter
-    (fun tid ->
+    (fun (tid, lane) ->
+      let dt =
+        match lane with
+        | None -> tid
+        | Some _ ->
+          next := !next + 1;
+          !next
+      in
+      Hashtbl.replace display (tid, lane) dt;
+      let name =
+        match lane with
+        | None -> Printf.sprintf "domain %d" tid
+        | Some l -> Printf.sprintf "domain %d \xc2\xb7 %s" tid (json_escape l)
+      in
       emit
         (Printf.sprintf
            "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
-            \"args\":{\"name\":\"domain %d\"}}"
-           tid tid))
-    tids;
+            \"args\":{\"name\":\"%s\"}}"
+           dt name))
+    keys;
+  let tid_of r =
+    Option.value ~default:r.sp_tid
+      (Hashtbl.find_opt display (r.sp_tid, r.sp_lane))
+  in
   List.iter
     (fun r ->
       let args =
@@ -367,7 +413,7 @@ let chrome_trace s =
         (Printf.sprintf
            "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\
             \"cat\":\"ped\",\"ts\":%.3f,\"dur\":%.3f%s}"
-           r.sp_tid (json_escape r.sp_name) (us_of r.sp_t0)
+           (tid_of r) (json_escape r.sp_name) (us_of r.sp_t0)
            (ms_of_ns (Int64.sub r.sp_t1 r.sp_t0) *. 1e3)
            args))
     all;

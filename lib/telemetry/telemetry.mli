@@ -108,12 +108,23 @@ val close_span : scope -> unit
     against {!null}. *)
 val timed : sink -> ?span_name:string -> counter -> (unit -> 'a) -> 'a
 
+(** [with_lane s lane f] — label every span the calling domain opens
+    on [s] during [f] with [lane] (nests; the previous lane is
+    restored).  Exporters give each (domain, lane) pair its own
+    track, so concurrent sessions multiplexed over one domain — the
+    analysis server — stay distinguishable in [ped --trace] output.
+    Free when [s] is not recording. *)
+val with_lane : sink -> string -> (unit -> 'a) -> 'a
+
 (** {1 Inspection (tests, exporters)} *)
 
 type span_record = {
   sp_name : string;
   sp_path : string list;  (** outermost-first, ending with [sp_name] *)
   sp_tid : int;           (** id of the emitting domain *)
+  sp_lane : string option;
+      (** ambient {!with_lane} label at open time (session id under
+          the analysis server) *)
   sp_t0 : int64;
   sp_t1 : int64;
   sp_args : (string * string) list;
@@ -132,9 +143,11 @@ val counters : sink -> (string * int) list
 val profile_report : sink -> string
 
 (** Chrome [trace_event] JSON ({["{"traceEvents":[...]}"]}): one
-    complete ["ph":"X"] event per span, one lane ([tid]) per domain
-    with a [thread_name] metadata record.  Open in
-    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+    complete ["ph":"X"] event per span, one lane ([tid]) per
+    (domain, {!with_lane} label) pair with a [thread_name] metadata
+    record — labeled lanes get synthetic tids past the real domain
+    ids.  Open in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
 val chrome_trace : sink -> string
 
 val write_chrome_trace : sink -> string -> unit

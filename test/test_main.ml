@@ -32,4 +32,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("oracle", Test_oracle.suite);
       ("explain", Test_explain.suite);
+      ("server", Test_server.suite);
     ]
