@@ -1337,6 +1337,194 @@ let multisession_smoke () =
   multisession_run ~smoke:true "multisession-smoke"
 
 (* ------------------------------------------------------------------ *)
+(* parscale: the parallel analyzer - Ddg.compute ?runner across a      *)
+(* domain pool vs the sequential build                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parscale_json = "BENCH_parscale.json"
+
+(* A stress program wide enough that bucket-level parallelism has
+   something to chew on: [nests] top-level 2-D nests over three shared
+   arrays, cycling through distinct dependence patterns so every
+   cross-nest bucket holds real reference pairs.  [seed_const] is the
+   constant in the first nest - the incremental measurement edits it
+   and nothing else. *)
+let parscale_source ~nests ~seed_const =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "      PROGRAM PARSC\n";
+  add "      INTEGER N\n";
+  add "      PARAMETER (N = 64)\n";
+  add "      REAL A(N,N), B(N,N), C(N,N)\n";
+  add "      INTEGER I, J\n";
+  add "      REAL S\n";
+  add "      DO I = 1, N\n";
+  add "        DO J = 1, N\n";
+  add "          A(I,J) = FLOAT(I+J)\n";
+  add "          B(I,J) = FLOAT(I-J)\n";
+  add "          C(I,J) = 0.0\n";
+  add "        ENDDO\n";
+  add "      ENDDO\n";
+  for k = 0 to nests - 1 do
+    let c = if k = 0 then seed_const else float_of_int (k + 1) in
+    add "      DO I = 2, N\n";
+    add "        DO J = 2, N\n";
+    (match k mod 4 with
+    | 0 -> add "          A(I,J) = A(I,J) + B(I,J) * %.1f\n" c
+    | 1 -> add "          B(I,J) = B(I-1,J) + C(I,J) * %.1f\n" c
+    | 2 -> add "          C(I,J) = A(J,I) + B(I,J-1) * %.1f\n" c
+    | _ -> add "          A(I,J) = C(I-1,J-1) + A(I,J-1) * %.1f\n" c);
+    add "        ENDDO\n";
+    add "      ENDDO\n"
+  done;
+  add "      S = 0.0\n";
+  add "      DO I = 1, N\n";
+  add "        DO J = 1, N\n";
+  add "          S = S + A(I,J) + B(I,J) + C(I,J)\n";
+  add "        ENDDO\n";
+  add "      ENDDO\n";
+  add "      PRINT *, S\n";
+  add "      END\n";
+  Buffer.contents b
+
+let parscale_env ~nests ~seed_const =
+  let src = parscale_source ~nests ~seed_const in
+  let program =
+    Ast.renumber_program (Parser.parse_program ~file:"parsc.f" src)
+  in
+  Depenv.make (List.hd program.Ast.punits)
+
+let ddg_digest (g : Ddg.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string g []))
+
+let best_of reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = now_s () in
+    let r = f () in
+    let s = now_s () -. t0 in
+    if s < !best then best := s;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let parscale_run ~smoke label =
+  header
+    (Printf.sprintf
+       "%s: from-scratch dependence analysis fanned across the domain pool \
+        (Ddg.compute ?runner) vs sequential"
+       label);
+  let nests = if smoke then 12 else 24 in
+  let reps = if smoke then 3 else 5 in
+  let env = parscale_env ~nests ~seed_const:1.0 in
+  let plan = Ddg.plan env in
+  let tasks = Array.length (Ddg.tasks plan) in
+  let seq, seq_s = best_of reps (fun () -> Ddg.compute env) in
+  let seq_digest = ddg_digest seq in
+  Printf.printf
+    "stress unit: %d nests, %d bucket tasks, %d reference pairs\n" nests
+    tasks seq.Ddg.stats.Ddg.pairs_tested;
+  Printf.printf "%-8s %10s %8s %5s\n" "domains" "ms" "speedup" "same";
+  Printf.printf "%-8s %10.2f %8s %5s\n" "seq" (seq_s *. 1e3) "1.0x" "yes";
+  let rows =
+    List.map
+      (fun domains ->
+        Runtime.Pool.with_pool domains (fun pool ->
+            let runner = Runtime.Pool.analysis_runner pool in
+            let g, s = best_of reps (fun () -> Ddg.compute ~runner env) in
+            let identical = ddg_digest g = seq_digest && Ddg.equal seq g in
+            let speedup = seq_s /. Float.max 1e-9 s in
+            Printf.printf "%-8d %10.2f %7.1fx %5s\n" domains (s *. 1e3)
+              speedup
+              (if identical then "yes" else "NO");
+            (domains, s, speedup, identical)))
+      [ 1; 2; 4; 8 ]
+  in
+  (* Incremental: warm a shared cache on the base program, edit one
+     nest's constant - canonical renumbering keeps every other
+     statement's signature stable, so only the edited group's row and
+     column of buckets miss. *)
+  let cache = Ddg.make_cache () in
+  let base = Ddg.compute ~cache env in
+  let _, cold_hits, cold_misses = Ddg.cache_counters cache in
+  let env2 = parscale_env ~nests ~seed_const:9.0 in
+  let edited, warm_s = best_of 1 (fun () -> Ddg.compute ~cache env2) in
+  let _, hits1, misses1 = Ddg.cache_counters cache in
+  let edit_hits = hits1 - cold_hits and edit_misses = misses1 - cold_misses in
+  ignore base;
+  ignore edited;
+  Printf.printf
+    "incremental edit: %d/%d buckets replayed from cache (%d recomputed) in \
+     %.2f ms\n"
+    edit_hits (edit_hits + edit_misses) edit_misses (warm_s *. 1e3);
+  let cores = Domain.recommended_domain_count () in
+  let all_identical = List.for_all (fun (_, _, _, i) -> i) rows in
+  let speedup4 =
+    match List.find_opt (fun (d, _, _, _) -> d = 4) rows with
+    | Some (_, _, sp, _) -> sp
+    | None -> 0.
+  in
+  Jout.write parscale_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str label);
+         ("smoke", Jout.Bool smoke);
+         ("nests", Jout.Int nests);
+         ("bucket_tasks", Jout.Int tasks);
+         ("pairs_tested", Jout.Int seq.Ddg.stats.Ddg.pairs_tested);
+         ("recommended_domains", Jout.Int cores);
+         ("sequential_seconds", Jout.Float seq_s);
+         ( "parallel",
+           Jout.List
+             (List.map
+                (fun (d, s, sp, i) ->
+                  Jout.Obj
+                    [
+                      ("domains", Jout.Int d);
+                      ("seconds", Jout.Float s);
+                      ("speedup", Jout.Float sp);
+                      ("identical", Jout.Bool i);
+                    ])
+                rows) );
+         ( "incremental",
+           Jout.Obj
+             [
+               ("edit_bucket_hits", Jout.Int edit_hits);
+               ("edit_bucket_misses", Jout.Int edit_misses);
+               ("edit_seconds", Jout.Float warm_s);
+             ] );
+         ("all_identical", Jout.Bool all_identical);
+       ]);
+  if not all_identical then begin
+    Printf.eprintf "%s: parallel DDGs diverged from the sequential build\n"
+      label;
+    exit 1
+  end;
+  if edit_hits = 0 then begin
+    Printf.eprintf
+      "%s: the one-constant edit replayed no buckets from the cache\n" label;
+    exit 1
+  end;
+  (* The speedup gate only means something on a machine with cores to
+     spare; a single-core container still checks identity above. *)
+  if cores >= 2 && speedup4 < 1.0 then begin
+    Printf.eprintf
+      "%s: 4-domain analysis slower than sequential (%.2fx) on a %d-core \
+       machine\n"
+      label speedup4 cores;
+    exit 1
+  end
+  else if cores < 2 then
+    Printf.printf
+      "note: single-core machine (recommended_domain_count %d) - speedup \
+       gate skipped, identity gate enforced\n"
+      cores
+
+let parscale () = parscale_run ~smoke:false "parscale"
+let parscale_smoke () = parscale_run ~smoke:true "parscale-smoke"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1359,6 +1547,8 @@ let experiments =
     ("precision-smoke", precision_smoke);
     ("multisession", multisession);
     ("multisession-smoke", multisession_smoke);
+    ("parscale", parscale);
+    ("parscale-smoke", parscale_smoke);
     ("telemetry-overhead", telemetry_overhead);
     ("bench", microbench);
   ]

@@ -243,8 +243,8 @@ let calibrate_mode file workload =
 (* ------------------------------------------------------------------ *)
 
 let main file workload unit_name script no_interproc exec domains schedule
-    validate force_parallel order seed calibrate engine_stats profile trace
-    metrics =
+    validate force_parallel analysis_domains order seed calibrate
+    engine_stats profile trace metrics =
   (* one recording sink, installed as the process default, so the
      session, the transformation catalog, the analysis passes and the
      runtime workers all emit to the same place *)
@@ -289,40 +289,54 @@ let main file workload unit_name script no_interproc exec domains schedule
          ~telemetry:sink)
   else begin
     let interproc = not no_interproc in
-    let sess =
-      match (file, workload) with
-      | Some path, _ ->
-        Ped.Session.load_source ~interproc ?telemetry:sink ~file:path
-          (read_file path)
-          ~unit_name:(Option.map String.uppercase_ascii unit_name)
-      | None, Some wname -> (
-        match Workloads.by_name wname with
-        | Some w ->
-          let unit_name =
-            match unit_name with
-            | Some u -> String.uppercase_ascii u
-            | None -> Workloads.main_unit w
-          in
-          Ped.Session.load ~interproc ?telemetry:sink (Workloads.program w)
-            ~unit_name
-        | None ->
-          prerr_endline
-            ("unknown workload (available: "
-            ^ String.concat ", " Workloads.names
-            ^ ")");
-          exit 1)
-      | None, None ->
-        prerr_endline "give a Fortran file or a workload name (-w)";
-        exit 1
+    (* the analysis pool outlives the session (every re-analysis after
+       an edit fans out through it) but not [finish], so the trace
+       sees the worker lanes of a fully shut-down pool *)
+    let with_runner f =
+      if analysis_domains <= 1 then f None
+      else if not Server.Audit.parallel_analysis then begin
+        prerr_endline (Server.Audit.refuse_parallel_analysis ~what:"ped");
+        exit 2
+      end
+      else
+        Runtime.Pool.with_pool ?telemetry:sink analysis_domains (fun pool ->
+            f (Some (Runtime.Pool.analysis_runner pool)))
     in
-    (match order with
-    | "seq" -> ()
-    | "reverse" -> Ped.Session.set_sim_order sess Sim.Interp.Reverse
-    | "shuffle" -> Ped.Session.set_sim_order sess (Sim.Interp.Shuffled seed)
-    | o ->
-      prerr_endline ("bad --order " ^ o ^ " (seq, reverse or shuffle)");
-      exit 1);
-    run_session sess script ~engine_stats;
+    with_runner (fun runner ->
+        let sess =
+          match (file, workload) with
+          | Some path, _ ->
+            Ped.Session.load_source ~interproc ?runner ?telemetry:sink
+              ~file:path (read_file path)
+              ~unit_name:(Option.map String.uppercase_ascii unit_name)
+          | None, Some wname -> (
+            match Workloads.by_name wname with
+            | Some w ->
+              let unit_name =
+                match unit_name with
+                | Some u -> String.uppercase_ascii u
+                | None -> Workloads.main_unit w
+              in
+              Ped.Session.load ~interproc ?runner ?telemetry:sink
+                (Workloads.program w) ~unit_name
+            | None ->
+              prerr_endline
+                ("unknown workload (available: "
+                ^ String.concat ", " Workloads.names
+                ^ ")");
+              exit 1)
+          | None, None ->
+            prerr_endline "give a Fortran file or a workload name (-w)";
+            exit 1
+        in
+        (match order with
+        | "seq" -> ()
+        | "reverse" -> Ped.Session.set_sim_order sess Sim.Interp.Reverse
+        | "shuffle" -> Ped.Session.set_sim_order sess (Sim.Interp.Shuffled seed)
+        | o ->
+          prerr_endline ("bad --order " ^ o ^ " (seq, reverse or shuffle)");
+          exit 1);
+        run_session sess script ~engine_stats);
     finish true
   end
 
@@ -361,6 +375,12 @@ let exec_flag =
 let domains =
   Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
          ~doc:"Worker domains for --execute")
+
+let analysis_domains =
+  Arg.(value & opt int 1 & info [ "analysis-domains" ] ~docv:"N"
+         ~doc:"Fan dependence-test buckets of every analysis out across N \
+               pool domains (1 = sequential analysis); the graphs are \
+               identical either way")
 
 let schedule =
   Arg.(value & opt string "chunk" & info [ "schedule" ] ~docv:"POLICY"
@@ -491,7 +511,8 @@ let fuzz_cmd =
 (* serve subcommand: the multi-session analysis server                 *)
 (* ------------------------------------------------------------------ *)
 
-let serve_main cache_dir cache_mb history_limit trace profile =
+let serve_main cache_dir cache_mb history_limit analysis_domains trace
+    profile =
   let sink = Telemetry.make ~record_spans:(trace <> None || profile) () in
   Telemetry.set_default sink;
   let cache = Server.Cache.create ~telemetry:sink ~budget_mb:cache_mb () in
@@ -503,8 +524,19 @@ let serve_main cache_dir cache_mb history_limit trace profile =
     | Ok n ->
       Printf.eprintf "[serve] warmed %d ddg buckets from %s\n%!" n dir
     | Error e -> Printf.eprintf "[serve] %s\n%!" e));
-  let srv = Server.Serve.create ~telemetry:sink ~cache ~history_limit () in
-  Server.Serve.serve srv stdin stdout;
+  let with_runner f =
+    if analysis_domains <= 1 then f None
+    else
+      Runtime.Pool.with_pool ~telemetry:sink analysis_domains (fun pool ->
+          f (Some (Runtime.Pool.analysis_runner pool)))
+  in
+  with_runner (fun runner ->
+      match Server.Serve.create ~telemetry:sink ~cache ?runner ~history_limit ()
+      with
+      | exception Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+      | srv -> Server.Serve.serve srv stdin stdout);
   (match cache_dir with
   | None -> ()
   | Some dir -> (
@@ -539,15 +571,15 @@ let serve_cmd =
      cache (line protocol: open/cmd/stats/sessions/cache/close/quit)"
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const serve_main $ cache_dir $ cache_mb $ history_limit $ trace
-          $ profile)
+    Term.(const serve_main $ cache_dir $ cache_mb $ history_limit
+          $ analysis_domains $ trace $ profile)
 
 (* ------------------------------------------------------------------ *)
 (* batch subcommand: stream edit-scripts through concurrent sessions   *)
 (* ------------------------------------------------------------------ *)
 
-let batch_main jobfile bdomains repeat cache_dir cache_mb history_limit check
-    audit trace quiet =
+let batch_main jobfile bdomains banalysis_domains repeat cache_dir cache_mb
+    history_limit check audit trace quiet =
   if audit then print_endline (Server.Audit.report ());
   match Server.Batch.parse_job_file jobfile with
   | Error e ->
@@ -581,7 +613,7 @@ let batch_main jobfile bdomains repeat cache_dir cache_mb history_limit check
     | _ -> ());
     (match
        Server.Batch.run ~telemetry:sink ~cache ~domains:bdomains
-         ~history_limit ~check jobs
+         ~analysis_domains:banalysis_domains ~history_limit ~check jobs
      with
     | Error e ->
       prerr_endline e;
@@ -613,8 +645,8 @@ let batch_cmd =
   let bdomains =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
            ~doc:"Worker domains: 1 interleaves all sessions over one fully \
-                 shared cache; more partitions jobs with a private cache \
-                 per domain (see --audit for why)")
+                 shared cache; more partitions jobs across domains, sharing \
+                 the cache when the --audit inventory allows it")
   in
   let repeat =
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
@@ -634,16 +666,17 @@ let batch_cmd =
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No report output") in
   let doc = "stream edit-script jobs through concurrent analysis sessions" in
   Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const batch_main $ jobfile $ bdomains $ repeat $ cache_dir
-          $ cache_mb $ history_limit $ check $ audit $ trace $ quiet)
+    Term.(const batch_main $ jobfile $ bdomains $ analysis_domains $ repeat
+          $ cache_dir $ cache_mb $ history_limit $ check $ audit $ trace
+          $ quiet)
 
 let cmd =
   let doc = "interactive parallel programming editor (ParaScope Editor)" in
   let default =
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
-          $ order $ seed $ calibrate $ engine_stats $ profile $ trace
-          $ metrics)
+          $ analysis_domains $ order $ seed $ calibrate $ engine_stats
+          $ profile $ trace $ metrics)
   in
   Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd; serve_cmd; batch_cmd ]
 

@@ -65,14 +65,15 @@ let refresh t =
 let reanalyze = refresh
 
 let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
-    ?sharing ?(history_limit = 1000) ?telemetry (program : Ast.program)
-    ~unit_name : t =
+    ?sharing ?runner ?(history_limit = 1000) ?telemetry
+    (program : Ast.program) ~unit_name : t =
   (match find_unit program unit_name with
   | Some _ -> ()
   | None -> invalid_arg ("no such unit: " ^ unit_name));
   if history_limit < 1 then invalid_arg "history_limit must be >= 1";
   let engine =
-    Engine.create ?caching ~config ~interproc ?sharing ?telemetry program
+    Engine.create ?caching ~config ~interproc ?sharing ?runner ?telemetry
+      program
   in
   let env, ddg =
     match Engine.analysis engine ~unit_name with
@@ -96,7 +97,7 @@ let load ?(config = Depenv.full_config) ?(interproc = true) ?caching
     original = program;
   }
 
-let load_source ?config ?interproc ?caching ?sharing ?history_limit
+let load_source ?config ?interproc ?caching ?sharing ?runner ?history_limit
     ?telemetry ~file src ~unit_name : t =
   let program = Parser.parse_program ~file src in
   let unit_name =
@@ -114,8 +115,8 @@ let load_source ?config ?interproc ?caching ?sharing ?history_limit
         | u :: _ -> u.Ast.uname
         | [] -> invalid_arg "empty program"))
   in
-  load ?config ?interproc ?caching ?sharing ?history_limit ?telemetry program
-    ~unit_name
+  load ?config ?interproc ?caching ?sharing ?runner ?history_limit ?telemetry
+    program ~unit_name
 
 let focus t name =
   match find_unit (program t) name with

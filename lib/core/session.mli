@@ -26,7 +26,10 @@ type t
     incremental engine; [~caching:false] recomputes everything after
     every change — the from-scratch baseline the bench harness
     measures against.  [sharing] hooks the engine into a cross-session
-    cache (the analysis server's).  [history_limit] (default 1000, must
+    cache (the analysis server's).  [runner] fans dependence-test
+    buckets out across a domain pool on every (re)analysis
+    ([Runtime.Pool.analysis_runner]); results are identical with or
+    without it.  [history_limit] (default 1000, must
     be >= 1) bounds the undo stack: the oldest entries are dropped once
     it is full, so long-running server sessions don't grow memory
     linearly in retained program snapshots.  [telemetry] is handed to
@@ -35,14 +38,14 @@ type t
     session). *)
 val load :
   ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
-  ?sharing:Engine.sharing -> ?history_limit:int ->
+  ?sharing:Engine.sharing -> ?runner:Ddg.runner -> ?history_limit:int ->
   ?telemetry:Telemetry.sink ->
   Ast.program -> unit_name:string -> t
 
 (** Parse source text and load it. *)
 val load_source :
   ?config:Depenv.config -> ?interproc:bool -> ?caching:bool ->
-  ?sharing:Engine.sharing -> ?history_limit:int ->
+  ?sharing:Engine.sharing -> ?runner:Ddg.runner -> ?history_limit:int ->
   ?telemetry:Telemetry.sink ->
   file:string -> string -> unit_name:string option -> t
 

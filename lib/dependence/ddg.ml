@@ -160,37 +160,65 @@ type bucket = {
   b_disproved : (string * int) list;
 }
 
+(* The memo table is shared by concurrent bucket tests (several
+   domains inside one [compute], and several sessions across a batch
+   server), so the table itself is mutex-guarded and the run counters
+   are atomics: a lost increment would desynchronize the engine's
+   watermarked stats view. *)
 type cache = {
   buckets : (string, bucket) Hashtbl.t;
-  mutable tests_executed : int;
-  mutable bucket_hits : int;
-  mutable bucket_misses : int;
+  lock : Mutex.t;
+  tests_executed : int Atomic.t;
+  bucket_hits : int Atomic.t;
+  bucket_misses : int Atomic.t;
 }
 
 let make_cache () =
-  { buckets = Hashtbl.create 64; tests_executed = 0; bucket_hits = 0;
-    bucket_misses = 0 }
+  { buckets = Hashtbl.create 64; lock = Mutex.create ();
+    tests_executed = Atomic.make 0; bucket_hits = Atomic.make 0;
+    bucket_misses = Atomic.make 0 }
 
-let cache_counters c = (c.tests_executed, c.bucket_hits, c.bucket_misses)
-let cache_entries c = Hashtbl.length c.buckets
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let cache_counters c =
+  ( Atomic.get c.tests_executed,
+    Atomic.get c.bucket_hits,
+    Atomic.get c.bucket_misses )
+
+let cache_entries c = locked c (fun () -> Hashtbl.length c.buckets)
+
+let cache_find c key =
+  let hit = locked c (fun () -> Hashtbl.find_opt c.buckets key) in
+  (match hit with
+  | Some _ -> Atomic.incr c.bucket_hits
+  | None -> Atomic.incr c.bucket_misses);
+  hit
+
+let cache_store c key (b : bucket) =
+  ignore (Atomic.fetch_and_add c.tests_executed b.b_pairs);
+  locked c (fun () -> Hashtbl.replace c.buckets key b)
 
 (* Buckets are pure data (deps, nodeps, counts — no closures), so the
    memo table marshals cleanly; this is what the persistent
    cross-process cache stores.  Counters are deliberately excluded:
    they describe a run, not the table. *)
-let export_cache c : string = Marshal.to_string c.buckets []
+let export_cache c : string =
+  locked c (fun () -> Marshal.to_string c.buckets [])
 
 let import_cache (s : string) ~(into : cache) : int =
   let imported : (string, bucket) Hashtbl.t = Marshal.from_string s 0 in
-  let added = ref 0 in
-  Hashtbl.iter
-    (fun key bucket ->
-      if not (Hashtbl.mem into.buckets key) then begin
-        Hashtbl.replace into.buckets key bucket;
-        Stdlib.incr added
-      end)
-    imported;
-  !added
+  locked into (fun () ->
+      let added = ref 0 in
+      Hashtbl.iter
+        (fun key bucket ->
+          if not (Hashtbl.mem into.buckets key) then begin
+            Hashtbl.replace into.buckets key bucket;
+            Stdlib.incr added
+          end)
+        imported;
+      !added)
 
 (* A definition site's analysis-relevant content: forward substitution
    reads an assignment's right-hand side, induction rewriting reads a
@@ -252,12 +280,48 @@ let group_content_sig (env : Depenv.t) (top : Ast.stmt) =
   Digest.string (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
-(* Graph construction                                                  *)
+(* Staged graph construction: plan -> test -> assemble                 *)
+(*                                                                     *)
+(* [compute] used to be one closure-heavy entry point; it is now a     *)
+(* pipeline of three pure stages so that the expensive middle stage    *)
+(* can be fanned out across domains by an injected task runner:        *)
+(*                                                                     *)
+(*   plan      enumerate the reference-pair buckets of a unit (cheap); *)
+(*   test      run one bucket — reads only the immutable plan, so      *)
+(*             distinct tasks may run concurrently on distinct domains;*)
+(*   assemble  merge bucket outcomes (plus the sequential scalar and   *)
+(*             control passes) into a graph in canonical task order,   *)
+(*             independent of which domain finished first.             *)
 (* ------------------------------------------------------------------ *)
 
-let compute_impl ?cache ~tel (env : Depenv.t) : t =
-  let executed = ref 0 in
-  let local_hits = ref 0 and local_misses = ref 0 in
+(* One unit of parallel work: test every eligible reference pair
+   between two top-level statement groups.  [t_key] is the bucket's
+   memo-table digest, present only when the plan was built [~keyed]. *)
+type task = { t_g1 : int; t_g2 : int; t_key : string option }
+
+(* The immutable context shared by every stage — this record replaces
+   the mutable refs and hash tables the old single-pass [compute]
+   threaded through its inner closures.  Workers only ever read it. *)
+type plan = {
+  p_env : Depenv.t;
+  p_refs : aref array;
+  p_groups : int array array;  (* ref indices of each top-level group *)
+  p_tasks : task array;  (* canonical (g1, g2) lexicographic order *)
+  p_keyed : bool;
+  p_tel : Telemetry.sink;
+}
+
+type outcome = { o_bucket : bucket; o_cached : bool }
+
+(* A task runner: how [compute] fans bucket tests out.  The record
+   keeps this library free of any dependency on [Runtime.Pool] (which
+   depends on us); [Pool.analysis_runner] produces one. *)
+type runner = { run_tasks : 'a. (unit -> 'a) array -> 'a array }
+
+let plan ?telemetry ?(keyed = false) (env : Depenv.t) : plan =
+  let tel =
+    match telemetry with Some t -> t | None -> Telemetry.default ()
+  in
   let refs = Array.of_list (collect_refs env) in
   let n_refs = Array.length refs in
 
@@ -277,8 +341,60 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
   done;
   let by_group = Array.map Array.of_list by_group in
 
-  (* ---- one bucket of pair tests ---- *)
-  let test_bucket idx_a idx_b ~same : bucket =
+  (* ---- bucket cache keys (computed only when requested) ---- *)
+  let content_sig = lazy (Array.map (fun top -> group_content_sig env top) tops) in
+  let ctx_sig = lazy (Array.map (fun top -> group_ctx_sig env top) tops) in
+  let global_sig =
+    lazy
+      (let arrays =
+         Array.to_list refs
+         |> List.map (fun r -> r.r_array)
+         |> List.sort_uniq String.compare
+       in
+       let buf = Buffer.create 128 in
+       Buffer.add_string buf
+         (Marshal.to_string (env.Depenv.config, env.Depenv.asserts) []);
+       List.iter
+         (fun a ->
+           List.iter
+             (fun b ->
+               if String.compare a b < 0 then
+                 Buffer.add_string buf
+                   (match env.Depenv.alias a b with
+                   | `Aligned -> "A"
+                   | `May -> "M"
+                   | `No -> "N"))
+             arrays)
+         arrays;
+       Digest.string (Buffer.contents buf))
+  in
+  let bucket_key g1 g2 =
+    Digest.string
+      (String.concat "|"
+         [ (Lazy.force content_sig).(g1); (Lazy.force content_sig).(g2);
+           (Lazy.force ctx_sig).(g1); (Lazy.force ctx_sig).(g2);
+           Lazy.force global_sig ])
+  in
+
+  (* ---- enumerate non-empty buckets in canonical order ---- *)
+  let tasks = ref [] in
+  for g1 = ngroups - 1 downto 0 do
+    for g2 = ngroups - 1 downto g1 do
+      if Array.length by_group.(g1) > 0 && Array.length by_group.(g2) > 0 then
+        tasks :=
+          { t_g1 = g1; t_g2 = g2;
+            t_key = (if keyed then Some (bucket_key g1 g2) else None) }
+          :: !tasks
+    done
+  done;
+  { p_env = env; p_refs = refs; p_groups = by_group;
+    p_tasks = Array.of_list !tasks; p_keyed = keyed; p_tel = tel }
+
+let tasks p = Array.copy p.p_tasks
+
+(* ---- one bucket of pair tests (pure: reads env and refs only) ---- *)
+let run_pairs ~tel (env : Depenv.t) (refs : aref array) (idx_a : int array)
+    (idx_b : int array) ~same : bucket =
     let deps = ref [] in
     let nodeps = ref [] in
     let pairs = ref 0 in
@@ -300,8 +416,6 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
       in
       if eligible then begin
         incr pairs;
-        incr executed;
-        (match cache with Some c -> c.tests_executed <- c.tests_executed + 1 | None -> ());
         let common = Loopnest.common env.Depenv.nest r1.r_sid r2.r_sid in
         let n = List.length common in
         (* ddg-level provenance context the pure tester cannot see:
@@ -465,44 +579,24 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) disproved []
         |> List.sort compare;
     }
-  in
 
-  (* ---- bucket cache keys (computed only when a cache is in play) ---- *)
-  let content_sig = lazy (Array.map (fun top -> group_content_sig env top) tops) in
-  let ctx_sig = lazy (Array.map (fun top -> group_ctx_sig env top) tops) in
-  let global_sig =
-    lazy
-      (let arrays =
-         Array.to_list refs
-         |> List.map (fun r -> r.r_array)
-         |> List.sort_uniq String.compare
-       in
-       let buf = Buffer.create 128 in
-       Buffer.add_string buf
-         (Marshal.to_string (env.Depenv.config, env.Depenv.asserts) []);
-       List.iter
-         (fun a ->
-           List.iter
-             (fun b ->
-               if String.compare a b < 0 then
-                 Buffer.add_string buf
-                   (match env.Depenv.alias a b with
-                   | `Aligned -> "A"
-                   | `May -> "M"
-                   | `No -> "N"))
-             arrays)
-         arrays;
-       Digest.string (Buffer.contents buf))
-  in
-  let bucket_key g1 g2 =
-    Digest.string
-      (String.concat "|"
-         [ (Lazy.force content_sig).(g1); (Lazy.force content_sig).(g2);
-           (Lazy.force ctx_sig).(g1); (Lazy.force ctx_sig).(g2);
-           Lazy.force global_sig ])
-  in
+(* Run one planned bucket.  The [ddg.bucket] span is emitted on the
+   executing domain, so a fanned-out analysis shows up as per-domain
+   trace lanes exactly like the runtime pool's chunk spans. *)
+let test (p : plan) (task : task) : bucket =
+  Telemetry.span p.p_tel "ddg.bucket"
+    ~args:[ ("groups", Printf.sprintf "%d,%d" task.t_g1 task.t_g2) ]
+    (fun () ->
+      run_pairs ~tel:p.p_tel p.p_env p.p_refs p.p_groups.(task.t_g1)
+        p.p_groups.(task.t_g2) ~same:(task.t_g1 = task.t_g2))
 
-  (* ---- array dependences, bucket by bucket in canonical order ---- *)
+let assemble (p : plan) (outcomes : outcome array) : t =
+  if Array.length outcomes <> Array.length p.p_tasks then
+    invalid_arg "Ddg.assemble: one outcome per planned task expected";
+  let env = p.p_env in
+  let tel = p.p_tel in
+
+  (* ---- merge bucket outcomes in canonical task order ---- *)
   let array_deps = ref [] in
   let nodeps_acc = ref [] in
   let pairs_tested = ref 0 in
@@ -510,38 +604,14 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
   let bump_n tbl k n =
     Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
   in
-  for g1 = 0 to ngroups - 1 do
-    for g2 = g1 to ngroups - 1 do
-      if Array.length by_group.(g1) > 0 && Array.length by_group.(g2) > 0 then begin
-        let run_bucket () =
-          Telemetry.span tel "ddg.bucket"
-            ~args:[ ("groups", Printf.sprintf "%d,%d" g1 g2) ]
-            (fun () -> test_bucket by_group.(g1) by_group.(g2) ~same:(g1 = g2))
-        in
-        let b =
-          match cache with
-          | None -> run_bucket ()
-          | Some c -> (
-            let key = bucket_key g1 g2 in
-            match Hashtbl.find_opt c.buckets key with
-            | Some b ->
-              c.bucket_hits <- c.bucket_hits + 1;
-              incr local_hits;
-              b
-            | None ->
-              c.bucket_misses <- c.bucket_misses + 1;
-              incr local_misses;
-              let b = run_bucket () in
-              Hashtbl.replace c.buckets key b;
-              b)
-        in
-        pairs_tested := !pairs_tested + b.b_pairs;
-        List.iter (fun (t, n) -> bump_n disproved t n) b.b_disproved;
-        List.iter (fun nd -> nodeps_acc := nd :: !nodeps_acc) b.b_nodeps;
-        List.iter (fun d -> array_deps := d :: !array_deps) b.b_deps
-      end
-    done
-  done;
+  Array.iter
+    (fun o ->
+      let b = o.o_bucket in
+      pairs_tested := !pairs_tested + b.b_pairs;
+      List.iter (fun (t, n) -> bump_n disproved t n) b.b_disproved;
+      List.iter (fun nd -> nodeps_acc := nd :: !nodeps_acc) b.b_nodeps;
+      List.iter (fun d -> array_deps := d :: !array_deps) b.b_deps)
+    outcomes;
   let deps = ref !array_deps in
 
   (* ---- scalar dependences ---- *)
@@ -742,13 +812,21 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
     }
   in
   (* flush aggregated tallies to the sink in one pass — the pair-test
-     loop itself stays counter-free *)
+     stage itself stays counter-free *)
   if Telemetry.metrics_on tel then begin
+    let executed =
+      Array.fold_left
+        (fun acc o -> if o.o_cached then acc else acc + o.o_bucket.b_pairs)
+        0 outcomes
+    in
+    let count f = Array.fold_left (fun n o -> if f o then n + 1 else n) 0 outcomes in
+    let hits = if p.p_keyed then count (fun o -> o.o_cached) else 0 in
+    let misses = if p.p_keyed then count (fun o -> not o.o_cached) else 0 in
     let c name = Telemetry.counter tel name in
     Telemetry.add (c "ddg.pairs_tested") stats.pairs_tested;
-    Telemetry.add (c "ddg.tests_executed") !executed;
-    Telemetry.add (c "ddg.bucket_hits") !local_hits;
-    Telemetry.add (c "ddg.bucket_misses") !local_misses;
+    Telemetry.add (c "ddg.tests_executed") executed;
+    Telemetry.add (c "ddg.bucket_hits") hits;
+    Telemetry.add (c "ddg.bucket_misses") misses;
     Telemetry.add (c "ddg.deps_proven") stats.proven;
     Telemetry.add (c "ddg.deps_pending") stats.pending;
     List.iter
@@ -773,13 +851,68 @@ let compute_impl ?cache ~tel (env : Depenv.t) : t =
   end;
   { deps; nodeps = List.rev !nodeps_acc; stats }
 
-let compute ?cache ?telemetry (env : Depenv.t) : t =
+(* ------------------------------------------------------------------ *)
+(* The one-call entry point, staged internally                         *)
+(* ------------------------------------------------------------------ *)
+
+let compute ?cache ?telemetry ?runner (env : Depenv.t) : t =
   let tel =
     match telemetry with Some t -> t | None -> Telemetry.default ()
   in
   Telemetry.span tel "ddg.compute"
     ~args:[ ("unit", env.Depenv.punit.Ast.uname) ]
-    (fun () -> compute_impl ?cache ~tel env)
+    (fun () ->
+      let p = plan ~telemetry:tel ~keyed:(cache <> None) env in
+      let probe (task : task) =
+        match (cache, task.t_key) with
+        | Some c, Some key -> cache_find c key
+        | _ -> None
+      in
+      let store (task : task) (b : bucket) =
+        match (cache, task.t_key) with
+        | Some c, Some key -> cache_store c key b
+        | _ -> ()
+      in
+      let probed = Array.map (fun task -> (task, probe task)) p.p_tasks in
+      let outcomes =
+        match runner with
+        | None ->
+          Array.map
+            (fun (task, hit) ->
+              match hit with
+              | Some b -> { o_bucket = b; o_cached = true }
+              | None ->
+                let b = test p task in
+                store task b;
+                { o_bucket = b; o_cached = false })
+            probed
+        | Some r ->
+          (* fan the missing buckets out; cached ones need no work *)
+          let misses =
+            Array.to_list probed
+            |> List.filter_map (fun (task, hit) ->
+                   match hit with None -> Some task | Some _ -> None)
+            |> Array.of_list
+          in
+          let results =
+            r.run_tasks (Array.map (fun task () -> test p task) misses)
+          in
+          let fresh = Hashtbl.create (max 1 (Array.length misses)) in
+          Array.iteri
+            (fun i task ->
+              store task results.(i);
+              Hashtbl.replace fresh (task.t_g1, task.t_g2) results.(i))
+            misses;
+          Array.map
+            (fun (task, hit) ->
+              match hit with
+              | Some b -> { o_bucket = b; o_cached = true }
+              | None ->
+                { o_bucket = Hashtbl.find fresh (task.t_g1, task.t_g2);
+                  o_cached = false })
+            probed
+      in
+      assemble p outcomes)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

@@ -72,7 +72,12 @@ type t = { deps : dep list; nodeps : nodep list; stats : stats }
     to successive {!compute} calls replays unchanged buckets instead
     of re-running their dependence tests.  A cache may be shared
     across program versions and units; stale entries are simply never
-    hit again. *)
+    hit again.
+
+    The cache is domain-safe: the bucket table is mutex-guarded and
+    the run counters are atomics, so one cache may serve concurrent
+    bucket tests — several domains inside one {!compute}, or several
+    sessions of a batch server. *)
 type cache
 
 val make_cache : unit -> cache
@@ -96,20 +101,81 @@ val export_cache : cache -> string
     its own format fingerprint). *)
 val import_cache : string -> into:cache -> int
 
-(** [compute ?cache env] — dependence graph of the whole unit,
-    honouring [env]'s config and assertions.  With [cache], array
-    dependence testing is served bucket-wise from the memo table; the
-    result is structurally identical to a cacheless build (dep ids
-    are renumbered in canonical emission order).
+(** {2 Staged construction}
+
+    {!compute} is a pipeline of three explicit, pure stages, exposed
+    so callers (and tests) can drive — or fan out — the expensive
+    middle stage themselves:
+
+    {ul
+    {- {!plan} enumerates the unit's reference-pair buckets as
+       {!task}s in canonical group order (cheap);}
+    {- {!test} runs one bucket.  It reads only the immutable plan, so
+       distinct tasks may run concurrently on distinct domains;}
+    {- {!assemble} merges one {!outcome} per planned task — plus the
+       sequential scalar and control-dependence passes — into a graph
+       in canonical task order, so the result is independent of the
+       order in which buckets finished.}} *)
+
+(** One unit of parallel work: every eligible reference pair between
+    two top-level statement groups.  [t_key] is the bucket's
+    memo-table digest, present iff the plan was built [~keyed]. *)
+type task = { t_g1 : int; t_g2 : int; t_key : string option }
+
+(** The immutable context shared by all stages — the replacement for
+    the mutable state the old single-pass [compute] threaded through
+    its inner closures.  Stages only ever read it. *)
+type plan
+
+(** Result of one bucket of pair tests; pure data. *)
+type bucket
+
+type outcome = { o_bucket : bucket; o_cached : bool }
+
+(** [plan ?keyed env] — stage 1.  With [~keyed:true] every task also
+    carries its cache digest (the extra cost is one signature pass
+    over the unit). *)
+val plan : ?telemetry:Telemetry.sink -> ?keyed:bool -> Depenv.t -> plan
+
+(** The planned tasks, in canonical (g1, g2) lexicographic order. *)
+val tasks : plan -> task array
+
+(** [test p task] — stage 2: run one bucket.  Pure and domain-safe:
+    reads only [p].  Emits a [ddg.bucket] span on the executing
+    domain (one trace lane per domain under a parallel run). *)
+val test : plan -> task -> bucket
+
+(** [assemble p outcomes] — stage 3.  [outcomes] must align with
+    {!tasks} (same length and order); raises [Invalid_argument]
+    otherwise.  [o_cached] marks buckets replayed from a cache — they
+    are excluded from the executed-test telemetry. *)
+val assemble : plan -> outcome array -> t
+
+(** How {!compute} fans bucket tests out: an injected task runner
+    mapping an array of thunks to their results, in order.  The
+    record keeps this library free of any dependency on
+    [Runtime.Pool]; [Runtime.Pool.analysis_runner] builds one over a
+    domain pool. *)
+type runner = { run_tasks : 'a. (unit -> 'a) array -> 'a array }
+
+(** [compute ?cache ?runner env] — dependence graph of the whole
+    unit, honouring [env]'s config and assertions.  With [cache],
+    array dependence testing is served bucket-wise from the memo
+    table; with [runner], the buckets the cache could not serve are
+    fanned out through it.  The result is structurally identical to a
+    sequential cacheless build (dep ids are renumbered in canonical
+    emission order) — the invariant the determinism tests pin.
 
     [telemetry] (default: the process {!Telemetry.default} sink)
     receives a [ddg.compute] span, one [ddg.bucket] span per computed
-    bucket, and counters: [ddg.pairs_tested] (all pairs, including
-    cache-replayed), [ddg.tests_executed] (pair tests actually run),
+    bucket (on the domain that ran it), and counters:
+    [ddg.pairs_tested] (all pairs, including cache-replayed),
+    [ddg.tests_executed] (pair tests actually run),
     [ddg.bucket_hits]/[ddg.bucket_misses], [ddg.deps_proven]/
     [ddg.deps_pending], [dtest.disproved.<test>], and the per-tier
     provenance tallies [dtest.assumed.<tier>] / [dtest.proven.<tier>]. *)
-val compute : ?cache:cache -> ?telemetry:Telemetry.sink -> Depenv.t -> t
+val compute :
+  ?cache:cache -> ?telemetry:Telemetry.sink -> ?runner:runner -> Depenv.t -> t
 
 (** Structural identity of two graphs (deps and statistics).  Cache-
     assisted, engine-served and from-scratch builds of the same unit

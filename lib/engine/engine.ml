@@ -58,6 +58,7 @@ type t = {
   config : Depenv.config;
   use_interproc : bool;
   sharing : sharing option;
+  runner : Ddg.runner option;
   sink : Telemetry.sink;
   mutable program : Ast.program;
   mutable asserts : Depenv.assertions;
@@ -81,7 +82,7 @@ type t = {
 }
 
 let create ?(caching = true) ?(config = Depenv.full_config)
-    ?(interproc = true) ?sharing ?telemetry (program : Ast.program) : t =
+    ?(interproc = true) ?sharing ?runner ?telemetry (program : Ast.program) : t =
   (* a private live sink by default: counters work out of the box and
      two engines never share accounting *)
   let sink =
@@ -93,6 +94,7 @@ let create ?(caching = true) ?(config = Depenv.full_config)
     config;
     use_interproc = interproc;
     sharing;
+    runner;
     sink;
     program;
     asserts = Depenv.no_assertions;
@@ -178,11 +180,12 @@ let compute_unit t summary (u : Ast.program_unit) =
   let ddg =
     Telemetry.timed t.sink ~span_name:"engine.ddg" t.c_ddg_ns (fun () ->
         if t.caching then
-          Ddg.compute ~cache:t.ddg_cache ~telemetry:t.sink env
+          Ddg.compute ~cache:t.ddg_cache ?runner:t.runner ~telemetry:t.sink
+            env
         else
           (* baseline mode: no memo table, but the sink still counts
              every pair test executed *)
-          Ddg.compute ~telemetry:t.sink env)
+          Ddg.compute ?runner:t.runner ~telemetry:t.sink env)
   in
   (env, ddg)
 

@@ -73,12 +73,16 @@ type sharing = {
     counts independently; passing {!Telemetry.null} disables
     accounting entirely (stats read as zero).  [sharing] hooks the
     engine into a cross-session cache; shared hits count as cache
-    hits in {!stats}. *)
+    hits in {!stats}.  [runner] is handed to every [Ddg.compute] call
+    so dependence-test buckets fan out across a domain pool
+    ({!Ddg.runner}); analysis results are identical with or without
+    it. *)
 val create :
   ?caching:bool ->
   ?config:Depenv.config ->
   ?interproc:bool ->
   ?sharing:sharing ->
+  ?runner:Ddg.runner ->
   ?telemetry:Telemetry.sink ->
   Ast.program ->
   t

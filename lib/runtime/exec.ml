@@ -823,7 +823,7 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
        ~args:
          [ ("loop", Printf.sprintf "s%d" s.Ast.sid);
            ("trip", string_of_int trip) ]
-       (fun () -> Pool.run pool ~schedule:t.g.schedule ~trip ~body:body_fn)
+       (fun () -> Pool.parallel_for pool ~schedule:t.g.schedule ~trip ~body:body_fn)
    with Abort_loop -> ());
   (* merge worker-buffered PRINT output in iteration order *)
   let outs =

@@ -128,7 +128,7 @@ let create ?telemetry n =
   t.domains <- List.init n (fun w -> Domain.spawn (worker_loop t w));
   t
 
-let run t ~schedule ~trip ~body =
+let parallel_for t ~schedule ~trip ~body =
   if trip > 0 then begin
     Telemetry.incr (Telemetry.counter t.sink "pool.jobs");
     Telemetry.span t.sink "pool.run"
@@ -162,6 +162,33 @@ let run t ~schedule ~trip ~body =
     | Some e, None -> raise e
     | None, _ -> ()
   end
+
+let run = parallel_for
+
+(* Task submission, layered over the same job machinery: each task is
+   one iteration of a [Self]-scheduled parallel for (tasks are
+   irregular by nature), results land in per-index slots.  The writes
+   are unsynchronized but race-free — distinct tasks own distinct
+   slots — and the job-completion handshake (mutex + condition in
+   [parallel_for]) publishes them to the caller. *)
+let map t ?(schedule = Self) (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for t ~schedule ~trip:n ~body:(fun ~worker:_ k ->
+        results.(k) <- Some (tasks.(k) ()));
+    Array.map
+      (function
+        | Some v -> v
+        | None -> failwith "Pool.map: task cancelled by a sibling's exception")
+      results
+  end
+
+(* The analyzer's injected fan-out: Ddg cannot see this library (we
+   depend on it), so the pool side builds the runner record. *)
+let analysis_runner t =
+  { Dependence.Ddg.run_tasks = (fun tasks -> map t tasks) }
 
 let shutdown t =
   Mutex.lock t.m;

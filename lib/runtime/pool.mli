@@ -2,8 +2,10 @@
 
     Hand-rolled on [Domain]/[Mutex]/[Condition] (no external task
     library): [create n] spawns [n] worker domains that sleep on a
-    condition variable; {!run} hands them a parallel-for job and
-    blocks the caller until every worker has drained its share.
+    condition variable; {!parallel_for} hands them a parallel-for job
+    and blocks the caller until every worker has drained its share;
+    {!map} layers task submission with per-task results over the same
+    machinery (the surface the parallel analyzer uses).
 
     Two scheduling policies mirror the machine models of the
     ParaScope literature:
@@ -39,16 +41,39 @@ val create : ?telemetry:Telemetry.sink -> int -> t
 (** Number of workers. *)
 val size : t -> int
 
-(** [run t ~schedule ~trip ~body] — execute [body ~worker k] for
-    every [k] in [0 .. trip-1].  [worker] identifies the executing
-    lane (0-based); a given worker index never runs concurrently
-    with itself, so per-worker state needs no locking.  Within one
-    worker, iteration indices are claimed in increasing order under
-    both policies.  Blocks until done; re-raises the first
-    iteration exception. *)
+(** [parallel_for t ~schedule ~trip ~body] — execute [body ~worker k]
+    for every [k] in [0 .. trip-1].  [worker] identifies the
+    executing lane (0-based); a given worker index never runs
+    concurrently with itself, so per-worker state needs no locking.
+    Within one worker, iteration indices are claimed in increasing
+    order under both policies.  Blocks until done; re-raises the
+    first iteration exception. *)
+val parallel_for :
+  t -> schedule:schedule -> trip:int -> body:(worker:int -> int -> unit) ->
+  unit
+
+(** [map t tasks] — run every thunk on the pool and return their
+    results in task order (task [k]'s result at index [k]).  Tasks
+    are claimed [Self]-scheduled by default (tasks are irregular by
+    nature); pass [~schedule:Chunk] for uniform work.  Blocks until
+    done.  If a task raises, the remaining tasks are cancelled (best
+    effort) and the first exception is re-raised in the caller.
+
+    This is the task-submission surface the analyzer and [Exec] now
+    share; jobs still run one at a time on the pool, so do not call
+    [map] (or {!parallel_for}) from inside a task. *)
+val map : t -> ?schedule:schedule -> (unit -> 'a) array -> 'a array
+
+(** A {!Dependence.Ddg.runner} fanning dependence-test buckets out
+    over this pool — what [Session.load ?runner] and
+    [ped --analysis-domains N] plug into the analyzer. *)
+val analysis_runner : t -> Dependence.Ddg.runner
+
+(** Deprecated pre-task-API name of {!parallel_for}. *)
 val run :
   t -> schedule:schedule -> trip:int -> body:(worker:int -> int -> unit) ->
   unit
+[@@ocaml.deprecated "use Pool.parallel_for (or Pool.map) instead"]
 
 (** Park and join every worker domain.  The pool must not be used
     afterwards. *)

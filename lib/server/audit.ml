@@ -25,18 +25,26 @@ let components =
     };
     {
       comp = "Ddg bucket memo (Cache.ddg_cache)";
-      safety = Unsafe;
+      safety = Guarded;
       notes =
-        "consulted and mutated inside Ddg.compute without a lock; \
-         concurrent compute on two domains would race the Hashtbl";
+        "bucket table mutex-guarded, run counters atomic; probed and \
+         filled concurrently by parallel bucket tests and by sessions \
+         on different domains";
     };
     {
       comp = "Depenv.t scalar environments";
-      safety = Unsafe;
+      safety = Safe;
       notes =
-        "cached unit results carry closures over lazy memo tables \
-         with no synchronization; a shared hit on another domain \
-         would race their fill-in";
+        "all passes (CFG, reaching, constants, liveness, loop nest, \
+         interproc summaries) are built eagerly by Depenv.make and \
+         read-only afterwards — no lazy fill-in for workers to race";
+    };
+    {
+      comp = "Ddg.plan staged context";
+      safety = Safe;
+      notes =
+        "immutable plan record; test stages only read it, and the \
+         pool's job handoff publishes it to worker domains";
     };
     {
       comp = "Session / Engine local tables";
@@ -46,14 +54,35 @@ let components =
     {
       comp = "Runtime.Pool";
       safety = Guarded;
-      notes = "mutex/condition job handoff; atomic self-scheduling";
+      notes =
+        "mutex/condition job handoff; atomic self-scheduling; map \
+         results published by the job-completion handshake";
     };
   ]
 
-(* The verdict is computed, not asserted: fix the Unsafe rows and it
-   flips on its own. *)
+(* The verdicts are computed, not asserted: change a row's safety and
+   they flip on their own. *)
 let sharing_across_domains =
   List.for_all (fun c -> c.safety <> Unsafe) components
+
+(* The state the staged analyzer touches from worker domains — the
+   inventory behind [Ddg.compute ?runner]. *)
+let parallel_analysis_path =
+  [ "Telemetry sink"; "Ddg bucket memo (Cache.ddg_cache)";
+    "Depenv.t scalar environments"; "Ddg.plan staged context";
+    "Runtime.Pool" ]
+
+let parallel_analysis =
+  List.for_all
+    (fun c ->
+      (not (List.mem c.comp parallel_analysis_path)) || c.safety <> Unsafe)
+    components
+
+let refuse_parallel_analysis ~what =
+  Printf.sprintf
+    "%s requires --analysis-domains 1: the domain-safety audit (ped batch \
+     --audit) lists unsafe state on the parallel-analysis path"
+    what
 
 let safety_to_string = function
   | Safe -> "safe"
@@ -72,9 +101,16 @@ let report () =
     ([ "domain-safety audit of shared state:" ] @ rows
     @ [
         (if sharing_across_domains then
-           "verdict: one shared cache may serve all domains"
+           "verdict: one shared cache may serve all domains — multi-domain \
+            batch shares the full cache across workers"
          else
            "verdict: cross-domain cache sharing disabled — multi-domain \
             batch partitions jobs, one private cache per domain; the fully \
             shared cache needs a single domain (interleaved mode)");
+        (if parallel_analysis then
+           "verdict: parallel analysis enabled — --analysis-domains N may \
+            fan one session's dependence-test buckets across a domain pool"
+         else
+           "verdict: parallel analysis disabled — --analysis-domains must \
+            stay 1 until the unsafe rows above are fixed");
       ])

@@ -1,19 +1,26 @@
 (** Domain-safety audit of the analysis stack.
 
-    The batch driver can run jobs on multiple OCaml domains, but how
-    much state may be {e shared} across them is a property of the
-    code, not a flag — this module is the reviewed inventory that
-    justifies the driver's policy.  The verdict
-    ({!sharing_across_domains} = [false]): per-domain state is safe,
-    so jobs can be {e partitioned} across domains each with a private
-    {!Cache}, but one cache must not be shared by concurrently
-    running domains — the dependence-test bucket memo is consulted
-    from inside [Ddg.compute] without a lock, and scalar environments
-    carry unsynchronized lazy memo tables.
+    The batch driver can run jobs on multiple OCaml domains, and the
+    staged analyzer ([Ddg.compute ?runner]) can fan one session's
+    dependence-test buckets across a pool — but how much state may be
+    {e shared} across domains is a property of the code, not a flag.
+    This module is the reviewed inventory that justifies both
+    policies, and its verdicts are computed from the inventory rather
+    than asserted:
 
-    When one of the [Unsafe] rows is fixed (locking the bucket memo,
-    freezing environments), flip the verdict here and the batch
-    driver's partitioned mode becomes a fully shared one. *)
+    - {!sharing_across_domains} — may one {!Cache} serve sessions on
+      different domains concurrently?  True since the dependence-test
+      bucket memo became mutex-guarded (atomic counters, locked
+      table) and the scalar environments were verified eager and
+      read-only after construction.
+    - {!parallel_analysis} — may one session's bucket tests run on
+      worker domains ([--analysis-domains N])?  Covers exactly the
+      state the staged plan/test/assemble pipeline touches from
+      workers.
+
+    Demote any row to [Unsafe] and the dependent verdicts flip back;
+    the drivers ([ped batch], [ped serve], [ped --analysis-domains])
+    refuse the corresponding configuration instead of racing. *)
 
 type safety =
   | Safe      (** usable from any domain concurrently as-is *)
@@ -31,5 +38,19 @@ val components : component list
     component is [Unsafe]. *)
 val sharing_across_domains : bool
 
-(** The inventory and verdict, as text ([ped batch --audit]). *)
+(** The component names the staged parallel analyzer reads or writes
+    from worker domains — the rows {!parallel_analysis} quantifies
+    over. *)
+val parallel_analysis_path : string list
+
+(** Whether dependence-test buckets of one analysis may be fanned out
+    across a domain pool.  [false] while any component on
+    {!parallel_analysis_path} is [Unsafe]. *)
+val parallel_analysis : bool
+
+(** The refusal message drivers print when a configuration asks for
+    parallel analysis while {!parallel_analysis} is [false]. *)
+val refuse_parallel_analysis : what:string -> string
+
+(** The inventory and verdicts, as text ([ped batch --audit]). *)
 val report : unit -> string

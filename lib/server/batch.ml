@@ -133,7 +133,7 @@ let resolve_unit (program : Ast.program) = function
 (* Canonical renumbering at open — the same normalization the server
    applies — is what lets two jobs over identical source share cache
    entries, and what makes the from-scratch replay byte-comparable. *)
-let open_job ?sharing ?caching ~sink ~history_limit (j : job) :
+let open_job ?sharing ?caching ?runner ~sink ~history_limit (j : job) :
     (Session.t, string) result =
   match Parser.parse_program ~file:j.j_file j.j_source with
   | exception Parser.Error (msg, loc) ->
@@ -146,8 +146,8 @@ let open_job ?sharing ?caching ~sink ~history_limit (j : job) :
     | Error e -> Error e
     | Ok unit_name -> (
       match
-        Session.load ?sharing ?caching ~history_limit ~telemetry:sink program
-          ~unit_name
+        Session.load ?sharing ?caching ?runner ~history_limit ~telemetry:sink
+          program ~unit_name
       with
       | exception Invalid_argument e -> Error e
       | exception Failure e -> Error e
@@ -182,8 +182,8 @@ let run_cmd sink (j : job) s line =
   @@ fun () -> ignore (Command.run s line)
 
 (* One job, start to finish, on the calling domain. *)
-let exec_one ?sharing ~sink ~history_limit (j : job) : job_result =
-  match open_job ?sharing ~sink ~history_limit j with
+let exec_one ?sharing ?runner ~sink ~history_limit (j : job) : job_result =
+  match open_job ?sharing ?runner ~sink ~history_limit j with
   | Error e -> failed_result j e
   | Ok s -> (
     match
@@ -197,13 +197,13 @@ let exec_one ?sharing ~sink ~history_limit (j : job) : job_result =
 (* Interleaved mode: all sessions open, then one command at a time
    round-robin — deterministic multiplexing over one fully shared
    cache, the batch model of the interactive server under load. *)
-let run_interleaved ~sink ~cache ~history_limit (jobs : job array) :
+let run_interleaved ?runner ~sink ~cache ~history_limit (jobs : job array) :
     job_result array =
   let sharing = Cache.sharing cache in
   let state =
     Array.map
       (fun j ->
-        match open_job ~sharing ~sink ~history_limit j with
+        match open_job ~sharing ?runner ~sink ~history_limit j with
         | Ok s -> (j, Ok s, ref j.j_script, ref 0, ref 0)
         | Error e -> (j, Error e, ref [], ref 0, ref 0))
       jobs
@@ -230,22 +230,33 @@ let run_interleaved ~sink ~cache ~history_limit (jobs : job array) :
       | Ok s -> finish_result j s ~commands:!commands ~edits:!edits)
     state
 
-(* Partitioned mode: jobs split across worker domains, one private
-   cache per worker (see Audit for why not one shared cache). *)
-let run_partitioned ~sink ~history_limit ~domains (jobs : job array) :
+(* Partitioned mode: jobs split across worker domains.  The Audit
+   verdict decides the cache policy at run time: with
+   [sharing_across_domains] every worker shares one mutex-guarded
+   cache (seeded by the caller's, when given); if the inventory ever
+   demotes a shared component back to Unsafe, the driver falls back
+   to one private cache per worker without code changes. *)
+let run_partitioned ?cache ~sink ~history_limit ~domains (jobs : job array) :
     job_result array * Cache.stats list =
+  let shared = Audit.sharing_across_domains in
   let caches =
-    Array.init domains (fun _ -> Cache.create ~telemetry:sink ())
+    if shared then
+      [| (match cache with
+         | Some c -> c
+         | None -> Cache.create ~telemetry:sink ()) |]
+    else Array.init domains (fun _ -> Cache.create ~telemetry:sink ())
   in
   let results = Array.map failed_result jobs |> Array.map (fun f -> f "unrun") in
   let pool = Runtime.Pool.create ~telemetry:sink domains in
   Fun.protect
     ~finally:(fun () -> Runtime.Pool.shutdown pool)
     (fun () ->
-      Runtime.Pool.run pool ~schedule:Runtime.Pool.Chunk
+      Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Chunk
         ~trip:(Array.length jobs)
         ~body:(fun ~worker i ->
-          let cache = caches.(worker mod domains) in
+          let cache =
+            if shared then caches.(0) else caches.(worker mod domains)
+          in
           results.(i) <-
             exec_one ~sharing:(Cache.sharing cache) ~sink ~history_limit
               jobs.(i)));
@@ -279,9 +290,20 @@ let scratch_digest ~sink ~history_limit (j : job) : (string, string) result =
     | () -> Ok (digest_ddg (Session.ddg s))
     | exception e -> Error (Printexc.to_string e))
 
-let run ?telemetry ?cache ?(domains = 1) ?(history_limit = 1000)
-    ?(check = false) (jobs : job list) : (outcome, string) result =
+let run ?telemetry ?cache ?(domains = 1) ?(analysis_domains = 1)
+    ?(history_limit = 1000) ?(check = false) (jobs : job list) :
+    (outcome, string) result =
+  let analysis_domains = max 1 analysis_domains in
   if jobs = [] then Error "no jobs"
+  else if analysis_domains > 1 && not Audit.parallel_analysis then
+    Error (Audit.refuse_parallel_analysis ~what:"ped batch")
+  else if analysis_domains > 1 && domains > 1 then
+    (* the analysis pool accepts one job at a time, so concurrent
+       sessions cannot share it — the staged API can't guarantee this
+       combination; pick one axis of parallelism *)
+    Error
+      "batch: --domains and --analysis-domains are mutually exclusive (the \
+       analysis pool serves one session at a time)"
   else begin
     let sink =
       match telemetry with Some s -> s | None -> Telemetry.make ()
@@ -289,6 +311,12 @@ let run ?telemetry ?cache ?(domains = 1) ?(history_limit = 1000)
     let jobs_a = Array.of_list jobs in
     let domains = max 1 (min domains (Array.length jobs_a)) in
     let t0 = Telemetry.now_ns () in
+    let with_analysis_pool f =
+      if analysis_domains <= 1 then f None
+      else
+        Runtime.Pool.with_pool ~telemetry:sink analysis_domains (fun pool ->
+            f (Some (Runtime.Pool.analysis_runner pool)))
+    in
     let results, cache_stats =
       if domains <= 1 then begin
         let cache =
@@ -296,10 +324,13 @@ let run ?telemetry ?cache ?(domains = 1) ?(history_limit = 1000)
           | Some c -> c
           | None -> Cache.create ~telemetry:sink ()
         in
-        let results = run_interleaved ~sink ~cache ~history_limit jobs_a in
+        let results =
+          with_analysis_pool (fun runner ->
+              run_interleaved ?runner ~sink ~cache ~history_limit jobs_a)
+        in
         (results, [ Cache.stats cache ])
       end
-      else run_partitioned ~sink ~history_limit ~domains jobs_a
+      else run_partitioned ?cache ~sink ~history_limit ~domains jobs_a
     in
     let elapsed_s =
       Int64.to_float (Int64.sub (Telemetry.now_ns ()) t0) /. 1e9
@@ -352,6 +383,8 @@ let report (o : outcome) : string =
           %.3fs"
          o.o_jobs o.o_domains
          (if o.o_domains <= 1 then " (interleaved, shared cache)"
+          else if Audit.sharing_across_domains then
+            " (partitioned, cache shared across domains)"
           else " (partitioned, per-domain caches)")
          o.o_commands o.o_edits o.o_elapsed_s;
        Printf.sprintf "  throughput : %.1f sessions/s, %.1f edits/s"

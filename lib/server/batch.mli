@@ -14,10 +14,19 @@
       domain, the closest model of the interactive server under
       load.
     - {e partitioned} (domains > 1): jobs are split across a
-      {!Runtime.Pool} of worker domains, each worker owning a
-      private cache its jobs share.  The {!Audit} inventory is why
-      the cache is not shared across domains; when its unsafe rows
-      are fixed this mode inherits full sharing for free.
+      {!Runtime.Pool} of worker domains.  The {!Audit} inventory
+      decides the cache policy at run time: with
+      {!Audit.sharing_across_domains} (true since the bucket memo
+      became mutex-guarded) every worker shares one cache; if a row
+      is ever demoted back to [Unsafe] the driver falls back to one
+      private cache per worker.
+
+    Orthogonally, [analysis_domains > 1] fans each session's
+    dependence-test buckets across an analysis pool
+    ([Ddg.compute ?runner]); the driver refuses the configurations
+    the staged API cannot guarantee — [analysis_domains > 1] while
+    {!Audit.parallel_analysis} is false, or combined with
+    [domains > 1] (the analysis pool serves one session at a time).
 
     With [check], every job's final dependence graph is compared —
     byte-identical marshalled form — against a from-scratch
@@ -64,15 +73,17 @@ val edits_per_sec : outcome -> float
 val parse_job_file : string -> (job list, string) result
 
 (** Run the jobs.  [domains] (default 1) selects the mode; it is
-    clamped to the number of jobs.  [cache] seeds the shared cache in
-    interleaved mode (ignored when partitioned — each domain builds
-    its own).  [history_limit], [telemetry] are handed to every
-    session.  [Error] only on an empty job list; per-job failures are
-    reported in [jr_error]. *)
+    clamped to the number of jobs.  [analysis_domains] (default 1)
+    sizes the per-session analysis fan-out.  [cache] seeds the shared
+    cache (ignored only in the per-domain-cache fallback).
+    [history_limit], [telemetry] are handed to every session.
+    [Error] on an empty job list or on a refused domain
+    configuration; per-job failures are reported in [jr_error]. *)
 val run :
   ?telemetry:Telemetry.sink ->
   ?cache:Cache.t ->
   ?domains:int ->
+  ?analysis_domains:int ->
   ?history_limit:int ->
   ?check:bool ->
   job list ->

@@ -5,16 +5,22 @@ type t = {
   cache : Cache.t;
   sink : Telemetry.sink;
   history_limit : int;
+  runner : Dependence.Ddg.runner option;
   sessions : (string, Session.t) Hashtbl.t;
   mutable order : string list;  (* open order, oldest first *)
 }
 
-let create ?telemetry ?cache ?(history_limit = 1000) () : t =
+let create ?telemetry ?cache ?runner ?(history_limit = 1000) () : t =
+  (* requests are interleaved on one domain, so one analysis pool can
+     serve every session — but only if the audited staged path holds *)
+  if Option.is_some runner && not Audit.parallel_analysis then
+    invalid_arg (Audit.refuse_parallel_analysis ~what:"ped serve");
   let sink = match telemetry with Some s -> s | None -> Telemetry.make () in
   let cache =
     match cache with Some c -> c | None -> Cache.create ~telemetry:sink ()
   in
-  { cache; sink; history_limit; sessions = Hashtbl.create 8; order = [] }
+  { cache; sink; history_limit; runner; sessions = Hashtbl.create 8;
+    order = [] }
 
 let cache t = t.cache
 let telemetry t = t.sink
@@ -62,7 +68,7 @@ let open_session t ~id ~file ~source ~unit_name =
       | Error e -> Error e
       | Ok unit_name -> (
         match
-          Session.load ~sharing:(Cache.sharing t.cache)
+          Session.load ~sharing:(Cache.sharing t.cache) ?runner:t.runner
             ~history_limit:t.history_limit ~telemetry:t.sink program
             ~unit_name
         with

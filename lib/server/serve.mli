@@ -23,10 +23,15 @@ type t
 (** [create ()] — a server with no sessions.  [cache] (default: a
     fresh 256 MiB one) is the shared store; [history_limit] is
     handed to each session's undo stack; [telemetry] is the one sink
-    every session's engine and every request span emits to. *)
+    every session's engine and every request span emits to.
+    [runner] fans each analysis's dependence-test buckets across a
+    domain pool ([ped serve --analysis-domains N]) — requests are
+    interleaved on one domain, so every session may share it; raises
+    [Invalid_argument] if {!Audit.parallel_analysis} forbids it. *)
 val create :
   ?telemetry:Telemetry.sink ->
   ?cache:Cache.t ->
+  ?runner:Dependence.Ddg.runner ->
   ?history_limit:int ->
   unit ->
   t

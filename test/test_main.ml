@@ -33,4 +33,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("explain", Test_explain.suite);
       ("server", Test_server.suite);
+      ("parscale", Test_parscale.suite);
     ]

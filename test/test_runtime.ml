@@ -77,7 +77,7 @@ let suite =
     case "pool: chunk schedule runs every iteration exactly once" (fun () ->
         Runtime.Pool.with_pool 3 (fun pool ->
             let hits = Array.init 100 (fun _ -> Atomic.make 0) in
-            Runtime.Pool.run pool ~schedule:Runtime.Pool.Chunk ~trip:100
+            Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Chunk ~trip:100
               ~body:(fun ~worker k ->
                 check_bool "worker in range" true (worker >= 0 && worker < 3);
                 Atomic.incr hits.(k));
@@ -88,25 +88,52 @@ let suite =
     case "pool: self schedule runs every iteration exactly once" (fun () ->
         Runtime.Pool.with_pool 4 (fun pool ->
             let hits = Array.init 37 (fun _ -> Atomic.make 0) in
-            Runtime.Pool.run pool ~schedule:Runtime.Pool.Self ~trip:37
+            Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Self ~trip:37
               ~body:(fun ~worker:_ k -> Atomic.incr hits.(k));
             Array.iter (fun h -> check_int "once" 1 (Atomic.get h)) hits));
     case "pool: zero-trip loops are a no-op" (fun () ->
         Runtime.Pool.with_pool 2 (fun pool ->
-            Runtime.Pool.run pool ~schedule:Runtime.Pool.Chunk ~trip:0
+            Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Chunk ~trip:0
               ~body:(fun ~worker:_ _ -> Alcotest.fail "must not run")));
     case "pool: worker exception propagates, pool survives" (fun () ->
         Runtime.Pool.with_pool 2 (fun pool ->
             (try
-               Runtime.Pool.run pool ~schedule:Runtime.Pool.Self ~trip:50
+               Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Self ~trip:50
                  ~body:(fun ~worker:_ k -> if k = 25 then failwith "boom");
                Alcotest.fail "expected an exception"
              with Failure m -> check_string "message" "boom" m);
             (* the pool is still usable after a failed job *)
             let n = Atomic.make 0 in
-            Runtime.Pool.run pool ~schedule:Runtime.Pool.Chunk ~trip:10
+            Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Chunk ~trip:10
               ~body:(fun ~worker:_ _ -> Atomic.incr n);
             check_int "next job runs" 10 (Atomic.get n)));
+    case "pool: map returns per-task results in task order" (fun () ->
+        Runtime.Pool.with_pool 3 (fun pool ->
+            let tasks = Array.init 23 (fun k () -> k * k) in
+            let got = Runtime.Pool.map pool tasks in
+            check_int "length" 23 (Array.length got);
+            Array.iteri
+              (fun k v -> check_int (Printf.sprintf "task %d" k) (k * k) v)
+              got;
+            check_int "empty" 0 (Array.length (Runtime.Pool.map pool [||]))));
+    case "pool: map propagates a task exception, pool survives" (fun () ->
+        Runtime.Pool.with_pool 2 (fun pool ->
+            (try
+               ignore
+                 (Runtime.Pool.map pool
+                    (Array.init 8 (fun k () ->
+                         if k = 5 then failwith "task boom" else k)));
+               Alcotest.fail "expected an exception"
+             with Failure m -> check_string "message" "task boom" m);
+            let got = Runtime.Pool.map pool (Array.init 4 (fun k () -> k)) in
+            check_int "next map runs" 4 (Array.length got)));
+    case "pool: deprecated run shim still schedules" (fun () ->
+        Runtime.Pool.with_pool 2 (fun pool ->
+            let n = Atomic.make 0 in
+            (Runtime.Pool.run [@alert "-deprecated"]) pool
+              ~schedule:Runtime.Pool.Chunk ~trip:10
+              ~body:(fun ~worker:_ _ -> Atomic.incr n);
+            check_int "all iterations" 10 (Atomic.get n)));
     case "schedule names parse" (fun () ->
         check_bool "chunk" true
           (Runtime.Pool.schedule_of_string "chunk" = Some Runtime.Pool.Chunk);
