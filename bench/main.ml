@@ -1525,6 +1525,350 @@ let parscale () = parscale_run ~smoke:false "parscale"
 let parscale_smoke () = parscale_run ~smoke:true "parscale-smoke"
 
 (* ------------------------------------------------------------------ *)
+(* stress: the generator-driven stress suite (lib/oracle Stress) -     *)
+(* from-scratch vs incremental analysis, 1/2/4/8-domain scaling, and   *)
+(* shared-cache eviction under a deliberately undersized LRU budget    *)
+(* ------------------------------------------------------------------ *)
+
+let stress_json = "BENCH_stress.json"
+
+(* Full mode runs the profiles as published, with many-units rescaled
+   up to the 100k-line flagship; smoke mode shrinks every profile to
+   its CI variant. *)
+let stress_profile ~smoke (p : Oracle.Stress.profile) =
+  if smoke then Oracle.Stress.smoke p
+  else if String.equal p.Oracle.Stress.sp_name "many-units" then
+    fst (Oracle.Stress.scale_to_lines ~target:100_000 p)
+  else p
+
+(* One interprocedural analysis environment per unit - the scratch
+   baseline both the sequential and the pooled analyzer rebuild. *)
+let stress_envs (program : Ast.program) =
+  let summary = Interproc.Summary.analyze program in
+  List.map
+    (fun u -> Interproc.Summary.env_for summary u)
+    program.Ast.punits
+
+type stress_row = {
+  sr_name : string;
+  sr_units : int;
+  sr_lines : int;
+  sr_fingerprint : string;
+  sr_gen_s : float;
+  sr_parse_s : float;
+  sr_round_trip : bool;
+  sr_fp_stable : bool;
+  sr_scratch_s : float;
+  sr_edits : int;
+  sr_edit_s : float;
+  sr_edit_tests : int;
+  sr_edit_stats : Engine.stats;      (* edit-phase deltas *)
+  sr_inc_identical : bool;
+  sr_seq_s : float;
+  sr_par : (int * float * float * bool) list;
+  sr_batch_jobs : int;
+  sr_batch_identical : bool;
+  sr_cache : Server.Cache.stats;
+}
+
+let stress_one ~seed ~bursts ~domain_counts (prof : Oracle.Stress.profile) =
+  let name = prof.Oracle.Stress.sp_name in
+  (* generation, pretty-printing, reparse - the round-trip must be
+     byte-identical and fingerprint-stable, that is what makes every
+     downstream measurement reproducible from (seed, profile) *)
+  let t0 = now_s () in
+  let program = Oracle.Stress.generate ~seed prof in
+  let gen_s = now_s () -. t0 in
+  let src = Pretty.program_to_string program in
+  let fp = Oracle.Stress.fingerprint program in
+  let t0 = now_s () in
+  let reparsed = Parser.parse_program ~file:(name ^ ".f") src in
+  let parse_s = now_s () -. t0 in
+  let round_trip = String.equal (Pretty.program_to_string reparsed) src in
+  (* a second draw from the same (seed, profile) must reproduce the
+     fingerprint exactly - the reparsed AST is *not* compared (its
+     source locations legitimately differ from the generated ones) *)
+  let fp_stable =
+    String.equal (Oracle.Stress.fingerprint (Oracle.Stress.generate ~seed prof)) fp
+  in
+  let main_u =
+    List.find (fun u -> u.Ast.kind = Ast.Main) program.Ast.punits
+  in
+  (* from-scratch analysis time: open a caching session and force the
+     first dependence graph *)
+  let t0 = now_s () in
+  let sess =
+    Ped.Session.load ~caching:true program ~unit_name:main_u.Ast.uname
+  in
+  ignore (Ped.Session.ddg sess);
+  let scratch_s = now_s () -. t0 in
+  (* per-edit incremental time: edit/undo/redo bursts on the first
+     assignment, measured against the engine's test counters *)
+  let s0 = Ped.Session.engine_stats sess in
+  let t0 = now_s () in
+  drive_bursts sess ~bursts;
+  let edit_s = now_s () -. t0 in
+  let s1 = Ped.Session.engine_stats sess in
+  let d f = f s1 - f s0 in
+  let edit_stats =
+    {
+      Engine.tests_run = d (fun s -> s.Engine.tests_run);
+      env_hits = d (fun s -> s.Engine.env_hits);
+      env_misses = d (fun s -> s.Engine.env_misses);
+      invalidations = d (fun s -> s.Engine.invalidations);
+      summary_hits = d (fun s -> s.Engine.summary_hits);
+      summary_builds = d (fun s -> s.Engine.summary_builds);
+      ddg_bucket_hits = d (fun s -> s.Engine.ddg_bucket_hits);
+      ddg_bucket_misses = d (fun s -> s.Engine.ddg_bucket_misses);
+      summary_s = s1.Engine.summary_s -. s0.Engine.summary_s;
+      env_s = s1.Engine.env_s -. s0.Engine.env_s;
+      ddg_s = s1.Engine.ddg_s -. s0.Engine.ddg_s;
+    }
+  in
+  let inc_identical = scratch_equal sess in
+  (* domain scaling: rebuild every unit's graph sequentially, then
+     across 1/2/4/8-domain pools - byte-identity per unit is the gate *)
+  let envs = stress_envs program in
+  let t0 = now_s () in
+  let seq = List.map Ddg.compute envs in
+  let seq_s = now_s () -. t0 in
+  let seq_digests = List.map ddg_digest seq in
+  let par =
+    List.map
+      (fun domains ->
+        Runtime.Pool.with_pool domains (fun pool ->
+            let runner = Runtime.Pool.analysis_runner pool in
+            let t0 = now_s () in
+            let gs = List.map (fun env -> Ddg.compute ~runner env) envs in
+            let s = now_s () -. t0 in
+            let identical =
+              List.for_all2
+                (fun g dg -> String.equal (ddg_digest g) dg)
+                gs seq_digests
+              && List.for_all2 Ddg.equal seq gs
+            in
+            (domains, s, seq_s /. Float.max 1e-9 s, identical)))
+      domain_counts
+  in
+  (* eviction pressure: batch per-unit sessions over one shared cache
+     whose budget is far below what the profile publishes (1 MB), with
+     the byte-identity replay check on - the cache must evict and the
+     answers must not change.  Two passes over the units make the
+     second pass re-miss whatever the first evicted. *)
+  let batch_units =
+    List.filteri (fun i _ -> i < 6) program.Ast.punits
+  in
+  let job i (u : Ast.program_unit) =
+    {
+      Server.Batch.j_id = Printf.sprintf "%s/%d" name i;
+      j_file = name ^ ".f";
+      j_source = src;
+      j_unit = Some u.Ast.uname;
+      j_script = [ "loops" ];
+    }
+  in
+  let pass = List.length batch_units in
+  let jobs =
+    List.mapi job batch_units
+    @ List.mapi (fun i u -> job (pass + i) u) batch_units
+  in
+  let cache = Server.Cache.create ~budget_mb:1 () in
+  let batch_identical, cache_stats =
+    match Server.Batch.run ~cache ~check:true jobs with
+    | Error e ->
+      Printf.eprintf "stress %s: batch failed: %s\n" name e;
+      exit 1
+    | Ok o ->
+      (o.Server.Batch.o_identical = Some true, o.Server.Batch.o_cache)
+  in
+  {
+    sr_name = name;
+    sr_units = List.length program.Ast.punits;
+    sr_lines = Oracle.Stress.lines src;
+    sr_fingerprint = fp;
+    sr_gen_s = gen_s;
+    sr_parse_s = parse_s;
+    sr_round_trip = round_trip;
+    sr_fp_stable = fp_stable;
+    sr_scratch_s = scratch_s;
+    sr_edits = bursts * 3;
+    sr_edit_s = edit_s;
+    sr_edit_tests = edit_stats.Engine.tests_run;
+    sr_edit_stats = edit_stats;
+    sr_inc_identical = inc_identical;
+    sr_seq_s = seq_s;
+    sr_par = par;
+    sr_batch_jobs = List.length jobs;
+    sr_batch_identical = batch_identical;
+    sr_cache = cache_stats;
+  }
+
+let stress_row_json seed (r : stress_row) =
+  let st = r.sr_edit_stats in
+  let cs = r.sr_cache in
+  Jout.Obj
+    [
+      ("profile", Jout.Str r.sr_name);
+      ("seed", Jout.Int seed);
+      ("units", Jout.Int r.sr_units);
+      ("lines", Jout.Int r.sr_lines);
+      ("fingerprint", Jout.Str r.sr_fingerprint);
+      ("gen_seconds", Jout.Float r.sr_gen_s);
+      ("parse_seconds", Jout.Float r.sr_parse_s);
+      ("round_trip", Jout.Bool r.sr_round_trip);
+      ("fingerprint_stable", Jout.Bool r.sr_fp_stable);
+      ("scratch_analysis_seconds", Jout.Float r.sr_scratch_s);
+      ( "incremental",
+        Jout.Obj
+          [
+            ("edits", Jout.Int r.sr_edits);
+            ("edit_seconds", Jout.Float r.sr_edit_s);
+            ( "seconds_per_edit",
+              Jout.Float (r.sr_edit_s /. float_of_int (max 1 r.sr_edits)) );
+            ("edit_tests", Jout.Int r.sr_edit_tests);
+            ("env_hits", Jout.Int st.Engine.env_hits);
+            ("env_misses", Jout.Int st.Engine.env_misses);
+            ("invalidations", Jout.Int st.Engine.invalidations);
+            ("summary_hits", Jout.Int st.Engine.summary_hits);
+            ("summary_builds", Jout.Int st.Engine.summary_builds);
+            ("ddg_bucket_hits", Jout.Int st.Engine.ddg_bucket_hits);
+            ("ddg_bucket_misses", Jout.Int st.Engine.ddg_bucket_misses);
+            ("identical", Jout.Bool r.sr_inc_identical);
+          ] );
+      ("sequential_seconds", Jout.Float r.sr_seq_s);
+      ( "parallel",
+        Jout.List
+          (List.map
+             (fun (dm, s, sp, i) ->
+               Jout.Obj
+                 [
+                   ("domains", Jout.Int dm);
+                   ("seconds", Jout.Float s);
+                   ("speedup", Jout.Float sp);
+                   ("identical", Jout.Bool i);
+                 ])
+             r.sr_par) );
+      ( "eviction",
+        Jout.Obj
+          [
+            ("budget_mb", Jout.Int 1);
+            ("jobs", Jout.Int r.sr_batch_jobs);
+            ("hits", Jout.Int cs.Server.Cache.hits);
+            ("misses", Jout.Int cs.Server.Cache.misses);
+            ("hit_rate", Jout.Float (Server.Cache.hit_rate cs));
+            ("insertions", Jout.Int cs.Server.Cache.insertions);
+            ("evictions", Jout.Int cs.Server.Cache.evictions);
+            ("entries", Jout.Int cs.Server.Cache.entries);
+            ("batch_identical", Jout.Bool r.sr_batch_identical);
+          ] );
+    ]
+
+let stress_run ~smoke label =
+  header
+    (Printf.sprintf
+       "%s: generator-driven stress programs (deep / wide / many-units) - \
+        from-scratch vs incremental analysis, domain scaling, LRU eviction \
+        under a 1 MB budget"
+       label);
+  let seed =
+    Oracle.Driver.seed_of ~env:(Sys.getenv_opt "QCHECK_SEED") ~cli:None
+  in
+  let bursts = if smoke then 1 else 2 in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  let rows =
+    List.map
+      (fun p ->
+        let prof = stress_profile ~smoke p in
+        let r = stress_one ~seed ~bursts ~domain_counts prof in
+        Printf.printf
+          "%-11s %5d units %7d lines  gen %6.1f ms  scratch %8.1f ms  \
+           edit %7.2f ms/edit  %s\n"
+          r.sr_name r.sr_units r.sr_lines (r.sr_gen_s *. 1e3)
+          (r.sr_scratch_s *. 1e3)
+          (r.sr_edit_s /. float_of_int (max 1 r.sr_edits) *. 1e3)
+          (if r.sr_inc_identical then "identical" else "DIVERGED");
+        List.iter
+          (fun (dm, s, sp, i) ->
+            Printf.printf "  %d domains %10.2f ms %7.2fx %s\n" dm (s *. 1e3)
+              sp
+              (if i then "identical" else "DIVERGED"))
+          r.sr_par;
+        Printf.printf
+          "  cache: %d hits %d misses %d insertions %d evictions (%s)\n"
+          r.sr_cache.Server.Cache.hits r.sr_cache.Server.Cache.misses
+          r.sr_cache.Server.Cache.insertions
+          r.sr_cache.Server.Cache.evictions
+          (if r.sr_batch_identical then "identical" else "DIVERGED");
+        r)
+      Oracle.Stress.all
+  in
+  let all_round_trip =
+    List.for_all (fun r -> r.sr_round_trip && r.sr_fp_stable) rows
+  in
+  let all_incremental = List.for_all (fun r -> r.sr_inc_identical) rows in
+  let all_parallel =
+    List.for_all
+      (fun r -> List.for_all (fun (_, _, _, i) -> i) r.sr_par)
+      rows
+  in
+  let all_batch = List.for_all (fun r -> r.sr_batch_identical) rows in
+  let any_evictions =
+    List.exists (fun r -> r.sr_cache.Server.Cache.evictions > 0) rows
+  in
+  Jout.write stress_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str label);
+         ("smoke", Jout.Bool smoke);
+         ("seed", Jout.Int seed);
+         ("recommended_domains", Jout.Int cores);
+         ("profiles", Jout.List (List.map (stress_row_json seed) rows));
+         ("all_round_trip", Jout.Bool all_round_trip);
+         ("all_incremental_identical", Jout.Bool all_incremental);
+         ("all_parallel_identical", Jout.Bool all_parallel);
+         ("all_batch_identical", Jout.Bool all_batch);
+         ("any_evictions", Jout.Bool any_evictions);
+       ]);
+  if not all_round_trip then begin
+    Printf.eprintf
+      "%s: a stress program failed the byte/fingerprint round-trip\n" label;
+    exit 1
+  end;
+  if not all_incremental then begin
+    Printf.eprintf
+      "%s: an incremental session diverged from from-scratch analysis\n"
+      label;
+    exit 1
+  end;
+  if not all_parallel then begin
+    Printf.eprintf
+      "%s: a pooled analysis diverged from the sequential build\n" label;
+    exit 1
+  end;
+  if not all_batch then begin
+    Printf.eprintf
+      "%s: a shared-cache batch DDG diverged from its from-scratch replay\n"
+      label;
+    exit 1
+  end;
+  if not any_evictions then begin
+    Printf.eprintf
+      "%s: no profile evicted from the 1 MB shared cache - the stress sizes \
+       no longer pressure the LRU budget\n"
+      label;
+    exit 1
+  end;
+  if cores < 2 then
+    Printf.printf
+      "note: single-core machine (recommended_domain_count %d) - timing rows \
+       are not speedups, identity gates enforced\n"
+      cores
+
+let stress () = stress_run ~smoke:false "stress"
+let stress_smoke () = stress_run ~smoke:true "stress-smoke"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1549,6 +1893,8 @@ let experiments =
     ("multisession-smoke", multisession_smoke);
     ("parscale", parscale);
     ("parscale-smoke", parscale_smoke);
+    ("stress", stress);
+    ("stress-smoke", stress_smoke);
     ("telemetry-overhead", telemetry_overhead);
     ("bench", microbench);
   ]

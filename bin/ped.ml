@@ -122,6 +122,12 @@ let targets file workload =
   | Some path, _ ->
     [ (Filename.basename path,
        Parser.parse_program ~file:path (read_file path), []) ]
+  | None, Some wname when Workloads.is_stress_name wname -> (
+    match Workloads.stress wname with
+    | Ok p -> [ (wname, p, []) ]
+    | Error e ->
+      prerr_endline e;
+      exit 1)
   | None, Some wname -> (
     match Workloads.by_name wname with
     | Some w ->
@@ -130,7 +136,7 @@ let targets file workload =
       prerr_endline
         ("unknown workload (available: "
         ^ String.concat ", " Workloads.names
-        ^ ")");
+        ^ ", stress:PROFILE[@SCALE])");
       exit 1)
   | None, None ->
     List.map
@@ -309,6 +315,19 @@ let main file workload unit_name script no_interproc exec domains schedule
             Ped.Session.load_source ~interproc ?runner ?telemetry:sink
               ~file:path (read_file path)
               ~unit_name:(Option.map String.uppercase_ascii unit_name)
+          | None, Some wname when Workloads.is_stress_name wname -> (
+            match Workloads.stress wname with
+            | Ok program ->
+              let unit_name =
+                match unit_name with
+                | Some u -> String.uppercase_ascii u
+                | None -> main_unit_of program
+              in
+              Ped.Session.load ~interproc ?runner ?telemetry:sink program
+                ~unit_name
+            | Error e ->
+              prerr_endline e;
+              exit 1)
           | None, Some wname -> (
             match Workloads.by_name wname with
             | Some w ->
@@ -323,7 +342,7 @@ let main file workload unit_name script no_interproc exec domains schedule
               prerr_endline
                 ("unknown workload (available: "
                 ^ String.concat ", " Workloads.names
-                ^ ")");
+                ^ ", stress:PROFILE[@SCALE])");
               exit 1)
           | None, None ->
             prerr_endline "give a Fortran file or a workload name (-w)";
@@ -436,7 +455,8 @@ let metrics =
 (* fuzz subcommand: the differential-testing oracles                   *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz_main n fseed oracle corpus no_shrink no_sequences small quiet =
+let fuzz_main n fseed oracle corpus no_shrink no_sequences small stress quiet
+    =
   let oracles =
     String.split_on_char ',' oracle
     |> List.concat_map (fun o ->
@@ -450,15 +470,30 @@ let fuzz_main n fseed oracle corpus no_shrink no_sequences small quiet =
                ("bad --oracle " ^ other ^ " (dep, sem, run, or all)");
              exit 2)
   in
+  let program_gen =
+    match stress with
+    | None -> None
+    | Some name -> (
+      match Oracle.Stress.by_name name with
+      | Some p -> Some (Oracle.Stress.fuzz_gen p)
+      | None ->
+        prerr_endline
+          ("bad --stress " ^ name ^ " (available: "
+          ^ String.concat ", " Oracle.Stress.names
+          ^ ")");
+        exit 2)
+  in
   let cfg =
     {
       Oracle.Driver.n;
-      seed = fseed;
+      seed =
+        Oracle.Driver.seed_of ~env:(Sys.getenv_opt "QCHECK_SEED") ~cli:fseed;
       oracles;
       corpus_dir = corpus;
       shrink = not no_shrink;
       sequences = not no_sequences;
       gen_cfg = (if small then Oracle.Gen.small else Oracle.Gen.default);
+      program_gen;
       progress =
         (if quiet then ignore
          else fun m -> Printf.eprintf "  [fuzz] %s\n%!" m);
@@ -474,7 +509,9 @@ let fuzz_cmd =
            ~doc:"Programs to generate")
   in
   let fseed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed")
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+           ~doc:"Generator seed (default: $(b,QCHECK_SEED) from the \
+                 environment, then 42)")
   in
   let oracle =
     Arg.(value & opt string "all" & info [ "oracle" ] ~docv:"LIST"
@@ -498,6 +535,12 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "small" ]
            ~doc:"Generate smaller programs (smoke-test shape)")
   in
+  let stress =
+    Arg.(value & opt (some string) None & info [ "stress" ] ~docv:"PROFILE"
+           ~doc:"Draw fuzz-scale multi-unit programs from this stress \
+                 profile (deep, wide, many-units) instead of the \
+                 single-unit generator")
+  in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output") in
   let doc =
     "fuzz the analyses, transformations and runtime against brute-force \
@@ -505,7 +548,87 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const fuzz_main $ n $ fseed $ oracle $ corpus $ no_shrink
-          $ no_sequences $ small $ quiet)
+          $ no_sequences $ small $ stress $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* stress subcommand: the stress-workload factory                      *)
+(* ------------------------------------------------------------------ *)
+
+let stress_main profile sseed pscale plines out list_profiles =
+  if list_profiles then begin
+    List.iter
+      (fun p ->
+        Printf.printf "%-12s %s\n" p.Oracle.Stress.sp_name
+          p.Oracle.Stress.sp_desc)
+      Oracle.Stress.all;
+    exit 0
+  end;
+  let seed =
+    Oracle.Driver.seed_of ~env:(Sys.getenv_opt "QCHECK_SEED") ~cli:sseed
+  in
+  match Oracle.Stress.by_name profile with
+  | None ->
+    prerr_endline
+      ("unknown stress profile " ^ profile ^ " (available: "
+      ^ String.concat ", " Oracle.Stress.names
+      ^ ")");
+    exit 2
+  | Some p ->
+    let p =
+      match pscale with Some f -> Oracle.Stress.scale f p | None -> p
+    in
+    let p, src =
+      match plines with
+      | Some target -> Oracle.Stress.scale_to_lines ~seed ~target p
+      | None -> (p, Oracle.Stress.source ~seed p)
+    in
+    let program = Oracle.Stress.generate ~seed p in
+    (match out with
+    | Some "-" -> print_string src
+    | Some path ->
+      let oc = open_out path in
+      output_string oc src;
+      close_out oc
+    | None -> ());
+    Printf.printf "stress %s seed=%d: units=%d lines=%d fingerprint=%s\n"
+      p.Oracle.Stress.sp_name seed
+      (List.length program.Ast.punits)
+      (Oracle.Stress.lines src)
+      (Oracle.Stress.fingerprint program)
+
+let stress_cmd =
+  let profile =
+    Arg.(value & opt string "deep" & info [ "profile" ] ~docv:"PROFILE"
+           ~doc:"Stress profile: deep, wide, or many-units")
+  in
+  let sseed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+           ~doc:"Generator seed (default: $(b,QCHECK_SEED) from the \
+                 environment, then 42)")
+  in
+  let pscale =
+    Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"F"
+           ~doc:"Multiply the profile's unit/nest counts by F")
+  in
+  let plines =
+    Arg.(value & opt (some int) None & info [ "lines" ] ~docv:"N"
+           ~doc:"Grow the unit count until the source reaches N lines")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the generated Fortran source here ($(b,-) for \
+                 stdout)")
+  in
+  let list_profiles =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the profiles and exit")
+  in
+  let doc =
+    "generate a deterministic stress program (its summary line carries the \
+     cross-process fingerprint)"
+  in
+  Cmd.v (Cmd.info "stress" ~doc)
+    Term.(const stress_main $ profile $ sseed $ pscale $ plines $ out
+          $ list_profiles)
 
 (* ------------------------------------------------------------------ *)
 (* serve subcommand: the multi-session analysis server                 *)
@@ -678,13 +801,14 @@ let cmd =
           $ analysis_domains $ order $ seed $ calibrate $ engine_stats
           $ profile $ trace $ metrics)
   in
-  Cmd.group ~default (Cmd.info "ped" ~doc) [ fuzz_cmd; serve_cmd; batch_cmd ]
+  Cmd.group ~default (Cmd.info "ped" ~doc)
+    [ fuzz_cmd; stress_cmd; serve_cmd; batch_cmd ]
 
 let () =
   let argv =
     match Array.to_list Sys.argv with
     | exe :: a :: rest
-      when a <> "fuzz" && a <> "serve" && a <> "batch"
+      when a <> "fuzz" && a <> "stress" && a <> "serve" && a <> "batch"
            && String.length a > 0
            && a.[0] <> '-' ->
       Array.of_list (exe :: "--file" :: a :: rest)

@@ -98,6 +98,26 @@ let check ?(max_steps = 2_000_000) ?(cell_cap = 160) (_env : Depenv.t)
       program
   in
   let accesses = List.rev !acc in
+  (* the env/ddg under test are the Main unit's: accesses attributed
+     to callee statements (the stress factory's multi-unit programs)
+     have no counterpart in this graph and are out of scope — the
+     generator keeps CALLs at statement level, outside every loop, so
+     dropping them loses no within-unit coverage *)
+  let main_sids =
+    let u =
+      List.find
+        (fun (u : Ast.program_unit) -> u.Ast.kind = Ast.Main)
+        program.Ast.punits
+    in
+    let t : (Ast.stmt_id, unit) Hashtbl.t = Hashtbl.create 256 in
+    Ast.iter_stmts (fun s -> Hashtbl.replace t s.Ast.sid ()) u.Ast.body;
+    t
+  in
+  let accesses =
+    List.filter
+      (fun (a : Sim.Interp.access) -> Hashtbl.mem main_sids a.Sim.Interp.a_sid)
+      accesses
+  in
   (* 2. group per array element *)
   let cells : (string * int, Sim.Interp.access list) Hashtbl.t =
     Hashtbl.create 256

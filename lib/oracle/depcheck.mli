@@ -18,7 +18,13 @@
     The check assumes structured control flow (no GOTO), which the
     generator guarantees: within one iteration, execution order then
     coincides with flattened source order, matching how the DDG
-    orients loop-independent edges. *)
+    orients loop-independent edges.
+
+    The oracle's scope is the Main unit, whose [env]/[ddg] the driver
+    passes: on multi-unit programs (the stress factory's), accesses
+    attributed to callee statements are dropped from the trace.  The
+    generators keep CALLs at statement level — never inside a loop —
+    so this loses no within-unit coverage. *)
 
 open Fortran_front
 open Dependence

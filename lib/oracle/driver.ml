@@ -10,6 +10,7 @@ type config = {
   corpus_dir : string option;
   shrink : bool;
   gen_cfg : Gen.cfg;
+  program_gen : (Random.State.t -> Ast.program) option;
   sequences : bool;
   progress : string -> unit;
 }
@@ -22,9 +23,27 @@ let default =
     corpus_dir = None;
     shrink = true;
     gen_cfg = Gen.default;
+    program_gen = None;
     sequences = true;
     progress = ignore;
   }
+
+(* One seed-resolution rule for every entry point, so QCHECK_SEED
+   reaches the fuzz driver and the stress factory the same way the
+   property-test suite honors it: an explicit --seed wins, then a
+   well-formed QCHECK_SEED, then the documented default. *)
+let default_seed = 42
+
+let seed_of ~env ~cli =
+  match cli with
+  | Some s -> s
+  | None -> (
+    match env with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> default_seed)
+    | None -> default_seed)
 
 type stats = {
   programs : int;
@@ -131,7 +150,11 @@ let run (cfg : config) : stats =
     let rec draw attempts =
       if attempts = 0 then None
       else
-        let p = Gen.program ~cfg:cfg.gen_cfg rng in
+        let p =
+          match cfg.program_gen with
+          | Some g -> g rng
+          | None -> Gen.program ~cfg:cfg.gen_cfg rng
+        in
         if baseline_ok p then Some p
         else begin
           incr rejected;

@@ -24,6 +24,9 @@ type config = {
   corpus_dir : string option; (** save minimized counterexamples here *)
   shrink : bool;
   gen_cfg : Gen.cfg;
+  program_gen : (Random.State.t -> Fortran_front.Ast.program) option;
+      (** draw programs from this generator instead of [Gen.program]
+          (e.g. {!Stress.fuzz_gen}); [gen_cfg] is ignored when set *)
   sequences : bool;           (** also fuzz composed transformation
                                   sequences (semantics oracle) *)
   progress : string -> unit;  (** narration callback *)
@@ -56,3 +59,9 @@ val ok : stats -> bool
 val summary : stats -> string
 
 val run : config -> stats
+
+(** The seed every fuzz/stress entry point honors: an explicit CLI
+    seed wins, then a well-formed [QCHECK_SEED] environment value,
+    then the documented default (42).  Pure, so tests can exercise the
+    resolution without touching the process environment. *)
+val seed_of : env:string option -> cli:int option -> int

@@ -52,8 +52,11 @@ let weighted rng (cands : (int * (unit -> 'a)) list) : 'a =
   in
   go n cands
 
-(* induction-variable name at a given loop depth (1-based) *)
-let iv_at_depth d = List.nth [ "I"; "J"; "L" ] (d - 1)
+(* induction-variable name at a given loop depth (1-based); every name
+   starts with I/J/L so Fortran's implicit typing keeps them INTEGER *)
+let iv_names = [ "I"; "J"; "L"; "I2"; "J2"; "L2"; "I3"; "J3" ]
+let depth_limit = List.length iv_names
+let iv_at_depth d = List.nth iv_names (d - 1)
 
 (* ------------------------------------------------------------------ *)
 (* subscripts                                                          *)
@@ -64,6 +67,12 @@ let iv_at_depth d = List.nth [ "I"; "J"; "L" ] (d - 1)
 (* offsets in [-2, 2].  A/B accept [-4, 44]; C accepts [-4, 28] per    *)
 (* dimension.                                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* negative constants in the parser's normal form (unary minus, not a
+   negative literal), so generated programs pretty-print exactly as
+   their own reparse does — the stress factory's byte-stable
+   round-trip *)
+let neg n = Ast.Un (Ast.Neg, Ast.Int n)
 
 let gen_off rng = Ast.Int (int_in rng (-2) 2)
 
@@ -185,9 +194,9 @@ let gen_guard cfg rng ivs =
 let gen_header cfg rng ~outer_ivs ~iv =
   if cfg.negative_step && chance rng 0.15 then
     (* descending *)
-    let step = if cfg.nonunit_step && chance rng 0.4 then -2 else -1 in
+    let step = if cfg.nonunit_step && chance rng 0.4 then 2 else 1 in
     { Ast.dvar = iv; lo = Ast.Int (int_in rng 8 12); hi = Ast.Int (int_in rng 1 3);
-      step = Some (Ast.Int step); parallel = false }
+      step = Some (neg step); parallel = false }
   else if chance rng 0.05 then
     (* degenerate: zero-trip *)
     { Ast.dvar = iv; lo = Ast.Int (int_in rng 9 12); hi = Ast.Int (int_in rng 3 8);
@@ -295,24 +304,33 @@ let checksum =
   \      ENDDO\n\
   \      PRINT *, S, T, K, N\n"
 
+let checksum_stmts () =
+  Parser.parse_stmts_string ~file:"<fuzz-checksum>" checksum
+
 let decls =
   [
-    { Ast.dname = "A"; dtyp = Ast.Treal; dims = [ (Ast.Int (-4), Ast.Int 44) ];
+    { Ast.dname = "A"; dtyp = Ast.Treal; dims = [ (neg 4, Ast.Int 44) ];
       init = None; data_init = None; common_block = None };
-    { Ast.dname = "B"; dtyp = Ast.Treal; dims = [ (Ast.Int (-4), Ast.Int 44) ];
+    { Ast.dname = "B"; dtyp = Ast.Treal; dims = [ (neg 4, Ast.Int 44) ];
       init = None; data_init = None; common_block = None };
     { Ast.dname = "C"; dtyp = Ast.Treal;
-      dims = [ (Ast.Int (-4), Ast.Int 28); (Ast.Int (-4), Ast.Int 28) ];
+      dims = [ (neg 4, Ast.Int 28); (neg 4, Ast.Int 28) ];
       init = None; data_init = None; common_block = None };
   ]
+
+(* the composition surface the stress factory (Stress) builds whole
+   multi-unit programs from *)
+let assign = gen_assign
+let guard = gen_guard
+let loop = gen_loop
+let perfect = gen_perfect
+let nest = gen_nest
 
 let program ?(cfg = default) rng =
   let nests = int_in rng cfg.nests_min cfg.nests_max in
   let middle = List.concat (List.init nests (fun _ -> gen_nest cfg rng)) in
   let body =
-    prologue (int_in rng 5 10)
-    @ middle
-    @ Parser.parse_stmts_string ~file:"<fuzz-checksum>" checksum
+    prologue (int_in rng 5 10) @ middle @ checksum_stmts ()
   in
   {
     Ast.punits =

@@ -26,7 +26,7 @@ open Fortran_front
 type cfg = {
   nests_min : int;
   nests_max : int;   (** random nests between prologue and checksum *)
-  max_depth : int;   (** loop nesting depth, at most 3 *)
+  max_depth : int;   (** loop nesting depth, at most [depth_limit] *)
   max_body : int;    (** statements per generated block *)
   guards : bool;     (** IF/ELSE around assignments *)
   symbolic : bool;   (** [N] as a loop bound / subscript term *)
@@ -46,6 +46,50 @@ val small : cfg
     compare — the generator's observable state, together with the
     PRINT output. *)
 val observed_arrays : string list
+
+(** {2 Composition surface}
+
+    The stress-workload factory ({!Stress}) assembles whole multi-unit
+    programs out of the same building blocks [program] uses, so one
+    generator serves both the fuzz driver and the scale benchmarks. *)
+
+(** Nesting depths the induction-variable supply covers. *)
+val depth_limit : int
+
+(** Induction-variable name at a loop depth (1-based, up to
+    [depth_limit]); all names are implicitly INTEGER. *)
+val iv_at_depth : int -> string
+
+(** One random assignment over the in-scope induction variables
+    (outermost first); [allow_k] admits the auxiliary accumulator [K]
+    as a subscript. *)
+val assign : ?allow_k:bool -> cfg -> Random.State.t -> string list -> Ast.stmt
+
+(** An IF/ELSE guard around random assignments. *)
+val guard : cfg -> Random.State.t -> string list -> Ast.stmt
+
+(** A general loop at [depth] whose body may nest further up to
+    [cfg.max_depth]; [ivs] are the enclosing induction variables. *)
+val loop : cfg -> Random.State.t -> depth:int -> ivs:string list -> Ast.stmt
+
+(** A perfect nest of exactly the given depth (at most [depth_limit]),
+    ending in a block of assignments. *)
+val perfect : cfg -> Random.State.t -> int -> Ast.stmt
+
+(** One random nest: a general loop, a perfect nest, or an auxiliary
+    induction idiom, per [cfg]. *)
+val nest : cfg -> Random.State.t -> Ast.stmt list
+
+(** The deterministic storage-initialization prologue ([N] set to the
+    argument). *)
+val prologue : int -> Ast.stmt list
+
+(** The checksum epilogue: folds the arrays into [S] and PRINTs the
+    observable scalars. *)
+val checksum_stmts : unit -> Ast.stmt list
+
+(** Declarations of the fixed storage shape ([A], [B], [C]). *)
+val decls : Ast.decl list
 
 (** [program rng] generates a complete single-unit program. *)
 val program : ?cfg:cfg -> Random.State.t -> Ast.program

@@ -114,7 +114,14 @@ let is_edit (line : string) =
   | verb :: _ -> List.mem verb [ "edit"; "apply"; "undo"; "redo" ]
   | [] -> false
 
-let digest_ddg ddg = Digest.to_hex (Digest.string (Marshal.to_string ddg []))
+(* [No_sharing] canonicalizes the bytes: a graph rebuilt through the
+   shared bucket memo carries more internal sharing than a fresh
+   build (equal dependence lists served as one physical value), and
+   the default sharing-aware format would flag structurally equal
+   graphs as different.  The graph is pure acyclic data, so expansion
+   terminates and equal graphs marshal identically. *)
+let digest_ddg ddg =
+  Digest.to_hex (Digest.string (Marshal.to_string ddg [ Marshal.No_sharing ]))
 
 let resolve_unit (program : Ast.program) = function
   | Some n -> Ok n

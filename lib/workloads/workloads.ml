@@ -784,6 +784,58 @@ let by_name n = List.find_opt (fun w -> String.equal w.name n) all
 
 let program w = Parser.parse_program ~file:(w.name ^ ".f") w.source
 
+(* ------------------------------------------------------------------ *)
+(* generated stress workloads                                          *)
+(*                                                                     *)
+(* The oracle's stress factory, addressable wherever a workload name   *)
+(* is accepted as "stress:PROFILE[@SCALE]" — e.g. "stress:deep",       *)
+(* "stress:many-units@0.2".  They are registered beside [all], not in  *)
+(* it: the curated suite pins per-kernel loop counts and simulator     *)
+(* outcomes, while stress programs are sized for analysis pressure,    *)
+(* not for pinning.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stress_prefix = "stress:"
+
+let is_stress_name n =
+  String.length n > String.length stress_prefix
+  && String.sub n 0 (String.length stress_prefix) = stress_prefix
+
+let stress_names =
+  List.map (fun p -> stress_prefix ^ p.Oracle.Stress.sp_name) Oracle.Stress.all
+
+let stress ?(seed = 42) name =
+  if not (is_stress_name name) then
+    Error (Printf.sprintf "not a stress workload name: %s" name)
+  else
+    let rest =
+      String.sub name (String.length stress_prefix)
+        (String.length name - String.length stress_prefix)
+    in
+    let pname, scale =
+      match String.index_opt rest '@' with
+      | None -> (rest, None)
+      | Some i ->
+        ( String.sub rest 0 i,
+          float_of_string_opt
+            (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    in
+    match Oracle.Stress.by_name pname with
+    | None ->
+      Error
+        (Printf.sprintf "unknown stress profile %s (available: %s)" pname
+           (String.concat ", " Oracle.Stress.names))
+    | Some p -> (
+      match (String.contains rest '@', scale) with
+      | true, None -> Error (Printf.sprintf "bad scale in %s" name)
+      | _, Some f when f <= 0.0 ->
+        Error (Printf.sprintf "scale must be positive in %s" name)
+      | has_scale, _ ->
+        let p =
+          if has_scale then Oracle.Stress.scale (Option.get scale) p else p
+        in
+        Ok (Oracle.Stress.generate ~seed p))
+
 let main_unit w =
   let p = program w in
   match

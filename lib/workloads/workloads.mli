@@ -30,3 +30,21 @@ val program : t -> Ast.program
 
 (** The main unit's name. *)
 val main_unit : t -> string
+
+(** {2 Generated stress workloads}
+
+    The oracle's stress factory ({!Oracle.Stress}), registered beside
+    the curated suite (not inside [all]: the kernels pin loop counts
+    and simulator outcomes, stress programs are sized for analysis
+    pressure).  Addressable wherever a workload name is accepted as
+    ["stress:PROFILE[@SCALE]"] — e.g. ["stress:deep"],
+    ["stress:many-units@0.2"]. *)
+
+val is_stress_name : string -> bool
+
+(** ["stress:deep"; "stress:wide"; "stress:many-units"]. *)
+val stress_names : string list
+
+(** [stress ?seed name] — generate the named stress program
+    (deterministic in [(seed, name)], canonical statement ids). *)
+val stress : ?seed:int -> string -> (Ast.program, string) result

@@ -34,4 +34,5 @@ let () =
       ("explain", Test_explain.suite);
       ("server", Test_server.suite);
       ("parscale", Test_parscale.suite);
+      ("stress", Test_stress.suite);
     ]

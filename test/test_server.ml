@@ -118,6 +118,83 @@ let budget_is_enforced () =
   check_bool "evictions counted" true (st.Server.Cache.evictions >= 4);
   check_int "every insertion counted" 6 st.Server.Cache.insertions
 
+(* --- shared cache: eviction pressure from real analysis entries --- *)
+
+(* A stress program whose summaries and unit results overflow a 1 MB
+   budget: the cache must evict, the counters must stay coherent, and
+   every graph must still be byte-identical to a from-scratch replay
+   (the batch [check] gate).  Two passes over the units make the
+   second pass revisit whatever the first evicted. *)
+let eviction_pressure_stays_correct () =
+  let program =
+    Oracle.Stress.generate ~seed:42 (Oracle.Stress.smoke Oracle.Stress.wide)
+  in
+  let src = Pretty.program_to_string program in
+  let stress_job i (u : Ast.program_unit) =
+    {
+      Server.Batch.j_id = Printf.sprintf "wide/%d" i;
+      j_file = "wide.f";
+      j_source = src;
+      j_unit = Some u.Ast.uname;
+      j_script = [ "loops" ];
+    }
+  in
+  let pass = List.length program.Ast.punits in
+  let jobs =
+    List.mapi stress_job program.Ast.punits
+    @ List.mapi (fun i u -> stress_job (pass + i) u) program.Ast.punits
+  in
+  let cache = Server.Cache.create ~budget_mb:1 () in
+  (match Server.Batch.run ~cache ~check:true jobs with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    check_bool "identical after eviction" true
+      (o.Server.Batch.o_identical = Some true);
+    check_bool "no job errors" true
+      (List.for_all
+         (fun (r : Server.Batch.job_result) -> r.Server.Batch.jr_error = None)
+         o.Server.Batch.o_results));
+  let st = Server.Cache.stats cache in
+  check_bool "evictions forced" true (st.Server.Cache.evictions > 0);
+  check_int "entries = insertions - evictions"
+    (st.Server.Cache.insertions - st.Server.Cache.evictions)
+    st.Server.Cache.entries;
+  check_bool "bytes within budget" true
+    (st.Server.Cache.bytes <= st.Server.Cache.budget_bytes);
+  check_bool "lookups recorded" true
+    (st.Server.Cache.hits + st.Server.Cache.misses > 0);
+  check_bool "insertions follow misses" true
+    (st.Server.Cache.insertions <= st.Server.Cache.misses)
+
+(* After the LRU dropped an entry, a later session must transparently
+   recompute it — same graph as a session over a private engine.
+   [wide] is the profile whose per-unit entries overflow 1 MB. *)
+let evicted_entries_recompute_correctly () =
+  let program =
+    Oracle.Stress.generate ~seed:42 (Oracle.Stress.smoke Oracle.Stress.wide)
+  in
+  let cache = Server.Cache.create ~budget_mb:1 () in
+  let sharing = Server.Cache.sharing cache in
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      ignore
+        (Ped.Session.ddg
+           (Ped.Session.load ~sharing program ~unit_name:u.Ast.uname)))
+    program.Ast.punits;
+  check_bool "the walk evicted" true
+    ((Server.Cache.stats cache).Server.Cache.evictions > 0);
+  List.iter
+    (fun (u : Ast.program_unit) ->
+      let again =
+        Ped.Session.load ~sharing program ~unit_name:u.Ast.uname
+      in
+      let scratch = Ped.Session.load program ~unit_name:u.Ast.uname in
+      check_bool (u.Ast.uname ^ ": equal after eviction") true
+        (Dependence.Ddg.equal
+           (Ped.Session.ddg scratch)
+           (Ped.Session.ddg again)))
+    program.Ast.punits
+
 (* --- shared cache: cross-session dedup ---------------------------- *)
 
 let cross_session_dedup () =
@@ -425,6 +502,10 @@ let suite =
     case "cache: LRU evicts the least recently used entry"
       lru_eviction_order;
     case "cache: the byte budget is enforced" budget_is_enforced;
+    case "cache: eviction pressure keeps batch results byte-identical"
+      eviction_pressure_stays_correct;
+    case "cache: evicted entries recompute to the same graph"
+      evicted_entries_recompute_correctly;
     case "cache: a second identical session is fully served"
       cross_session_dedup;
     case "cache: the bucket memo round-trips through disk"
