@@ -716,32 +716,195 @@ let best_wall ?(reps = 3) ~domains program =
   done;
   !best
 
-let table6 () =
+let table6_json = "BENCH_table6.json"
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    exp
+      (List.fold_left (fun a x -> a +. log (Float.max 1e-12 x)) 0.0 xs
+      /. float_of_int (List.length xs))
+
+(* The compiled column: best-of-[reps] wall of the loaded plugin on a
+   [p]-domain pool, with every run diffed against the sequential
+   simulator baseline (the identity gate samples all reps, not one). *)
+let compiled_wall built ~domains ~reps (base : Sim.Interp.outcome) =
+  Runtime.Pool.with_pool domains (fun pool ->
+      let best = ref infinity and ok = ref true in
+      for _ = 1 to reps do
+        match
+          Codegen.Compile.run built ~pool:(Some pool)
+            ~schedule:Runtime.Pool.Chunk
+        with
+        | Error _ -> ok := false
+        | Ok r ->
+          if r.Codegen.Compile.wall_s < !best then
+            best := r.Codegen.Compile.wall_s;
+          if
+            not
+              (Sim.Interp.outputs_match ~tol:1e-4 r.Codegen.Compile.out_lines
+                 base.Sim.Interp.output
+              && Sim.Interp.stores_match r.Codegen.Compile.store
+                   base.Sim.Interp.final_store)
+          then ok := false
+      done;
+      (!best, !ok))
+
+let table6_run ~smoke label =
   header
     "Table 6: predicted (simulator cycles) vs measured (multicore runtime \
-     wall clock) speedup";
+     wall clock) vs compiled (native codegen) speedup";
+  let cores = Domain.recommended_domain_count () in
   Printf.printf
     "  this machine offers %d core(s); measured speedups cannot exceed that, \
-     while predictions assume the abstract machine really has P processors\n"
-    (Domain.recommended_domain_count ());
-  let domain_counts = [ 1; 2; 4; 8 ] in
+     while predictions assume the abstract machine really has P processors; \
+     comp@P is the native-compiled speedup over the sequential interpreter\n"
+    cores;
+  let wls = if smoke then [ List.hd Workloads.all ] else Workloads.all in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let reps = 3 in
+  let identity_ok = ref true in
+  let toolchain_note = ref None in
+  let cg_speedups = ref [] in
   Printf.printf "%-10s" "program";
-  List.iter (fun p -> Printf.printf "  pred@%d meas@%d" p p) domain_counts;
+  List.iter (fun p -> Printf.printf "  pred@%d meas@%d  comp@%d" p p p)
+    domain_counts;
   Printf.printf "\n";
-  List.iter
-    (fun (w : Workloads.t) ->
-      let base = Workloads.program w in
-      let par = parallelized_program w in
-      let seq_wall = best_wall ~domains:1 base in
-      Printf.printf "%-10s" w.Workloads.name;
-      List.iter
-        (fun p ->
-          let pred = speedup_at p par in
-          let meas = seq_wall /. Float.max 1e-9 (best_wall ~domains:p par) in
-          Printf.printf "  %6.2f %6.2f" pred meas)
-        domain_counts;
-      Printf.printf "\n%!")
-    Workloads.all
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let base = Workloads.program w in
+        let par = parallelized_program w in
+        let sim_base = Sim.Interp.run ~honor_parallel:false base in
+        let seq_wall = best_wall ~reps ~domains:1 base in
+        let built =
+          match Codegen.Compile.build par with
+          | Ok b -> Some b
+          | Error (Codegen.Compile.Toolchain m) ->
+            toolchain_note := Some m;
+            None
+          | Error e ->
+            (* a table6 kernel outside the subset (or failing to build)
+               is a regression: every kernel compiles today *)
+            Printf.eprintf "%s: %s: %s\n" label w.Workloads.name
+              (Codegen.Compile.error_to_string e);
+            identity_ok := false;
+            None
+        in
+        Printf.printf "%-10s" w.Workloads.name;
+        let best_cg = ref infinity in
+        let cols =
+          List.map
+            (fun p ->
+              let pred = speedup_at p par in
+              let meas =
+                seq_wall /. Float.max 1e-9 (best_wall ~reps ~domains:p par)
+              in
+              let cg =
+                match built with
+                | None -> None
+                | Some b ->
+                  let wall, ok = compiled_wall b ~domains:p ~reps sim_base in
+                  if not ok then begin
+                    Printf.eprintf
+                      "%s: %s compiled run diverged at %d domains\n" label
+                      w.Workloads.name p;
+                    identity_ok := false
+                  end;
+                  if wall < !best_cg then best_cg := wall;
+                  Some (wall, seq_wall /. Float.max 1e-9 wall, ok)
+              in
+              (match cg with
+              | Some (_, s, _) -> Printf.printf "  %6.2f %6.2f %7.1f" pred meas s
+              | None -> Printf.printf "  %6.2f %6.2f %7s" pred meas "-");
+              (p, pred, meas, cg))
+            domain_counts
+        in
+        Printf.printf "\n%!";
+        if built <> None then
+          cg_speedups := (seq_wall /. Float.max 1e-9 !best_cg) :: !cg_speedups;
+        (w.Workloads.name, seq_wall, cols))
+      wls
+  in
+  let gm = geomean !cg_speedups in
+  if !cg_speedups <> [] then
+    Printf.printf
+      "compiled speedup over the interpreter: %.1fx geomean (best schedule \
+       point per kernel)\n"
+    gm;
+  Jout.write table6_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str label);
+         ("cores", Jout.Int cores);
+         ("reps", Jout.Int reps);
+         ( "programs",
+           Jout.List
+             (List.map
+                (fun (name, seq_wall, cols) ->
+                  Jout.Obj
+                    [
+                      ("name", Jout.Str name);
+                      ("interp_seq_wall_s", Jout.Float seq_wall);
+                      ( "columns",
+                        Jout.List
+                          (List.map
+                             (fun (p, pred, meas, cg) ->
+                               Jout.Obj
+                                 ([
+                                    ("domains", Jout.Int p);
+                                    ("predicted", Jout.Float pred);
+                                    ("measured", Jout.Float meas);
+                                  ]
+                                 @
+                                 match cg with
+                                 | None -> [ ("compiled", Jout.Null) ]
+                                 | Some (wall, s, ok) ->
+                                   [
+                                     ("compiled_wall_s", Jout.Float wall);
+                                     ("compiled_speedup", Jout.Float s);
+                                     ("identical", Jout.Bool ok);
+                                   ]))
+                             cols) );
+                    ])
+                rows) );
+         ("compiled_geomean_speedup", Jout.Float gm);
+         ("identity_ok", Jout.Bool !identity_ok);
+         ( "toolchain",
+           match !toolchain_note with
+           | None -> Jout.Str "available"
+           | Some m -> Jout.Str ("missing: " ^ m) );
+       ]);
+  (* identity gate: always enforced — a compiled kernel that computes
+     something else is wrong at any speed *)
+  if not !identity_ok then begin
+    Printf.eprintf "%s: compiled runs diverged from the interpreter\n" label;
+    exit 1
+  end;
+  (match !toolchain_note with
+  | Some m ->
+    Printf.printf
+      "note: no native toolchain (%s) - compiled column and speedup gate \
+       skipped\n"
+      m
+  | None ->
+    (* speedup gate: native code must beat the tree-walking interpreter
+       by a wide margin wherever there are cores to run it *)
+    if cores >= 2 && gm < 5.0 then begin
+      Printf.eprintf
+        "%s: compiled geomean speedup %.1fx < 5x over the interpreter on a \
+         %d-core machine\n"
+        label gm cores;
+      exit 1
+    end
+    else if cores < 2 then
+      Printf.printf
+        "note: single-core machine (recommended_domain_count %d) - speedup \
+         gate skipped, identity gate enforced\n"
+        cores)
+
+let table6 () = table6_run ~smoke:false "table6"
+let table6_smoke () = table6_run ~smoke:true "table6-smoke"
 
 let calibrate_exp () =
   header
@@ -1878,6 +2041,7 @@ let experiments =
     ("table4", table4);
     ("table5", table5);
     ("table6", table6);
+    ("table6-smoke", table6_smoke);
     ("calibrate", calibrate_exp);
     ("fig1", fig1);
     ("fig2", fig2);

@@ -144,8 +144,53 @@ let targets file workload =
         (w.Workloads.name, Workloads.program w, w.Workloads.assertion_script))
       Workloads.all
 
+(* --backend=compiled: the codegen pipeline instead of Runtime.Exec *)
+let execute_one_compiled par_program ~domains ~schedule ~telemetry =
+  let seq = Sim.Interp.run ~honor_parallel:false par_program in
+  match Codegen.Compile.build ?telemetry par_program with
+  | Error e ->
+    Printf.printf "  compiled backend: %s\n%!"
+      (Codegen.Compile.error_to_string e);
+    false
+  | Ok built -> (
+    let run pool =
+      Codegen.Compile.run ?telemetry built ~pool ~schedule
+    in
+    match
+      Runtime.Pool.with_pool ?telemetry domains (fun pool ->
+          run (Some pool))
+    with
+    | Error e ->
+      Printf.printf "  compiled backend: %s\n%!"
+        (Codegen.Compile.error_to_string e);
+      false
+    | Ok r ->
+      let exact =
+        r.Codegen.Compile.out_lines = seq.Sim.Interp.output
+        && r.Codegen.Compile.store = seq.Sim.Interp.final_store
+      in
+      let close =
+        Sim.Interp.outputs_match ~tol:1e-4 r.Codegen.Compile.out_lines
+          seq.Sim.Interp.output
+        && Sim.Interp.stores_match r.Codegen.Compile.store
+             seq.Sim.Interp.final_store
+      in
+      Printf.printf
+        "  %d domains, %s schedule (compiled %s): %.4fs, vs sequential \
+         simulator: %s\n%!"
+        domains
+        (Runtime.Pool.schedule_to_string schedule)
+        built.Codegen.Compile.module_name r.Codegen.Compile.wall_s
+        (if exact then "identical"
+         else if close then "matching (within rounding)"
+         else "MISMATCH");
+      List.iter
+        (fun l -> Printf.printf "  | %s\n" l)
+        r.Codegen.Compile.out_lines;
+      exact || close)
+
 let execute_one name program script ~domains ~schedule ~validate
-    ~force_parallel ~telemetry =
+    ~force_parallel ~backend ~telemetry =
   let par_program =
     if force_parallel then Runtime.Exec.force_parallel program
     else auto_parallelize ?telemetry program script
@@ -183,6 +228,12 @@ let execute_one name program script ~domains ~schedule ~validate
       List.length v.Runtime.Exec.conflicts
     end
   in
+  if backend = "compiled" then
+    let ok =
+      execute_one_compiled par_program ~domains ~schedule ~telemetry
+    in
+    force_parallel || (ok && n_conflicts = 0)
+  else
   let seq = Sim.Interp.run ~honor_parallel:false program in
   let o = Runtime.Exec.run ~domains ~schedule ?telemetry par_program in
   let exact =
@@ -211,8 +262,8 @@ let execute_one name program script ~domains ~schedule ~validate
   (* a forced-parallel run is EXPECTED to conflict/mismatch; report only *)
   force_parallel || ((exact || close) && n_conflicts = 0)
 
-let execute file workload domains schedule validate force_parallel ~telemetry
-    =
+let execute file workload domains schedule validate force_parallel backend
+    ~telemetry =
   let domains = max 1 domains in
   let schedule =
     match Runtime.Pool.schedule_of_string schedule with
@@ -221,10 +272,14 @@ let execute file workload domains schedule validate force_parallel ~telemetry
       prerr_endline "bad --schedule (chunk or self)";
       exit 1
   in
+  if backend <> "interp" && backend <> "compiled" then begin
+    prerr_endline "bad --backend (interp or compiled)";
+    exit 1
+  end;
   List.fold_left
     (fun acc (name, program, script) ->
       execute_one name program script ~domains ~schedule ~validate
-        ~force_parallel ~telemetry
+        ~force_parallel ~backend ~telemetry
       && acc)
     true
     (targets file workload)
@@ -249,7 +304,7 @@ let calibrate_mode file workload =
 (* ------------------------------------------------------------------ *)
 
 let main file workload unit_name script no_interproc exec domains schedule
-    validate force_parallel analysis_domains order seed calibrate
+    validate force_parallel backend analysis_domains order seed calibrate
     engine_stats profile trace metrics =
   (* one recording sink, installed as the process default, so the
      session, the transformation catalog, the analysis passes and the
@@ -291,7 +346,7 @@ let main file workload unit_name script no_interproc exec domains schedule
   end
   else if exec || validate || force_parallel then
     finish
-      (execute file workload domains schedule validate force_parallel
+      (execute file workload domains schedule validate force_parallel backend
          ~telemetry:sink)
   else begin
     let interproc = not no_interproc in
@@ -416,6 +471,12 @@ let force_parallel =
          ~doc:"Mark every DO loop parallel, bypassing the analysis (for \
                exercising --validate on unsafe loops)")
 
+let exec_backend =
+  Arg.(value & opt string "interp" & info [ "backend" ] ~docv:"NAME"
+         ~doc:"Executor for --execute: interp (the tree-walking runtime) or \
+               compiled (native code via the codegen pipeline, checked \
+               against the sequential simulator)")
+
 let order =
   Arg.(value & opt string "seq" & info [ "order" ] ~docv:"ORDER"
          ~doc:"Iteration order for simulated parallel loops in the editor: \
@@ -455,8 +516,8 @@ let metrics =
 (* fuzz subcommand: the differential-testing oracles                   *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz_main n fseed oracle corpus no_shrink no_sequences small stress quiet
-    =
+let fuzz_main n fseed oracle codegen corpus no_shrink no_sequences small
+    stress quiet =
   let oracles =
     String.split_on_char ',' oracle
     |> List.concat_map (fun o ->
@@ -464,11 +525,17 @@ let fuzz_main n fseed oracle corpus no_shrink no_sequences small stress quiet
            | "dep" | "dependence" -> [ Oracle.Driver.Dep ]
            | "sem" | "semantics" -> [ Oracle.Driver.Sem ]
            | "run" | "runtime" -> [ Oracle.Driver.Run ]
+           | "cg" | "codegen" -> [ Oracle.Driver.Cg ]
            | "all" -> [ Oracle.Driver.Dep; Oracle.Driver.Sem; Oracle.Driver.Run ]
            | other ->
              prerr_endline
-               ("bad --oracle " ^ other ^ " (dep, sem, run, or all)");
+               ("bad --oracle " ^ other ^ " (dep, sem, run, cg, or all)");
              exit 2)
+  in
+  let oracles =
+    if codegen && not (List.mem Oracle.Driver.Cg oracles) then
+      oracles @ [ Oracle.Driver.Cg ]
+    else oracles
   in
   let program_gen =
     match stress with
@@ -519,6 +586,12 @@ let fuzz_cmd =
                  dependence), sem (transformation semantics), run \
                  (parallel runtime), or all")
   in
+  let codegen =
+    Arg.(value & flag & info [ "codegen" ]
+           ~doc:"Also run the codegen oracle: compile each program to \
+                 native code and diff it against the interpreter \
+                 (programs outside the compilable subset are skipped)")
+  in
   let corpus =
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
            ~doc:"Save minimized counterexamples to this directory")
@@ -547,7 +620,7 @@ let fuzz_cmd =
      oracles"
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const fuzz_main $ n $ fseed $ oracle $ corpus $ no_shrink
+    Term.(const fuzz_main $ n $ fseed $ oracle $ codegen $ corpus $ no_shrink
           $ no_sequences $ small $ stress $ quiet)
 
 (* ------------------------------------------------------------------ *)
@@ -793,22 +866,175 @@ let batch_cmd =
           $ cache_dir $ cache_mb $ history_limit $ check $ audit $ trace
           $ quiet)
 
+(* ------------------------------------------------------------------ *)
+(* compile subcommand: the native code generation pipeline             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_target ~sink ~backend ~out ~keep ~domains ~schedule ~no_run
+    (name, program, script) =
+  let par = auto_parallelize ?telemetry:sink program script in
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v in
+  let result =
+    let* () =
+      match out with
+      | None -> Ok ()
+      | Some path ->
+        let* src = Codegen.Compile.generate ~backend par in
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc;
+        Printf.printf "%s: %s source written to %s\n%!" name
+          backend.Codegen.Backend.name path;
+        Ok ()
+    in
+    let* built = Codegen.Compile.build ?telemetry:sink ~backend ~keep par in
+    Printf.printf "%s: compiled as %s (%d IR statements)%s\n%!" name
+      built.Codegen.Compile.module_name built.Codegen.Compile.ir_stmts
+      (if keep then " [" ^ built.Codegen.Compile.src_file ^ "]" else "");
+    if no_run then Ok true
+    else begin
+      let interp =
+        try Ok (Sim.Interp.run ~honor_parallel:false par)
+        with Sim.Interp.Runtime_error m ->
+          Error (Codegen.Compile.Failed ("interpreter baseline: " ^ m))
+      in
+      let* interp = interp in
+      let* s = Codegen.Compile.run ?telemetry:sink built ~pool:None ~schedule in
+      let seq_ok =
+        s.Codegen.Compile.out_lines = interp.Sim.Interp.output
+        && s.Codegen.Compile.store = interp.Sim.Interp.final_store
+      in
+      Printf.printf "  sequential: %.4fs, vs simulator: %s\n%!"
+        s.Codegen.Compile.wall_s
+        (if seq_ok then "identical" else "MISMATCH");
+      let* p =
+        Runtime.Pool.with_pool ?telemetry:sink domains (fun pool ->
+            Codegen.Compile.run ?telemetry:sink built ~pool:(Some pool)
+              ~schedule)
+      in
+      let par_ok =
+        Sim.Interp.outputs_match ~tol:1e-4 p.Codegen.Compile.out_lines
+          interp.Sim.Interp.output
+        && Sim.Interp.stores_match p.Codegen.Compile.store
+             interp.Sim.Interp.final_store
+      in
+      Printf.printf "  %d domains, %s schedule: %.4fs, vs simulator: %s\n%!"
+        domains
+        (Runtime.Pool.schedule_to_string schedule)
+        p.Codegen.Compile.wall_s
+        (if par_ok then "matching" else "MISMATCH");
+      List.iter
+        (fun l -> Printf.printf "  | %s\n" l)
+        p.Codegen.Compile.out_lines;
+      Ok (seq_ok && par_ok)
+    end
+  in
+  match result with
+  | Ok ok -> ok
+  | Error e ->
+    Printf.printf "%s: %s\n%!" name (Codegen.Compile.error_to_string e);
+    false
+
+let compile_main file workload out keep backend cdomains schedule no_run
+    profile trace =
+  let sink =
+    if profile || trace <> None then begin
+      let s = Telemetry.make ~record_spans:true () in
+      Telemetry.set_default s;
+      Some s
+    end
+    else None
+  in
+  let backend =
+    match Codegen.Backend.find backend with
+    | Some b -> b
+    | None ->
+      prerr_endline
+        ("unknown backend " ^ backend ^ " (available: "
+        ^ String.concat ", "
+            (List.map
+               (fun (b : Codegen.Backend.t) -> b.Codegen.Backend.name)
+               Codegen.Backend.all)
+        ^ ")");
+      exit 1
+  in
+  let schedule =
+    match Runtime.Pool.schedule_of_string schedule with
+    | Some s -> s
+    | None ->
+      prerr_endline "bad --schedule (chunk or self)";
+      exit 1
+  in
+  let ts = targets file workload in
+  (match (out, ts) with
+  | Some _, _ :: _ :: _ ->
+    prerr_endline "-o needs a single program (give a file or -w)";
+    exit 1
+  | _ -> ());
+  let ok =
+    List.fold_left
+      (fun acc t ->
+        compile_target ~sink ~backend ~out ~keep ~domains:(max 1 cdomains)
+          ~schedule ~no_run t
+        && acc)
+      true ts
+  in
+  (match sink with
+  | Some s ->
+    if profile then print_string (Telemetry.profile_report s);
+    Option.iter (fun path -> Telemetry.write_chrome_trace s path) trace
+  | None -> ());
+  if not ok then exit 1
+
+let compile_cmd =
+  let cfile =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Fortran source file (default: every built-in workload)")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the generated backend source to FILE for inspection")
+  in
+  let keep =
+    Arg.(value & flag & info [ "keep" ]
+           ~doc:"Keep the scratch artifacts under .ped-codegen/ instead of \
+                 deleting them after loading")
+  in
+  let cbackend =
+    Arg.(value & opt string "ocaml-domains" & info [ "backend" ] ~docv:"NAME"
+           ~doc:"Code generation backend (ocaml-domains)")
+  in
+  let no_run =
+    Arg.(value & flag & info [ "no-run" ]
+           ~doc:"Compile and load only; skip execution and the differential \
+                 check against the simulator")
+  in
+  let doc =
+    "auto-parallelize a program, compile it to native code through the \
+     codegen backend, run it on real domains and check it against the \
+     sequential simulator"
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const compile_main $ cfile $ workload $ out $ keep $ cbackend
+          $ domains $ schedule $ no_run $ profile $ trace)
+
 let cmd =
   let doc = "interactive parallel programming editor (ParaScope Editor)" in
   let default =
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
-          $ analysis_domains $ order $ seed $ calibrate $ engine_stats
-          $ profile $ trace $ metrics)
+          $ exec_backend $ analysis_domains $ order $ seed $ calibrate
+          $ engine_stats $ profile $ trace $ metrics)
   in
   Cmd.group ~default (Cmd.info "ped" ~doc)
-    [ fuzz_cmd; stress_cmd; serve_cmd; batch_cmd ]
+    [ fuzz_cmd; stress_cmd; serve_cmd; batch_cmd; compile_cmd ]
 
 let () =
   let argv =
     match Array.to_list Sys.argv with
     | exe :: a :: rest
       when a <> "fuzz" && a <> "stress" && a <> "serve" && a <> "batch"
+           && a <> "compile"
            && String.length a > 0
            && a.[0] <> '-' ->
       Array.of_list (exe :: "--file" :: a :: rest)

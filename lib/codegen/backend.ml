@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  description : string;
+  file_ext : string;
+  emit : Ir.program -> string;
+}
+
+let ocaml_domains =
+  {
+    name = "ocaml-domains";
+    description =
+      "OCaml source running parallel loops on Runtime.Pool domains; \
+       compiled with ocamlfind ocamlopt -shared and loaded via Dynlink";
+    file_ext = ".ml";
+    emit = Ocaml_backend.emit;
+  }
+
+let all = [ ocaml_domains ]
+let find name = List.find_opt (fun b -> b.name = name) all

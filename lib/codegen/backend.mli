@@ -1,0 +1,21 @@
+(** Code-generation backends.
+
+    A backend is a pure pretty-printer from {!Ir} to source text in
+    some target language (the Futhark-style split: one lowering, many
+    emitters).  The first backend targets OCaml-with-domains; the
+    interface leaves room for others (e.g. C with pthreads) without
+    touching lowering. *)
+
+type t = {
+  name : string;  (** selector for [--backend] flags *)
+  description : string;
+  file_ext : string;  (** extension of the emitted source, e.g. ".ml" *)
+  emit : Ir.program -> string;
+}
+
+val ocaml_domains : t
+
+(** All registered backends, default first. *)
+val all : t list
+
+val find : string -> t option

@@ -1,0 +1,224 @@
+type error =
+  | Unsupported of string
+  | Toolchain of string
+  | Failed of string
+
+let error_to_string = function
+  | Unsupported m -> "unsupported: " ^ m
+  | Toolchain m -> "toolchain: " ^ m
+  | Failed m -> "failed: " ^ m
+
+type built = {
+  entry : Registry.entry;
+  module_name : string;
+  src_file : string;
+  ir_stmts : int;
+}
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let lower ?telemetry prog =
+  let sink = match telemetry with Some s -> s | None -> Telemetry.default () in
+  Telemetry.span sink "codegen.lower" (fun () ->
+      match Lower.program prog with
+      | Ok ir -> Ok ir
+      | Error m -> Error (Unsupported m))
+
+let generate ?(backend = Backend.ocaml_domains) prog =
+  let* ir = lower prog in
+  Ok (backend.Backend.emit ir)
+
+let gen_counter = Atomic.make 0
+
+let mkdir_p dir =
+  let rec mk d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mk dir
+
+let read_file_tail file =
+  try
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let keep = min n 2000 in
+    seek_in ic (n - keep);
+    let s = really_input_string ic keep in
+    close_in ic;
+    String.trim s
+  with Sys_error _ | End_of_file -> "(no compiler output captured)"
+
+let remove_if_exists f = try Sys.remove f with Sys_error _ -> ()
+
+let scratch_files base =
+  List.map
+    (fun ext -> base ^ ext)
+    [ ".ml"; ".cmxs"; ".cmx"; ".cmi"; ".o"; ".log" ]
+
+let build ?telemetry ?(backend = Backend.ocaml_domains) ?(dir = ".ped-codegen")
+    ?(keep = false) prog =
+  let sink = match telemetry with Some s -> s | None -> Telemetry.default () in
+  let* ir = lower ~telemetry:sink prog in
+  let src =
+    Telemetry.span sink "codegen.emit"
+      ~args:[ ("backend", backend.Backend.name) ]
+      (fun () -> backend.Backend.emit ir)
+  in
+  let* tc =
+    match Toolchain.find () with Ok t -> Ok t | Error m -> Error (Toolchain m)
+  in
+  let digest = String.sub (Digest.to_hex (Digest.string src)) 0 8 in
+  let module_name =
+    Printf.sprintf "ped_gen_%d_%d_%s" (Unix.getpid ())
+      (Atomic.fetch_and_add gen_counter 1)
+      digest
+  in
+  (try mkdir_p dir with Unix.Unix_error (_, _, _) -> ());
+  let base = Filename.concat dir module_name in
+  let src_file = base ^ backend.Backend.file_ext in
+  let cmxs = base ^ ".cmxs" in
+  let log = base ^ ".log" in
+  let write_src () =
+    let oc = open_out src_file in
+    output_string oc src;
+    close_out oc
+  in
+  let* () =
+    try Ok (write_src ())
+    with Sys_error m -> Error (Failed ("cannot write generated source: " ^ m))
+  in
+  let cmd =
+    String.concat " "
+      (List.map Filename.quote tc.Toolchain.compiler
+      @ [ "-shared"; "-w"; "-a" ]
+      @ List.concat_map
+          (fun d -> [ "-I"; Filename.quote d ])
+          tc.Toolchain.incdirs
+      @ [ "-o"; Filename.quote cmxs; Filename.quote src_file ]
+      @ [ ">"; Filename.quote log; "2>&1" ])
+  in
+  let rc =
+    Telemetry.span sink "codegen.compile"
+      ~args:[ ("module", module_name) ]
+      (fun () -> Sys.command cmd)
+  in
+  let* () =
+    if rc = 0 then Ok ()
+    else begin
+      let tail = read_file_tail log in
+      if not keep then List.iter remove_if_exists (scratch_files base);
+      Error
+        (Failed
+           (Printf.sprintf "ocamlopt exited with %d on %s:\n%s" rc module_name
+              tail))
+    end
+  in
+  let* entry =
+    Telemetry.span sink "codegen.load" (fun () ->
+        try
+          Dynlink.loadfile_private cmxs;
+          match Registry.take () with
+          | Some e -> Ok e
+          | None ->
+            Error (Failed "loaded plugin did not register an entry point")
+        with
+        | Dynlink.Error e -> Error (Failed (Dynlink.error_message e))
+        | Sys_error m -> Error (Failed m))
+  in
+  if not keep then List.iter remove_if_exists (scratch_files base);
+  Ok { entry; module_name; src_file; ir_stmts = Ir.count_stmts ir.Ir.p_units }
+
+type run_result = {
+  out_lines : string list;
+  store : (string * float list) list;
+  wall_s : float;
+}
+
+let run ?telemetry built ~pool ~schedule =
+  let sink = match telemetry with Some s -> s | None -> Telemetry.default () in
+  Telemetry.span sink "codegen.run"
+    ~args:[ ("module", built.module_name) ]
+    (fun () ->
+      let t0 = Telemetry.now_ns () in
+      match built.entry.Registry.run ~pool ~schedule with
+      | out ->
+        let t1 = Telemetry.now_ns () in
+        Ok
+          {
+            out_lines = out.Registry.out_lines;
+            store = Sim.Abi.sort_store out.Registry.store;
+            wall_s = Int64.to_float (Int64.sub t1 t0) /. 1e9;
+          }
+      | exception Failure m -> Error (Failed ("runtime error: " ^ m))
+      | exception e ->
+        Error (Failed ("runtime error: " ^ Printexc.to_string e)))
+
+type check_report = {
+  ok : bool;
+  seq_exact : bool;
+  detail : string;
+}
+
+let stores_equal_exact a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) ->
+         n1 = n2
+         && List.length v1 = List.length v2
+         && List.for_all2
+              (fun (x : float) y ->
+                x = y || (Float.is_nan x && Float.is_nan y))
+              v1 v2)
+       a b
+
+let check ?telemetry ?(domains = 3) ?(schedule = Runtime.Pool.Chunk)
+    ?(tol = 1e-6) ?(keep = false) ?(dir = ".ped-codegen") prog =
+  let sink = match telemetry with Some s -> s | None -> Telemetry.default () in
+  let* interp =
+    try Ok (Sim.Interp.run ~honor_parallel:false prog)
+    with Sim.Interp.Runtime_error m ->
+      Error (Failed ("interpreter baseline: " ^ m))
+  in
+  let* built = build ~telemetry:sink ~keep ~dir prog in
+  let* seq = run ~telemetry:sink built ~pool:None ~schedule in
+  let seq_exact =
+    seq.out_lines = interp.Sim.Interp.output
+    && stores_equal_exact seq.store interp.Sim.Interp.final_store
+  in
+  let* par =
+    Runtime.Pool.with_pool domains (fun pool ->
+        run ~telemetry:sink built ~pool:(Some pool) ~schedule)
+  in
+  let mism what = Printf.sprintf "%s diverges from the interpreter" what in
+  if not seq_exact then
+    Ok
+      {
+        ok = false;
+        seq_exact = false;
+        detail = mism "compiled sequential run";
+      }
+  else if
+    not
+      (Sim.Abi.outputs_match ~tol par.out_lines interp.Sim.Interp.output
+      && Sim.Abi.stores_match ~tol par.store interp.Sim.Interp.final_store)
+  then
+    Ok
+      {
+        ok = false;
+        seq_exact = true;
+        detail = mism (Printf.sprintf "compiled parallel run (%d domains)" domains);
+      }
+  else
+    Ok
+      {
+        ok = true;
+        seq_exact = true;
+        detail =
+          Printf.sprintf
+            "compiled output matches the interpreter (sequential exact, %d \
+             domains within %g)"
+            domains tol;
+      }

@@ -1,0 +1,176 @@
+(* The imperative IR between lowering and the backends.
+
+   The design point (after Futhark's ImpCode): everything a backend
+   must know is explicit here — static types on every operation,
+   storage placement (local / formal / COMMON) per variable, entry-time
+   array geometry, and the full parallel-loop plan (privates,
+   inductions, reductions, privatized arrays) attached to each
+   PARALLEL DO.  Lowering resolves all Fortran name binding, implicit
+   typing, and value-conversion rules, so a backend is a pure
+   pretty-printer: it never consults a symbol table and never decides
+   a coercion.
+
+   Semantic contract: an IR program evaluated by any backend must be
+   observably equal to [Runtime.Exec] on the same AST — same PRINT
+   lines, same final store (including live-out privates, reduction
+   combining order and auxiliary-induction final values). *)
+
+open Fortran_front
+
+type ty = Tint | Treal | Tbool | Tstr
+(* [Tstr] appears only as the type of PRINT string literals. *)
+
+type place =
+  | Plocal  (* fresh storage at unit entry *)
+  | Pformal of int  (* 0-based position in the unit's formal list *)
+  | Pcommon  (* process-global COMMON storage *)
+
+(* Array extent: [Xfixed] extents are entry-time expressions over the
+   unit's scalars; [Xassumed] is the F77 assumed-size final dimension
+   of a formal array (extent defined by the passed storage). *)
+type extent = Xfixed of expr | Xassumed
+
+and arr = {
+  a_lowers : expr list;  (* per-dimension lower bounds, entry-time *)
+  a_extents : extent list;  (* per-dimension sizes, each clamped >= 1 *)
+}
+
+and vdef = {
+  v_name : string;  (* Fortran name, uppercase *)
+  v_ty : ty;
+  v_place : place;
+  v_arr : arr option;  (* None = scalar *)
+  v_init : init;  (* PARAMETER / DATA seed, already converted to v_ty *)
+}
+
+and init = Inone | Iint of int | Ireal of float | Ibool of bool
+
+and intrinsic =
+  | Iabs of ty  (* Tint or Treal *)
+  | Imod of ty
+  | Imax of ty  (* result type; arguments are pre-converted to Treal *)
+  | Imin of ty
+  | Isqrt
+  | Iexp
+  | Ilog
+  | Isin
+  | Icos
+  | Itan
+  | Inint
+  | Isign of ty  (* result type; arguments pre-converted to Treal *)
+
+and expr =
+  | Eint of int
+  | Ereal of float
+  | Ebool of bool
+  | Estr of string  (* PRINT items only *)
+  | Eload of string  (* scalar read, Fortran name *)
+  | Eaload of string * expr list  (* array element read; subscripts Tint *)
+  | Ebin of Ast.binop * ty * expr * expr
+      (* [ty] is the operand domain: Tint/Treal for arithmetic (both
+         operands already of that type), Treal for comparisons (both
+         operands pre-converted), Tbool for AND/OR *)
+  | Eneg of ty * expr
+  | Enot of expr
+  | Ecvt of ty * ty * expr  (* value conversion [from] -> [to], the
+                               simulator's [Value.convert] rules *)
+  | Eintr of intrinsic * expr list
+  | Ecall of string * arg list * ty  (* user FUNCTION call, result type *)
+
+(* Argument binding, resolved against the callee's formal (by-reference
+   passing): *)
+and arg =
+  | Ascalar of string  (* scalar variable: the callee shares the cell *)
+  | Aarray of string  (* whole array: callee reshapes the storage *)
+  | Aelem of string * expr list * elem_mode  (* array element actual *)
+  | Atemp of expr * ty  (* expression actual: one-cell temporary of the
+                           formal's type, copy-in only *)
+
+and elem_mode =
+  | Mview  (* bound to an array formal: storage from that element on *)
+  | Mcopy  (* bound to a scalar formal: copy-in / copy-out *)
+
+type doh = {
+  d_iv : string;
+  d_ivty : ty;
+  d_lo : expr;
+  d_hi : expr;
+  d_step : expr;
+  d_float : bool;  (* float trip arithmetic (any non-integer bound) *)
+  d_sid : int;  (* source statement id, for labels and telemetry *)
+}
+
+(* The parallel-loop plan, typed (a projection of [Runtime.Plan.t]
+   onto the unit's storage). *)
+type par = {
+  pp_privates : (string * ty) list;
+  pp_inductions : (string * ty * int) list;  (* closed-form stride *)
+  pp_reductions : (string * ty * Scalar_analysis.Varclass.reduction_op) list;
+  pp_arrays : string list;  (* privatized arrays (copy / last-value) *)
+  pp_has_output : bool;  (* body may PRINT, directly or via calls *)
+}
+
+type pitem = Pstr of string | Pexpr of expr * ty
+
+type stmt =
+  | Sassign of string * expr  (* scalar :=, rhs already coerced *)
+  | Sastore of string * expr list * expr
+      (* array element :=; backends must evaluate rhs first, then the
+         subscripts left-to-right (the interpreter's order) *)
+  | Sif of (expr * stmt list) list * stmt list
+  | Sdo of doh * stmt list
+  | Spar of doh * par * stmt list
+  | Scall of string * arg list
+  | Sprint of pitem list
+  | Sreturn
+  | Sstop
+
+type ukind = Kmain | Ksub | Kfun of ty
+
+type unitdef = {
+  u_name : string;
+  u_kind : ukind;
+  u_formals : string list;  (* Fortran names, in position order *)
+  u_vars : vdef list;  (* every storage-backed name, sorted by name *)
+  u_body : stmt list;
+}
+
+type program = {
+  p_units : unitdef list;
+  p_main : string;
+  p_commons : vdef list;
+      (* global COMMON storage, deduped across units; array geometry
+         is compile-time constant (the runtime's rule) *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+let ty_to_string = function
+  | Tint -> "integer"
+  | Treal -> "real"
+  | Tbool -> "logical"
+  | Tstr -> "string"
+
+(* Does evaluating [e] call user code (so a backend must pin the
+   evaluation order of sibling operands)? *)
+let rec effectful = function
+  | Eint _ | Ereal _ | Ebool _ | Estr _ | Eload _ -> false
+  | Ecall _ -> true
+  | Eaload (_, es) | Eintr (_, es) -> List.exists effectful es
+  | Ebin (_, _, a, b) -> effectful a || effectful b
+  | Eneg (_, e) | Enot e | Ecvt (_, _, e) -> effectful e
+
+let count_stmts (us : unitdef list) =
+  let rec go n = function
+    | [] -> n
+    | s :: rest ->
+      let n =
+        match s with
+        | Sif (bs, els) ->
+          List.fold_left (fun n (_, b) -> go n b) (go (n + 1) els) bs
+        | Sdo (_, b) | Spar (_, _, b) -> go (n + 1) b
+        | _ -> n + 1
+      in
+      go n rest
+  in
+  List.fold_left (fun n u -> go n u.u_body) 0 us

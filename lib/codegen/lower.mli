@@ -1,0 +1,10 @@
+(** AST + runtime {!Runtime.Plan} -> {!Ir}.
+
+    [Error msg] means the program falls outside the compilable subset
+    (GOTO, recursion, aliasing argument patterns, inconsistent COMMON
+    declarations, ...); the interpreter remains the fallback.  Lowering
+    never produces an IR program with different observable behavior
+    than {!Runtime.Exec} — anything it cannot translate faithfully is
+    rejected. *)
+
+val program : Fortran_front.Ast.program -> (Ir.program, string) result

@@ -1,0 +1,933 @@
+(* The OCaml-with-domains backend.
+
+   Emits one standalone .ml module per program: a [run_] closure over
+   COMMON storage and a [let rec] nest of unit functions, registered
+   with {!Registry} as the module's final top-level effect.  Parallel
+   loops run on [Runtime.Pool.parallel_for] with the schedule the host
+   passes in; every DOALL reproduces the interpreter's join protocol
+   (worker-private scalars and arrays, reduction combining in worker
+   order, auxiliary-induction closed forms, iteration-sorted PRINT
+   merge, last-iteration write-back).
+
+   Two emission rules keep the generated code observably equal to the
+   interpreter:
+
+   - OCaml evaluates function arguments and constructor fields
+     right-to-left; the interpreter evaluates operands, subscripts,
+     actual arguments and PRINT items left-to-right.  Whenever any
+     sibling subexpression calls user code, siblings are let-bound in
+     source order first.
+
+   - RETURN and STOP become exceptions ([Return_], [Stop_]); a
+     subroutine catches only [Return_], the main unit catches both, so
+     STOP inside a callee unwinds to the main snapshot exactly like
+     the interpreter's signal plumbing.  Loop bodies never catch them,
+     which skips the final DO-variable write on early exit — also the
+     interpreter's behavior.  In a parallel loop the escape is parked,
+     the join merges complete, and it is re-raised after — matching
+     the interpreter's abort-then-merge order. *)
+
+module Ast = Fortran_front.Ast
+module Varclass = Scalar_analysis.Varclass
+
+type ctx = {
+  b : Buffer.t;
+  mutable ind : int;
+  mutable tmp : int;
+  prog : Ir.program;
+  units : (string, Ir.unitdef) Hashtbl.t;
+  (* per-unit array geometry: element type and dimension count *)
+  arrays : (string, Ir.ty * int) Hashtbl.t;
+}
+
+let line c fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string c.b (String.make (2 * c.ind) ' ');
+      Buffer.add_string c.b s;
+      Buffer.add_char c.b '\n')
+    fmt
+
+let fresh c p =
+  c.tmp <- c.tmp + 1;
+  Printf.sprintf "%s%d_" p c.tmp
+
+let mangle v = "v_" ^ String.lowercase_ascii v
+let base_of v = "b_" ^ String.lowercase_ascii v
+let lb_of v k = Printf.sprintf "l_%s_%d" (String.lowercase_ascii v) k
+let ext_of v k = Printf.sprintf "e_%s_%d" (String.lowercase_ascii v) k
+let stride_of v k = Printf.sprintf "s_%s_%d" (String.lowercase_ascii v) k
+let ufun u = "u_" ^ String.lowercase_ascii u
+
+let lit_float f =
+  if f <> f then "nan"
+  else if f = infinity then "infinity"
+  else if f = neg_infinity then "neg_infinity"
+  else Printf.sprintf "(%h)" f
+
+let lit_int n = if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+
+(* storage selectors per element type *)
+let alloc_fn = function
+  | Ir.Treal -> ("Float.Array.make", "0.0")
+  | Ir.Tint -> ("Array.make", "0")
+  | Ir.Tbool -> ("Array.make", "false")
+  | Ir.Tstr -> assert false
+
+let get_fn = function
+  | Ir.Treal -> "Float.Array.get"
+  | _ -> "Array.get"
+
+let set_fn = function
+  | Ir.Treal -> "Float.Array.set"
+  | _ -> "Array.set"
+
+let len_fn = function
+  | Ir.Treal -> "Float.Array.length"
+  | _ -> "Array.length"
+
+let blit_fn = function
+  | Ir.Treal -> "Float.Array.blit"
+  | _ -> "Array.blit"
+
+let ref_ty = function
+  | Ir.Tint -> "int ref"
+  | Ir.Treal -> "float ref"
+  | Ir.Tbool -> "bool ref"
+  | Ir.Tstr -> assert false
+
+let buf_ty = function
+  | Ir.Tint -> "int array"
+  | Ir.Treal -> "floatarray"
+  | Ir.Tbool -> "bool array"
+  | Ir.Tstr -> assert false
+
+let zero_of = function
+  | Ir.Tint -> "0"
+  | Ir.Treal -> "0.0"
+  | Ir.Tbool -> "false"
+  | Ir.Tstr -> assert false
+
+let snap_fn = function
+  | Ir.Treal -> "_snapf"
+  | Ir.Tint -> "_snapi"
+  | Ir.Tbool -> "_snapb"
+  | Ir.Tstr -> assert false
+
+let cvt_float ty s =
+  match ty with
+  | Ir.Tint -> Printf.sprintf "float_of_int %s" s
+  | Ir.Treal -> s
+  | Ir.Tbool -> Printf.sprintf "(if %s then 1.0 else 0.0)" s
+  | Ir.Tstr -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Let-bind sibling subexpressions in source order when any of them
+   calls user code (OCaml would otherwise evaluate them right-to-left,
+   the interpreter goes left-to-right). *)
+let rec with_args c (es : Ir.expr list) (k : string list -> string) : string =
+  if List.length es > 1 && List.exists Ir.effectful es then begin
+    let bound = List.map (fun e -> (fresh c "t", pe c e)) es in
+    let lets =
+      String.concat ""
+        (List.map (fun (n, v) -> Printf.sprintf "let %s = %s in " n v) bound)
+    in
+    "(" ^ lets ^ k (List.map fst bound) ^ ")"
+  end
+  else k (List.map (fun e -> "(" ^ pe c e ^ ")") es)
+
+and offset_str _c v (idx_toks : string list) : string =
+  let terms =
+    List.mapi
+      (fun k tok ->
+        if k = 0 then Printf.sprintf "(%s - %s)" tok (lb_of v k)
+        else Printf.sprintf "((%s - %s) * %s)" tok (lb_of v k) (stride_of v k))
+      idx_toks
+  in
+  String.concat " + " (base_of v :: terms)
+
+and pe c (e : Ir.expr) : string =
+  match e with
+  | Ir.Eint n -> lit_int n
+  | Ir.Ereal f -> lit_float f
+  | Ir.Ebool b -> if b then "true" else "false"
+  | Ir.Estr s -> Printf.sprintf "%S" s
+  | Ir.Eload v -> "!" ^ mangle v
+  | Ir.Eaload (v, idxs) ->
+    let ty =
+      match Hashtbl.find_opt c.arrays v with
+      | Some (t, _) -> t
+      | None -> Ir.Treal
+    in
+    with_args c idxs (fun toks ->
+        Printf.sprintf "%s %s (%s)" (get_fn ty) (mangle v)
+          (offset_str c v toks))
+  | Ir.Ebin (op, Ir.Tbool, a, b) ->
+    (* AND/OR: short-circuit, never rebind (matches the interpreter's
+       left-then-maybe-right evaluation) *)
+    let s = match op with Ast.And -> "&&" | _ -> "||" in
+    Printf.sprintf "((%s) %s (%s))" (pe c a) s (pe c b)
+  | Ir.Ebin (op, ty, a, b) ->
+    with_args c [ a; b ] (fun toks ->
+        let x = List.nth toks 0 and y = List.nth toks 1 in
+        match (op, ty) with
+        | Ast.Add, Ir.Tint -> Printf.sprintf "(%s + %s)" x y
+        | Ast.Sub, Ir.Tint -> Printf.sprintf "(%s - %s)" x y
+        | Ast.Mul, Ir.Tint -> Printf.sprintf "(%s * %s)" x y
+        | Ast.Div, Ir.Tint -> Printf.sprintf "(_divi %s %s)" x y
+        | Ast.Pow, Ir.Tint -> Printf.sprintf "(_powi %s %s)" x y
+        | Ast.Add, _ -> Printf.sprintf "(%s +. %s)" x y
+        | Ast.Sub, _ -> Printf.sprintf "(%s -. %s)" x y
+        | Ast.Mul, _ -> Printf.sprintf "(%s *. %s)" x y
+        | Ast.Div, _ -> Printf.sprintf "(%s /. %s)" x y
+        | Ast.Pow, _ -> Printf.sprintf "(%s ** %s)" x y
+        | Ast.Lt, _ -> Printf.sprintf "(%s < %s)" x y
+        | Ast.Le, _ -> Printf.sprintf "(%s <= %s)" x y
+        | Ast.Gt, _ -> Printf.sprintf "(%s > %s)" x y
+        | Ast.Ge, _ -> Printf.sprintf "(%s >= %s)" x y
+        | Ast.Eq, _ -> Printf.sprintf "(%s = %s)" x y
+        | Ast.Ne, _ -> Printf.sprintf "(%s <> %s)" x y
+        | (Ast.And | Ast.Or), _ -> assert false)
+  | Ir.Eneg (ty, a) ->
+    Printf.sprintf "(%s (%s))" (if ty = Ir.Tint then "-" else "-.") (pe c a)
+  | Ir.Enot a -> Printf.sprintf "(not (%s))" (pe c a)
+  | Ir.Ecvt (f, t, a) -> pe_cvt f t (pe c a)
+  | Ir.Eintr (i, args) -> pe_intr c i args
+  | Ir.Ecall (name, args, _) -> pe_call c name args ~is_fun:true
+
+and pe_cvt f t s =
+  match (f, t) with
+  | a, b when a = b -> s
+  | Ir.Tint, Ir.Treal -> Printf.sprintf "(float_of_int %s)" s
+  | Ir.Tint, Ir.Tbool -> Printf.sprintf "(%s <> 0)" s
+  | Ir.Treal, Ir.Tint -> Printf.sprintf "(_tr %s)" s
+  | Ir.Treal, Ir.Tbool -> Printf.sprintf "(%s <> 0.0)" s
+  | Ir.Tbool, Ir.Tint -> Printf.sprintf "(if %s then 1 else 0)" s
+  | Ir.Tbool, Ir.Treal -> Printf.sprintf "(if %s then 1.0 else 0.0)" s
+  | _ -> assert false
+
+and pe_intr c i args =
+  with_args c args (fun toks ->
+      let a () = List.nth toks 0 in
+      let b () = List.nth toks 1 in
+      match i with
+      | Ir.Iabs Ir.Tint -> Printf.sprintf "(abs %s)" (a ())
+      | Ir.Iabs _ -> Printf.sprintf "(Float.abs %s)" (a ())
+      | Ir.Imod Ir.Tint -> Printf.sprintf "(_modi %s %s)" (a ()) (b ())
+      | Ir.Imod _ -> Printf.sprintf "(Float.rem %s %s)" (a ()) (b ())
+      | Ir.Imax ty ->
+        let m = Printf.sprintf "(_fmax [%s])" (String.concat "; " toks) in
+        if ty = Ir.Tint then Printf.sprintf "(int_of_float %s)" m else m
+      | Ir.Imin ty ->
+        let m = Printf.sprintf "(_fmin [%s])" (String.concat "; " toks) in
+        if ty = Ir.Tint then Printf.sprintf "(int_of_float %s)" m else m
+      | Ir.Isqrt -> Printf.sprintf "(sqrt %s)" (a ())
+      | Ir.Iexp -> Printf.sprintf "(exp %s)" (a ())
+      | Ir.Ilog -> Printf.sprintf "(log %s)" (a ())
+      | Ir.Isin -> Printf.sprintf "(sin %s)" (a ())
+      | Ir.Icos -> Printf.sprintf "(cos %s)" (a ())
+      | Ir.Itan -> Printf.sprintf "(tan %s)" (a ())
+      | Ir.Inint -> Printf.sprintf "(_nint %s)" (a ())
+      | Ir.Isign ty ->
+        let s = Printf.sprintf "(_sgn %s %s)" (a ()) (b ()) in
+        if ty = Ir.Tint then Printf.sprintf "(int_of_float %s)" s else s)
+
+(* A call, as a single expression of the callee's result type (unit
+   for subroutines).  Actual arguments are let-bound in formal order;
+   Mcopy element arguments are copied back after the call returns. *)
+and pe_call c name args ~is_fun : string =
+  let pre = Buffer.create 64 in
+  let post = Buffer.create 16 in
+  let toks =
+    List.concat_map
+      (fun (a : Ir.arg) ->
+        match a with
+        | Ir.Ascalar v -> [ mangle v ]
+        | Ir.Aarray v -> [ mangle v; base_of v ]
+        | Ir.Aelem (v, idxs, mode) ->
+          let ty =
+            match Hashtbl.find_opt c.arrays v with
+            | Some (t, _) -> t
+            | None -> Ir.Treal
+          in
+          let o = fresh c "o" in
+          Buffer.add_string pre
+            (Printf.sprintf "let %s = %s in " o
+               (with_args c idxs (fun toks -> offset_str c v toks)));
+          (match mode with
+          | Ir.Mview -> [ mangle v; o ]
+          | Ir.Mcopy ->
+            let t = fresh c "t" in
+            Buffer.add_string pre
+              (Printf.sprintf "let %s = ref (%s %s (%s)) in " t (get_fn ty)
+                 (mangle v) o);
+            Buffer.add_string post
+              (Printf.sprintf "%s %s (%s) !%s; " (set_fn ty) (mangle v) o t);
+            [ t ])
+        | Ir.Atemp (e, _) ->
+          let t = fresh c "t" in
+          Buffer.add_string pre
+            (Printf.sprintf "let %s = ref (%s) in " t (pe c e));
+          [ t ])
+      args
+  in
+  let call =
+    Printf.sprintf "%s ~pool ~out %s()" (ufun name)
+      (String.concat "" (List.map (fun t -> t ^ " ") toks))
+  in
+  let pre = Buffer.contents pre and post = Buffer.contents post in
+  if is_fun then
+    if post = "" then Printf.sprintf "(%s%s)" pre call
+    else
+      let r = fresh c "r" in
+      Printf.sprintf "(%slet %s = %s in %s%s)" pre r call post r
+  else if post = "" then Printf.sprintf "(%s%s)" pre call
+  else Printf.sprintf "(%s%s; %s())" pre call post
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* DO-variable update: [s] is the index value in the loop's arithmetic
+   domain (int unless [d_float]); store it converted to the variable's
+   type, as the interpreter's typed cell assignment does. *)
+let iv_store (d : Ir.doh) s =
+  let v =
+    match (d.Ir.d_float, d.Ir.d_ivty) with
+    | false, Ir.Tint | true, Ir.Treal -> s
+    | false, Ir.Treal -> Printf.sprintf "(float_of_int %s)" s
+    | false, Ir.Tbool -> Printf.sprintf "(%s <> 0)" s
+    | true, Ir.Tint -> Printf.sprintf "(_tr %s)" s
+    | true, Ir.Tbool -> Printf.sprintf "(%s <> 0.0)" s
+    | _, Ir.Tstr -> assert false
+  in
+  Printf.sprintf "%s := %s;" (mangle d.Ir.d_iv) v
+
+let rec emit_stmt c (s : Ir.stmt) : unit =
+  match s with
+  | Ir.Sassign (v, e) -> line c "%s := %s;" (mangle v) (pe c e)
+  | Ir.Sastore (v, idxs, rhs) ->
+    let ty =
+      match Hashtbl.find_opt c.arrays v with
+      | Some (t, _) -> t
+      | None -> Ir.Treal
+    in
+    if Ir.effectful rhs || List.exists Ir.effectful idxs then begin
+      (* rhs first, then subscripts left-to-right: interpreter order *)
+      let r = fresh c "r" in
+      let toks = List.map (fun e -> (fresh c "i", e)) idxs in
+      line c "(let %s = %s in" r (pe c rhs);
+      List.iter (fun (n, e) -> line c " let %s = %s in" n (pe c e)) toks;
+      line c " %s %s (%s) %s);" (set_fn ty) (mangle v)
+        (offset_str c v (List.map fst toks))
+        r
+    end
+    else
+      line c "%s %s (%s) (%s);" (set_fn ty) (mangle v)
+        (offset_str c v (List.map (fun e -> "(" ^ pe c e ^ ")") idxs))
+        (pe c rhs)
+  | Ir.Sif (branches, els) ->
+    List.iteri
+      (fun i (cond, body) ->
+        line c "%s %s then begin" (if i = 0 then "(if" else "end else if")
+          (pe c cond);
+        c.ind <- c.ind + 1;
+        emit_block c body;
+        c.ind <- c.ind - 1)
+      branches;
+    line c "end else begin";
+    c.ind <- c.ind + 1;
+    emit_block c els;
+    c.ind <- c.ind - 1;
+    line c "end);"
+  | Ir.Scall (name, args) ->
+    let is_fun =
+      match Hashtbl.find_opt c.units name with
+      | Some { Ir.u_kind = Ir.Kfun _; _ } -> true
+      | _ -> false
+    in
+    if is_fun then line c "ignore %s;" (pe_call c name args ~is_fun:true)
+    else line c "%s;" (pe_call c name args ~is_fun:false)
+  | Ir.Sprint items ->
+    let effectful_item = function
+      | Ir.Pstr _ -> false
+      | Ir.Pexpr (e, _) -> Ir.effectful e
+    in
+    let fmt tok ty =
+      match ty with
+      | Ir.Tint -> Printf.sprintf "string_of_int %s" tok
+      | Ir.Treal -> Printf.sprintf "_r6 %s" tok
+      | Ir.Tbool -> Printf.sprintf "(if %s then \"T\" else \"F\")" tok
+      | Ir.Tstr -> tok
+    in
+    if List.exists effectful_item items then begin
+      let bound =
+        List.map
+          (function
+            | Ir.Pstr s -> (Printf.sprintf "%S" s, None)
+            | Ir.Pexpr (e, ty) -> (pe c e, Some ty))
+          items
+      in
+      let named =
+        List.map
+          (fun (v, ty) ->
+            match ty with
+            | None -> (v, None, None)
+            | Some ty -> (v, Some (fresh c "p"), Some ty))
+          bound
+      in
+      line c "(%sout := String.concat \" \" [ %s ] :: !out);"
+        (String.concat ""
+           (List.filter_map
+              (function
+                | v, Some n, _ -> Some (Printf.sprintf "let %s = %s in " n v)
+                | _ -> None)
+              named))
+        (String.concat "; "
+           (List.map
+              (function
+                | v, None, _ -> v
+                | _, Some n, Some ty -> fmt n ty
+                | _ -> assert false)
+              named))
+    end
+    else
+      line c "out := String.concat \" \" [ %s ] :: !out;"
+        (String.concat "; "
+           (List.map
+              (function
+                | Ir.Pstr s -> Printf.sprintf "%S" s
+                | Ir.Pexpr (e, ty) -> fmt ("(" ^ pe c e ^ ")") ty)
+              items))
+  | Ir.Sreturn -> line c "raise Return_;"
+  | Ir.Sstop -> line c "raise Stop_;"
+  | Ir.Sdo (d, body) -> emit_seq_do c d body
+  | Ir.Spar (d, pp, body) -> emit_par_do c d pp body
+
+and emit_block c (body : Ir.stmt list) : unit =
+  if body = [] then line c "();" else List.iter (emit_stmt c) body
+
+(* Shared loop prelude: bind bounds, check the step, compute the trip
+   count, give the DO variable its initial value. *)
+and emit_do_prelude c (d : Ir.doh) : string * string * string * string =
+  let sid = d.Ir.d_sid in
+  let lo = Printf.sprintf "lo%d_" sid
+  and hi = Printf.sprintf "hi%d_" sid
+  and st = Printf.sprintf "st%d_" sid
+  and trip = Printf.sprintf "trip%d_" sid in
+  line c "let %s = %s in" lo (pe c d.Ir.d_lo);
+  line c "let %s = %s in" hi (pe c d.Ir.d_hi);
+  line c "let %s = %s in" st (pe c d.Ir.d_step);
+  if d.Ir.d_float then begin
+    line c "if %s = 0.0 then failwith \"zero DO step\";" st;
+    line c "let %s = max 0 (_tr (((%s -. %s) +. %s) /. %s)) in" trip hi lo st
+      st
+  end
+  else begin
+    line c "if %s = 0 then failwith \"zero DO step\";" st;
+    line c "let %s = max 0 (((%s - %s) + %s) / %s) in" trip hi lo st st
+  end;
+  (* F77: the DO variable receives its initial value even when the
+     loop runs zero times *)
+  line c "%s" (iv_store d lo);
+  (lo, st, trip, Printf.sprintf "k%d_" sid)
+
+and value_at (d : Ir.doh) ~lo ~st k =
+  if d.Ir.d_float then Printf.sprintf "(%s +. (float_of_int %s *. %s))" lo k st
+  else Printf.sprintf "(%s + (%s * %s))" lo k st
+
+and emit_seq_do c (d : Ir.doh) body : unit =
+  line c "begin";
+  c.ind <- c.ind + 1;
+  let lo, st, trip, k = emit_do_prelude c d in
+  line c "for %s = 0 to %s - 1 do" k trip;
+  c.ind <- c.ind + 1;
+  line c "%s" (iv_store d (value_at d ~lo ~st k));
+  emit_block c body;
+  c.ind <- c.ind - 1;
+  line c "done;";
+  (* normal completion leaves the DO variable at the first value that
+     failed the iteration test; an escaping exception skips this *)
+  line c "%s" (iv_store d (value_at d ~lo ~st trip));
+  c.ind <- c.ind - 1;
+  line c "end;"
+
+and emit_par_do c (d : Ir.doh) (pp : Ir.par) body : unit =
+  let sid = d.Ir.d_sid in
+  let n fmt = Printf.sprintf fmt sid in
+  let iv = mangle d.Ir.d_iv in
+  line c "begin";
+  c.ind <- c.ind + 1;
+  let lo, st, trip, k = emit_do_prelude c d in
+  line c "match pool with";
+  line c "| Some %s when %s > 0 ->" (n "pool%d_") trip;
+  c.ind <- c.ind + 1;
+  let nw = n "nw%d_" in
+  line c "let %s = Runtime.Pool.size %s in" nw (n "pool%d_");
+  (* entry snapshots: private seeds and induction start values *)
+  let seed v = Printf.sprintf "sd_%s_%d" (String.lowercase_ascii v) sid in
+  let k0 v = Printf.sprintf "k0_%s_%d" (String.lowercase_ascii v) sid in
+  List.iter
+    (fun (v, _) -> line c "let %s = !%s in" (seed v) (mangle v))
+    pp.Ir.pp_privates;
+  List.iter
+    (fun (v, _, _) -> line c "let %s = !%s in" (k0 v) (mangle v))
+    pp.Ir.pp_inductions;
+  (* per-worker state *)
+  let wiv = n "iv%d_" in
+  line c "let %s = Array.init %s (fun _ -> ref !%s) in" wiv nw iv;
+  let pv v = Printf.sprintf "pv_%s_%d" (String.lowercase_ascii v) sid in
+  List.iter
+    (fun (v, _) ->
+      line c "let %s = Array.init %s (fun _ -> ref %s) in" (pv v) nw (seed v))
+    pp.Ir.pp_privates;
+  let ind v = Printf.sprintf "in_%s_%d" (String.lowercase_ascii v) sid in
+  List.iter
+    (fun (v, _, _) ->
+      line c "let %s = Array.init %s (fun _ -> ref %s) in" (ind v) nw (k0 v))
+    pp.Ir.pp_inductions;
+  let rd v = Printf.sprintf "rd_%s_%d" (String.lowercase_ascii v) sid in
+  let identity ty op =
+    match (ty, op) with
+    | Ir.Tint, Varclass.Rsum -> "0"
+    | Ir.Tint, Varclass.Rprod -> "1"
+    | Ir.Tint, Varclass.Rmax -> "min_int"
+    | Ir.Tint, Varclass.Rmin -> "max_int"
+    | _, Varclass.Rsum -> "0.0"
+    | _, Varclass.Rprod -> "1.0"
+    | _, Varclass.Rmax -> "neg_infinity"
+    | _, Varclass.Rmin -> "infinity"
+  in
+  List.iter
+    (fun (v, ty, op) ->
+      line c "let %s = Array.init %s (fun _ -> ref %s) in" (rd v) nw
+        (identity ty op))
+    pp.Ir.pp_reductions;
+  let ap v = Printf.sprintf "ap_%s_%d" (String.lowercase_ascii v) sid in
+  List.iter
+    (fun v ->
+      let ty =
+        match Hashtbl.find_opt c.arrays v with
+        | Some (t, _) -> t
+        | None -> Ir.Treal
+      in
+      let mk, z = alloc_fn ty in
+      line c "let %s = Array.init %s (fun _ ->" (ap v) nw;
+      line c "  let nb_ = %s (%s %s) %s in" mk (len_fn ty) (mangle v) z;
+      line c "  %s %s 0 nb_ 0 (%s %s); nb_) in" (blit_fn ty) (mangle v)
+        (len_fn ty) (mangle v))
+    pp.Ir.pp_arrays;
+  let last = n "last%d_" and esc = n "esc%d_" and outs = n "outs%d_" in
+  line c "let %s = Array.make %s (-1) in" last nw;
+  if pp.Ir.pp_has_output then line c "let %s = Array.make %s [] in" outs nw;
+  line c "let %s = ref None in" esc;
+  line c "(try";
+  c.ind <- c.ind + 1;
+  line c "Runtime.Pool.parallel_for %s ~schedule ~trip:%s" (n "pool%d_") trip;
+  line c "  ~body:(fun ~worker %s ->" k;
+  c.ind <- c.ind + 1;
+  (* worker scope: no nested parallelism, private copies shadow the
+     shared storage by name, output is buffered per iteration *)
+  line c "let pool : Runtime.Pool.t option = None in";
+  line c "let %s = %s.(worker) in" iv wiv;
+  List.iter
+    (fun (v, _) -> line c "let %s = %s.(worker) in" (mangle v) (pv v))
+    pp.Ir.pp_privates;
+  List.iter
+    (fun (v, _, _) -> line c "let %s = %s.(worker) in" (mangle v) (ind v))
+    pp.Ir.pp_inductions;
+  List.iter
+    (fun (v, _, _) -> line c "let %s = %s.(worker) in" (mangle v) (rd v))
+    pp.Ir.pp_reductions;
+  List.iter
+    (fun v -> line c "let %s = %s.(worker) in" (mangle v) (ap v))
+    pp.Ir.pp_arrays;
+  if pp.Ir.pp_has_output then line c "let out = ref [] in";
+  line c "%s.(worker) <- %s;" last k;
+  line c "%s" (iv_store d (value_at d ~lo ~st k));
+  List.iter
+    (fun (v, ty, stride) ->
+      match ty with
+      | Ir.Tint ->
+        line c "%s := %s + (%s * %s);" (mangle v) (k0 v) (lit_int stride) k
+      | Ir.Treal ->
+        line c "%s := %s +. float_of_int (%s * %s);" (mangle v) (k0 v)
+          (lit_int stride) k
+      | _ -> line c "%s := %s;" (mangle v) (k0 v))
+    pp.Ir.pp_inductions;
+  emit_block c body;
+  if pp.Ir.pp_has_output then
+    line c "if !out <> [] then %s.(worker) <- (%s, List.rev !out) :: %s.(worker)"
+      outs k outs;
+  c.ind <- c.ind - 1;
+  line c ")";
+  c.ind <- c.ind - 1;
+  line c "with %s -> %s := Some %s);" (n "e%d_") esc (n "e%d_");
+  (* join protocol, in the interpreter's order: PRINT merge, last-value
+     write-back, reduction combining, induction finals, the DO
+     variable's final value, then any parked escape *)
+  if pp.Ir.pp_has_output then begin
+    line c "List.iter (fun (_, ls_) -> List.iter (fun l_ -> out := l_ :: !out) ls_)";
+    line c "  (List.sort (fun (a_, _) (b_, _) -> compare (a_ : int) b_)";
+    line c "     (Array.fold_left (fun acc_ l_ -> l_ @ acc_) [] %s));" outs
+  end;
+  let lw = n "lw%d_" in
+  line c "let %s = ref (-1) in" lw;
+  line c "for w_ = 0 to %s - 1 do" nw;
+  line c "  if !%s < 0 || %s.(w_) > %s.(!%s) then" lw last last lw;
+  line c "    (if %s.(w_) >= 0 then %s := w_)" last lw;
+  line c "done;";
+  if pp.Ir.pp_privates <> [] || pp.Ir.pp_arrays <> [] then begin
+    line c "if !%s >= 0 then begin" lw;
+    c.ind <- c.ind + 1;
+    List.iter
+      (fun (v, _) -> line c "%s := !(%s.(!%s));" (mangle v) (pv v) lw)
+      pp.Ir.pp_privates;
+    List.iter
+      (fun v ->
+        let ty =
+          match Hashtbl.find_opt c.arrays v with
+          | Some (t, _) -> t
+          | None -> Ir.Treal
+        in
+        line c "%s %s.(!%s) 0 %s 0 (%s %s);" (blit_fn ty) (ap v) lw (mangle v)
+          (len_fn ty) (mangle v))
+      pp.Ir.pp_arrays;
+    c.ind <- c.ind - 1;
+    line c "end;"
+  end;
+  List.iter
+    (fun (v, ty, op) ->
+      let acc = n "acc%d_" in
+      let combine a b =
+        match (ty, op) with
+        | Ir.Tint, Varclass.Rsum -> Printf.sprintf "%s + %s" a b
+        | Ir.Tint, Varclass.Rprod -> Printf.sprintf "%s * %s" a b
+        | Ir.Tint, Varclass.Rmax -> Printf.sprintf "max %s %s" a b
+        | Ir.Tint, Varclass.Rmin -> Printf.sprintf "min %s %s" a b
+        | _, Varclass.Rsum -> Printf.sprintf "%s +. %s" a b
+        | _, Varclass.Rprod -> Printf.sprintf "%s *. %s" a b
+        | _, Varclass.Rmax -> Printf.sprintf "Float.max %s %s" a b
+        | _, Varclass.Rmin -> Printf.sprintf "Float.min %s %s" a b
+      in
+      line c "let %s = ref !%s in" acc (mangle v);
+      line c "for w_ = 0 to %s - 1 do" nw;
+      line c "  if %s.(w_) >= 0 then %s := %s" last acc
+        (combine ("!" ^ acc) (Printf.sprintf "!(%s.(w_))" (rd v)));
+      line c "done;";
+      line c "%s := !%s;" (mangle v) acc)
+    pp.Ir.pp_reductions;
+  List.iter
+    (fun (v, ty, stride) ->
+      match ty with
+      | Ir.Tint ->
+        line c "%s := %s + (%s * %s);" (mangle v) (k0 v) (lit_int stride) trip
+      | Ir.Treal ->
+        line c "%s := %s +. float_of_int (%s * %s);" (mangle v) (k0 v)
+          (lit_int stride) trip
+      | _ -> line c "%s := %s;" (mangle v) (k0 v))
+    pp.Ir.pp_inductions;
+  line c "%s" (iv_store d (value_at d ~lo ~st trip));
+  line c "(match !%s with Some e_ -> raise e_ | None -> ())" esc;
+  c.ind <- c.ind - 1;
+  line c "| _ ->";
+  c.ind <- c.ind + 1;
+  (* no pool (or empty loop): run sequentially, same body text — the
+     interpreter's fallback.  Note [pool] is NOT shadowed here: an
+     empty outer DOALL leaves inner DOALLs free to go parallel. *)
+  line c "for %s = 0 to %s - 1 do" k trip;
+  c.ind <- c.ind + 1;
+  line c "%s" (iv_store d (value_at d ~lo ~st k));
+  emit_block c body;
+  c.ind <- c.ind - 1;
+  line c "done;";
+  line c "%s" (iv_store d (value_at d ~lo ~st trip));
+  c.ind <- c.ind - 1;
+  c.ind <- c.ind - 1;
+  line c "end;"
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* COMMON geometry is compile-time constant; look it up globally so
+   every unit sees the storage shape of the first declaration. *)
+let common_geom c v : (int * int) list =
+  match
+    List.find_opt (fun (d : Ir.vdef) -> d.Ir.v_name = v) c.prog.Ir.p_commons
+  with
+  | Some { Ir.v_arr = Some a; _ } ->
+    List.map2
+      (fun l x ->
+        match (l, x) with
+        | Ir.Eint lo, Ir.Xfixed (Ir.Eint e) -> (lo, max 1 e)
+        | _ -> assert false)
+      a.Ir.a_lowers a.Ir.a_extents
+  | _ -> assert false
+
+let emit_unit_storage c (u : Ir.unitdef) : unit =
+  Hashtbl.reset c.arrays;
+  (* pass 1: scalars (PARAMETER/DATA seeded), so array dims can use them *)
+  List.iter
+    (fun (v : Ir.vdef) ->
+      if v.Ir.v_arr = None then
+        match v.Ir.v_place with
+        | Ir.Pformal _ -> ()
+        | Ir.Pcommon ->
+          line c "let %s = c_%s in" (mangle v.Ir.v_name)
+            (String.lowercase_ascii v.Ir.v_name)
+        | Ir.Plocal ->
+          let init =
+            match v.Ir.v_init with
+            | Ir.Inone -> zero_of v.Ir.v_ty
+            | Ir.Iint n -> lit_int n
+            | Ir.Ireal f -> lit_float f
+            | Ir.Ibool b -> if b then "true" else "false"
+          in
+          line c "let %s = ref %s in" (mangle v.Ir.v_name) init)
+    u.Ir.u_vars;
+  (* pass 2: arrays (bounds may reference formals and parameters) *)
+  List.iter
+    (fun (v : Ir.vdef) ->
+      match v.Ir.v_arr with
+      | None -> ()
+      | Some arr ->
+        let name = v.Ir.v_name in
+        let nd = List.length arr.Ir.a_extents in
+        Hashtbl.replace c.arrays name (v.Ir.v_ty, nd);
+        (match v.Ir.v_place with
+        | Ir.Pcommon ->
+          line c "let %s = c_%s in" (mangle name)
+            (String.lowercase_ascii name);
+          line c "let %s = 0 in" (base_of name);
+          List.iteri
+            (fun k (lo, e) ->
+              line c "let %s = %s in" (lb_of name k) (lit_int lo);
+              line c "let %s = %s in" (ext_of name k) (lit_int e))
+            (common_geom c name)
+        | Ir.Pformal _ | Ir.Plocal ->
+          List.iteri
+            (fun k (lo, x) ->
+              line c "let %s = %s in" (lb_of name k) (pe c lo);
+              match x with
+              | Ir.Xfixed e ->
+                line c "let %s = max 1 %s in" (ext_of name k) (pe c e)
+              | Ir.Xassumed ->
+                (* the interpreter's rule: the storage decides *)
+                let others =
+                  if k = 0 then "1"
+                  else
+                    String.concat " * "
+                      (List.init k (fun j -> ext_of name j))
+                in
+                line c "let %s = max 1 ((%s %s - %s) / (max 1 (%s))) in"
+                  (ext_of name k) (len_fn v.Ir.v_ty) (mangle name)
+                  (base_of name) others)
+            (List.combine arr.Ir.a_lowers arr.Ir.a_extents));
+        (* strides, then storage for locals *)
+        List.iteri
+          (fun k _ ->
+            if k = 0 then line c "let %s = 1 in" (stride_of name 0)
+            else
+              line c "let %s = %s * %s in" (stride_of name k)
+                (stride_of name (k - 1))
+                (ext_of name (k - 1)))
+          arr.Ir.a_extents;
+        (match v.Ir.v_place with
+        | Ir.Plocal ->
+          let mk, z = alloc_fn v.Ir.v_ty in
+          line c "let %s = %s (%s) %s in" (mangle name) mk
+            (String.concat " * " (List.init nd (fun k -> ext_of name k)))
+            z;
+          line c "let %s = 0 in" (base_of name)
+        | Ir.Pformal _ | Ir.Pcommon -> ()))
+    u.Ir.u_vars
+
+let formal_params (u : Ir.unitdef) : string =
+  String.concat ""
+    (List.map
+       (fun f ->
+         let v =
+           List.find
+             (fun (v : Ir.vdef) ->
+               v.Ir.v_name = f
+               && match v.Ir.v_place with Ir.Pformal _ -> true | _ -> false)
+             u.Ir.u_vars
+         in
+         if v.Ir.v_arr = None then
+           Printf.sprintf "(%s : %s) " (mangle f) (ref_ty v.Ir.v_ty)
+         else
+           Printf.sprintf "(%s : %s) (%s : int) " (mangle f)
+             (buf_ty v.Ir.v_ty) (base_of f))
+       u.Ir.u_formals)
+
+let emit_snapshot_entries (u : Ir.unitdef) : string list =
+  List.map
+    (fun (v : Ir.vdef) ->
+      let name = v.Ir.v_name in
+      match v.Ir.v_arr with
+      | None ->
+        Printf.sprintf "(%S, [ %s ])" name
+          (cvt_float v.Ir.v_ty ("!" ^ mangle name))
+      | Some arr ->
+        let nd = List.length arr.Ir.a_extents in
+        let prod =
+          String.concat " * " (List.init nd (fun k -> ext_of name k))
+        in
+        Printf.sprintf "(%S, %s %s %s (min (%s) (%s %s - %s)))" name
+          (snap_fn v.Ir.v_ty) (mangle name) (base_of name) prod
+          (len_fn v.Ir.v_ty) (mangle name) (base_of name))
+    u.Ir.u_vars
+
+let emit_unit c (first : bool) (u : Ir.unitdef) : unit =
+  let kw = if first then "let rec" else "and" in
+  let ret =
+    match u.Ir.u_kind with
+    | Ir.Kmain -> "(string * float list) list"
+    | Ir.Ksub -> "unit"
+    | Ir.Kfun ty -> (
+      match ty with
+      | Ir.Tint -> "int"
+      | Ir.Treal -> "float"
+      | Ir.Tbool -> "bool"
+      | Ir.Tstr -> assert false)
+  in
+  line c "%s %s ~pool ~out %s() : %s =" kw (ufun u.Ir.u_name)
+    (formal_params u) ret;
+  c.ind <- c.ind + 1;
+  emit_unit_storage c u;
+  (match u.Ir.u_kind with
+  | Ir.Kmain ->
+    (* STOP anywhere unwinds to here; the final store is still
+       snapshotted, as the interpreter does *)
+    line c "(try";
+    c.ind <- c.ind + 1;
+    emit_block c u.Ir.u_body;
+    c.ind <- c.ind - 1;
+    line c "with Return_ -> () | Stop_ -> ());";
+    line c "[ %s ]" (String.concat ";\n  " (emit_snapshot_entries u))
+  | Ir.Ksub ->
+    line c "(try";
+    c.ind <- c.ind + 1;
+    emit_block c u.Ir.u_body;
+    c.ind <- c.ind - 1;
+    line c "with Return_ -> ())"
+  | Ir.Kfun _ ->
+    line c "(try";
+    c.ind <- c.ind + 1;
+    emit_block c u.Ir.u_body;
+    c.ind <- c.ind - 1;
+    line c "with Return_ -> ());";
+    line c "!%s" (mangle u.Ir.u_name));
+  c.ind <- c.ind - 1;
+  line c ""
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prelude =
+  {|(* Generated by the ped OCaml-domains backend.  Do not edit. *)
+exception Return_
+exception Stop_
+
+let _tr f = int_of_float (Float.trunc f)
+
+let _powi x y =
+  if y < 0 then 0
+  else int_of_float (Float.round (float_of_int x ** float_of_int y))
+
+let _divi x y = if y = 0 then failwith "integer division by zero" else x / y
+let _modi x y = if y = 0 then failwith "MOD by zero" else x mod y
+let _fmax l = List.fold_left Float.max (List.hd l) (List.tl l)
+let _fmin l = List.fold_left Float.min (List.hd l) (List.tl l)
+let _nint f = int_of_float (Float.round f)
+
+let _sgn a b =
+  let m = Float.abs a in
+  if b < 0.0 then -.m else m
+
+let _r6 f = Printf.sprintf "%.6g" f
+
+let _snapf (a : floatarray) base size =
+  List.init size (fun i -> Float.Array.get a (base + i))
+
+let _snapi (a : int array) base size =
+  List.init size (fun i -> float_of_int a.(base + i))
+
+let _snapb (a : bool array) base size =
+  List.init size (fun i -> if a.(base + i) then 1.0 else 0.0)
+|}
+
+let emit (p : Ir.program) : string =
+  let c =
+    {
+      b = Buffer.create 65536;
+      ind = 0;
+      tmp = 0;
+      prog = p;
+      units = Hashtbl.create 8;
+      arrays = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (u : Ir.unitdef) -> Hashtbl.replace c.units u.Ir.u_name u)
+    p.Ir.p_units;
+  Buffer.add_string c.b prelude;
+  line c "";
+  line c "let run_ ~(pool : Runtime.Pool.t option)";
+  line c "    ~(schedule : Runtime.Pool.schedule) : Codegen.Registry.outcome =";
+  c.ind <- 1;
+  line c "let _ = schedule in";
+  (* COMMON storage: zero-initialized, constant geometry *)
+  List.iter
+    (fun (v : Ir.vdef) ->
+      let cn = "c_" ^ String.lowercase_ascii v.Ir.v_name in
+      match v.Ir.v_arr with
+      | None -> line c "let %s = ref %s in" cn (zero_of v.Ir.v_ty)
+      | Some _ ->
+        let geom = common_geom c v.Ir.v_name in
+        let size = List.fold_left (fun acc (_, e) -> acc * e) 1 geom in
+        let mk, z = alloc_fn v.Ir.v_ty in
+        line c "let %s = %s %d %s in" cn mk (max 1 size) z)
+    p.Ir.p_commons;
+  line c "let out_ = ref [] in";
+  List.iteri (fun i u -> emit_unit c (i = 0) u) p.Ir.p_units;
+  line c "in";
+  line c "let snap_ = %s ~pool ~out:out_ () in"
+    (ufun
+       (match
+          List.find_opt
+            (fun (u : Ir.unitdef) -> u.Ir.u_kind = Ir.Kmain)
+            p.Ir.p_units
+        with
+       | Some u -> u.Ir.u_name
+       | None -> p.Ir.p_main));
+  line c "{ Codegen.Registry.out_lines = List.rev !out_;";
+  line c "  store =";
+  line c "    snap_";
+  line c "    @ [";
+  List.iter
+    (fun (v : Ir.vdef) ->
+      let cn = "c_" ^ String.lowercase_ascii v.Ir.v_name in
+      match v.Ir.v_arr with
+      | None ->
+        line c "        (%S, [ %s ]);"
+          ("/" ^ v.Ir.v_name)
+          (cvt_float v.Ir.v_ty ("!" ^ cn))
+      | Some _ ->
+        let geom = common_geom c v.Ir.v_name in
+        let size = max 1 (List.fold_left (fun acc (_, e) -> acc * e) 1 geom) in
+        line c "        (%S, %s %s 0 %d);"
+          ("/" ^ v.Ir.v_name)
+          (snap_fn v.Ir.v_ty) cn size)
+    p.Ir.p_commons;
+  line c "      ] }";
+  c.ind <- 0;
+  line c "";
+  line c "let () =";
+  line c "  Codegen.Registry.register";
+  line c "    { Codegen.Registry.run = (fun ~pool ~schedule -> run_ ~pool ~schedule) }";
+  Buffer.contents c.b

@@ -1,0 +1,30 @@
+(** The plugin handback slot.
+
+    A generated module cannot be "called" by the host directly — it
+    only runs top-level initializers when {!Dynlink} loads it.  So the
+    emission protocol is: the generated module's last definition calls
+    {!register} with its entry point, and the host calls {!take}
+    immediately after [Dynlink.loadfile_private] returns.  The slot
+    holds at most one entry; loads are serialized on the main domain
+    by {!Compile}. *)
+
+type outcome = {
+  out_lines : string list;  (** PRINT lines, in order *)
+  store : (string * float list) list;
+      (** final store in the {!Sim.Abi} snapshot convention
+          (main-unit variables plus "/"-prefixed COMMONs), unsorted *)
+}
+
+type entry = {
+  run :
+    pool:Runtime.Pool.t option -> schedule:Runtime.Pool.schedule -> outcome;
+      (** execute the program once.  [pool = None] runs every loop
+          sequentially (the dynamic equivalent of the interpreter's
+          in-parallel flag); entries are reusable — all program state
+          is allocated per call. *)
+}
+
+val register : entry -> unit
+
+(** Take (and clear) the registered entry, if any. *)
+val take : unit -> entry option

@@ -1,0 +1,80 @@
+type t = {
+  compiler : string list;
+  incdirs : string list;
+}
+
+let path_entries () =
+  match Sys.getenv_opt "PATH" with
+  | None -> []
+  | Some p -> String.split_on_char ':' p |> List.filter (fun d -> d <> "")
+
+let find_exe name =
+  List.find_map
+    (fun dir ->
+      let f = Filename.concat dir name in
+      if Sys.file_exists f && not (Sys.is_directory f) then Some f else None)
+    (path_entries ())
+
+let find_compiler () =
+  match find_exe "ocamlfind" with
+  | Some f -> Ok [ f; "ocamlopt" ]
+  | None -> (
+    match find_exe "ocamlopt.opt" with
+    | Some f -> Ok [ f ]
+    | None -> (
+      match find_exe "ocamlopt" with
+      | Some f -> Ok [ f ]
+      | None ->
+        Error "no native OCaml compiler (ocamlfind/ocamlopt) on PATH"))
+
+(* Walk up from the running executable to the dune build tree. *)
+let find_build_dir () =
+  match Sys.getenv_opt "PED_BUILD_DIR" with
+  | Some d when Sys.file_exists d -> Some d
+  | Some _ | None ->
+    let rec up d =
+      if Filename.basename d = "_build" then
+        let def = Filename.concat d "default" in
+        if Sys.file_exists def then Some def else None
+      else
+        let parent = Filename.dirname d in
+        if parent = d then None else up parent
+    in
+    let exe =
+      try Sys.executable_name with Sys_error _ -> Filename.current_dir_name
+    in
+    up (Filename.dirname exe)
+
+let objs_dirs build_dir =
+  let lib = Filename.concat build_dir "lib" in
+  let subdirs d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Array.to_list (Sys.readdir d) |> List.map (Filename.concat d)
+    else []
+  in
+  subdirs lib
+  |> List.concat_map (fun libdir ->
+         if Sys.is_directory libdir then
+           subdirs libdir
+           |> List.filter (fun d ->
+                  Filename.check_suffix d ".objs" && Sys.is_directory d)
+           |> List.concat_map (fun objs ->
+                  List.filter Sys.file_exists
+                    [
+                      Filename.concat objs "byte"; Filename.concat objs "native";
+                    ])
+         else [])
+
+let find () =
+  match find_compiler () with
+  | Error e -> Error e
+  | Ok compiler -> (
+    match find_build_dir () with
+    | None ->
+      Error
+        "cannot locate the dune build tree (_build/default) from the \
+         running executable; set PED_BUILD_DIR"
+    | Some bd -> (
+      match objs_dirs bd with
+      | [] -> Error (Printf.sprintf "no compiled library objects under %s" bd)
+      | dirs -> Ok { compiler; incdirs = dirs }))

@@ -1,0 +1,22 @@
+(** Native-toolchain and build-tree discovery for the plugin pipeline.
+
+    The generated module compiles against this build tree's own
+    [.cmi]/[.cmx] files (so {!Dynlink} interface CRCs match the host
+    binary by construction) with whatever [ocamlfind ocamlopt] or bare
+    [ocamlopt] is on PATH.  Everything degrades to [Error] — never an
+    exception — so hosts without a native toolchain report a clean
+    [Toolchain] failure instead of crashing. *)
+
+type t = {
+  compiler : string list;
+      (** argv prefix, e.g. [["/usr/bin/ocamlfind"; "ocamlopt"]] *)
+  incdirs : string list;
+      (** [.objs/byte] and [.objs/native] directories of every library
+          in the build tree, for [-I] *)
+}
+
+(** Locate the compiler and the build tree.  The build tree is found
+    by walking up from [Sys.executable_name] to a [_build] directory
+    (how every dune-built binary and test runs); [$PED_BUILD_DIR]
+    overrides it, pointing at [_build/default]. *)
+val find : unit -> (t, string) result

@@ -1,0 +1,73 @@
+open Fortran_front
+
+type result = {
+  compiled : bool;
+  parallel_loops : int;
+  skipped : string option;
+  failures : Runcheck.failure list;
+}
+
+let tol = 1e-4
+
+let check ?(configs = [ (2, Runtime.Pool.Chunk); (3, Runtime.Pool.Self) ])
+    ?(max_steps = 2_000_000) (p : Ast.program) : result =
+  let p', parallel_loops = Runcheck.parallelize_approved p in
+  let skip m = { compiled = false; parallel_loops; skipped = Some m; failures = [] } in
+  let failed stage what =
+    {
+      compiled = false;
+      parallel_loops;
+      skipped = None;
+      failures = [ { Runcheck.r_stage = stage; r_what = what } ];
+    }
+  in
+  match Sim.Interp.run ~honor_parallel:false ~max_steps p with
+  | exception Sim.Interp.Runtime_error m ->
+    skip ("interpreter baseline: " ^ m)
+  | base -> (
+    match Codegen.Compile.build p' with
+    | Error (Codegen.Compile.Unsupported m) -> skip ("unsupported: " ^ m)
+    | Error (Codegen.Compile.Toolchain m) -> skip ("toolchain: " ^ m)
+    | Error (Codegen.Compile.Failed m) -> failed "cg build" m
+    | Ok built ->
+      let failures = ref [] in
+      let fail stage what =
+        failures := { Runcheck.r_stage = stage; r_what = what } :: !failures
+      in
+      (* sequential compiled run: same operations, same order — the
+         full store must match, not just the observed arrays *)
+      (match Codegen.Compile.run built ~pool:None ~schedule:Runtime.Pool.Chunk with
+      | Error e -> fail "cg seq" (Codegen.Compile.error_to_string e)
+      | Ok r ->
+        if
+          not
+            (Sim.Interp.outputs_match ~tol r.Codegen.Compile.out_lines
+               base.Sim.Interp.output
+            && Sim.Interp.stores_match ~tol r.Codegen.Compile.store
+                 base.Sim.Interp.final_store)
+        then fail "cg seq" "sequential compiled run diverged from interpreter");
+      List.iter
+        (fun (domains, schedule) ->
+          let stage =
+            Printf.sprintf "cg d=%d %s" domains
+              (Runtime.Pool.schedule_to_string schedule)
+          in
+          match
+            Runtime.Pool.with_pool domains (fun pool ->
+                Codegen.Compile.run built ~pool:(Some pool) ~schedule)
+          with
+          | Error e -> fail stage (Codegen.Compile.error_to_string e)
+          | Ok r ->
+            if
+              not
+                (Runcheck.observably_equal base
+                   ~output:r.Codegen.Compile.out_lines
+                   ~final_store:r.Codegen.Compile.store)
+            then fail stage "compiled parallel run diverged from interpreter")
+        configs;
+      {
+        compiled = true;
+        parallel_loops;
+        skipped = None;
+        failures = List.rev !failures;
+      })

@@ -1,0 +1,35 @@
+(** The codegen oracle: native compilation differentially tested.
+
+    Parallelizes every analysis-approved loop (exactly like the runtime
+    oracle), then pushes the program through the {!Codegen} pipeline —
+    lower, emit, native compile, Dynlink — and compares against the
+    sequential simulator:
+
+    - a {b sequential} compiled run (no pool), which executes the same
+      operations in the same order as the interpreter and must match;
+    - {b parallel} compiled runs across a (domains, schedule) matrix,
+      compared on PRINT output and the generator's observed arrays,
+      like the runtime oracle.
+
+    Programs outside the compilable subset and hosts without a native
+    toolchain are reported as {e skips}, not failures: the oracle's
+    subject is "compiled code computes what the interpreter computes",
+    not subset coverage. *)
+
+open Fortran_front
+
+type result = {
+  compiled : bool;        (** reached a loaded plugin and ran it *)
+  parallel_loops : int;   (** analysis-approved loops in the program *)
+  skipped : string option;  (** unsupported-subset / missing-toolchain *)
+  failures : Runcheck.failure list;
+}
+
+(** @param configs (domains, schedule) matrix
+             (default [[(2, Chunk); (3, Self)]])
+    @param max_steps interpreter budget for the baseline *)
+val check :
+  ?configs:(int * Runtime.Pool.schedule) list ->
+  ?max_steps:int ->
+  Ast.program ->
+  result

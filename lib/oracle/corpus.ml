@@ -140,4 +140,11 @@ let replay (e : entry) : (unit, string) result =
     | { failures = []; _ } -> Ok ()
     | { failures; _ } ->
       Error (String.concat "; " (List.map Runcheck.failure_to_string failures)))
+  | "codegen" -> (
+    (* a skip (subset/toolchain) is a pass: the recorded divergence
+       can no longer be reproduced on this host *)
+    match Cgcheck.check e.e_program with
+    | { Cgcheck.failures = []; _ } -> Ok ()
+    | { Cgcheck.failures; _ } ->
+      Error (String.concat "; " (List.map Runcheck.failure_to_string failures)))
   | other -> Error (Printf.sprintf "unknown oracle %S" other)

@@ -12,7 +12,7 @@
     v}
 
     [oracle] names the oracle that failed ([dependence], [semantics],
-    or [runtime]); [seed] records the driver seed and program index
+    [runtime], or [codegen]); [seed] records the driver seed and program index
     that produced it (informational); each [step] line is a
     transformation name plus a positional argument descriptor (see
     {!Semcheck.describe_args}) — positional, because statement ids are
@@ -27,7 +27,7 @@
 open Fortran_front
 
 type entry = {
-  e_oracle : string;                (** "dependence" | "semantics" | "runtime" *)
+  e_oracle : string;  (** "dependence" | "semantics" | "runtime" | "codegen" *)
   e_seed : string;
   e_steps : (string * string) list; (** (transform name, arg descriptor) *)
   e_program : Ast.program;

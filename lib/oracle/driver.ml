@@ -1,7 +1,7 @@
 open Fortran_front
 open Dependence
 
-type oracle = Dep | Sem | Run
+type oracle = Dep | Sem | Run | Cg
 
 type config = {
   n : int;
@@ -59,6 +59,9 @@ type stats = {
   seq_failures : int;
   run_loops : int;
   run_failures : int;
+  cg_programs : int;
+  cg_skipped : int;
+  cg_failures : int;
   failures : string list;
   saved : string list;
 }
@@ -82,6 +85,9 @@ let summary s =
     s.sem_instances s.sem_failures s.seq_steps s.seq_failures;
   line "  runtime:    %d parallel loops executed, %d failures" s.run_loops
     s.run_failures;
+  if s.cg_programs + s.cg_skipped + s.cg_failures > 0 then
+    line "  codegen:    %d programs compiled, %d skipped, %d failures"
+      s.cg_programs s.cg_skipped s.cg_failures;
   if s.failures = [] then line "  all oracles green"
   else begin
     line "  FAILURES:";
@@ -136,6 +142,7 @@ let run (cfg : config) : stats =
   let sem_instances = ref 0 and sem_failures = ref 0 in
   let seq_steps = ref 0 and seq_failures = ref 0 in
   let run_loops = ref 0 and run_failures = ref 0 in
+  let cg_programs = ref 0 and cg_skipped = ref 0 and cg_failures = ref 0 in
   let failures = ref [] and saved = ref [] in
   let record_failure line = failures := line :: !failures in
   let persist ~oracle ~seed ~steps p =
@@ -281,6 +288,32 @@ let run (cfg : config) : stats =
           persist ~oracle:"runtime" ~seed:seed_desc ~steps:[]
             (if final.Runcheck.failures <> [] then q else p)
         end
+      end;
+      (* --- codegen oracle -------------------------------------- *)
+      if enabled Cg then begin
+        let r = Cgcheck.check p in
+        if r.Cgcheck.compiled then incr cg_programs;
+        if r.Cgcheck.skipped <> None then incr cg_skipped;
+        if r.Cgcheck.failures <> [] then begin
+          cg_failures := !cg_failures + List.length r.Cgcheck.failures;
+          let q =
+            if cfg.shrink then
+              minimize ~budget:40
+                (fun c -> (Cgcheck.check c).Cgcheck.failures <> [])
+                p
+            else p
+          in
+          let final = Cgcheck.check q in
+          List.iter
+            (fun f ->
+              record_failure
+                (Printf.sprintf "[codegen %s] %s" seed_desc
+                   (Runcheck.failure_to_string f)))
+            (if final.Cgcheck.failures <> [] then final.Cgcheck.failures
+             else r.Cgcheck.failures);
+          persist ~oracle:"codegen" ~seed:seed_desc ~steps:[]
+            (if final.Cgcheck.failures <> [] then q else p)
+        end
       end
   done;
   {
@@ -299,6 +332,9 @@ let run (cfg : config) : stats =
     seq_failures = !seq_failures;
     run_loops = !run_loops;
     run_failures = !run_failures;
+    cg_programs = !cg_programs;
+    cg_skipped = !cg_skipped;
+    cg_failures = !cg_failures;
     failures = List.rev !failures;
     saved = List.rev !saved;
   }

@@ -15,7 +15,7 @@
     their step descriptors are positional and would dangle as the
     program shrinks under them. *)
 
-type oracle = Dep | Sem | Run
+type oracle = Dep | Sem | Run | Cg
 
 type config = {
   n : int;                    (** programs to generate *)
@@ -49,6 +49,9 @@ type stats = {
   seq_failures : int;
   run_loops : int;       (** analysis-approved DOALLs executed *)
   run_failures : int;
+  cg_programs : int;     (** programs compiled and run natively *)
+  cg_skipped : int;      (** outside the subset / toolchain missing *)
+  cg_failures : int;
   failures : string list;  (** one human-readable line per failure *)
   saved : string list;     (** corpus files written *)
 }

@@ -37,3 +37,16 @@ val check :
   ?max_steps:int ->
   Ast.program ->
   result
+
+(** Flip every analysis-approved DO of the main unit to PARALLEL DO,
+    outermost-first; returns the flipped-loop count.  Exposed for the
+    codegen oracle ({!Cgcheck}), which compiles exactly this program. *)
+val parallelize_approved : Ast.program -> Ast.program * int
+
+(** Same PRINT output (within the run tolerance) and the generator's
+    observed arrays matching the sequential baseline. *)
+val observably_equal :
+  Sim.Interp.outcome ->
+  output:string list ->
+  final_store:(string * float list) list ->
+  bool

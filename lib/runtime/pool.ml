@@ -163,8 +163,6 @@ let parallel_for t ~schedule ~trip ~body =
     | None, _ -> ()
   end
 
-let run = parallel_for
-
 (* Task submission, layered over the same job machinery: each task is
    one iteration of a [Self]-scheduled parallel for (tasks are
    irregular by nature), results land in per-index slots.  The writes

@@ -69,12 +69,6 @@ val map : t -> ?schedule:schedule -> (unit -> 'a) array -> 'a array
     [ped --analysis-domains N] plug into the analyzer. *)
 val analysis_runner : t -> Dependence.Ddg.runner
 
-(** Deprecated pre-task-API name of {!parallel_for}. *)
-val run :
-  t -> schedule:schedule -> trip:int -> body:(worker:int -> int -> unit) ->
-  unit
-[@@ocaml.deprecated "use Pool.parallel_for (or Pool.map) instead"]
-
 (** Park and join every worker domain.  The pool must not be used
     afterwards. *)
 val shutdown : t -> unit

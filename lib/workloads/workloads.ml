@@ -816,9 +816,16 @@ let stress ?(seed = 42) name =
       match String.index_opt rest '@' with
       | None -> (rest, None)
       | Some i ->
-        ( String.sub rest 0 i,
-          float_of_string_opt
-            (String.sub rest (i + 1) (String.length rest - i - 1)) )
+        let s = String.sub rest (i + 1) (String.length rest - i - 1) in
+        let f =
+          (* named sizes for scripts and CI, numeric for everything else *)
+          match String.lowercase_ascii s with
+          | "tiny" -> Some 0.05
+          | "smoke" -> Some 0.15
+          | "full" -> Some 1.0
+          | _ -> float_of_string_opt s
+        in
+        (String.sub rest 0 i, f)
     in
     match Oracle.Stress.by_name pname with
     | None ->

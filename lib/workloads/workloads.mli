@@ -38,7 +38,8 @@ val main_unit : t -> string
     and simulator outcomes, stress programs are sized for analysis
     pressure).  Addressable wherever a workload name is accepted as
     ["stress:PROFILE[@SCALE]"] — e.g. ["stress:deep"],
-    ["stress:many-units@0.2"]. *)
+    ["stress:many-units@0.2"].  SCALE is a positive float or a named
+    size: [tiny] (0.05), [smoke] (0.15), [full] (1.0). *)
 
 val is_stress_name : string -> bool
 

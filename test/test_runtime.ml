@@ -127,11 +127,11 @@ let suite =
              with Failure m -> check_string "message" "task boom" m);
             let got = Runtime.Pool.map pool (Array.init 4 (fun k () -> k)) in
             check_int "next map runs" 4 (Array.length got)));
-    case "pool: deprecated run shim still schedules" (fun () ->
+    case "pool: parallel_for schedules every iteration" (fun () ->
         Runtime.Pool.with_pool 2 (fun pool ->
             let n = Atomic.make 0 in
-            (Runtime.Pool.run [@alert "-deprecated"]) pool
-              ~schedule:Runtime.Pool.Chunk ~trip:10
+            Runtime.Pool.parallel_for pool ~schedule:Runtime.Pool.Chunk
+              ~trip:10
               ~body:(fun ~worker:_ _ -> Atomic.incr n);
             check_int "all iterations" 10 (Atomic.get n)));
     case "schedule names parse" (fun () ->
