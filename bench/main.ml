@@ -797,6 +797,10 @@ let table6_run ~smoke label =
           List.map
             (fun p ->
               let pred = speedup_at p par in
+              (* the static estimator's promise, recorded next to the
+                 simulated and measured columns so prediction drift is
+                 visible in the JSON *)
+              let est = Perfdebug.Driver.predicted_of ~processors:p par in
               let meas =
                 seq_wall /. Float.max 1e-9 (best_wall ~reps ~domains:p par)
               in
@@ -817,7 +821,7 @@ let table6_run ~smoke label =
               (match cg with
               | Some (_, s, _) -> Printf.printf "  %6.2f %6.2f %7.1f" pred meas s
               | None -> Printf.printf "  %6.2f %6.2f %7s" pred meas "-");
-              (p, pred, meas, cg))
+              (p, pred, est, meas, cg))
             domain_counts
         in
         Printf.printf "\n%!";
@@ -849,11 +853,12 @@ let table6_run ~smoke label =
                       ( "columns",
                         Jout.List
                           (List.map
-                             (fun (p, pred, meas, cg) ->
+                             (fun (p, pred, est, meas, cg) ->
                                Jout.Obj
                                  ([
                                     ("domains", Jout.Int p);
                                     ("predicted", Jout.Float pred);
+                                    ("estimator_predicted", Jout.Float est);
                                     ("measured", Jout.Float meas);
                                   ]
                                  @
@@ -2032,6 +2037,351 @@ let stress () = stress_run ~smoke:false "stress"
 let stress_smoke () = stress_run ~smoke:true "stress-smoke"
 
 (* ------------------------------------------------------------------ *)
+(* perfdiag: every performance detector fires on a dedicated trigger   *)
+(* ------------------------------------------------------------------ *)
+
+let perfdiag_json = "BENCH_perfdiag.json"
+
+(* One synthetic kernel per detector, each built so the ratio its
+   detector thresholds on is forced by construction rather than by
+   machine speed: quadratically skewed work for imbalance, a tiny
+   loop forked hundreds of times for granularity, a large write-only
+   (hence privatizable) scratch array for privatization cost, a
+   dominant first-order recurrence for serial fraction, and unpriced
+   per-worker array copies dragging measured speedup far below the
+   estimator's promise for prediction mismatch.  The control kernel
+   is rectangular, coarse and copy-free: every detector must stay
+   quiet on it. *)
+
+(* Outer loop parallel; iteration I does O(I^2) work, so under chunk
+   scheduling the upper half of the iteration space carries ~7x the
+   work of the lower half. *)
+let perfdiag_imbalance_src ~n =
+  Printf.sprintf
+    "      PROGRAM PDIMB\n\
+     \      INTEGER N\n\
+     \      PARAMETER (N = %d)\n\
+     \      REAL A(N)\n\
+     \      INTEGER I, J\n\
+     \      DO I = 1, N\n\
+     \        A(I) = 0.0\n\
+     \      ENDDO\n\
+     \      DO I = 1, N\n\
+     \        DO J = 1, I * I\n\
+     \          A(I) = A(I) + FLOAT(J) * 0.5\n\
+     \        ENDDO\n\
+     \      ENDDO\n\
+     \      PRINT *, A(N)\n\
+     \      END\n"
+    n
+
+(* A trip-8 trivial-body parallel loop forked [r] times from a serial
+   outer loop: fork/join latency dwarfs the per-fork body. *)
+let perfdiag_granularity_src ~r =
+  Printf.sprintf
+    "      PROGRAM PDGRAN\n\
+     \      INTEGER N, R\n\
+     \      PARAMETER (N = 8, R = %d)\n\
+     \      REAL A(N)\n\
+     \      INTEGER I, K\n\
+     \      DO I = 1, N\n\
+     \        A(I) = 0.0\n\
+     \      ENDDO\n\
+     \      DO K = 1, R\n\
+     \        DO I = 1, N\n\
+     \          A(I) = A(I) + 1.0\n\
+     \        ENDDO\n\
+     \      ENDDO\n\
+     \      PRINT *, A(1)\n\
+     \      END\n"
+    r
+
+(* T is written and never read, so the plan privatizes it — and every
+   one of the [r] executions copies all [m] elements into (and back
+   out of) each worker, against a 4-iteration two-statement body. *)
+let perfdiag_privatization_src ~m ~r =
+  Printf.sprintf
+    "      PROGRAM PDPRIV\n\
+     \      INTEGER N, M, R\n\
+     \      PARAMETER (N = 4, M = %d, R = %d)\n\
+     \      REAL A(N), T(M)\n\
+     \      INTEGER I, K\n\
+     \      DO I = 1, N\n\
+     \        A(I) = 0.0\n\
+     \      ENDDO\n\
+     \      DO K = 1, R\n\
+     \        DO I = 1, N\n\
+     \          T(I) = FLOAT(I + K)\n\
+     \          A(I) = A(I) + FLOAT(I) * 0.5\n\
+     \        ENDDO\n\
+     \      ENDDO\n\
+     \      PRINT *, A(1), A(N)\n\
+     \      END\n"
+    m r
+
+(* A first-order recurrence over [n] elements dominates the run; the
+   only parallel loop is a trivial 64-trip tail. *)
+let perfdiag_serial_src ~n =
+  Printf.sprintf
+    "      PROGRAM PDSER\n\
+     \      INTEGER N, M\n\
+     \      PARAMETER (N = %d, M = 64)\n\
+     \      REAL A(N), B(M)\n\
+     \      INTEGER I\n\
+     \      A(1) = 1.0\n\
+     \      DO I = 2, N\n\
+     \        A(I) = A(I-1) * 0.9 + FLOAT(I)\n\
+     \      ENDDO\n\
+     \      DO I = 1, M\n\
+     \        B(I) = FLOAT(I) * 2.0\n\
+     \      ENDDO\n\
+     \      PRINT *, A(N), B(M)\n\
+     \      END\n"
+    n
+
+(* The estimator prices the coarse W=150 inner body and a 200-cycle
+   fork, promising ~2x — but not the per-worker copy of the [m]-element
+   privatized scratch array repeated every one of the [r] executions,
+   which sinks the measured speedup below half the promise. *)
+let perfdiag_mismatch_src ~m ~r =
+  Printf.sprintf
+    "      PROGRAM PDMIS\n\
+     \      INTEGER N, M, R, W\n\
+     \      PARAMETER (N = 32, M = %d, R = %d, W = 150)\n\
+     \      REAL A(N), T(M)\n\
+     \      INTEGER I, J, K\n\
+     \      DO I = 1, N\n\
+     \        A(I) = 0.0\n\
+     \      ENDDO\n\
+     \      DO K = 1, R\n\
+     \        DO I = 1, N\n\
+     \          T(I) = FLOAT(I + K)\n\
+     \          DO J = 1, W\n\
+     \            A(I) = A(I) + FLOAT(J) * 0.5\n\
+     \          ENDDO\n\
+     \        ENDDO\n\
+     \      ENDDO\n\
+     \      PRINT *, A(N)\n\
+     \      END\n"
+    m r
+
+(* Balanced control: rectangular work, one coarse fork, no private
+   arrays, no recurrence — every detector must stay silent. *)
+let perfdiag_control_src ~m =
+  Printf.sprintf
+    "      PROGRAM PDCTL\n\
+     \      INTEGER N, M\n\
+     \      PARAMETER (N = 64, M = %d)\n\
+     \      REAL A(N)\n\
+     \      INTEGER I, J\n\
+     \      DO I = 1, N\n\
+     \        A(I) = 0.0\n\
+     \      ENDDO\n\
+     \      DO I = 1, N\n\
+     \        DO J = 1, M\n\
+     \          A(I) = A(I) + FLOAT(J) * 0.5\n\
+     \        ENDDO\n\
+     \      ENDDO\n\
+     \      PRINT *, A(N)\n\
+     \      END\n"
+    m
+
+type diag_case = {
+  dc_name : string;
+  dc_kind : Perfdebug.Detect.kind option;
+      (* the detector this kernel must trip; None = control, which
+         must instead stay silent *)
+  dc_gated : bool;  (* enforce only when the host has >= domains cores *)
+  dc_source : string;
+}
+
+let perfdiag_cases ~smoke =
+  [
+    {
+      dc_name = "imbalance";
+      dc_kind = Some Perfdebug.Detect.Imbalance;
+      (* on one core the light worker's wall span stretches across the
+         heavy worker's timeslices, hiding the spread *)
+      dc_gated = true;
+      dc_source = perfdiag_imbalance_src ~n:(if smoke then 32 else 64);
+    };
+    {
+      dc_name = "granularity";
+      dc_kind = Some Perfdebug.Detect.Granularity;
+      dc_gated = false;
+      dc_source = perfdiag_granularity_src ~r:(if smoke then 60 else 300);
+    };
+    {
+      dc_name = "privatization";
+      dc_kind = Some Perfdebug.Detect.Privatization;
+      dc_gated = false;
+      dc_source =
+        perfdiag_privatization_src
+          ~m:(if smoke then 50_000 else 200_000)
+          ~r:(if smoke then 8 else 30);
+    };
+    {
+      dc_name = "serial";
+      dc_kind = Some Perfdebug.Detect.Serial_fraction;
+      dc_gated = false;
+      dc_source = perfdiag_serial_src ~n:(if smoke then 15_000 else 60_000);
+    };
+    {
+      dc_name = "mismatch";
+      dc_kind = Some Perfdebug.Detect.Prediction_mismatch;
+      (* mismatch needs a trusted measurement, which analyze only
+         grants when the host really has [domains] cores *)
+      dc_gated = true;
+      dc_source =
+        perfdiag_mismatch_src
+          ~m:(if smoke then 120_000 else 400_000)
+          ~r:(if smoke then 8 else 30);
+    };
+    {
+      dc_name = "control";
+      dc_kind = None;
+      (* on an oversubscribed single core, wall-clock spans of
+         timesliced workers can fake a spread *)
+      dc_gated = true;
+      dc_source = perfdiag_control_src ~m:(if smoke then 400 else 1500);
+    };
+  ]
+
+let kind_slug = function
+  | Perfdebug.Detect.Imbalance -> "imbalance"
+  | Perfdebug.Detect.Granularity -> "granularity"
+  | Perfdebug.Detect.Privatization -> "privatization"
+  | Perfdebug.Detect.Serial_fraction -> "serial-fraction"
+  | Perfdebug.Detect.Prediction_mismatch -> "prediction-mismatch"
+
+(* Parse, auto-parallelize every safe loop (the same pipeline as
+   ped --execute), hand back the annotated program. *)
+let diag_parallelized ~name source =
+  let program =
+    Ast.renumber_program (Parser.parse_program ~file:(name ^ ".f") source)
+  in
+  let unit_name = (List.hd program.Ast.punits).Ast.uname in
+  let sess = Ped.Session.load program ~unit_name in
+  auto_parallelize sess;
+  Ped.Session.program sess
+
+let perfdiag_run ~smoke label =
+  header
+    "perfdiag: rule-based performance diagnosis - each detector must fire \
+     on its dedicated synthetic kernel and stay silent on the balanced \
+     control";
+  let cores = Domain.recommended_domain_count () in
+  let domains = 2 in
+  let schedule = Runtime.Pool.Chunk in
+  if cores < domains then
+    Printf.printf
+      "note: single-core machine (recommended_domain_count %d) - checks \
+       needing real concurrency (imbalance, mismatch, control silence) \
+       reported but not enforced\n"
+      cores;
+  Printf.printf "%-14s %9s %9s %10s %-24s %s\n" "kernel" "seq ms" "par ms"
+    "predicted" "fired" "verdict";
+  let rows =
+    List.map
+      (fun c ->
+        let prog = diag_parallelized ~name:c.dc_name c.dc_source in
+        let d = Perfdebug.Driver.diagnose ~domains ~schedule prog in
+        let kinds = Perfdebug.Driver.kinds d in
+        let enforced = (not c.dc_gated) || cores >= domains in
+        let ok =
+          match c.dc_kind with
+          | Some k -> List.mem k kinds
+          | None -> kinds = []
+        in
+        let verdict =
+          if ok then "ok"
+          else if enforced then "FAIL"
+          else "miss (not enforced)"
+        in
+        Printf.printf "%-14s %9.2f %9.2f %9.2fx %-24s %s\n" c.dc_name
+          (d.Perfdebug.Driver.seq_wall *. 1e3)
+          (d.Perfdebug.Driver.par_wall *. 1e3)
+          d.Perfdebug.Driver.predicted
+          (if kinds = [] then "-"
+           else String.concat "," (List.map kind_slug kinds))
+          verdict;
+        (c, d, kinds, ok, enforced))
+      (perfdiag_cases ~smoke)
+  in
+  let case_json (c, (d : Perfdebug.Driver.t), kinds, ok, enforced) =
+    Jout.Obj
+      [
+        ("name", Jout.Str c.dc_name);
+        ( "expected",
+          match c.dc_kind with
+          | Some k -> Jout.Str (kind_slug k)
+          | None -> Jout.Str "silence" );
+        ("fired", Jout.List (List.map (fun k -> Jout.Str (kind_slug k)) kinds));
+        ("pass", Jout.Bool ok);
+        ("enforced", Jout.Bool enforced);
+        ("seq_wall_s", Jout.Float d.Perfdebug.Driver.seq_wall);
+        ("par_wall_s", Jout.Float d.Perfdebug.Driver.par_wall);
+        ("predicted", Jout.Float d.Perfdebug.Driver.predicted);
+        ( "measured",
+          match d.Perfdebug.Driver.measured with
+          | Some m -> Jout.Float m
+          | None -> Jout.Null );
+        ( "parallel_coverage",
+          Jout.Float
+            (Perfdebug.Profile.parallel_coverage d.Perfdebug.Driver.profile) );
+        ( "findings",
+          Jout.List
+            (List.map
+               (fun (f : Perfdebug.Detect.finding) ->
+                 Jout.Obj
+                   [
+                     ("kind", Jout.Str (kind_slug f.Perfdebug.Detect.f_kind));
+                     ( "loop",
+                       match f.Perfdebug.Detect.f_loop with
+                       | Some sid -> Jout.Str (Printf.sprintf "s%d" sid)
+                       | None -> Jout.Null );
+                     ("score", Jout.Float f.Perfdebug.Detect.f_score);
+                     ("summary", Jout.Str f.Perfdebug.Detect.f_summary);
+                   ])
+               d.Perfdebug.Driver.findings) );
+      ]
+  in
+  Jout.write perfdiag_json
+    (Jout.Obj
+       [
+         ("experiment", Jout.Str label);
+         ("smoke", Jout.Bool smoke);
+         ("cores", Jout.Int cores);
+         ("domains", Jout.Int domains);
+         ("schedule", Jout.Str (Runtime.Pool.schedule_to_string schedule));
+         ("cases", Jout.List (List.map case_json rows));
+         ( "all_pass",
+           Jout.Bool
+             (List.for_all (fun (_, _, _, ok, enf) -> ok || not enf) rows) );
+       ]);
+  List.iter
+    (fun (c, _, kinds, ok, enforced) ->
+      if (not ok) && enforced then begin
+        (match c.dc_kind with
+        | Some k ->
+          Printf.eprintf
+            "perfdiag GATE: kernel %s did not trip the %s detector (fired: \
+             %s)\n"
+            c.dc_name (kind_slug k)
+            (if kinds = [] then "nothing"
+             else String.concat "," (List.map kind_slug kinds))
+        | None ->
+          Printf.eprintf
+            "perfdiag GATE: control kernel must be silent but fired %s\n"
+            (String.concat "," (List.map kind_slug kinds)));
+        exit 1
+      end)
+    rows
+
+let perfdiag () = perfdiag_run ~smoke:false "perfdiag"
+let perfdiag_smoke () = perfdiag_run ~smoke:true "perfdiag-smoke"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2059,6 +2409,8 @@ let experiments =
     ("parscale-smoke", parscale_smoke);
     ("stress", stress);
     ("stress-smoke", stress_smoke);
+    ("perfdiag", perfdiag);
+    ("perfdiag-smoke", perfdiag_smoke);
     ("telemetry-overhead", telemetry_overhead);
     ("bench", microbench);
   ]

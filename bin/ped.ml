@@ -284,6 +284,73 @@ let execute file workload domains schedule validate force_parallel backend
     true
     (targets file workload)
 
+(* --diagnose: run the performance debugger over each target — a
+   sequential baseline plus an instrumented parallel run, then the
+   detector rules — and print the ranked findings. *)
+let diagnose_one name program script ~domains ~schedule ~backend ~telemetry =
+  let par_program = auto_parallelize ?telemetry program script in
+  Printf.printf "%s:\n%!" name;
+  if backend = "compiled" then begin
+    match Codegen.Compile.build ?telemetry par_program with
+    | Error e ->
+      Printf.printf "  compiled backend: %s\n%!"
+        (Codegen.Compile.error_to_string e);
+      false
+    | Ok built -> (
+      let sink = Telemetry.retained () in
+      let seq = Codegen.Compile.run ?telemetry built ~pool:None ~schedule in
+      let par =
+        Runtime.Pool.with_pool ~telemetry:sink domains (fun pool ->
+            Codegen.Compile.run ~telemetry:sink built ~pool:(Some pool)
+              ~schedule)
+      in
+      match (seq, par) with
+      | Ok s, Ok p ->
+        let spans = Telemetry.drain_spans sink in
+        let d =
+          Perfdebug.Driver.analyze ~domains ~schedule
+            ~seq_wall:s.Codegen.Compile.wall_s
+            ~par_wall:p.Codegen.Compile.wall_s
+            ~fallback_run_ns:(p.Codegen.Compile.wall_s *. 1e9)
+            par_program spans
+        in
+        print_string (Perfdebug.Driver.render d);
+        true
+      | Error e, _ | _, Error e ->
+        Printf.printf "  compiled backend: %s\n%!"
+          (Codegen.Compile.error_to_string e);
+        false)
+  end
+  else begin
+    match Perfdebug.Driver.diagnose ~domains ~schedule par_program with
+    | d ->
+      print_string (Perfdebug.Driver.render d);
+      true
+    | exception Runtime.Exec.Runtime_error m ->
+      Printf.printf "  runtime error: %s\n%!" m;
+      false
+  end
+
+let diagnose_mode file workload domains schedule backend ~telemetry =
+  let domains = max 1 domains in
+  let schedule =
+    match Runtime.Pool.schedule_of_string schedule with
+    | Some s -> s
+    | None ->
+      prerr_endline "bad --schedule (chunk or self)";
+      exit 1
+  in
+  if backend <> "interp" && backend <> "compiled" then begin
+    prerr_endline "bad --backend (interp or compiled)";
+    exit 1
+  end;
+  List.fold_left
+    (fun acc (name, program, script) ->
+      diagnose_one name program script ~domains ~schedule ~backend ~telemetry
+      && acc)
+    true
+    (targets file workload)
+
 let calibrate_mode file workload =
   let ts = targets file workload in
   Printf.printf "calibrating on %d program%s...\n%!" (List.length ts)
@@ -305,7 +372,7 @@ let calibrate_mode file workload =
 
 let main file workload unit_name script no_interproc exec domains schedule
     validate force_parallel backend analysis_domains order seed calibrate
-    engine_stats profile trace metrics =
+    diagnose engine_stats profile trace metrics =
   (* one recording sink, installed as the process default, so the
      session, the transformation catalog, the analysis passes and the
      runtime workers all emit to the same place *)
@@ -344,6 +411,9 @@ let main file workload unit_name script no_interproc exec domains schedule
     calibrate_mode file workload;
     finish true
   end
+  else if diagnose then
+    finish
+      (diagnose_mode file workload domains schedule backend ~telemetry:sink)
   else if exec || validate || force_parallel then
     finish
       (execute file workload domains schedule validate force_parallel backend
@@ -490,6 +560,15 @@ let calibrate =
   Arg.(value & flag & info [ "calibrate" ]
          ~doc:"Fit the performance model's per-op weights from measured \
                runtime executions and print the machines")
+
+let diagnose =
+  Arg.(value & flag & info [ "diagnose" ]
+         ~doc:"Run the performance debugger: execute each target twice (a \
+               sequential baseline and an instrumented parallel run under \
+               the selected backend) and print ranked diagnoses — load \
+               imbalance, insufficient granularity, privatization cost, \
+               serial fraction, prediction mismatch — with remediation \
+               hints")
 
 let engine_stats =
   Arg.(value & flag & info [ "engine-stats" ]
@@ -1024,7 +1103,7 @@ let cmd =
     Term.(const main $ file $ workload $ unit_name $ script $ no_interproc
           $ exec_flag $ domains $ schedule $ validate $ force_parallel
           $ exec_backend $ analysis_domains $ order $ seed $ calibrate
-          $ engine_stats $ profile $ trace $ metrics)
+          $ diagnose $ engine_stats $ profile $ trace $ metrics)
   in
   Cmd.group ~default (Cmd.info "ped" ~doc)
     [ fuzz_cmd; stress_cmd; serve_cmd; batch_cmd; compile_cmd ]

@@ -526,7 +526,8 @@ and emit_par_do c (d : Ir.doh) (pp : Ir.par) body : unit =
   line c "let %s = ref None in" esc;
   line c "(try";
   c.ind <- c.ind + 1;
-  line c "Runtime.Pool.parallel_for %s ~schedule ~trip:%s" (n "pool%d_") trip;
+  line c "Runtime.Pool.parallel_for ~label:\"s%d\" %s ~schedule ~trip:%s" sid
+    (n "pool%d_") trip;
   line c "  ~body:(fun ~worker %s ->" k;
   c.ind <- c.ind + 1;
   (* worker scope: no nested parallelism, private copies shadow the

@@ -13,6 +13,7 @@ let help_text =
       "  mark N accept|reject|pending";
       "  assert VAR = N | assert VAR in LO HI | assert perm ARR | private sN VAR";
       "  why N | why sA:sB   (provenance of a dependence / of its absence)";
+      "  why slow [sN]       (run and diagnose parallel performance)";
       "  explain T ARGS      (diagnosis plus the blocking edges' provenance)";
       "  preview T ARGS | apply T ARGS [!] | edit sN TEXT | undo | redo | history";
       "  diff (changes vs the loaded program) | write FILE";
@@ -347,6 +348,25 @@ let run (t : Session.t) (line : string) : string =
       Session.privatize t sid var;
       Printf.sprintf "%s is private in loop s%d" var sid
     | None -> "error: usage: private sN VAR")
+  | "why" :: "slow" :: rest -> (
+    let focus =
+      match rest with
+      | [] -> Ok None
+      | [ tok ] -> (
+        match parse_sid t tok with
+        | Some sid -> Ok (Some sid)
+        | None -> Error ())
+      | _ -> Error ()
+    in
+    match focus with
+    | Error () -> "error: usage: why slow [sN]"
+    | Ok focus -> (
+      try
+        let d = Perfdebug.Driver.diagnose (Session.program t) in
+        Perfdebug.Driver.render ?focus d
+      with
+      | Runtime.Exec.Runtime_error m -> "error: execution failed: " ^ m
+      | Sim.Interp.Runtime_error m -> "error: execution failed: " ^ m))
   | [ "why"; tok ] when String.contains tok ':' -> (
     match String.split_on_char ':' tok with
     | [ a; b ] -> (

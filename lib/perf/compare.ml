@@ -1,0 +1,29 @@
+type verdict = Agree | Overpredicted | Underpredicted
+
+type report = {
+  predicted : float;
+  measured : float;
+  ratio : float;
+  verdict : verdict;
+}
+
+let verdict_to_string = function
+  | Agree -> "agree"
+  | Overpredicted -> "overpredicted"
+  | Underpredicted -> "underpredicted"
+
+(* Wall-clock measurements are noisy and the cost model is coarse
+   (cycle weights, default trip counts), so agreement is judged on a
+   multiplicative band: within a factor of [tolerance] either way is
+   agreement.  2x default — tight enough to catch a model that calls
+   a 1.1x loop "4x", loose enough to survive scheduler jitter. *)
+let compare_speedup ?(tolerance = 2.0) ~predicted ~measured () =
+  let tolerance = max 1.0 tolerance in
+  let predicted = max predicted 1e-9 and measured = max measured 1e-9 in
+  let ratio = predicted /. measured in
+  let verdict =
+    if ratio > tolerance then Overpredicted
+    else if ratio < 1.0 /. tolerance then Underpredicted
+    else Agree
+  in
+  { predicted; measured; ratio; verdict }

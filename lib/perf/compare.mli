@@ -1,0 +1,27 @@
+(** Measured-vs-predicted comparison.
+
+    The estimator predicts speedups from the cost model; runs measure
+    them.  This module judges whether the two agree, on a
+    multiplicative tolerance band — the signal behind the performance
+    debugger's {e prediction mismatch} diagnosis and its pointer to
+    [ped --calibrate]. *)
+
+type verdict =
+  | Agree          (** within tolerance either way *)
+  | Overpredicted  (** model promised more speedup than measured *)
+  | Underpredicted (** measured beat the model's promise *)
+
+type report = {
+  predicted : float;  (** clamped below at a small positive value *)
+  measured : float;   (** likewise *)
+  ratio : float;      (** predicted / measured *)
+  verdict : verdict;
+}
+
+val verdict_to_string : verdict -> string
+
+(** [compare_speedup ~predicted ~measured ()] — judge agreement.
+    [tolerance] (default 2.0, clamped ≥ 1.0) is the multiplicative
+    band: [Agree] iff [1/tolerance <= predicted/measured <= tolerance]. *)
+val compare_speedup :
+  ?tolerance:float -> predicted:float -> measured:float -> unit -> report

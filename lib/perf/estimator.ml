@@ -97,10 +97,19 @@ let rec cost_stmt ~parallel_ok ~callee_cost (m : Machine.t) (env : Depenv.t)
     let header_cost =
       expr_cost m tbl h.Ast.lo +. expr_cost m tbl h.Ast.hi
     in
-    let body_est = cost_body ~parallel_ok:false ~callee_cost m env body in
+    (* only a loop that actually forks serializes what's inside it; a
+       serial loop passes the caller's context through, so a PARALLEL
+       DO nested under serial loops still gets credit (the runtime
+       forks it on every enclosing iteration) *)
+    let runs_parallel = h.Ast.parallel && parallel_ok in
+    let body_est =
+      cost_body
+        ~parallel_ok:(parallel_ok && not runs_parallel)
+        ~callee_cost m env body
+    in
     let per_iter = body_est.cycles +. m.Machine.loop_overhead in
     let cycles =
-      if h.Ast.parallel && parallel_ok then
+      if runs_parallel then
         let p = float_of_int m.Machine.processors in
         let chunks = Float.of_int ((trip + m.Machine.processors - 1) / m.Machine.processors) in
         ignore p;
@@ -194,4 +203,10 @@ let predicted_speedup ?(machine = Machine.default) env ~processors =
   let machine = Machine.with_processors processors machine in
   let seq = (unit_cost ~machine env).cycles in
   let par = (parallel_unit_cost ~machine env).cycles in
+  if par <= 0.0 then 1.0 else seq /. par
+
+let loop_speedup ?(machine = Machine.default) env s ~processors =
+  let machine = Machine.with_processors processors machine in
+  let seq = (stmt_cost ~machine env s).cycles in
+  let par = (parallel_stmt_cost ~machine env s).cycles in
   if par <= 0.0 then 1.0 else seq /. par

@@ -60,3 +60,9 @@ val program_costs :
 (** Predicted speedup of the unit as currently annotated (parallel
     loops honoured) on [processors]. *)
 val predicted_speedup : ?machine:Machine.t -> Depenv.t -> processors:int -> float
+
+(** Predicted speedup of one statement — typically a PARALLEL DO —
+    on [processors]: sequential cost over parallel cost.  1.0 when
+    the statement has no parallel loop (costs coincide). *)
+val loop_speedup :
+  ?machine:Machine.t -> Depenv.t -> Ast.stmt -> processors:int -> float

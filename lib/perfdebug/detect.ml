@@ -1,0 +1,335 @@
+type kind =
+  | Imbalance
+  | Granularity
+  | Privatization
+  | Serial_fraction
+  | Prediction_mismatch
+
+let kind_to_string = function
+  | Imbalance -> "load imbalance"
+  | Granularity -> "insufficient granularity"
+  | Privatization -> "privatization/reduction cost"
+  | Serial_fraction -> "serial fraction"
+  | Prediction_mismatch -> "prediction mismatch"
+
+type finding = {
+  f_kind : kind;
+  f_loop : int option;      (* statement id; None for whole-run findings *)
+  f_score : float;          (* fraction of run time at stake, ranks output *)
+  f_summary : string;
+  f_evidence : string list;
+  f_remedy : string;
+}
+
+(* Every threshold is a ratio of two measurements from the same run,
+   never an absolute time: the same workload on a faster or noisier
+   machine crosses the same thresholds, which is what makes the
+   diagnosis-kind set deterministic across runs. *)
+type config = {
+  min_loop_share : float;    (* ignore loops below this share of the run *)
+  imbalance_ratio : float;   (* max/mean per-worker busy to fire *)
+  overhead_frac : float;     (* (span - slowest worker - join) / span *)
+  priv_frac : float;         (* (copy-in + join) / span *)
+  serial_frac : float;       (* 1 - parallel coverage *)
+  mismatch_tolerance : float;    (* Perf.Compare band *)
+  mismatch_min_predicted : float;(* no mismatch below this prediction *)
+}
+
+let default =
+  {
+    min_loop_share = 0.05;
+    imbalance_ratio = 1.4;
+    overhead_frac = 0.3;
+    priv_frac = 0.25;
+    serial_frac = 0.4;
+    mismatch_tolerance = 2.0;
+    mismatch_min_predicted = 1.25;
+  }
+
+(* Static context for one loop, from the plan and the estimator. *)
+type loop_static = {
+  st_predicted : float;   (* estimator speedup at the run's worker count *)
+  st_privates : int;
+  st_arrays : int;
+  st_reductions : int;
+}
+
+let pct x = 100.0 *. x
+
+let worker_busy_line (lp : Profile.loop_profile) =
+  let cells =
+    Array.to_list
+      (Array.mapi
+         (fun w ns -> Printf.sprintf "w%d %.2fms" w (Profile.ms ns))
+         lp.Profile.lp_busy_ns)
+  in
+  "per-worker busy: " ^ String.concat "  " cells
+
+let detect_imbalance cfg ~share (lp : Profile.loop_profile) =
+  let mean = Profile.busy_mean lp and mx = Profile.busy_max lp in
+  if mean <= 0.0 then None
+  else
+    let ratio = mx /. mean in
+    if ratio < cfg.imbalance_ratio then None
+    else
+      let wasted = share *. (1.0 -. (mean /. mx)) in
+      Some
+        {
+          f_kind = Imbalance;
+          f_loop = Some lp.Profile.lp_sid;
+          f_score = wasted;
+          f_summary =
+            Printf.sprintf
+              "workers finish unevenly: slowest does %.1fx the mean" ratio;
+          f_evidence =
+            [
+              worker_busy_line lp;
+              Printf.sprintf
+                "max/mean busy ratio %.2f >= %.2f under %s scheduling" ratio
+                cfg.imbalance_ratio lp.Profile.lp_sched;
+              Printf.sprintf
+                "%.0f%% of the loop's time is spent waiting for the slowest \
+                 worker"
+                (pct (1.0 -. (mean /. mx)));
+            ];
+          f_remedy =
+            (if lp.Profile.lp_sched = "chunk" then
+               "switch to self-scheduling (--schedule self) so fast workers \
+                pick up remaining iterations"
+             else
+               "work is irregular even self-scheduled: strip-mine to even \
+                out per-claim cost");
+        }
+
+let detect_granularity cfg ~share ~fork_join_cycles (lp : Profile.loop_profile)
+    =
+  let span = lp.Profile.lp_span_ns in
+  if span <= 0.0 then None
+  else
+    let mx = Profile.busy_max lp in
+    let overhead = Float.max 0.0 (span -. mx -. lp.Profile.lp_join_ns) in
+    let frac = overhead /. span in
+    let avg_trip =
+      float_of_int lp.Profile.lp_trip_total
+      /. float_of_int (max 1 lp.Profile.lp_execs)
+    in
+    let starved = avg_trip < float_of_int (Array.length lp.Profile.lp_busy_ns)
+    in
+    if frac < cfg.overhead_frac && not starved then None
+    else
+      let per_exec_overhead =
+        overhead /. float_of_int (max 1 lp.Profile.lp_execs)
+      in
+      Some
+        {
+          f_kind = Granularity;
+          f_loop = Some lp.Profile.lp_sid;
+          f_score = share *. Float.max frac (if starved then 0.5 else 0.0);
+          f_summary =
+            Printf.sprintf
+              "fork/join overhead is %.0f%% of the loop's time (%d fork%s, \
+               avg trip %.0f)"
+              (pct frac) lp.Profile.lp_execs
+              (if lp.Profile.lp_execs = 1 then "" else "s")
+              avg_trip;
+          f_evidence =
+            [
+              Printf.sprintf
+                "loop total %.2fms; slowest worker busy %.2fms; overhead \
+                 %.2fms (%.1fus per fork)"
+                (Profile.ms span) (Profile.ms mx) (Profile.ms overhead)
+                (per_exec_overhead /. 1e3);
+              Printf.sprintf
+                "machine model prices one fork/join at %.0f cycles — the \
+                 body must dwarf that to profit"
+                fork_join_cycles;
+            ]
+            @ (if starved then
+                 [
+                   Printf.sprintf
+                     "average trip %.0f < %d workers: some workers have no \
+                      iterations at all"
+                     avg_trip
+                     (Array.length lp.Profile.lp_busy_ns);
+                 ]
+               else []);
+          f_remedy =
+            (if lp.Profile.lp_execs > 4 then
+               "interchange to move the parallel loop outward (it is forked \
+                once per outer iteration)"
+             else "strip-mine to coarsen the work per fork, or run serially");
+        }
+
+let detect_privatization cfg ~share (st : loop_static option)
+    (lp : Profile.loop_profile) =
+  let span = lp.Profile.lp_span_ns in
+  let priv = lp.Profile.lp_copyin_ns +. lp.Profile.lp_join_ns in
+  let planned =
+    match st with
+    | Some s -> s.st_privates + s.st_arrays + s.st_reductions > 0
+    | None -> priv > 0.0
+  in
+  if span <= 0.0 || not planned then None
+  else
+    let frac = priv /. span in
+    if frac < cfg.priv_frac then None
+    else
+      let shape =
+        match st with
+        | Some s ->
+          Printf.sprintf
+            "plan privatizes %d scalar%s, %d array%s; %d reduction%s"
+            s.st_privates
+            (if s.st_privates = 1 then "" else "s")
+            s.st_arrays
+            (if s.st_arrays = 1 then "" else "s")
+            s.st_reductions
+            (if s.st_reductions = 1 then "" else "s")
+        | None -> "plan shape unavailable"
+      in
+      let arrays = match st with Some s -> s.st_arrays | None -> 0 in
+      Some
+        {
+          f_kind = Privatization;
+          f_loop = Some lp.Profile.lp_sid;
+          f_score = share *. frac;
+          f_summary =
+            Printf.sprintf
+              "private-state setup and merge take %.0f%% of the loop's time"
+              (pct frac);
+          f_evidence =
+            [
+              Printf.sprintf
+                "copy-in %.2fms + join %.2fms vs loop total %.2fms"
+                (Profile.ms lp.Profile.lp_copyin_ns)
+                (Profile.ms lp.Profile.lp_join_ns)
+                (Profile.ms span);
+              shape;
+            ];
+          f_remedy =
+            (if arrays > 0 then
+               "privatized arrays are copied per worker every execution: \
+                coarsen the loop (strip-mine the enclosing nest) or \
+                restructure so the array need not be private"
+             else
+               "coarsen the loop so reduction combine and write-back \
+                amortize over more iterations");
+        }
+
+let detect_serial cfg (p : Profile.t) =
+  let coverage = Profile.parallel_coverage p in
+  let serial = 1.0 -. coverage in
+  if p.Profile.run_ns <= 0.0 || serial < cfg.serial_frac then None
+  else
+    let w = float_of_int p.Profile.workers in
+    let bound = 1.0 /. (serial +. ((1.0 -. serial) /. w)) in
+    Some
+      {
+        f_kind = Serial_fraction;
+        f_loop = None;
+        f_score = serial;
+        f_summary =
+          Printf.sprintf "only %.0f%% of the run executes in parallel loops"
+            (pct coverage);
+        f_evidence =
+          [
+            Printf.sprintf
+              "parallel coverage %.2fms of %.2fms total"
+              (Profile.ms (coverage *. p.Profile.run_ns))
+              (Profile.ms p.Profile.run_ns);
+            Printf.sprintf
+              "Amdahl bound: at most %.2fx speedup on %d workers while \
+               %.0f%% stays serial"
+              bound p.Profile.workers (pct serial);
+          ];
+        f_remedy =
+          "parallelize the loops dominating the serial portion (rank shows \
+           the heaviest) or widen existing parallel regions";
+      }
+
+let detect_mismatch cfg = function
+  | None -> None
+  | Some (measured, predicted) ->
+    if predicted < cfg.mismatch_min_predicted then None
+    else
+      let r =
+        Perf.Compare.compare_speedup ~tolerance:cfg.mismatch_tolerance
+          ~predicted ~measured ()
+      in
+      if r.Perf.Compare.verdict <> Perf.Compare.Overpredicted then None
+      else
+        Some
+          {
+            f_kind = Prediction_mismatch;
+            f_loop = None;
+            f_score = Float.min 1.0 (1.0 -. (1.0 /. r.Perf.Compare.ratio));
+            f_summary =
+              Printf.sprintf
+                "estimator promised %.2fx speedup; the run measured %.2fx"
+                r.Perf.Compare.predicted r.Perf.Compare.measured;
+            f_evidence =
+              [
+                Printf.sprintf
+                  "predicted/measured ratio %.2f exceeds the %.1fx \
+                   agreement band"
+                  r.Perf.Compare.ratio cfg.mismatch_tolerance;
+                "the cost model's cycle weights or assumed trip counts do \
+                 not match this machine/workload";
+              ];
+            f_remedy =
+              "recalibrate the cost model against measured runs: ped \
+               --calibrate";
+          }
+
+(* [speedup] is [(measured, predicted)] for the whole run, when a
+   trustworthy measurement exists (enough cores, say). *)
+let run ?(config = default) ~(profile : Profile.t)
+    ~(static : (int * loop_static) list) ~fork_join_cycles
+    ?speedup () : finding list =
+  let per_loop =
+    List.concat_map
+      (fun (lp : Profile.loop_profile) ->
+        let share =
+          if profile.Profile.run_ns <= 0.0 then 0.0
+          else lp.Profile.lp_span_ns /. profile.Profile.run_ns
+        in
+        if share < config.min_loop_share then []
+        else
+          let st = List.assoc_opt lp.Profile.lp_sid static in
+          List.filter_map
+            (fun d -> d)
+            [
+              detect_imbalance config ~share lp;
+              detect_granularity config ~share ~fork_join_cycles lp;
+              detect_privatization config ~share st lp;
+            ])
+      profile.Profile.loops
+  in
+  let global =
+    List.filter_map
+      (fun d -> d)
+      [ detect_serial config profile; detect_mismatch config speedup ]
+  in
+  List.stable_sort
+    (fun a b -> compare b.f_score a.f_score)
+    (per_loop @ global)
+
+(* Rendered in the lib/explain chain idiom: a one-line header, then
+   2-space-indented evidence, then the remediation hint. *)
+let render_finding f =
+  let where =
+    match f.f_loop with
+    | Some sid -> Printf.sprintf " in loop s%d" sid
+    | None -> ""
+  in
+  let header =
+    Printf.sprintf "%s%s: %s" (kind_to_string f.f_kind) where f.f_summary
+  in
+  String.concat "\n"
+    (header
+    :: (List.map (fun l -> "  " ^ l) f.f_evidence
+       @ [ "  remedy: " ^ f.f_remedy ]))
+
+let render_findings = function
+  | [] -> "no performance problems detected"
+  | fs -> String.concat "\n" (List.map render_finding fs)

@@ -1,0 +1,85 @@
+(** Rule-based performance detectors over a run's {!Profile}.
+
+    Five detectors, after the SPMD performance-debugging literature:
+
+    - {e load imbalance}: per-worker busy-time spread within a loop;
+    - {e insufficient granularity}: fork/join overhead rivaling body
+      time, cross-checked against the machine model's fork/join cost;
+    - {e privatization/reduction cost}: per-worker copy-in plus
+      sequential merge dominating the loop;
+    - {e serial fraction}: the Amdahl bound implied by measured
+      parallel coverage;
+    - {e prediction mismatch}: measured whole-run speedup falling far
+      short of the estimator's promise ({!Perf.Compare}).
+
+    Every threshold is a ratio of measurements from the same run —
+    never an absolute time — so the set of diagnosis kinds is stable
+    across machines and timing noise. *)
+
+type kind =
+  | Imbalance
+  | Granularity
+  | Privatization
+  | Serial_fraction
+  | Prediction_mismatch
+
+val kind_to_string : kind -> string
+
+type finding = {
+  f_kind : kind;
+  f_loop : int option;
+      (** offending loop's statement id; [None] for whole-run findings *)
+  f_score : float;
+      (** roughly the fraction of run time at stake; ranks the report *)
+  f_summary : string;
+  f_evidence : string list;
+  f_remedy : string;
+}
+
+type config = {
+  min_loop_share : float;
+      (** ignore loops below this share of the run (default 0.05) *)
+  imbalance_ratio : float;
+      (** max/mean per-worker busy time to fire (default 1.4) *)
+  overhead_frac : float;
+      (** (span − slowest worker − join) / span (default 0.3) *)
+  priv_frac : float;  (** (copy-in + join) / span (default 0.25) *)
+  serial_frac : float;  (** 1 − parallel coverage (default 0.4) *)
+  mismatch_tolerance : float;
+      (** {!Perf.Compare} agreement band (default 2.0) *)
+  mismatch_min_predicted : float;
+      (** skip mismatch when the model never promised a speedup
+          (default 1.25) *)
+}
+
+val default : config
+
+(** Static context for one loop: the estimator's promise and the
+    execution plan's privatization shape. *)
+type loop_static = {
+  st_predicted : float;
+  st_privates : int;
+  st_arrays : int;
+  st_reductions : int;
+}
+
+(** [run ~profile ~static ~fork_join_cycles ?speedup ()] — evaluate
+    every detector; findings come back ranked, highest score first.
+    [static] is keyed by loop statement id; [fork_join_cycles] is the
+    machine model's fork/join price (evidence for the granularity
+    detector); [speedup] is the whole-run [(measured, predicted)]
+    pair when a trustworthy measurement exists. *)
+val run :
+  ?config:config ->
+  profile:Profile.t ->
+  static:(int * loop_static) list ->
+  fork_join_cycles:float ->
+  ?speedup:float * float ->
+  unit ->
+  finding list
+
+(** One finding in the [lib/explain] chain idiom: header line,
+    2-space-indented evidence, a final remedy line. *)
+val render_finding : finding -> string
+
+val render_findings : finding list -> string

@@ -1,0 +1,147 @@
+(* Aggregate one run's retained spans into per-loop timing profiles.
+
+   The runtime labels everything by loop: [exec.parallel-loop] spans
+   carry a ["loop"] arg ("s<sid>"), the pool's per-worker
+   [pool.chunk]/[pool.self] spans carry a ["label"] arg with the same
+   value, and the [exec.copy-in]/[exec.join] spans carry ["loop"]
+   again.  Aggregation is therefore pure arg-keyed bucketing — no
+   time-window reconstruction needed. *)
+
+type loop_profile = {
+  lp_sid : int;
+  lp_execs : int;            (* dynamic executions of the loop *)
+  lp_trip_total : int;       (* summed trip counts over executions *)
+  lp_span_ns : float;        (* exec.parallel-loop total: fork..join *)
+  lp_busy_ns : float array;  (* per-worker body time, index = worker *)
+  lp_copyin_ns : float;      (* per-worker state construction *)
+  lp_join_ns : float;        (* sequential merge: write-back, combine *)
+  lp_sched : string;         (* "chunk" | "self" (last seen) *)
+}
+
+type t = {
+  workers : int;
+  run_ns : float;            (* exec.run total *)
+  loops : loop_profile list; (* ascending sid *)
+}
+
+let dur (r : Telemetry.span_record) =
+  Int64.to_float (Int64.sub r.Telemetry.sp_t1 r.Telemetry.sp_t0)
+
+let arg k (r : Telemetry.span_record) = List.assoc_opt k r.Telemetry.sp_args
+
+(* "s42" -> Some 42 *)
+let sid_of_label l =
+  if String.length l > 1 && l.[0] = 's' then
+    int_of_string_opt (String.sub l 1 (String.length l - 1))
+  else None
+
+(* [fallback_run_ns] stands in for the whole-run time when the stream
+   has no [exec.run] span — compiled (codegen) runs, whose generated
+   code emits only the pool's labeled spans.  For the same reason,
+   loops that never produced an [exec.parallel-loop] span fall back
+   to their labeled [pool.run] spans (fork-to-park rather than
+   fork-to-join, close enough for every ratio we test). *)
+let of_spans ~workers ?(fallback_run_ns = 0.0)
+    (spans : Telemetry.span_record list) : t =
+  let workers = max 1 workers in
+  let tbl : (int, loop_profile) Hashtbl.t = Hashtbl.create 8 in
+  let aux : (int, int * int * float) Hashtbl.t = Hashtbl.create 8 in
+  let get sid =
+    match Hashtbl.find_opt tbl sid with
+    | Some lp -> lp
+    | None ->
+      let lp =
+        { lp_sid = sid; lp_execs = 0; lp_trip_total = 0; lp_span_ns = 0.0;
+          lp_busy_ns = Array.make workers 0.0; lp_copyin_ns = 0.0;
+          lp_join_ns = 0.0; lp_sched = "chunk" }
+      in
+      Hashtbl.replace tbl sid lp;
+      lp
+  in
+  let update sid f = Hashtbl.replace tbl sid (f (get sid)) in
+  let with_loop r f =
+    match Option.bind (arg "loop" r) sid_of_label with
+    | Some sid -> update sid f
+    | None -> ()
+  in
+  let run_ns = ref 0.0 in
+  List.iter
+    (fun (r : Telemetry.span_record) ->
+      match r.Telemetry.sp_name with
+      | "exec.run" -> run_ns := !run_ns +. dur r
+      | "exec.parallel-loop" ->
+        with_loop r (fun lp ->
+            let trip =
+              match Option.bind (arg "trip" r) int_of_string_opt with
+              | Some t -> t
+              | None -> 0
+            in
+            { lp with lp_execs = lp.lp_execs + 1;
+              lp_trip_total = lp.lp_trip_total + trip;
+              lp_span_ns = lp.lp_span_ns +. dur r })
+      | "exec.copy-in" ->
+        with_loop r (fun lp ->
+            { lp with lp_copyin_ns = lp.lp_copyin_ns +. dur r })
+      | "exec.join" ->
+        with_loop r (fun lp ->
+            { lp with lp_join_ns = lp.lp_join_ns +. dur r })
+      | "pool.run" -> (
+        match Option.bind (arg "label" r) sid_of_label with
+        | None -> ()
+        | Some sid ->
+          let e, tr, sp =
+            Option.value ~default:(0, 0, 0.0) (Hashtbl.find_opt aux sid)
+          in
+          let trip =
+            match Option.bind (arg "trip" r) int_of_string_opt with
+            | Some t -> t
+            | None -> 0
+          in
+          Hashtbl.replace aux sid (e + 1, tr + trip, sp +. dur r))
+      | ("pool.chunk" | "pool.self") as name -> (
+        match Option.bind (arg "label" r) sid_of_label with
+        | None -> () (* unlabeled job: analyzer fan-out, not a loop *)
+        | Some sid ->
+          update sid (fun lp ->
+              (match Option.bind (arg "worker" r) int_of_string_opt with
+              | Some w when w >= 0 && w < workers ->
+                lp.lp_busy_ns.(w) <- lp.lp_busy_ns.(w) +. dur r
+              | _ -> ());
+              { lp with
+                lp_sched = (if name = "pool.self" then "self" else "chunk") }))
+      | _ -> ())
+    spans;
+  Hashtbl.iter
+    (fun sid (e, tr, sp) ->
+      update sid (fun lp ->
+          if lp.lp_execs > 0 then lp
+          else
+            { lp with lp_execs = e; lp_trip_total = tr; lp_span_ns = sp }))
+    aux;
+  let loops =
+    Hashtbl.fold (fun _ lp acc -> lp :: acc) tbl []
+    |> List.sort (fun a b -> compare a.lp_sid b.lp_sid)
+  in
+  let run_ns = if !run_ns > 0.0 then !run_ns else fallback_run_ns in
+  { workers; run_ns; loops }
+
+let find t sid = List.find_opt (fun lp -> lp.lp_sid = sid) t.loops
+
+(* Coverage: the fraction of the run spent inside parallel loops.
+   Loop spans of distinct loops never overlap (the interpreter is
+   sequential between loops and the pool runs one job at a time), and
+   nested parallel loops execute sequentially inside, so summing is
+   sound. *)
+let parallel_coverage t =
+  if t.run_ns <= 0.0 then 0.0
+  else
+    let covered =
+      List.fold_left (fun acc lp -> acc +. lp.lp_span_ns) 0.0 t.loops
+    in
+    Float.min 1.0 (covered /. t.run_ns)
+
+let busy_total lp = Array.fold_left ( +. ) 0.0 lp.lp_busy_ns
+let busy_max lp = Array.fold_left Float.max 0.0 lp.lp_busy_ns
+let busy_mean lp = busy_total lp /. float_of_int (Array.length lp.lp_busy_ns)
+
+let ms ns = ns /. 1e6

@@ -1,0 +1,43 @@
+(** Per-loop timing profiles from one run's retained spans.
+
+    Consumes the span stream a {!Telemetry.retained} sink captured
+    during {!Runtime.Exec.run} and buckets it by loop: the runtime
+    labels [exec.parallel-loop]/[exec.copy-in]/[exec.join] spans and
+    the pool's per-worker spans with the loop's statement id, so
+    aggregation is arg-keyed — no time-window reconstruction. *)
+
+type loop_profile = {
+  lp_sid : int;              (** the PARALLEL DO's statement id *)
+  lp_execs : int;            (** dynamic executions of the loop *)
+  lp_trip_total : int;       (** summed trip counts over executions *)
+  lp_span_ns : float;        (** fork-to-join total (exec.parallel-loop) *)
+  lp_busy_ns : float array;  (** per-worker body time, index = worker *)
+  lp_copyin_ns : float;      (** per-worker private-state construction *)
+  lp_join_ns : float;        (** sequential merge: write-back, reductions *)
+  lp_sched : string;         (** ["chunk"] or ["self"] *)
+}
+
+type t = {
+  workers : int;
+  run_ns : float;            (** whole-program (exec.run) time *)
+  loops : loop_profile list; (** ascending statement id *)
+}
+
+(** [fallback_run_ns] supplies the whole-run time when the stream has
+    no [exec.run] span (compiled runs); likewise loops without
+    [exec.parallel-loop] spans fall back to their labeled [pool.run]
+    spans. *)
+val of_spans :
+  workers:int -> ?fallback_run_ns:float -> Telemetry.span_record list -> t
+val find : t -> int -> loop_profile option
+
+(** Fraction of the run spent inside parallel loops, in [0,1] —
+    the measured side of the Amdahl bound. *)
+val parallel_coverage : t -> float
+
+val busy_total : loop_profile -> float
+val busy_max : loop_profile -> float
+val busy_mean : loop_profile -> float
+
+(** Nanoseconds to milliseconds, for rendering. *)
+val ms : float -> float

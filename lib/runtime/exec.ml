@@ -718,6 +718,7 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
   let nw = Pool.size pool in
   let wstates = Array.make nw None in
   let bad = ref None in
+  let loop_label = Printf.sprintf "s%d" s.Ast.sid in
   (* Lazily built per-worker context: a copied frame in which the
      induction variable, planned private scalars (seeded with the
      current value), reduction scalars (seeded with the operator
@@ -727,6 +728,9 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
     match wstates.(w) with
     | Some ws -> ws
     | None ->
+      Telemetry.span t.g.sink "exec.copy-in"
+        ~args:[ ("loop", loop_label); ("worker", string_of_int w) ]
+      @@ fun () ->
       let wframe = Hashtbl.copy frame in
       let wt =
         {
@@ -818,13 +822,18 @@ and run_parallel t ui frame s (h : Ast.do_header) body ~trip ~value_at ~iv_cell
       Mutex.unlock t.g.bad_mutex;
       raise Abort_loop
   in
+  (* the loop span covers fork through join (scheduling, per-worker
+     copy-in, the body, and the sequential merge below), so perfdebug
+     can compare whole-loop time against summed worker busy time *)
+  Telemetry.span t.g.sink "exec.parallel-loop"
+    ~args:[ ("loop", loop_label); ("trip", string_of_int trip) ]
+  @@ fun () ->
   (try
-     Telemetry.span t.g.sink "exec.parallel-loop"
-       ~args:
-         [ ("loop", Printf.sprintf "s%d" s.Ast.sid);
-           ("trip", string_of_int trip) ]
-       (fun () -> Pool.parallel_for pool ~schedule:t.g.schedule ~trip ~body:body_fn)
+     Pool.parallel_for pool ~label:loop_label ~schedule:t.g.schedule ~trip
+       ~body:body_fn
    with Abort_loop -> ());
+  Telemetry.span t.g.sink "exec.join" ~args:[ ("loop", loop_label) ]
+  @@ fun () ->
   (* merge worker-buffered PRINT output in iteration order *)
   let outs =
     Array.fold_left
@@ -1090,6 +1099,22 @@ let force_parallel (prog : Ast.program) : Ast.program =
             match s.Ast.node with
             | Ast.Do (h, body) ->
               { s with Ast.node = Ast.Do ({ h with Ast.parallel = true }, body) }
+            | _ -> s)
+          u.Ast.body;
+    }
+  in
+  { Ast.punits = List.map rewrite prog.Ast.punits }
+
+let strip_parallel (prog : Ast.program) : Ast.program =
+  let rewrite (u : Ast.program_unit) =
+    {
+      u with
+      Ast.body =
+        Ast.map_stmts
+          (fun (s : Ast.stmt) ->
+            match s.Ast.node with
+            | Ast.Do (h, body) ->
+              { s with Ast.node = Ast.Do ({ h with Ast.parallel = false }, body) }
             | _ -> s)
           u.Ast.body;
     }

@@ -66,9 +66,11 @@ type outcome = {
     @param max_steps statement budget shared across domains
     @param telemetry sink for runtime observability (default: the
       process {!Telemetry.default} sink): an [exec.run] span, one
-      [exec.parallel-loop] span per parallel-loop execution, the pool's
-      per-worker spans and utilization metrics, and the
-      [runtime.validator.conflicts] counter
+      [exec.parallel-loop] span per parallel-loop execution (covering
+      fork through join, with nested [exec.copy-in] spans on each
+      worker's first iteration and an [exec.join] span for the
+      sequential merge), the pool's per-worker spans and utilization
+      metrics, and the [runtime.validator.conflicts] counter
     @raise Runtime_error on execution errors *)
 val run :
   ?domains:int ->
@@ -83,6 +85,10 @@ val run :
 (** Mark every DO loop PARALLEL, bypassing the analysis — for
     exercising the validator on loops known to carry dependences. *)
 val force_parallel : Ast.program -> Ast.program
+
+(** The inverse: clear every PARALLEL flag — the sequential baseline
+    the performance debugger measures speedup against. *)
+val strip_parallel : Ast.program -> Ast.program
 
 val kind_to_string : conflict_kind -> string
 val conflict_to_string : conflict -> string

@@ -10,6 +10,7 @@ let schedule_of_string = function
 type job = {
   trip : int;
   sched : schedule;
+  label : string option;         (* caller's name for the loop (spans) *)
   body : worker:int -> int -> unit;
   next : int Atomic.t;           (* self-scheduling cursor *)
   mutable cancelled : bool;      (* set on first exception *)
@@ -44,7 +45,9 @@ let dispatch t (job : job) w =
      domain's lane of the trace *)
   Telemetry.span tel
     (match job.sched with Chunk -> "pool.chunk" | Self -> "pool.self")
-    ~args:[ ("worker", string_of_int w) ]
+    ~args:
+      (("worker", string_of_int w)
+      :: (match job.label with None -> [] | Some l -> [ ("label", l) ]))
     (fun () ->
       match job.sched with
       | Chunk ->
@@ -128,18 +131,20 @@ let create ?telemetry n =
   t.domains <- List.init n (fun w -> Domain.spawn (worker_loop t w));
   t
 
-let parallel_for t ~schedule ~trip ~body =
+let parallel_for ?label t ~schedule ~trip ~body =
   if trip > 0 then begin
     Telemetry.incr (Telemetry.counter t.sink "pool.jobs");
     Telemetry.span t.sink "pool.run"
       ~args:
-        [ ("trip", string_of_int trip);
-          ("sched", schedule_to_string schedule) ]
+        ([ ("trip", string_of_int trip);
+           ("sched", schedule_to_string schedule) ]
+        @ match label with None -> [] | Some l -> [ ("label", l) ])
     @@ fun () ->
     let job =
       {
         trip;
         sched = schedule;
+        label;
         body;
         next = Atomic.make 0;
         cancelled = false;

@@ -47,10 +47,15 @@ val size : t -> int
     concurrently with itself, so per-worker state needs no locking.
     Within one worker, iteration indices are claimed in increasing
     order under both policies.  Blocks until done; re-raises the
-    first iteration exception. *)
+    first iteration exception.
+
+    [label] names the loop in telemetry: it is attached as a
+    ["label"] arg to the caller's [pool.run] span and to every
+    worker's [pool.chunk]/[pool.self] span, so the performance
+    debugger can attribute per-worker busy time to source loops. *)
 val parallel_for :
-  t -> schedule:schedule -> trip:int -> body:(worker:int -> int -> unit) ->
-  unit
+  ?label:string -> t -> schedule:schedule -> trip:int ->
+  body:(worker:int -> int -> unit) -> unit
 
 (** [map t tasks] — run every thunk on the pool and return their
     results in task order (task [k]'s result at index [k]).  Tasks

@@ -97,12 +97,39 @@ let read_file file =
 
 (* Every session-addressed request runs in that session's telemetry
    lane, under a server.request span — this is what keeps concurrent
-   sessions apart in a recorded trace. *)
+   sessions apart in a recorded trace.  Latency also lands in a
+   per-session histogram (histograms are live even when spans are
+   off), which the stats response summarizes as quantiles. *)
+let latency_hist t id =
+  Telemetry.histogram t.sink ("server.request_ns.session " ^ id)
+
 let in_lane t id verb f =
   Telemetry.with_lane t.sink ("session " ^ id) @@ fun () ->
-  Telemetry.span t.sink "server.request"
-    ~args:[ ("session", id); ("request", verb) ]
-    f
+  let t0 = Telemetry.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.observe (latency_hist t id)
+        (Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0)))
+    (fun () ->
+      Telemetry.span t.sink "server.request"
+        ~args:[ ("session", id); ("request", verb) ]
+        f)
+
+let latency_report t id =
+  let h = latency_hist t id in
+  let n = Telemetry.hist_count h in
+  if n = 0 then "request latency: no requests yet"
+  else
+    let q p = float_of_int (Telemetry.hist_quantile h p) /. 1e6 in
+    let mx =
+      match List.rev (Telemetry.hist_buckets h) with
+      | (ub, _) :: _ -> float_of_int ub /. 1e6
+      | [] -> 0.0
+    in
+    Printf.sprintf
+      "request latency: p50 %.3fms  p95 %.3fms  max %.3fms  (%d request%s)"
+      (q 0.5) (q 0.95) mx n
+      (if n = 1 then "" else "s")
 
 let with_session t id f =
   match find_session t id with
@@ -135,7 +162,10 @@ let handle t (req : Protocol.request) : (string * string list, string) result
         Ok (rsid, Protocol.payload_of_text out))
   | Protocol.Stats rsid ->
     with_session t rsid (fun s ->
-        Ok (rsid, Protocol.payload_of_text (Session.engine_report s)))
+        Ok
+          ( rsid,
+            Protocol.payload_of_text
+              (Session.engine_report s ^ "\n" ^ latency_report t rsid) ))
   | Protocol.Sessions ->
     Ok
       ( "",

@@ -63,6 +63,25 @@ let hist_buckets h =
   done;
   !out
 
+(* Smallest bucket upper bound covering fraction [q] of the samples.
+   Resolution is the bucket width (a factor of two), which is enough
+   for the latency/size distributions this records. *)
+let hist_quantile h q =
+  let total = hist_count h in
+  if total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let need = int_of_float (ceil (q *. float_of_int total)) in
+    let need = max 1 need in
+    let rec go acc = function
+      | [] -> 0 (* unreachable: cumulative count reaches [total] *)
+      | (ub, n) :: rest ->
+        let acc = acc + n in
+        if acc >= need then ub else go acc rest
+    in
+    go 0 (hist_buckets h)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -142,6 +161,11 @@ let make_sink ~metrics ~record_spans =
 
 let null = make_sink ~metrics:false ~record_spans:false
 let make ?(record_spans = false) () = make_sink ~metrics:true ~record_spans
+
+(* A sink meant for in-memory capture-then-analyze use (perfdebug):
+   spans are retained from the start and handed over via
+   [drain_spans]. *)
+let retained () = make_sink ~metrics:true ~record_spans:true
 let default_sink = Atomic.make null
 let default () = Atomic.get default_sink
 let set_default s = Atomic.set default_sink s
@@ -257,6 +281,11 @@ let spans s =
 let reset_spans s =
   let logs = locked s (fun () -> !(s.s_logs)) in
   List.iter (fun l -> l.l_done <- []) logs
+
+let drain_spans s =
+  let r = spans s in
+  reset_spans s;
+  r
 
 let counters s =
   locked s (fun () ->
@@ -441,8 +470,11 @@ let metrics_json s =
     (fun i (n, h) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%d,\"buckets\":[%s]}"
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%d,\"p50\":%d,\"p95\":%d,\
+            \"buckets\":[%s]}"
            (json_escape n) (hist_count h) (hist_sum h)
+           (hist_quantile h 0.5) (hist_quantile h 0.95)
            (String.concat ","
               (List.map
                  (fun (ub, n) -> Printf.sprintf "[%d,%d]" ub n)

@@ -42,6 +42,11 @@ val null : sink
     be flipped later with {!set_recording}. *)
 val make : ?record_spans:bool -> unit -> sink
 
+(** A live sink that records spans from the start — the
+    capture-then-analyze configuration used by the performance
+    debugger ({!drain_spans} hands the capture over). *)
+val retained : unit -> sink
+
 (** Process-wide default sink, initially {!null}.  Instrumentation
     points that have no natural way to receive a sink (deep library
     code, transformation catalog entries) emit here. *)
@@ -84,6 +89,12 @@ val hist_sum : histogram -> int
 
 (** Non-empty buckets as [(inclusive upper bound, count)], ascending. *)
 val hist_buckets : histogram -> (int * int) list
+
+(** [hist_quantile h q] — the smallest bucket upper bound covering at
+    least fraction [q] (clamped to [0,1]) of the recorded samples; 0
+    on an empty histogram.  Resolution is the power-of-two bucket
+    width. *)
+val hist_quantile : histogram -> float -> int
 
 (** The bucket index {!observe} files a value under (exposed for
     tests). *)
@@ -134,6 +145,11 @@ type span_record = {
 val spans : sink -> span_record list
 
 val reset_spans : sink -> unit
+
+(** Atomically {!spans} then {!reset_spans}: take ownership of the
+    capture so far (perfdebug takes one run's spans this way). *)
+val drain_spans : sink -> span_record list
+
 val counters : sink -> (string * int) list
 
 (** {1 Exporters} *)
@@ -152,5 +168,7 @@ val chrome_trace : sink -> string
 
 val write_chrome_trace : sink -> string -> unit
 
-(** [{"counters":{...},"histograms":{...}}] for bench. *)
+(** [{"counters":{...},"histograms":{...}}] for bench; each histogram
+    object carries [count], [sum], [p50]/[p95] (bucket-resolution
+    quantiles) and the non-empty [buckets]. *)
 val metrics_json : sink -> string

@@ -89,6 +89,30 @@ let suite =
           check_bool "echo1" true (contains ~needle:"ped> loops" a);
           check_bool "echo2" true (contains ~needle:"ped> stats" b)
         | _ -> Alcotest.fail "expected two transcript entries");
+    case "why slow runs a whole-program diagnosis" (fun () ->
+        let t = sess () in
+        let out = run t "why slow" in
+        check_bool "no error" false (contains ~needle:"error" out);
+        check_bool "summary header" true
+          (contains ~needle:"performance diagnosis:" out);
+        check_bool "coverage line" true
+          (contains ~needle:"parallel coverage" out);
+        (* nothing is parallelized yet, so the run is all serial *)
+        check_bool "serial fraction fires" true
+          (contains ~needle:"serial fraction" out));
+    case "why slow focuses one loop" (fun () ->
+        let t = sess () in
+        ignore (run t "apply parallelize l3");
+        let out = run t "why slow l3" in
+        check_bool "no error" false (contains ~needle:"error" out);
+        check_bool "summary header" true
+          (contains ~needle:"performance diagnosis:" out));
+    case "why slow usage errors" (fun () ->
+        let t = sess () in
+        check_bool "bad token" true
+          (contains ~needle:"usage: why slow" (run t "why slow bogus"));
+        check_bool "too many args" true
+          (contains ~needle:"usage: why slow" (run t "why slow l1 l2")));
     case "empty line is a no-op" (fun () ->
         let t = sess () in
         check_string "empty" "" (run t "   "));

@@ -372,7 +372,25 @@ let serve_session_flow () =
     ok_exn "cmd" (handle (Server.Protocol.Cmd { rsid = "a"; line = "loops" }))
   in
   check_bool "command produced output" true (payload <> []);
-  let _ = ok_exn "stats" (handle (Server.Protocol.Stats "b")) in
+  let _, stats_payload = ok_exn "stats" (handle (Server.Protocol.Stats "b")) in
+  (* the open above ran in b's telemetry lane, so the stats response
+     ends with that session's request-latency quantiles *)
+  let has_sub hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i =
+      i + n <= h && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  (match List.rev stats_payload with
+  | latency :: _ ->
+    check_bool "stats ends with a request-latency line" true
+      (has_sub latency "request latency: p50 ");
+    check_bool "latency line reports p95 and max" true
+      (has_sub latency "p95 " && has_sub latency "max ");
+    check_bool "latency line counts b's one request" true
+      (has_sub latency "(1 request)")
+  | [] -> Alcotest.fail "empty stats payload");
   let _ = ok_exn "cache" (handle Server.Protocol.Cache_stats) in
   (* session b was served from a's work: the server's sink aggregates
      across sessions, and the whole server computed exactly one unit

@@ -68,6 +68,52 @@ let suite =
           "buckets (upper bound, count)"
           [ (0, 2); (1, 1); (3, 2); (7, 1); (1023, 1) ]
           (Telemetry.hist_buckets h));
+    case "histogram: quantiles" (fun () ->
+        let s = Telemetry.make () in
+        (* empty: every quantile is 0 *)
+        let e = Telemetry.histogram s "empty" in
+        check_int "empty p50" 0 (Telemetry.hist_quantile e 0.5);
+        check_int "empty p99" 0 (Telemetry.hist_quantile e 0.99);
+        (* single bucket: all observations answer with its upper bound *)
+        let one = Telemetry.histogram s "one" in
+        List.iter (Telemetry.observe one) [ 5; 6; 7 ];
+        check_int "single-bucket p0+" 7 (Telemetry.hist_quantile one 0.01);
+        check_int "single-bucket p50" 7 (Telemetry.hist_quantile one 0.5);
+        check_int "single-bucket p100" 7 (Telemetry.hist_quantile one 1.0);
+        (* multi-bucket: 10 cheap, 1 dear - the p50 answers from the
+           cheap bucket, the tail quantiles from the dear one *)
+        let m = Telemetry.histogram s "multi" in
+        for _ = 1 to 10 do
+          Telemetry.observe m 3
+        done;
+        Telemetry.observe m 1000;
+        check_int "multi p50" 3 (Telemetry.hist_quantile m 0.5);
+        check_int "multi p90" 3 (Telemetry.hist_quantile m 0.90);
+        check_int "multi p95" 1023 (Telemetry.hist_quantile m 0.95);
+        check_int "multi max" 1023 (Telemetry.hist_quantile m 1.0);
+        (* out-of-range q clamps *)
+        check_int "q < 0" 3 (Telemetry.hist_quantile m (-1.0));
+        check_int "q > 1" 1023 (Telemetry.hist_quantile m 2.0);
+        (* quantiles surface in metrics_json *)
+        let j = Telemetry.metrics_json s in
+        check_bool "p50 in metrics_json" true
+          (substring_count j {|"p50":|} > 0);
+        check_bool "p95 in metrics_json" true
+          (substring_count j {|"p95":|} > 0));
+    case "retained sink captures and drains spans" (fun () ->
+        let s = Telemetry.retained () in
+        check_bool "metrics on" true (Telemetry.metrics_on s);
+        check_bool "recording" true (Telemetry.recording s);
+        Telemetry.span s "a" (fun () -> Telemetry.span s "b" (fun () -> ()));
+        let drained = Telemetry.drain_spans s in
+        Alcotest.(check (list string))
+          "drained names" [ "a"; "b" ]
+          (List.map (fun r -> r.Telemetry.sp_name) drained);
+        check_bool "drain resets" true (Telemetry.spans s = []);
+        Telemetry.span s "c" (fun () -> ());
+        Alcotest.(check (list string))
+          "records again after drain" [ "c" ]
+          (List.map (fun r -> r.Telemetry.sp_name) (Telemetry.drain_spans s)));
     case "spans: nesting, paths, args" (fun () ->
         let s = Telemetry.make ~record_spans:true () in
         Telemetry.span s "outer" (fun () ->
